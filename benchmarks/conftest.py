@@ -1,0 +1,45 @@
+"""Benchmark configuration.
+
+Every benchmark regenerates one table/figure of the paper (or an
+ablation) and writes the rendered result to ``benchmarks/results/`` so
+the artifacts survive pytest's output capture.
+
+Scale: the full Sec. V-A protocol (2048-trial budgets, early stop 400,
+10 trials, 5 models) takes hours; benchmarks default to a reduced
+protocol that preserves the paper's *shape* and finishes in minutes.
+Set the ``REPRO_BENCH_SCALE`` environment variable (0 < scale <= 1,
+default 0.1) to trade time for fidelity — 1.0 reproduces the paper's
+exact budgets.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.settings import ExperimentSettings
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.1"))
+
+
+@pytest.fixture(scope="session")
+def settings() -> ExperimentSettings:
+    """The evaluation protocol at the configured benchmark scale."""
+    return ExperimentSettings().scaled(bench_scale())
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_result(results_dir: Path, name: str, text: str) -> None:
+    """Persist a rendered table/figure and echo it for -s runs."""
+    path = results_dir / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    print(f"\n{text}\n[saved to {path}]")

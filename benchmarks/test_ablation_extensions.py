@@ -1,0 +1,119 @@
+"""Ablation benchmarks for the framework extensions.
+
+* batch-mode BAO (top-k proposals per ensemble refit) — quality vs
+  parallel-measurement batch size;
+* acquisition function (Alg. 3 sum vs uncertainty-aware UCB);
+* evaluation-function family (GBT vs MLP under the bootstrap ensemble,
+  backing the paper's Sec. IV generality claim).
+"""
+
+from dataclasses import replace
+
+import numpy as np
+
+from benchmarks.conftest import save_result
+from repro.core.bao import BaoSettings
+from repro.core.tuners.btedbao import BTEDBAOTuner
+from repro.experiments.runner import format_table
+from repro.learning.mlp import MlpRegressor
+from repro.nn.zoo import build_model
+from repro.pipeline.tasks import extract_tasks
+from repro.utils.rng import derive_seed
+
+
+def first_mobilenet_task(settings):
+    spec = extract_tasks(build_model("mobilenet-v1"))[0]
+    return spec.to_simulated(seed=settings.env_seed)
+
+
+def _run_bao(task, settings, trial, tag, **tuner_kwargs):
+    seed = derive_seed(settings.env_seed, "ext", trial, tag)
+    tuner = BTEDBAOTuner(
+        task,
+        seed=seed,
+        init_size=settings.init_size,
+        mu=settings.mu,
+        batch_candidates=settings.batch_candidates,
+        num_batches=settings.num_batches,
+        **tuner_kwargs,
+    )
+    return tuner.tune(
+        n_trial=settings.n_trial, early_stopping=settings.early_stopping
+    ).best_gflops
+
+
+def test_ablation_bao_batch_size(benchmark, settings, results_dir):
+    task = first_mobilenet_task(settings)
+
+    def run():
+        out = {}
+        for k in (1, 4, 16):
+            bests = [
+                _run_bao(task, settings, trial, f"batch-{k}",
+                         measure_batch_size=k, bao_settings=settings.bao)
+                for trial in range(settings.num_trials)
+            ]
+            out[k] = float(np.mean(bests))
+        return out
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [[f"k={k}", f"{v:.1f}"] for k, v in sorted(result.items())]
+    text = "Ablation — BAO parallel-measurement batch size\n" + format_table(
+        ["batch", "best GFLOPS"], rows
+    )
+    save_result(results_dir, "ablation_bao_batch_size", text)
+    assert all(v > 0 for v in result.values())
+
+
+def test_ablation_acquisition(benchmark, settings, results_dir):
+    task = first_mobilenet_task(settings)
+
+    def run():
+        out = {}
+        for name, bao in (
+            ("sum", settings.bao),
+            ("ucb-k1", replace(settings.bao, acquisition="ucb", kappa=1.0)),
+            ("ucb-k4", replace(settings.bao, acquisition="ucb", kappa=4.0)),
+        ):
+            bests = [
+                _run_bao(task, settings, trial, f"acq-{name}", bao_settings=bao)
+                for trial in range(settings.num_trials)
+            ]
+            out[name] = float(np.mean(bests))
+        return out
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [[name, f"{v:.1f}"] for name, v in sorted(result.items())]
+    text = "Ablation — BAO acquisition function\n" + format_table(
+        ["acquisition", "best GFLOPS"], rows
+    )
+    save_result(results_dir, "ablation_acquisition", text)
+    assert all(v > 0 for v in result.values())
+
+
+def test_ablation_evaluation_function(benchmark, settings, results_dir):
+    """GBT vs MLP evaluation functions inside the bootstrap ensemble."""
+    task = first_mobilenet_task(settings)
+
+    def mlp_factory():
+        return MlpRegressor(hidden_layers=(32, 16), epochs=30, seed=0)
+
+    def run():
+        out = {}
+        for name, factory in (("gbt", None), ("mlp", mlp_factory)):
+            bests = [
+                _run_bao(task, settings, trial, f"model-{name}",
+                         bao_settings=settings.bao, model_factory=factory)
+                for trial in range(max(1, settings.num_trials // 2))
+            ]
+            out[name] = float(np.mean(bests))
+        return out
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [[name, f"{v:.1f}"] for name, v in sorted(result.items())]
+    text = (
+        "Ablation — evaluation-function family (Sec. IV generality)\n"
+        + format_table(["model", "best GFLOPS"], rows)
+    )
+    save_result(results_dir, "ablation_evaluation_function", text)
+    assert all(v > 0 for v in result.values())

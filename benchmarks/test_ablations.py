@@ -1,0 +1,138 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Not experiments from the paper — these quantify the contribution of
+each framework component on the first MobileNet-v1 task:
+
+* BTED batch count ``B`` (diversity vs compute);
+* bootstrap ensemble size ``Gamma``;
+* BAO radius policy (adaptive vs fixed vs compounding);
+* BAO neighborhood metric (feature-space vs knob-index).
+"""
+
+from dataclasses import replace
+
+import numpy as np
+
+from benchmarks.conftest import save_result
+from repro.experiments.ablation import (
+    adaptive_radius_ablation,
+    bted_batch_sweep,
+    gamma_sweep,
+    init_diversity_comparison,
+)
+from repro.experiments.runner import format_table, run_arm_on_task
+from repro.nn.zoo import build_model
+from repro.pipeline.tasks import extract_tasks
+
+
+def first_mobilenet_task(settings):
+    spec = extract_tasks(build_model("mobilenet-v1"))[0]
+    return spec.to_simulated(seed=settings.env_seed)
+
+
+def test_ablation_bted_batches(benchmark, settings, results_dir):
+    task = first_mobilenet_task(settings)
+
+    def run():
+        sweep = bted_batch_sweep(
+            task,
+            batch_counts=(1, 5, 10),
+            m=settings.init_size,
+            batch_candidates=settings.batch_candidates,
+            seed=settings.env_seed,
+        )
+        baseline = init_diversity_comparison(
+            task, m=settings.init_size, seed=settings.env_seed
+        )
+        return sweep, baseline
+
+    sweep, baseline = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        ["random", f"{baseline['random'].min_distance:.3f}",
+         f"{baseline['random'].mean_nearest_neighbor:.3f}"]
+    ]
+    for b, stats in sorted(sweep.items()):
+        rows.append(
+            [f"BTED B={b}", f"{stats.min_distance:.3f}",
+             f"{stats.mean_nearest_neighbor:.3f}"]
+        )
+    text = "Ablation — BTED batch count vs init diversity\n" + format_table(
+        ["init", "min dist", "mean NN dist"], rows
+    )
+    save_result(results_dir, "ablation_bted_batches", text)
+
+    # BTED (any B) must beat random init on dispersion
+    for stats in sweep.values():
+        assert stats.mean_nearest_neighbor > (
+            baseline["random"].mean_nearest_neighbor
+        )
+
+
+def test_ablation_gamma(benchmark, settings, results_dir):
+    task = first_mobilenet_task(settings)
+
+    def run():
+        return gamma_sweep(
+            task, settings, gammas=(1, 2, 4),
+            num_trials=settings.num_trials,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [[f"Gamma={g}", f"{v:.1f}"] for g, v in sorted(result.items())]
+    text = "Ablation — bootstrap ensemble size\n" + format_table(
+        ["setting", "best GFLOPS"], rows
+    )
+    save_result(results_dir, "ablation_gamma", text)
+    assert all(v > 0 for v in result.values())
+
+
+def test_ablation_radius_policy(benchmark, settings, results_dir):
+    task = first_mobilenet_task(settings)
+
+    def run():
+        return adaptive_radius_ablation(
+            task, settings, num_trials=settings.num_trials
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [[name, f"{v:.1f}"] for name, v in sorted(result.items())]
+    text = "Ablation — BAO radius policy\n" + format_table(
+        ["policy", "best GFLOPS"], rows
+    )
+    save_result(results_dir, "ablation_radius_policy", text)
+    assert all(v > 0 for v in result.values())
+
+
+def test_ablation_neighborhood_metric(benchmark, settings, results_dir):
+    """Feature-space neighborhoods vs knob-index neighborhoods.
+
+    The paper says 'Euclidean distance between points' without fixing
+    the embedding; this ablation shows the feature-space reading is the
+    one under which BAO's local-smoothness assumption holds.
+    """
+    task = first_mobilenet_task(settings)
+
+    def run():
+        out = {}
+        for metric in ("feature", "index"):
+            metric_settings = replace(
+                settings, bao=replace(settings.bao, metric=metric)
+            )
+            bests = [
+                run_arm_on_task(
+                    "bted+bao", task, metric_settings, trial=t
+                ).best_gflops
+                for t in range(settings.num_trials)
+            ]
+            out[metric] = float(np.mean(bests))
+        return out
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [[m, f"{v:.1f}"] for m, v in sorted(result.items())]
+    text = "Ablation — BAO neighborhood metric\n" + format_table(
+        ["metric", "best GFLOPS"], rows
+    )
+    save_result(results_dir, "ablation_neighborhood_metric", text)
+    benchmark.extra_info.update(result)
+    assert result["feature"] > 0 and result["index"] > 0

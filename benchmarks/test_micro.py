@@ -1,0 +1,151 @@
+"""Micro-benchmarks of the framework's hot components.
+
+These track the throughput of the pieces the search loops hammer:
+TED selection, BTED initialization, GBT fit/predict, the bootstrap
+ensemble step, SA proposal rounds, neighborhood sampling, and the
+analytical cost model.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.bootstrap import BootstrapEnsemble
+from repro.core.bted import bted_select
+from repro.core.ted import ted_select
+from repro.hardware.measure import Measurer, SimulatedTask
+from repro.learning.gbt import GradientBoostedTrees
+from repro.learning.sa import simulated_annealing_search
+from repro.nn.workloads import Conv2DWorkload
+from repro.nn.zoo import build_model
+from repro.pipeline.tasks import extract_tasks
+from repro.space.neighborhood import sample_neighborhood
+
+
+@pytest.fixture(scope="module")
+def task():
+    wl = Conv2DWorkload(1, 32, 64, 56, 56, 3, 3, pad_h=1, pad_w=1)
+    return SimulatedTask(wl, seed=0)
+
+
+def test_ted_select_500x64(benchmark):
+    rng = np.random.default_rng(0)
+    features = rng.normal(size=(500, 20))
+    picked = benchmark(ted_select, features, 64, 0.1)
+    assert len(picked) == 64
+
+
+def test_bted_paper_settings(benchmark, task):
+    """Full Alg. 2 with the paper's (M=500, m=64, B=10)."""
+    picked = benchmark.pedantic(
+        bted_select,
+        args=(task.space,),
+        kwargs=dict(m=64, batch_candidates=500, num_batches=10, seed=1),
+        rounds=3,
+        iterations=1,
+    )
+    assert len(picked) == 64
+
+
+def test_gbt_fit_512x20(benchmark):
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(512, 20))
+    y = rng.normal(size=512)
+    model = benchmark(
+        lambda: GradientBoostedTrees(n_estimators=50, seed=0).fit(X, y)
+    )
+    assert model.n_trees == 50
+
+
+def test_gbt_predict_4096(benchmark):
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(512, 20))
+    y = rng.normal(size=512)
+    model = GradientBoostedTrees(n_estimators=50, seed=0).fit(X, y)
+    Xq = rng.normal(size=(4096, 20))
+    pred = benchmark(model.predict, Xq)
+    assert pred.shape == (4096,)
+
+
+def test_bootstrap_ensemble_step(benchmark, task):
+    """One BAO model step: fit Gamma=2 models + score 512 candidates."""
+    rng = np.random.default_rng(0)
+    indices = task.space.sample(300, seed=0)
+    X = task.space.feature_matrix(indices)
+    y = np.array([task.true_gflops(int(i)) for i in indices])
+    candidates = task.space.feature_matrix(task.space.sample(512, seed=1))
+
+    def step():
+        ensemble = BootstrapEnsemble(gamma=2, seed=rng).fit(X, y)
+        return ensemble.predict_sum(candidates)
+
+    scores = benchmark(step)
+    assert scores.shape == (512,)
+
+
+def test_sa_proposal_round(benchmark, task):
+    rng = np.random.default_rng(0)
+    weights = rng.normal(size=task.space.feature_dim)
+
+    def score(indices):
+        return task.space.feature_matrix(indices) @ weights
+
+    plan = benchmark.pedantic(
+        simulated_annealing_search,
+        args=(task.space, score),
+        kwargs=dict(plan_size=64, seed=2, n_chains=128, n_steps=120),
+        rounds=3,
+        iterations=1,
+    )
+    assert len(plan) == 64
+
+
+def test_neighborhood_sampling(benchmark, task):
+    center = int(task.space.sample(1, seed=3)[0])
+    sampled = benchmark(
+        sample_neighborhood, task.space, center, 3.0, 512, 4
+    )
+    assert len(sampled) > 0
+
+
+def test_cost_model_profile(benchmark, task):
+    indices = task.space.sample(256, seed=5)
+    entities = [task.space.get(int(i)) for i in indices]
+
+    def profile_all():
+        from repro.hardware.resources import ResourceError
+
+        count = 0
+        for entity in entities:
+            try:
+                task.model.profile(task.workload, entity.values)
+                count += 1
+            except ResourceError:
+                pass
+        return count
+
+    count = benchmark(profile_all)
+    assert count > 0
+
+
+def test_measure_batch_64(benchmark, task):
+    measurer = Measurer(task, seed=0)
+    indices = task.space.sample(64, seed=6)
+    results = benchmark(measurer.measure_batch, indices)
+    assert len(results) == 64
+
+
+def test_task_extraction_all_models(benchmark):
+    def extract_all():
+        return sum(
+            len(extract_tasks(build_model(name)))
+            for name in ("alexnet", "resnet-18", "mobilenet-v1")
+        )
+
+    total = benchmark(extract_all)
+    assert total == 5 + 11 + 19
+
+
+def test_feature_matrix_4096(benchmark, task):
+    indices = task.space.sample(4096, seed=7)
+    matrix = benchmark(task.space.feature_matrix, indices)
+    assert matrix.shape == (4096, task.space.feature_dim)

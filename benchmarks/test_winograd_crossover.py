@@ -1,0 +1,82 @@
+"""Template-crossover study: direct vs Winograd across layer depths.
+
+Not a paper figure — a substrate-validation benchmark.  Real GPUs show
+a characteristic crossover: Winograd F(2x2, 3x3) loses on early layers
+(large spatial extent, few channels — memory-bound, transform overhead
+dominates) and wins on deep layers (many channels — compute-bound,
+2.25x multiply reduction pays).  The simulator must reproduce that
+shape for template selection to be meaningful.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import save_result
+from repro.core import make_tuner
+from repro.experiments.runner import format_table
+from repro.hardware.measure import SimulatedTask
+from repro.nn.workloads import Conv2DWorkload
+from repro.utils.rng import derive_seed
+
+#: ResNet-ish 3x3 stages from shallow to deep
+STAGES = [
+    (64, 56),
+    (128, 28),
+    (256, 14),
+    (512, 7),
+]
+
+
+def test_winograd_crossover(benchmark, settings, results_dir):
+    def run():
+        rows = {}
+        for channels, size in STAGES:
+            wl = Conv2DWorkload(
+                1, channels, channels, size, size, 3, 3, pad_h=1, pad_w=1
+            )
+            best = {}
+            for template in ("direct", "winograd"):
+                task = SimulatedTask(
+                    wl, seed=settings.env_seed, template=template
+                )
+                tuner = make_tuner(
+                    "autotvm",
+                    task,
+                    seed=derive_seed(settings.env_seed, "xover", template,
+                                     channels),
+                )
+                result = tuner.tune(
+                    n_trial=settings.n_trial,
+                    early_stopping=settings.early_stopping,
+                )
+                best[template] = result.best_gflops
+            rows[(channels, size)] = best
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table_rows = []
+    ratios = []
+    for (channels, size), best in rows.items():
+        ratio = best["winograd"] / best["direct"]
+        ratios.append(ratio)
+        table_rows.append(
+            [
+                f"{channels}ch {size}px",
+                f"{best['direct']:.0f}",
+                f"{best['winograd']:.0f}",
+                f"{ratio:.2f}x",
+            ]
+        )
+    text = (
+        "Template crossover — direct vs Winograd (tuned, GFLOPS)\n"
+        + format_table(
+            ["layer", "direct", "winograd", "wino/direct"], table_rows
+        )
+    )
+    save_result(results_dir, "winograd_crossover", text)
+
+    # shape: the advantage of Winograd must grow with depth, and there
+    # must be an actual crossover across the sweep
+    assert ratios[-1] > ratios[0]
+    assert max(ratios) > 1.0
+    assert min(ratios) < 1.1

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Convergence study on the first MobileNet-v1 layers (paper Fig. 4).
+
+Runs AutoTVM, BTED and BTED+BAO on the first two tuning tasks of
+MobileNet-v1 with a fixed measurement budget and prints the best-so-far
+GFLOPS at checkpoints, plus simple ASCII sparklines of the curves.
+
+Run:  python examples/convergence_study.py [--budget N] [--trials N]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.experiments import run_fig4
+from repro.experiments.settings import ExperimentSettings
+
+
+def sparkline(curve: np.ndarray, width: int = 48) -> str:
+    """Down-sample a curve into a unicode block sparkline."""
+    blocks = " ▁▂▃▄▅▆▇█"
+    idx = np.linspace(0, len(curve) - 1, width).astype(int)
+    values = curve[idx]
+    lo, hi = float(values.min()), float(values.max())
+    span = (hi - lo) or 1.0
+    return "".join(
+        blocks[int((v - lo) / span * (len(blocks) - 1))] for v in values
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--budget", type=int, default=384)
+    parser.add_argument("--trials", type=int, default=2)
+    parser.add_argument("--layers", type=int, default=2)
+    args = parser.parse_args()
+
+    settings = ExperimentSettings().scaled(0.25)
+    result = run_fig4(
+        num_layers=args.layers,
+        settings=settings,
+        num_measurements=args.budget,
+        num_trials=args.trials,
+    )
+    checkpoints = [c for c in (64, 128, 256, 512, 1024) if c <= args.budget]
+    print(result.report(checkpoints=checkpoints))
+    print()
+    for (layer, arm), curve in sorted(result.curves.items()):
+        print(f"T{layer + 1} {arm:>9s} |{sparkline(curve)}| "
+              f"{curve[-1]:8.1f} GFLOPS")
+
+
+if __name__ == "__main__":
+    main()

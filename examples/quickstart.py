@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Quickstart: tune one convolution layer with the advanced framework.
+
+Builds a single ResNet-style 3x3 convolution workload, constructs its
+CUDA schedule configuration space, and compares the AutoTVM baseline
+against the paper's BTED+BAO framework on the simulated GTX 1080 Ti.
+
+Run:  python examples/quickstart.py
+"""
+
+import argparse
+
+from repro import SimulatedTask, make_tuner
+from repro.nn.workloads import Conv2DWorkload
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--budget", type=int, default=256,
+                        help="measurements per tuner")
+    args = parser.parse_args()
+    # a ResNet-18 stage-1 convolution: 64 -> 64 channels, 56x56, 3x3
+    workload = Conv2DWorkload(
+        batch=1,
+        in_channels=64,
+        out_channels=64,
+        height=56,
+        width=56,
+        kernel_h=3,
+        kernel_w=3,
+        pad_h=1,
+        pad_w=1,
+    )
+    task = SimulatedTask(workload, seed=2021)
+    print(f"workload: {workload}")
+    print(f"config space size: {len(task.space):,} points")
+    print(f"feature dimension: {task.space.feature_dim}")
+    print()
+
+    for arm in ("random", "autotvm", "bted+bao"):
+        tuner = make_tuner(arm, task, seed=0)
+        result = tuner.tune(n_trial=args.budget, early_stopping=None)
+        best_ms = 1e3 * task.true_time_s(result.best_index)
+        print(
+            f"{arm:>9s}: best {result.best_gflops:7.1f} GFLOPS "
+            f"({best_ms:.4f} ms/kernel) "
+            f"after {result.num_measurements} measurements"
+        )
+
+    print()
+    print(
+        "Typical outcome: both model-guided arms beat random; averaged "
+        "over tasks and trials, bted+bao leads (paper Fig. 4 / Fig. 5)."
+    )
+
+
+if __name__ == "__main__":
+    main()

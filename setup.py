@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+Project metadata lives in pyproject.toml; this file exists so that
+``pip install -e .`` works via the legacy setuptools develop path in
+offline environments where PEP 660 editable wheels cannot be built.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,192 @@
+"""Command-line interface.
+
+Exposes the main workflows without writing Python::
+
+    python -m repro models                         # list the zoo
+    python -m repro tasks --model mobilenet-v1     # list tuning tasks
+    python -m repro tune --model squeezenet-v1.1 --arm bted+bao \
+        --budget 256 --records out.jsonl           # tune + deploy
+    python -m repro experiment fig4 --scale 0.1    # regenerate a figure
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core import TUNER_REGISTRY
+from repro.experiments.settings import ExperimentSettings
+from repro.nn.zoo import MODEL_BUILDERS, PAPER_MODELS, build_model
+from repro.pipeline.compiler import DeploymentCompiler
+from repro.pipeline.records import RecordStore
+from repro.pipeline.tasks import extract_tasks
+from repro.space.templates import build_space
+from repro.utils.log import enable_console_logging
+
+
+def _cmd_models(args: argparse.Namespace) -> int:
+    from repro.nn.zoo import EXTENSION_MODELS
+
+    print(f"{'model':<18} {'nodes':>6} {'GFLOPs':>8} {'Mparams':>8} {'tasks':>6}")
+    for name in PAPER_MODELS + EXTENSION_MODELS:
+        graph = build_model(name)
+        tasks = extract_tasks(graph)
+        tag = "" if name in PAPER_MODELS else "  (extension)"
+        print(
+            f"{name:<18} {len(graph):>6} "
+            f"{graph.total_flops() / 1e9:>8.3f} "
+            f"{graph.total_params() / 1e6:>8.3f} {len(tasks):>6}{tag}"
+        )
+    return 0
+
+
+def _cmd_tasks(args: argparse.Namespace) -> int:
+    graph = build_model(args.model)
+    tasks = extract_tasks(graph)
+    print(f"{len(tasks)} tuning tasks in {args.model}:")
+    for task in tasks:
+        size = len(build_space(task.workload))
+        print(
+            f"  T{task.task_id + 1:<3d} {task.workload.kind:<18s} "
+            f"x{task.occurrences}  |space|={size:,}  {task.workload}"
+        )
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    enable_console_logging()
+    graph = build_model(args.model)
+    compiler = DeploymentCompiler(
+        graph, env_seed=args.env_seed, include_winograd=args.winograd
+    )
+    store = RecordStore() if args.records else None
+
+    def progress(spec, result):
+        print(
+            f"T{spec.task_id + 1:<3d} {spec.workload.kind:<12s} "
+            f"{spec.template:<9s} best {result.best_gflops:9.1f} GFLOPS "
+            f"in {result.num_measurements} measurements"
+        )
+
+    compiled = compiler.tune(
+        args.arm,
+        n_trial=args.budget,
+        early_stopping=args.early_stop,
+        trial_seed=args.seed,
+        record_store=store,
+        progress=progress,
+    )
+    sample = compiled.measure_latency(num_runs=args.runs, seed=args.seed)
+    print()
+    print(f"{args.model} via {args.arm}:")
+    print(f"  latency  : {sample.mean_ms:.4f} ms (mean of {args.runs} runs)")
+    print(f"  variance : {sample.variance:.6f}")
+    if store is not None:
+        store.save(args.records)
+        print(f"  records  : {len(store)} -> {args.records}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    enable_console_logging()
+    settings = ExperimentSettings().scaled(args.scale)
+    if args.which == "fig4":
+        from repro.experiments.fig4 import run_fig4
+
+        result = run_fig4(
+            settings=settings,
+            num_measurements=max(128, int(1024 * args.scale)),
+            num_trials=settings.num_trials,
+        )
+        print(result.report())
+    elif args.which == "fig5":
+        from repro.experiments.fig5 import run_fig5
+
+        result = run_fig5(settings=settings, max_tasks=args.max_tasks)
+        print(result.report())
+    else:
+        from repro.experiments.table1 import run_table1
+
+        result = run_table1(settings=settings)
+        print(result.report())
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import build_report, write_report
+
+    if args.output:
+        path = write_report(args.results, args.output)
+        print(f"report written to {path}")
+    else:
+        print(build_report(args.results))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Advanced active learning for DNN hardware deployment "
+        "(DATE 2021 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("models", help="list the model zoo").set_defaults(
+        func=_cmd_models
+    )
+
+    p_tasks = sub.add_parser("tasks", help="list a model's tuning tasks")
+    p_tasks.add_argument("--model", required=True,
+                         choices=sorted(MODEL_BUILDERS))
+    p_tasks.set_defaults(func=_cmd_tasks)
+
+    p_tune = sub.add_parser("tune", help="tune and deploy a zoo model")
+    p_tune.add_argument("--model", required=True,
+                        choices=sorted(MODEL_BUILDERS))
+    p_tune.add_argument(
+        "--arm", default="bted+bao", choices=sorted(TUNER_REGISTRY)
+    )
+    p_tune.add_argument("--budget", type=int, default=256,
+                        help="measurements per task")
+    p_tune.add_argument("--early-stop", type=int, default=None)
+    p_tune.add_argument("--runs", type=int, default=600,
+                        help="timed end-to-end runs")
+    p_tune.add_argument("--seed", type=int, default=0)
+    p_tune.add_argument("--env-seed", type=int, default=2021)
+    p_tune.add_argument("--records", default=None,
+                        help="save tuning records to this JSON-lines file")
+    p_tune.add_argument("--winograd", action="store_true",
+                        help="also tune Winograd templates for eligible "
+                             "convs and deploy the faster one per kernel")
+    p_tune.set_defaults(func=_cmd_tune)
+
+    p_exp = sub.add_parser("experiment", help="regenerate a paper result")
+    p_exp.add_argument("which", choices=["fig4", "fig5", "table1"])
+    p_exp.add_argument("--scale", type=float, default=0.1,
+                       help="budget scale in (0, 1]; 1.0 = paper protocol")
+    p_exp.add_argument("--max-tasks", type=int, default=None,
+                       help="fig5 only: limit the number of tasks")
+    p_exp.set_defaults(func=_cmd_experiment)
+
+    p_report = sub.add_parser(
+        "report", help="aggregate benchmark artifacts into one document"
+    )
+    p_report.add_argument("--results", default="benchmarks/results",
+                          help="benchmark results directory")
+    p_report.add_argument("--output", default=None,
+                          help="write markdown here instead of stdout")
+    p_report.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,62 @@
+"""The paper's contribution: the advanced active-learning framework.
+
+* :mod:`repro.core.ted` — transductive experimental design (Alg. 1).
+* :mod:`repro.core.bted` — batch TED initialization (Alg. 2).
+* :mod:`repro.core.bootstrap` — Bootstrap-guided sampling (Alg. 3).
+* :mod:`repro.core.bao` — Bootstrap-guided adaptive optimization (Alg. 4).
+* :mod:`repro.core.tuner` — tuner base class, records, early stopping.
+* :mod:`repro.core.tuners` — the experimental arms: random, grid,
+  AutoTVM (XGB+SA baseline), BTED, BTED+BAO.
+"""
+
+from repro.core.ted import ted_select, rbf_kernel
+from repro.core.bted import bted_select
+from repro.core.bootstrap import bootstrap_sample, BootstrapEnsemble
+from repro.core.bao import BaoOptimizer, BaoSettings
+from repro.core.tuner import Tuner, TrialRecord, TuningResult, EarlyStopper
+from repro.core.tuners.random import RandomTuner
+from repro.core.tuners.grid import GridTuner
+from repro.core.tuners.ga import GATuner
+from repro.core.tuners.autotvm import AutoTVMTuner
+from repro.core.tuners.bted import BTEDTuner
+from repro.core.tuners.btedbao import BTEDBAOTuner
+
+TUNER_REGISTRY = {
+    "random": RandomTuner,
+    "grid": GridTuner,
+    "ga": GATuner,
+    "autotvm": AutoTVMTuner,
+    "bted": BTEDTuner,
+    "bted+bao": BTEDBAOTuner,
+}
+
+
+def make_tuner(name: str, task, seed: int = 0, **kwargs):
+    """Construct a tuner by registry name ('autotvm', 'bted', 'bted+bao', ...)."""
+    key = name.lower()
+    if key not in TUNER_REGISTRY:
+        raise KeyError(f"unknown tuner {name!r}; available: {sorted(TUNER_REGISTRY)}")
+    return TUNER_REGISTRY[key](task, seed=seed, **kwargs)
+
+
+__all__ = [
+    "ted_select",
+    "rbf_kernel",
+    "bted_select",
+    "bootstrap_sample",
+    "BootstrapEnsemble",
+    "BaoOptimizer",
+    "BaoSettings",
+    "Tuner",
+    "TrialRecord",
+    "TuningResult",
+    "EarlyStopper",
+    "RandomTuner",
+    "GridTuner",
+    "GATuner",
+    "AutoTVMTuner",
+    "BTEDTuner",
+    "BTEDBAOTuner",
+    "TUNER_REGISTRY",
+    "make_tuner",
+]

@@ -1,0 +1,94 @@
+"""Tuning callbacks (AutoTVM-style ``callbacks=`` hooks).
+
+Callbacks receive ``(tuner, new_measure_results)`` after every measured
+batch.  This module ships the three everyone needs: progress logging,
+record logging to a :class:`~repro.pipeline.records.RecordStore`, and a
+measurement-budget progress bar string for interactive use.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import List, Optional, TextIO
+
+from repro.hardware.measure import MeasureResult
+from repro.pipeline.records import RecordStore, TuningRecord
+from repro.utils.log import get_logger
+
+logger = get_logger("core.callbacks")
+
+
+class LogProgress:
+    """Log best-so-far GFLOPS every ``interval`` measurements."""
+
+    def __init__(self, interval: int = 64):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.interval = interval
+        self._count = 0
+        self._started = time.perf_counter()
+
+    def __call__(self, tuner, results: List[MeasureResult]) -> None:
+        self._count += len(results)
+        if self._count % self.interval < len(results):
+            elapsed = time.perf_counter() - self._started
+            logger.info(
+                "[%s] %d measurements, best %.1f GFLOPS, %.1fs elapsed",
+                tuner.name,
+                self._count,
+                tuner.best_gflops,
+                elapsed,
+            )
+
+
+class RecordToStore:
+    """Append every measurement to a :class:`RecordStore`."""
+
+    def __init__(self, store: RecordStore):
+        self.store = store
+
+    def __call__(self, tuner, results: List[MeasureResult]) -> None:
+        for result in results:
+            self.store.add(
+                TuningRecord(
+                    workload=tuner.task.workload,
+                    config_index=result.config_index,
+                    gflops=result.gflops,
+                    tuner_name=tuner.name,
+                    error="" if result.ok else result.error_msg,
+                )
+            )
+
+
+class ProgressBar:
+    """Single-line text progress bar over the measurement budget."""
+
+    def __init__(
+        self,
+        total: int,
+        width: int = 40,
+        stream: Optional[TextIO] = None,
+    ):
+        if total <= 0:
+            raise ValueError("total must be positive")
+        self.total = total
+        self.width = width
+        self.stream = stream if stream is not None else sys.stderr
+        self._count = 0
+
+    def render(self) -> str:
+        """The bar string for the current state."""
+        frac = min(1.0, self._count / self.total)
+        filled = int(round(frac * self.width))
+        bar = "#" * filled + "-" * (self.width - filled)
+        return f"[{bar}] {self._count}/{self.total}"
+
+    def __call__(self, tuner, results: List[MeasureResult]) -> None:
+        self._count += len(results)
+        self.stream.write(
+            f"\r{self.render()} best={tuner.best_gflops:.1f} GFLOPS"
+        )
+        if self._count >= self.total:
+            self.stream.write("\n")
+        self.stream.flush()

@@ -1,0 +1,94 @@
+"""Transductive experimental design — Algorithm 1 of the paper.
+
+Given an un-sampled candidate set ``V`` (as feature vectors), TED
+greedily selects the ``m`` configurations most contributive to
+initializing an evaluation function: each step picks
+
+    x = argmax_v ||K_v||^2 / (k(v, v) + mu)
+
+and deflates the kernel matrix ``K <- K - K_x K_x^T / (k(x,x) + mu)``,
+so subsequent picks are pushed away from already-selected points — the
+selected set scatters across the input design space.
+
+The paper states the matrix entries are "computed as Euclidean
+distance"; a raw distance matrix would make ``k(v, v) = 0`` and the
+selection degenerate, so — following the original TED formulation of
+Yu, Bi & Tresp (ICML'06) that the paper cites — we use an RBF kernel
+*derived from* the Euclidean distances, with the bandwidth set to the
+median pairwise distance (a standard self-tuning choice).  This keeps
+the algorithm parameter-free apart from ``mu``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.utils.mathx import pairwise_sq_dists
+
+
+def rbf_kernel(
+    features: np.ndarray, bandwidth: Optional[float] = None
+) -> np.ndarray:
+    """RBF kernel matrix of a set of feature vectors.
+
+    ``bandwidth`` defaults to the median non-zero pairwise Euclidean
+    distance (self-tuning heuristic).  Degenerate inputs (a single
+    point, or all points identical) fall back to bandwidth 1.
+    """
+    features = np.asarray(features, dtype=np.float64)
+    if features.ndim != 2:
+        raise ValueError("features must be a 2-D matrix")
+    sq = pairwise_sq_dists(features, features)
+    if bandwidth is None:
+        off_diag = sq[np.triu_indices(len(sq), k=1)]
+        positive = off_diag[off_diag > 0]
+        if len(positive) == 0:
+            bandwidth = 1.0
+        else:
+            bandwidth = float(np.sqrt(np.median(positive)))
+    if bandwidth <= 0:
+        raise ValueError("bandwidth must be positive")
+    return np.exp(-sq / (2.0 * bandwidth * bandwidth))
+
+
+def ted_select(
+    features: np.ndarray,
+    m: int,
+    mu: float = 0.1,
+    bandwidth: Optional[float] = None,
+) -> List[int]:
+    """Select ``m`` diverse, representative rows of ``features``.
+
+    Returns the selected row indices in pick order.  This is Algorithm 1
+    (``TED(V, mu, m)``) with the kernel built by :func:`rbf_kernel`.
+
+    ``m`` is clipped to ``len(features)``; ``mu`` is the regularization
+    coefficient (paper uses 0.1).
+    """
+    features = np.asarray(features, dtype=np.float64)
+    if features.ndim != 2:
+        raise ValueError("features must be a 2-D matrix")
+    n = len(features)
+    if n == 0:
+        return []
+    if m <= 0:
+        raise ValueError("m must be positive")
+    if mu < 0:
+        raise ValueError("mu must be non-negative")
+    m = min(m, n)
+
+    K = rbf_kernel(features, bandwidth=bandwidth)
+    selected: List[int] = []
+    available = np.ones(n, dtype=bool)
+    for _ in range(m):
+        col_norms = np.einsum("ij,ij->j", K, K)
+        scores = col_norms / (np.diag(K) + mu)
+        scores = np.where(available, scores, -np.inf)
+        x = int(np.argmax(scores))
+        selected.append(x)
+        available[x] = False
+        kx = K[:, x].copy()
+        K -= np.outer(kx, kx) / (kx[x] + mu)
+    return selected

@@ -1,0 +1,264 @@
+"""Tuner base class, trial records, and early stopping.
+
+All experimental arms share one active-learning skeleton (Sec. II-B):
+an initialization stage proposes a first batch of configurations, then
+an iterative stage alternates proposing and measuring until the trial
+budget or the early-stopping criterion (no improvement within a window
+of measurements, AutoTVM's default stopping rule) is reached.
+
+Subclasses implement :meth:`Tuner._generate_initial` and
+:meth:`Tuner._generate_next`; the base class owns measurement,
+bookkeeping, the best-so-far curve, and stopping.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.hardware.measure import Measurer, MeasureResult, SimulatedTask
+from repro.utils.log import get_logger
+from repro.utils.rng import RngPool
+
+logger = get_logger("core.tuner")
+
+Callback = Callable[["Tuner", List[MeasureResult]], None]
+
+
+@dataclass(frozen=True)
+class TrialRecord:
+    """One measured configuration, in measurement order."""
+
+    step: int
+    config_index: int
+    gflops: float
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return not self.error
+
+
+@dataclass
+class TuningResult:
+    """Outcome of one tuning run."""
+
+    task_name: str
+    tuner_name: str
+    records: List[TrialRecord]
+    best_index: Optional[int]
+    best_gflops: float
+    wall_time_s: float = 0.0
+
+    @property
+    def num_measurements(self) -> int:
+        return len(self.records)
+
+    def best_curve(self) -> np.ndarray:
+        """Best-so-far GFLOPS after each measurement (the Fig. 4 series)."""
+        best = 0.0
+        curve = np.empty(len(self.records))
+        for i, record in enumerate(self.records):
+            best = max(best, record.gflops)
+            curve[i] = best
+        return curve
+
+    def gflops_series(self) -> np.ndarray:
+        """Raw measured GFLOPS per step (0 for errored trials)."""
+        return np.array([r.gflops for r in self.records])
+
+    def __repr__(self) -> str:
+        return (
+            f"TuningResult({self.tuner_name!r} on {self.task_name!r}: "
+            f"best={self.best_gflops:.1f} GFLOPS "
+            f"in {self.num_measurements} measurements)"
+        )
+
+
+class EarlyStopper:
+    """Stop when the best score has not improved for ``patience`` trials.
+
+    AutoTVM's stopping criterion; the paper sets the threshold to 400
+    (Sec. V-A).
+    """
+
+    def __init__(self, patience: int, min_delta: float = 0.0):
+        if patience <= 0:
+            raise ValueError("patience must be positive")
+        self.patience = patience
+        self.min_delta = min_delta
+        self._best = -np.inf
+        self._best_step = 0
+        self._step = 0
+
+    def update(self, score: float) -> bool:
+        """Record one measurement; returns True when tuning should stop."""
+        self._step += 1
+        if score > self._best + self.min_delta:
+            self._best = score
+            self._best_step = self._step
+        return (self._step - self._best_step) >= self.patience
+
+
+class Tuner:
+    """Base class for all node-wise tuners (one task, one search policy)."""
+
+    name = "base"
+
+    def __init__(
+        self,
+        task: SimulatedTask,
+        seed: int = 0,
+        batch_size: int = 64,
+        measure_repeats: int = 3,
+    ):
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.task = task
+        self.seed = int(seed)
+        self.batch_size = batch_size
+        self.rng_pool = RngPool(self.seed).child(f"tuner-{self.name}")
+        self.measurer = Measurer(
+            task, seed=self.rng_pool.seed_for("measure"), repeats=measure_repeats
+        )
+
+        # measured state, shared with subclasses
+        self.visited: Set[int] = set()
+        self.measured_indices: List[int] = []
+        self.measured_scores: List[float] = []
+        self._features_cache: List[np.ndarray] = []
+        self.best_index: Optional[int] = None
+        self.best_gflops: float = 0.0
+
+    # ------------------------------------------------------------------
+    # subclass contract
+
+    def _generate_initial(self) -> List[int]:
+        """Propose the initialization batch of config indices."""
+        raise NotImplementedError
+
+    def _generate_next(self) -> List[int]:
+        """Propose the next batch given the measured state so far."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # measured-state helpers for subclasses
+
+    @property
+    def measured_features(self) -> np.ndarray:
+        """Feature matrix of all measured configs, in measurement order."""
+        if not self._features_cache:
+            return np.empty((0, self.task.space.feature_dim))
+        return np.stack(self._features_cache)
+
+    @property
+    def measured_scores_array(self) -> np.ndarray:
+        return np.asarray(self.measured_scores, dtype=np.float64)
+
+    def _filter_unvisited(self, indices: Sequence[int]) -> List[int]:
+        """Drop already-measured indices, preserving order/uniqueness."""
+        out: List[int] = []
+        seen: Set[int] = set()
+        for idx in indices:
+            idx = int(idx)
+            if idx in self.visited or idx in seen:
+                continue
+            seen.add(idx)
+            out.append(idx)
+        return out
+
+    def _random_unvisited(self, n: int) -> List[int]:
+        """Fallback proposals: random configs not measured yet."""
+        rng = self.rng_pool.get("fallback")
+        space = self.task.space
+        out: List[int] = []
+        seen: Set[int] = set()
+        attempts = 0
+        while len(out) < n and attempts < 50 * n + 100:
+            idx = int(rng.integers(0, len(space)))
+            attempts += 1
+            if idx not in self.visited and idx not in seen:
+                seen.add(idx)
+                out.append(idx)
+        return out
+
+    # ------------------------------------------------------------------
+    # main loop
+
+    def tune(
+        self,
+        n_trial: int = 1024,
+        early_stopping: Optional[int] = 400,
+        callbacks: Sequence[Callback] = (),
+    ) -> TuningResult:
+        """Run the active-learning loop and return the result.
+
+        ``n_trial`` bounds total measurements; ``early_stopping`` is the
+        no-improvement window (None disables it).
+        """
+        if n_trial <= 0:
+            raise ValueError("n_trial must be positive")
+        start = time.perf_counter()
+        stopper = (
+            EarlyStopper(early_stopping) if early_stopping is not None else None
+        )
+        records: List[TrialRecord] = []
+        stop = False
+
+        batch = self._filter_unvisited(self._generate_initial())
+        while batch and not stop and len(records) < n_trial:
+            batch = batch[: n_trial - len(records)]
+            results = self.measurer.measure_batch(batch)
+            new_records = self._absorb(results, records)
+            for callback in callbacks:
+                callback(self, results)
+            for record in new_records:
+                if stopper is not None and stopper.update(record.gflops):
+                    stop = True
+                    break
+            if stop or len(records) >= n_trial:
+                break
+            batch = self._filter_unvisited(self._generate_next())
+            if not batch:
+                batch = self._random_unvisited(self.batch_size)
+                if not batch:
+                    logger.info("%s: search space exhausted", self.name)
+                    break
+
+        wall = time.perf_counter() - start
+        return TuningResult(
+            task_name=self.task.name,
+            tuner_name=self.name,
+            records=records,
+            best_index=self.best_index,
+            best_gflops=self.best_gflops,
+            wall_time_s=wall,
+        )
+
+    def _absorb(
+        self, results: List[MeasureResult], records: List[TrialRecord]
+    ) -> List[TrialRecord]:
+        """Fold measurement results into tuner state; returns new records."""
+        new_records = []
+        space = self.task.space
+        for result in results:
+            idx = result.config_index
+            self.visited.add(idx)
+            self.measured_indices.append(idx)
+            self.measured_scores.append(result.gflops)
+            self._features_cache.append(space.features_of(idx))
+            if result.gflops > self.best_gflops:
+                self.best_gflops = result.gflops
+                self.best_index = idx
+            record = TrialRecord(
+                step=len(records) + 1,
+                config_index=idx,
+                gflops=result.gflops,
+                error=result.error_msg if not result.ok else "",
+            )
+            records.append(record)
+            new_records.append(record)
+        return new_records

@@ -1,0 +1,17 @@
+"""Concrete tuners: the experimental arms of the paper plus baselines."""
+
+from repro.core.tuners.random import RandomTuner
+from repro.core.tuners.grid import GridTuner
+from repro.core.tuners.ga import GATuner
+from repro.core.tuners.autotvm import AutoTVMTuner
+from repro.core.tuners.bted import BTEDTuner
+from repro.core.tuners.btedbao import BTEDBAOTuner
+
+__all__ = [
+    "RandomTuner",
+    "GridTuner",
+    "GATuner",
+    "AutoTVMTuner",
+    "BTEDTuner",
+    "BTEDBAOTuner",
+]

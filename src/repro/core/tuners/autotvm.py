@@ -1,0 +1,119 @@
+"""The AutoTVM baseline arm: XGBoost-style cost model + simulated annealing.
+
+Reproduces AutoTVM's model-based tuner [18] as the paper configures it
+(Sec. V-A): 64 random initial configurations, then repeated rounds of
+(fit cost model on everything measured) -> (parallel SA proposes the
+next plan of 64 unvisited configs) -> (measure), with epsilon-greedy
+random exploration mixed into each plan and optional transfer-learning
+warm start from tuning history.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.tuner import Tuner
+from repro.hardware.measure import SimulatedTask
+from repro.learning.gbt import GradientBoostedTrees
+from repro.learning.sa import simulated_annealing_search
+from repro.learning.transfer import TransferHistory
+
+
+class AutoTVMTuner(Tuner):
+    """XGB+SA model-based tuner (the paper's "AutoTVM" arm)."""
+
+    name = "autotvm"
+
+    def __init__(
+        self,
+        task: SimulatedTask,
+        seed: int = 0,
+        batch_size: int = 64,
+        init_size: int = 64,
+        epsilon_greedy: float = 0.05,
+        sa_chains: int = 128,
+        sa_steps: int = 120,
+        transfer: Optional[TransferHistory] = None,
+    ):
+        super().__init__(task, seed=seed, batch_size=batch_size)
+        if init_size <= 0:
+            raise ValueError("init_size must be positive")
+        if not 0.0 <= epsilon_greedy < 1.0:
+            raise ValueError("epsilon_greedy must be in [0, 1)")
+        self.init_size = init_size
+        self.epsilon_greedy = epsilon_greedy
+        self.sa_chains = sa_chains
+        self.sa_steps = sa_steps
+        self.transfer = transfer
+        self._round = 0
+
+    # ------------------------------------------------------------------
+
+    def _generate_initial(self) -> List[int]:
+        indices = self.task.space.sample(
+            self.init_size, seed=self.rng_pool.seed_for("init")
+        )
+        return [int(i) for i in indices]
+
+    def _fit_model(self) -> GradientBoostedTrees:
+        model = GradientBoostedTrees(
+            n_estimators=50,
+            learning_rate=0.22,
+            max_depth=5,
+            subsample=0.9,
+            seed=self.rng_pool.get("model"),
+        )
+        X = self.measured_features
+        y = self.measured_scores_array
+        best = float(y.max()) if len(y) else 0.0
+        norm = best if best > 0 else 1.0
+        if self.transfer is not None:
+            Xh, yh, wh = self.transfer.training_data(
+                self.task.space.feature_dim,
+                current_features=X,
+                current_targets=y,
+            )
+            if len(yh):
+                model.fit(Xh, yh, sample_weight=wh)
+                return model
+        model.fit(X, y / norm)
+        return model
+
+    def _generate_next(self) -> List[int]:
+        self._round += 1
+        model = self._fit_model()
+        space = self.task.space
+
+        def score_fn(indices: np.ndarray) -> np.ndarray:
+            feats = space.feature_matrix(indices)
+            return model.predict(feats)
+
+        plan = simulated_annealing_search(
+            space,
+            score_fn,
+            plan_size=self.batch_size,
+            seed=self.rng_pool.seed_for(f"sa-{self._round}"),
+            n_chains=self.sa_chains,
+            n_steps=self.sa_steps,
+            exclude=self.visited,
+        )
+        # epsilon-greedy exploration: replace a tail share of the plan
+        n_random = int(round(self.epsilon_greedy * self.batch_size))
+        if n_random > 0:
+            plan = plan[: self.batch_size - n_random]
+            plan.extend(self._random_unvisited(n_random))
+        return plan
+
+    # ------------------------------------------------------------------
+
+    def export_history(self) -> None:
+        """Push this task's measurements into the transfer history."""
+        if self.transfer is None:
+            raise RuntimeError("tuner was built without a TransferHistory")
+        self.transfer.add_task(
+            self.task.name,
+            self.measured_features,
+            self.measured_scores_array,
+        )

@@ -1,0 +1,60 @@
+"""The BTED arm: AutoTVM's iterative stage with BTED initialization.
+
+Identical to :class:`~repro.core.tuners.autotvm.AutoTVMTuner` except
+the 64 random initial configurations are replaced by the diverse
+initialization set of Algorithm 2 (batch transductive experimental
+design), with the paper's settings ``(mu=0.1, M=500, m=64, B=10)``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.bted import bted_select
+from repro.core.tuners.autotvm import AutoTVMTuner
+from repro.hardware.measure import SimulatedTask
+from repro.learning.transfer import TransferHistory
+
+
+class BTEDTuner(AutoTVMTuner):
+    """AutoTVM iterative search + BTED initialization (the "BTED" arm)."""
+
+    name = "bted"
+
+    def __init__(
+        self,
+        task: SimulatedTask,
+        seed: int = 0,
+        batch_size: int = 64,
+        init_size: int = 64,
+        mu: float = 0.1,
+        batch_candidates: int = 500,
+        num_batches: int = 10,
+        epsilon_greedy: float = 0.05,
+        sa_chains: int = 128,
+        sa_steps: int = 120,
+        transfer: Optional[TransferHistory] = None,
+    ):
+        super().__init__(
+            task,
+            seed=seed,
+            batch_size=batch_size,
+            init_size=init_size,
+            epsilon_greedy=epsilon_greedy,
+            sa_chains=sa_chains,
+            sa_steps=sa_steps,
+            transfer=transfer,
+        )
+        self.mu = mu
+        self.batch_candidates = batch_candidates
+        self.num_batches = num_batches
+
+    def _generate_initial(self) -> List[int]:
+        return bted_select(
+            self.task.space,
+            m=self.init_size,
+            mu=self.mu,
+            batch_candidates=self.batch_candidates,
+            num_batches=self.num_batches,
+            seed=self.rng_pool.seed_for("bted-init"),
+        )

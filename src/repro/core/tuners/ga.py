@@ -1,0 +1,93 @@
+"""Genetic-algorithm tuner (AutoTVM's ``GATuner`` baseline).
+
+Measurement-driven evolution without a surrogate model: a population of
+configurations is measured, the elite survives, and offspring are bred
+by uniform knob crossover plus point mutation.  Included because
+AutoTVM ships it as a standard baseline alongside random and grid
+search.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.core.tuner import Tuner
+from repro.hardware.measure import SimulatedTask
+
+
+class GATuner(Tuner):
+    """Population-based evolutionary search over the config space."""
+
+    name = "ga"
+
+    def __init__(
+        self,
+        task: SimulatedTask,
+        seed: int = 0,
+        population_size: int = 64,
+        elite_fraction: float = 0.25,
+        mutation_prob: float = 0.1,
+    ):
+        super().__init__(task, seed=seed, batch_size=population_size)
+        if population_size < 4:
+            raise ValueError("population_size must be >= 4")
+        if not 0.0 < elite_fraction < 1.0:
+            raise ValueError("elite_fraction must be in (0, 1)")
+        if not 0.0 <= mutation_prob <= 1.0:
+            raise ValueError("mutation_prob must be in [0, 1]")
+        self.population_size = population_size
+        self.elite_fraction = elite_fraction
+        self.mutation_prob = mutation_prob
+
+    def _generate_initial(self) -> List[int]:
+        indices = self.task.space.sample(
+            self.population_size, seed=self.rng_pool.seed_for("ga-init")
+        )
+        return [int(i) for i in indices]
+
+    def _elite(self) -> np.ndarray:
+        """Digit matrix of the best measured configs so far."""
+        n_elite = max(2, int(round(self.elite_fraction * self.population_size)))
+        scores = self.measured_scores_array
+        order = np.argsort(-scores, kind="stable")[:n_elite]
+        elite_indices = [self.measured_indices[i] for i in order]
+        return self.task.space.decode_batch(np.asarray(elite_indices))
+
+    def _generate_next(self) -> List[int]:
+        rng = self.rng_pool.get("ga")
+        space = self.task.space
+        elite = self._elite()
+        n_elite, n_knobs = elite.shape
+        sizes = np.asarray(space.knob_sizes, dtype=np.int64)
+
+        children = np.empty((self.population_size, n_knobs), dtype=np.int64)
+        parents_a = rng.integers(0, n_elite, size=self.population_size)
+        parents_b = rng.integers(0, n_elite, size=self.population_size)
+        take_a = rng.random((self.population_size, n_knobs)) < 0.5
+        children[:] = np.where(
+            take_a, elite[parents_a], elite[parents_b]
+        )
+        mutate = rng.random((self.population_size, n_knobs)) < (
+            self.mutation_prob
+        )
+        random_digits = rng.integers(
+            0, sizes[None, :], size=(self.population_size, n_knobs)
+        )
+        children = np.where(mutate, random_digits, children)
+
+        proposals = space.encode_batch(children)
+        unique: List[int] = []
+        seen = set()
+        for idx in proposals:
+            idx = int(idx)
+            if idx not in seen and idx not in self.visited:
+                seen.add(idx)
+                unique.append(idx)
+        # top up with random configs when crossover collapses diversity
+        if len(unique) < self.population_size // 2:
+            unique.extend(
+                self._random_unvisited(self.population_size - len(unique))
+            )
+        return unique

@@ -1,0 +1,47 @@
+"""Deterministic grid (index-sweep) search baseline.
+
+Walks the flat config-index space with a fixed stride chosen so the
+trial budget covers the whole space as evenly as possible.  Useful as a
+sanity baseline and for exhaustively enumerating tiny spaces in tests.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.tuner import Tuner
+from repro.hardware.measure import SimulatedTask
+
+
+class GridTuner(Tuner):
+    """Strided sweep over config indices."""
+
+    name = "grid"
+
+    def __init__(
+        self,
+        task: SimulatedTask,
+        seed: int = 0,
+        batch_size: int = 64,
+        planned_trials: int = 2048,
+    ):
+        super().__init__(task, seed=seed, batch_size=batch_size)
+        if planned_trials <= 0:
+            raise ValueError("planned_trials must be positive")
+        size = len(task.space)
+        self._stride = max(1, size // min(planned_trials, size))
+        self._next_position = 0
+
+    def _take(self) -> List[int]:
+        size = len(self.task.space)
+        batch: List[int] = []
+        while len(batch) < self.batch_size and self._next_position < size:
+            batch.append(self._next_position)
+            self._next_position += self._stride
+        return batch
+
+    def _generate_initial(self) -> List[int]:
+        return self._take()
+
+    def _generate_next(self) -> List[int]:
+        return self._take()

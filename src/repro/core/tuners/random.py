@@ -1,0 +1,23 @@
+"""Uniform random search — the weakest baseline."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.tuner import Tuner
+from repro.hardware.measure import SimulatedTask
+
+
+class RandomTuner(Tuner):
+    """Proposes uniformly random unvisited configurations every batch."""
+
+    name = "random"
+
+    def __init__(self, task: SimulatedTask, seed: int = 0, batch_size: int = 64):
+        super().__init__(task, seed=seed, batch_size=batch_size)
+
+    def _generate_initial(self) -> List[int]:
+        return self._random_unvisited(self.batch_size)
+
+    def _generate_next(self) -> List[int]:
+        return self._random_unvisited(self.batch_size)

@@ -1,0 +1,45 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+* :mod:`repro.experiments.settings` — the paper's hyper-parameters
+  (Sec. V-A) plus a scaling knob for CI-speed runs.
+* :mod:`repro.experiments.fig4` — GFLOPS convergence curves (Fig. 4).
+* :mod:`repro.experiments.fig5` — per-task #configs and GFLOPS ratios on
+  MobileNet-v1 (Fig. 5).
+* :mod:`repro.experiments.table1` — end-to-end latency & variance for
+  the five models (Table I).
+* :mod:`repro.experiments.ablation` — design-choice ablations (batch
+  count B, ensemble size Gamma, adaptive radius, TED vs random init).
+"""
+
+from repro.experiments.settings import ExperimentSettings, PAPER_SETTINGS, ARMS
+from repro.experiments.runner import run_arm_on_task, average_curves
+from repro.experiments.fig4 import run_fig4, Fig4Result
+from repro.experiments.fig5 import run_fig5, Fig5Result
+from repro.experiments.table1 import run_table1, Table1Result
+from repro.experiments.analysis import (
+    bootstrap_ci,
+    compare_arms,
+    curve_auc,
+    time_to_fraction,
+)
+from repro.experiments.report import build_report, summarize_results_dir
+
+__all__ = [
+    "ExperimentSettings",
+    "PAPER_SETTINGS",
+    "ARMS",
+    "run_arm_on_task",
+    "average_curves",
+    "run_fig4",
+    "Fig4Result",
+    "run_fig5",
+    "Fig5Result",
+    "run_table1",
+    "Table1Result",
+    "bootstrap_ci",
+    "compare_arms",
+    "curve_auc",
+    "time_to_fraction",
+    "build_report",
+    "summarize_results_dir",
+]

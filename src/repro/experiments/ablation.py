@@ -1,0 +1,138 @@
+"""Design-choice ablations (not in the paper; see DESIGN.md §4).
+
+Each ablation isolates one component of the advanced framework:
+
+* :func:`bted_batch_sweep` — effect of the batch count ``B`` on the
+  diversity of the initialization set (BTED's core claim: batches buy
+  diversity at bounded kernel cost).
+* :func:`gamma_sweep` — effect of the bootstrap ensemble size ``Gamma``
+  on final tuning quality.
+* :func:`adaptive_radius_ablation` — BAO with the adaptive rule vs a
+  fixed radius vs compounding widening.
+* :func:`init_diversity_comparison` — TED/BTED vs random initialization
+  measured by dispersion statistics of the selected sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.bted import bted_select
+from repro.experiments.settings import ExperimentSettings
+from repro.experiments.runner import run_arm_on_task
+from repro.hardware.measure import SimulatedTask
+from repro.utils.mathx import pairwise_sq_dists
+from repro.utils.rng import derive_seed
+
+
+@dataclass
+class DiversityStats:
+    """Dispersion statistics of a selected configuration set."""
+
+    min_distance: float
+    mean_distance: float
+    mean_nearest_neighbor: float
+
+    @staticmethod
+    def of(features: np.ndarray) -> "DiversityStats":
+        features = np.asarray(features, dtype=np.float64)
+        if len(features) < 2:
+            raise ValueError("need at least 2 points")
+        sq = pairwise_sq_dists(features, features)
+        dist = np.sqrt(sq)
+        iu = np.triu_indices(len(dist), k=1)
+        off = dist[iu]
+        np.fill_diagonal(dist, np.inf)
+        return DiversityStats(
+            min_distance=float(off.min()),
+            mean_distance=float(off.mean()),
+            mean_nearest_neighbor=float(dist.min(axis=1).mean()),
+        )
+
+
+def init_diversity_comparison(
+    task: SimulatedTask, m: int = 64, seed: int = 0
+) -> Dict[str, DiversityStats]:
+    """Compare random vs BTED initialization dispersion on one task."""
+    space = task.space
+    random_indices = space.sample(m, seed=derive_seed(seed, "rand-init"))
+    bted_indices = bted_select(space, m=m, seed=derive_seed(seed, "bted-init"))
+    return {
+        "random": DiversityStats.of(space.feature_matrix(random_indices)),
+        "bted": DiversityStats.of(space.feature_matrix(bted_indices)),
+    }
+
+
+def bted_batch_sweep(
+    task: SimulatedTask,
+    batch_counts: Sequence[int] = (1, 5, 10, 20),
+    m: int = 64,
+    batch_candidates: int = 500,
+    seed: int = 0,
+) -> Dict[int, DiversityStats]:
+    """Dispersion of the BTED init set as the batch count B varies."""
+    out: Dict[int, DiversityStats] = {}
+    for b in batch_counts:
+        indices = bted_select(
+            task.space,
+            m=m,
+            batch_candidates=batch_candidates,
+            num_batches=b,
+            seed=derive_seed(seed, "sweep", b),
+        )
+        out[b] = DiversityStats.of(task.space.feature_matrix(indices))
+    return out
+
+
+def gamma_sweep(
+    task: SimulatedTask,
+    settings: ExperimentSettings,
+    gammas: Sequence[int] = (1, 2, 4),
+    num_trials: int = 3,
+) -> Dict[int, float]:
+    """Mean best GFLOPS of BTED+BAO as the ensemble size Gamma varies."""
+    out: Dict[int, float] = {}
+    for gamma in gammas:
+        sweep_settings = replace(
+            settings, bao=replace(settings.bao, gamma=gamma)
+        )
+        bests: List[float] = []
+        for trial in range(num_trials):
+            result = run_arm_on_task(
+                "bted+bao", task, sweep_settings, trial=trial
+            )
+            bests.append(result.best_gflops)
+        out[gamma] = float(np.mean(bests))
+    return out
+
+
+def adaptive_radius_ablation(
+    task: SimulatedTask,
+    settings: ExperimentSettings,
+    num_trials: int = 3,
+) -> Dict[str, float]:
+    """BAO radius policies: adaptive (paper), fixed R, compounding tau^k R.
+
+    'fixed' is emulated by an improvement threshold of 0 (the widening
+    branch never triggers); 'compound' keeps multiplying by tau while
+    stagnating.
+    """
+    policies = {
+        "adaptive": settings.bao,
+        "fixed": replace(settings.bao, eta=0.0),
+        "compound": replace(settings.bao, compound_radius=True),
+    }
+    out: Dict[str, float] = {}
+    for name, bao in policies.items():
+        policy_settings = replace(settings, bao=bao)
+        bests: List[float] = []
+        for trial in range(num_trials):
+            result = run_arm_on_task(
+                "bted+bao", task, policy_settings, trial=trial
+            )
+            bests.append(result.best_gflops)
+        out[name] = float(np.mean(bests))
+    return out

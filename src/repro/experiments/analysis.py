@@ -1,0 +1,145 @@
+"""Statistical analysis utilities for experiment results.
+
+The paper reports point averages over 10 trials; a production
+reproduction should also quantify uncertainty.  This module provides
+bootstrap confidence intervals, a Mann-Whitney U comparison between
+arms (does arm A beat arm B more often than chance?), and
+convergence-curve summary metrics (AUC, time-to-threshold).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+from scipy import stats
+
+from repro.utils.rng import SeedLike, as_generator
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A two-sided bootstrap confidence interval for a statistic."""
+
+    point: float
+    low: float
+    high: float
+    confidence: float
+
+    def __contains__(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+    def __str__(self) -> str:
+        pct = 100 * self.confidence
+        return f"{self.point:.4g} [{self.low:.4g}, {self.high:.4g}] @{pct:.0f}%"
+
+
+def bootstrap_ci(
+    samples: Sequence[float],
+    statistic=np.mean,
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    seed: SeedLike = None,
+) -> ConfidenceInterval:
+    """Percentile-bootstrap confidence interval for ``statistic``."""
+    samples = np.asarray(samples, dtype=np.float64)
+    if samples.ndim != 1 or len(samples) < 2:
+        raise ValueError("need a 1-D sample of size >= 2")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    rng = as_generator(seed)
+    n = len(samples)
+    resampled = np.empty(n_resamples)
+    for i in range(n_resamples):
+        resampled[i] = statistic(samples[rng.integers(0, n, size=n)])
+    alpha = (1.0 - confidence) / 2.0
+    return ConfidenceInterval(
+        point=float(statistic(samples)),
+        low=float(np.quantile(resampled, alpha)),
+        high=float(np.quantile(resampled, 1.0 - alpha)),
+        confidence=confidence,
+    )
+
+
+@dataclass(frozen=True)
+class ComparisonResult:
+    """Outcome of a two-arm comparison."""
+
+    #: probability that a random draw of A exceeds a random draw of B
+    prob_superiority: float
+    #: two-sided Mann-Whitney U p-value
+    p_value: float
+    median_a: float
+    median_b: float
+
+    @property
+    def significant(self) -> bool:
+        return self.p_value < 0.05
+
+
+def compare_arms(
+    scores_a: Sequence[float], scores_b: Sequence[float]
+) -> ComparisonResult:
+    """Mann-Whitney U comparison of two arms' per-trial scores.
+
+    Use per-trial best-GFLOPS (higher is better) or negated latency.
+    """
+    a = np.asarray(scores_a, dtype=np.float64)
+    b = np.asarray(scores_b, dtype=np.float64)
+    if len(a) < 2 or len(b) < 2:
+        raise ValueError("need at least 2 samples per arm")
+    u_stat, p_value = stats.mannwhitneyu(a, b, alternative="two-sided")
+    return ComparisonResult(
+        prob_superiority=float(u_stat) / (len(a) * len(b)),
+        p_value=float(p_value),
+        median_a=float(np.median(a)),
+        median_b=float(np.median(b)),
+    )
+
+
+def curve_auc(curve: Sequence[float], normalize: bool = True) -> float:
+    """Area under a best-so-far curve (higher = faster convergence).
+
+    With ``normalize=True`` the result is the mean of the curve divided
+    by its final value — 1.0 means instant convergence.
+    """
+    curve = np.asarray(curve, dtype=np.float64)
+    if len(curve) == 0:
+        raise ValueError("empty curve")
+    area = float(curve.mean())
+    if not normalize:
+        return area
+    final = float(curve[-1])
+    if final <= 0:
+        raise ValueError("final value must be positive to normalize")
+    return area / final
+
+
+def time_to_fraction(
+    curve: Sequence[float], fraction: float = 0.95
+) -> Optional[int]:
+    """First measurement index reaching ``fraction`` of the final value.
+
+    Returns ``None`` when the curve never reaches it (possible only for
+    fraction > 1).
+    """
+    curve = np.asarray(curve, dtype=np.float64)
+    if len(curve) == 0:
+        raise ValueError("empty curve")
+    if not 0.0 < fraction:
+        raise ValueError("fraction must be positive")
+    target = fraction * curve[-1]
+    hits = np.nonzero(curve >= target)[0]
+    if len(hits) == 0:
+        return None
+    return int(hits[0]) + 1
+
+
+def variance_reduction_pct(
+    baseline_variance: float, new_variance: float
+) -> float:
+    """The paper's Delta-variance metric: percent change vs baseline."""
+    if baseline_variance <= 0:
+        raise ValueError("baseline variance must be positive")
+    return 100.0 * (new_variance - baseline_variance) / baseline_variance

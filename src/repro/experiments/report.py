@@ -1,0 +1,97 @@
+"""Aggregate benchmark artifacts into a single reproduction report.
+
+The benchmarks under ``benchmarks/`` each persist a rendered table to a
+results directory; :func:`build_report` stitches them into one markdown
+document (the machine-generated companion to EXPERIMENTS.md), and
+:func:`summarize_results_dir` gives programmatic access to which
+experiments have been regenerated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Union
+
+#: canonical section order and titles for known artifacts
+_SECTIONS = [
+    ("fig4_convergence", "Fig. 4 — GFLOPS convergence"),
+    ("fig5_mobilenet_tasks", "Fig. 5 — MobileNet-v1 per-task results"),
+    ("table1_end_to_end", "Table I — end-to-end latency and variance"),
+    ("ablation_bted_batches", "Ablation: BTED batch count"),
+    ("ablation_gamma", "Ablation: bootstrap ensemble size"),
+    ("ablation_radius_policy", "Ablation: BAO radius policy"),
+    ("ablation_neighborhood_metric", "Ablation: neighborhood metric"),
+    ("ablation_bao_batch_size", "Ablation: BAO measurement batch"),
+    ("ablation_acquisition", "Ablation: acquisition function"),
+    ("ablation_evaluation_function", "Ablation: evaluation function"),
+    ("winograd_crossover", "Substrate: direct vs Winograd crossover"),
+]
+
+
+@dataclass(frozen=True)
+class ResultsSummary:
+    """Which known experiment artifacts exist in a results directory."""
+
+    present: List[str]
+    missing: List[str]
+
+    @property
+    def complete(self) -> bool:
+        return not self.missing
+
+
+def summarize_results_dir(
+    results_dir: Union[str, Path]
+) -> ResultsSummary:
+    """Inventory a benchmark results directory."""
+    results_dir = Path(results_dir)
+    present = []
+    missing = []
+    for name, _title in _SECTIONS:
+        if (results_dir / f"{name}.txt").exists():
+            present.append(name)
+        else:
+            missing.append(name)
+    return ResultsSummary(present=present, missing=missing)
+
+
+def build_report(
+    results_dir: Union[str, Path],
+    title: str = "Reproduction report",
+    include_missing: bool = True,
+) -> str:
+    """Render all available artifacts as one markdown document."""
+    results_dir = Path(results_dir)
+    lines: List[str] = [f"# {title}", ""]
+    summary = summarize_results_dir(results_dir)
+    lines.append(
+        f"{len(summary.present)} of {len(_SECTIONS)} experiment artifacts "
+        f"present in `{results_dir}`."
+    )
+    lines.append("")
+    for name, section_title in _SECTIONS:
+        path = results_dir / f"{name}.txt"
+        lines.append(f"## {section_title}")
+        lines.append("")
+        if path.exists():
+            lines.append("```")
+            lines.append(path.read_text(encoding="utf-8").rstrip())
+            lines.append("```")
+        elif include_missing:
+            lines.append(
+                f"*not generated — run the `{name}` benchmark*"
+            )
+        lines.append("")
+    return "\n".join(lines)
+
+
+def write_report(
+    results_dir: Union[str, Path],
+    output: Union[str, Path],
+    title: str = "Reproduction report",
+) -> Path:
+    """Build the report and write it to ``output``; returns the path."""
+    output = Path(output)
+    output.write_text(build_report(results_dir, title=title), encoding="utf-8")
+    return output

@@ -1,0 +1,114 @@
+"""Experimental settings (Sec. V-A of the paper) with CI scaling.
+
+The paper's protocol: AutoTVM defaults (64 initial points, early
+stopping after 400 non-improving measurements), BTED inputs
+``(V=D, mu=0.1, M=500, m=64, B=10)``, BAO parameters
+``eta=0.05, Gamma=2, tau=1.5, R=3``, 600 timed runs per deployment, and
+10 independent trials per algorithm averaged.
+
+A full paper-scale run takes hours even on the simulator, so
+:meth:`ExperimentSettings.scaled` shrinks the budgets proportionally
+while keeping every algorithmic setting intact; the experiment
+harnesses and benchmarks default to a scaled configuration and accept
+``scale=1.0`` for the full protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Tuple
+
+from repro.core.bao import BaoSettings
+
+#: the three experimental arms, in the paper's order
+ARMS: Tuple[str, ...] = ("autotvm", "bted", "bted+bao")
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """All tunables of the evaluation protocol."""
+
+    # active-learning budgets
+    init_size: int = 64
+    n_trial: int = 2048
+    early_stopping: Optional[int] = 400
+    batch_size: int = 64
+
+    # BTED (Alg. 2) inputs
+    mu: float = 0.1
+    batch_candidates: int = 500
+    num_batches: int = 10
+
+    # BAO (Alg. 4) settings
+    bao: BaoSettings = field(default_factory=BaoSettings)
+
+    # evaluation protocol
+    num_runs: int = 600
+    num_trials: int = 10
+    env_seed: int = 2021
+
+    def scaled(self, scale: float) -> "ExperimentSettings":
+        """Proportionally shrink the budgets (algorithm settings intact).
+
+        ``scale=1.0`` is the paper protocol; ``scale=0.1`` runs ~10x
+        fewer measurements/trials.  Floors keep the scaled protocol
+        meaningful (at least one init batch, two trials, 100 runs).
+        """
+        if not 0.0 < scale <= 1.0:
+            raise ValueError("scale must be in (0, 1]")
+
+        def shrink(v: int, floor: int) -> int:
+            return max(floor, int(round(v * scale)))
+
+        return replace(
+            self,
+            n_trial=shrink(self.n_trial, 2 * self.init_size),
+            early_stopping=(
+                None
+                if self.early_stopping is None
+                else shrink(self.early_stopping, self.init_size)
+            ),
+            batch_candidates=shrink(self.batch_candidates, 2 * self.init_size),
+            num_batches=shrink(self.num_batches, 2),
+            num_runs=shrink(self.num_runs, 100),
+            num_trials=shrink(self.num_trials, 2),
+        )
+
+    # ------------------------------------------------------------------
+
+    def tuner_kwargs(self, arm: str) -> Dict[str, object]:
+        """Constructor kwargs for :func:`repro.core.make_tuner`."""
+        arm = arm.lower()
+        if arm in ("autotvm",):
+            return {
+                "batch_size": self.batch_size,
+                "init_size": self.init_size,
+            }
+        if arm == "bted":
+            return {
+                "batch_size": self.batch_size,
+                "init_size": self.init_size,
+                "mu": self.mu,
+                "batch_candidates": self.batch_candidates,
+                "num_batches": self.num_batches,
+            }
+        if arm == "bted+bao":
+            return {
+                "init_size": self.init_size,
+                "mu": self.mu,
+                "batch_candidates": self.batch_candidates,
+                "num_batches": self.num_batches,
+                "bao_settings": self.bao,
+            }
+        if arm == "ga":
+            return {"population_size": self.batch_size}
+        if arm in ("random", "grid"):
+            return {"batch_size": self.batch_size}
+        raise KeyError(f"unknown experimental arm {arm!r}")
+
+
+#: the exact Sec. V-A configuration
+PAPER_SETTINGS = ExperimentSettings()
+
+#: a configuration sized for CI / benchmarking runs
+BENCH_SETTINGS = ExperimentSettings().scaled(0.125)

@@ -1,0 +1,32 @@
+"""Simulated GPU hardware: the stand-in for the paper's GTX 1080 Ti.
+
+The search algorithms need an expensive, noisy, partially-infeasible
+black box; this package provides one with the *mechanics* of a real
+CUDA GPU: resource limits and occupancy (:mod:`repro.hardware.resources`),
+an analytical roofline-style kernel cost model
+(:mod:`repro.hardware.cost_model`), task-specific rugged terrain and
+heteroscedastic measurement noise (:mod:`repro.hardware.noise`), and an
+AutoTVM-style measurement harness (:mod:`repro.hardware.measure`).
+"""
+
+from repro.hardware.device import GpuDevice, GTX_1080_TI, TESLA_V100, JETSON_TX2
+from repro.hardware.cost_model import AnalyticalGpuModel, KernelProfile
+from repro.hardware.measure import (
+    Measurer,
+    MeasureResult,
+    MeasureErrorKind,
+    SimulatedTask,
+)
+
+__all__ = [
+    "GpuDevice",
+    "GTX_1080_TI",
+    "TESLA_V100",
+    "JETSON_TX2",
+    "AnalyticalGpuModel",
+    "KernelProfile",
+    "Measurer",
+    "MeasureResult",
+    "MeasureErrorKind",
+    "SimulatedTask",
+]

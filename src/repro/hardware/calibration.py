@@ -1,0 +1,136 @@
+"""Calibrating the analytical model against observed kernel timings.
+
+When porting the simulator to a new GPU (or validating it against a
+real one), three device parameters dominate the fit: effective peak
+throughput, effective memory bandwidth, and the L2 ``cache_factor``.
+:func:`calibrate_device` estimates them from a set of observed
+(workload, configuration, measured-time) triples by minimizing relative
+squared timing error with scipy, starting from a datasheet prior.
+
+This is how a user with a real measurement backend would anchor the
+simulator: collect a few hundred timings, calibrate, then explore
+schedules offline.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import List, Mapping, Sequence
+
+import numpy as np
+from scipy import optimize
+
+from repro.hardware.cost_model import AnalyticalGpuModel
+from repro.hardware.device import GpuDevice
+from repro.hardware.resources import ResourceError
+from repro.nn.workloads import Workload
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One measured kernel: workload + config values + time in seconds."""
+
+    workload: Workload
+    values: Mapping[str, object]
+    time_s: float
+    template: str = "direct"
+
+    def __post_init__(self) -> None:
+        if self.time_s <= 0:
+            raise ValueError("measured time must be positive")
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Fitted device and fit-quality diagnostics."""
+
+    device: GpuDevice
+    #: geometric-mean ratio |predicted/observed| before fitting
+    error_before: float
+    #: the same after fitting
+    error_after: float
+    n_observations: int
+
+    @property
+    def improved(self) -> bool:
+        return self.error_after <= self.error_before
+
+
+def _mean_log_ratio(
+    device: GpuDevice, observations: Sequence[Observation]
+) -> float:
+    """Mean squared log(predicted/observed) over feasible observations."""
+    model = AnalyticalGpuModel(device)
+    errors: List[float] = []
+    for obs in observations:
+        try:
+            profile = model.profile(obs.workload, obs.values,
+                                    template=obs.template)
+        except ResourceError:
+            continue
+        errors.append(np.log(profile.time_s / obs.time_s) ** 2)
+    if not errors:
+        raise ValueError("no observation is feasible under the device model")
+    return float(np.mean(errors))
+
+
+def calibrate_device(
+    base_device: GpuDevice,
+    observations: Sequence[Observation],
+    max_iterations: int = 60,
+) -> CalibrationResult:
+    """Fit (peak_gflops, mem_bandwidth_gbs, cache_factor) to observations.
+
+    The datasheet values in ``base_device`` serve as the starting point;
+    parameters are searched in log-space (bounded to 0.25x..4x of the
+    prior; cache_factor in [0.05, 1]) with Nelder-Mead.
+    """
+    if len(observations) < 3:
+        raise ValueError("need at least 3 observations to calibrate")
+
+    def rebuild(theta: np.ndarray) -> GpuDevice:
+        peak, bandwidth, cache = theta
+        return dataclasses.replace(
+            base_device,
+            peak_gflops=float(np.clip(
+                np.exp(peak), base_device.peak_gflops / 4,
+                base_device.peak_gflops * 4,
+            )),
+            mem_bandwidth_gbs=float(np.clip(
+                np.exp(bandwidth), base_device.mem_bandwidth_gbs / 4,
+                base_device.mem_bandwidth_gbs * 4,
+            )),
+            cache_factor=float(np.clip(cache, 0.05, 1.0)),
+        )
+
+    def objective(theta: np.ndarray) -> float:
+        try:
+            return _mean_log_ratio(rebuild(theta), observations)
+        except ValueError:
+            return 1e6
+
+    x0 = np.array([
+        np.log(base_device.peak_gflops),
+        np.log(base_device.mem_bandwidth_gbs),
+        base_device.cache_factor,
+    ])
+    error_before = _mean_log_ratio(base_device, observations)
+    result = optimize.minimize(
+        objective,
+        x0,
+        method="Nelder-Mead",
+        options={"maxiter": max_iterations, "xatol": 1e-3, "fatol": 1e-5},
+    )
+    fitted = rebuild(result.x)
+    error_after = _mean_log_ratio(fitted, observations)
+    if error_after > error_before:
+        # optimizer wandered off: keep the prior
+        fitted = base_device
+        error_after = error_before
+    return CalibrationResult(
+        device=fitted,
+        error_before=float(np.sqrt(error_before)),
+        error_after=float(np.sqrt(error_after)),
+        n_observations=len(observations),
+    )

@@ -1,0 +1,106 @@
+"""GPU device descriptions.
+
+A :class:`GpuDevice` captures the architectural parameters the cost
+model needs: compute throughput, memory bandwidth, and the per-SM
+resource limits that determine occupancy.  The default device is the
+Nvidia GeForce GTX 1080 Ti used in the paper's evaluation; two more
+presets demonstrate portability of the framework across targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GpuDevice:
+    """Architectural description of a CUDA-like GPU."""
+
+    name: str
+    #: number of streaming multiprocessors
+    num_sms: int
+    #: peak single-precision throughput in GFLOP/s
+    peak_gflops: float
+    #: effective DRAM bandwidth in GB/s
+    mem_bandwidth_gbs: float
+    #: maximum resident threads per SM
+    max_threads_per_sm: int = 2048
+    #: maximum threads per block
+    max_threads_per_block: int = 1024
+    #: maximum resident blocks per SM
+    max_blocks_per_sm: int = 32
+    #: shared memory per SM, bytes
+    shared_mem_per_sm: int = 96 * 1024
+    #: shared memory limit per block, bytes
+    shared_mem_per_block: int = 48 * 1024
+    #: 32-bit registers per SM
+    registers_per_sm: int = 65536
+    #: maximum registers per thread before spilling
+    max_registers_per_thread: int = 255
+    #: threads per warp
+    warp_size: int = 32
+    #: fixed kernel launch overhead, seconds
+    launch_overhead_s: float = 4.0e-6
+    #: L2-cache effectiveness factor applied to redundant global reads
+    cache_factor: float = 0.55
+
+    def __post_init__(self) -> None:
+        numeric_fields = (
+            "num_sms",
+            "peak_gflops",
+            "mem_bandwidth_gbs",
+            "max_threads_per_sm",
+            "max_threads_per_block",
+            "max_blocks_per_sm",
+            "shared_mem_per_sm",
+            "shared_mem_per_block",
+            "registers_per_sm",
+            "max_registers_per_thread",
+            "warp_size",
+        )
+        for field_name in numeric_fields:
+            if getattr(self, field_name) <= 0:
+                raise ValueError(f"{field_name} must be positive")
+        if not 0.0 < self.cache_factor <= 1.0:
+            raise ValueError("cache_factor must be in (0, 1]")
+
+    @property
+    def max_warps_per_sm(self) -> int:
+        return self.max_threads_per_sm // self.warp_size
+
+    @property
+    def peak_flops(self) -> float:
+        """Peak throughput in FLOP/s."""
+        return self.peak_gflops * 1e9
+
+    @property
+    def mem_bandwidth(self) -> float:
+        """Bandwidth in bytes/s."""
+        return self.mem_bandwidth_gbs * 1e9
+
+
+#: the paper's evaluation platform (Sec. V)
+GTX_1080_TI = GpuDevice(
+    name="GeForce GTX 1080 Ti",
+    num_sms=28,
+    peak_gflops=11340.0,
+    mem_bandwidth_gbs=484.0,
+)
+
+#: a datacenter-class target, for portability experiments
+TESLA_V100 = GpuDevice(
+    name="Tesla V100",
+    num_sms=80,
+    peak_gflops=14130.0,
+    mem_bandwidth_gbs=900.0,
+)
+
+#: an embedded-class target, for portability experiments
+JETSON_TX2 = GpuDevice(
+    name="Jetson TX2",
+    num_sms=2,
+    peak_gflops=665.0,
+    mem_bandwidth_gbs=59.7,
+    max_threads_per_sm=2048,
+    shared_mem_per_sm=64 * 1024,
+)

@@ -1,0 +1,100 @@
+"""Task terrain and measurement noise.
+
+Two stochastic layers sit between the deterministic cost model and what
+a tuner observes:
+
+* :class:`TaskTerrain` — a *fixed*, task-specific multiplicative field
+  over feature space.  Real kernels have performance texture that no
+  analytical model captures (instruction scheduling, cache alignment,
+  DRAM page effects); the terrain reproduces it as a smooth sum of
+  random plane waves, so the landscape is rugged globally yet locally
+  smooth — exactly the regime BAO's neighborhood assumption ("the value
+  space is local smooth", Sec. III-B) targets.  The terrain is part of
+  the ground truth: repeated measurements of one config share it.
+
+* measurement noise — per-run heteroscedastic timing jitter whose
+  relative magnitude is the cost model's ``noise_sigma_rel``.  Low-
+  occupancy and memory-bound kernels time less repeatably, which is how
+  choosing robust configurations reduces end-to-end latency variance
+  (the Table I effect).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_generator
+
+
+class TaskTerrain:
+    """Smooth random multiplicative performance field over feature space.
+
+    ``factor(features)`` lies in ``[1 - amplitude, 1]``; ``1`` is the
+    analytical optimum.  The field is a normalized sum of ``num_waves``
+    sinusoidal plane waves with random directions, frequencies and
+    phases drawn from ``seed``.
+    """
+
+    def __init__(
+        self,
+        feature_dim: int,
+        seed: SeedLike = None,
+        num_waves: int = 8,
+        amplitude: float = 0.15,
+    ):
+        if feature_dim <= 0:
+            raise ValueError("feature_dim must be positive")
+        if not 0.0 <= amplitude < 1.0:
+            raise ValueError("amplitude must be in [0, 1)")
+        rng = as_generator(seed)
+        self.feature_dim = feature_dim
+        self.amplitude = amplitude
+        directions = rng.normal(size=(num_waves, feature_dim))
+        norms = np.linalg.norm(directions, axis=1, keepdims=True)
+        directions /= np.maximum(norms, 1e-12)
+        frequencies = rng.uniform(0.25, 1.4, size=(num_waves, 1))
+        self._waves = directions * frequencies
+        self._phases = rng.uniform(0.0, 2.0 * np.pi, size=num_waves)
+        self._weights = rng.uniform(0.5, 1.0, size=num_waves)
+        self._weights /= self._weights.sum()
+
+    def factor(self, features: np.ndarray) -> float:
+        """Terrain multiplier at one feature vector."""
+        return float(self.factor_batch(np.asarray(features)[None, :])[0])
+
+    def factor_batch(self, features: np.ndarray) -> np.ndarray:
+        """Terrain multipliers for a ``(n, feature_dim)`` matrix."""
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2 or features.shape[1] != self.feature_dim:
+            raise ValueError(
+                f"expected (n, {self.feature_dim}) features, "
+                f"got shape {features.shape}"
+            )
+        phase = features @ self._waves.T + self._phases
+        s = np.sin(phase) @ self._weights  # in [-1, 1]
+        return 1.0 - self.amplitude * 0.5 * (1.0 + s)
+
+
+class MeasurementNoise:
+    """Per-run multiplicative timing jitter.
+
+    A measured time is ``true_time * (1 + eps)`` with
+    ``eps ~ N(0, sigma_rel)`` truncated at ``-0.9`` so times stay
+    positive.  ``sigma_rel`` comes from the kernel profile and is larger
+    for fragile configurations.
+    """
+
+    def __init__(self, seed: SeedLike = None):
+        self._rng = as_generator(seed)
+
+    def sample_time_factors(
+        self, sigma_rel: float, n: int = 1, rng: Optional[np.random.Generator] = None
+    ) -> np.ndarray:
+        """Draw ``n`` multiplicative time factors (> 0)."""
+        if sigma_rel < 0:
+            raise ValueError("sigma_rel must be non-negative")
+        generator = rng if rng is not None else self._rng
+        eps = generator.normal(0.0, sigma_rel, size=n)
+        return 1.0 + np.maximum(eps, -0.9)

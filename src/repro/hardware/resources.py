@@ -1,0 +1,115 @@
+"""Per-SM resource accounting and occupancy.
+
+Given one block's resource demands (threads, shared memory, registers),
+compute how many blocks fit on an SM and the resulting warp occupancy —
+the standard CUDA occupancy calculation that dominates how schedule
+choices translate into throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.device import GpuDevice
+from repro.utils.mathx import ceil_div
+
+
+class ResourceError(ValueError):
+    """A block demands more of a resource than the device can provide.
+
+    This models the CUDA launch failures ("invalid configuration",
+    shared-memory overflow) that AutoTVM records as errored
+    measurements.
+    """
+
+
+@dataclass(frozen=True)
+class BlockRequirements:
+    """Resource demand of one thread block."""
+
+    threads: int
+    shared_mem_bytes: int
+    registers_per_thread: int
+
+    def __post_init__(self) -> None:
+        if self.threads <= 0:
+            raise ValueError("block must have at least one thread")
+        if self.shared_mem_bytes < 0 or self.registers_per_thread < 0:
+            raise ValueError("resource demands must be non-negative")
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    """Result of the occupancy calculation for one kernel."""
+
+    blocks_per_sm: int
+    active_warps: int
+    #: fraction of the SM's maximum resident warps that are active
+    warp_occupancy: float
+    #: which resource bound blocks_per_sm ("threads"/"blocks"/"smem"/"regs")
+    limiter: str
+
+
+def validate_block(device: GpuDevice, req: BlockRequirements) -> None:
+    """Raise :class:`ResourceError` if the block cannot launch at all."""
+    if req.threads > device.max_threads_per_block:
+        raise ResourceError(
+            f"{req.threads} threads/block exceeds device limit "
+            f"{device.max_threads_per_block}"
+        )
+    if req.shared_mem_bytes > device.shared_mem_per_block:
+        raise ResourceError(
+            f"{req.shared_mem_bytes} B shared memory exceeds per-block "
+            f"limit {device.shared_mem_per_block} B"
+        )
+    if req.registers_per_thread > device.max_registers_per_thread:
+        raise ResourceError(
+            f"{req.registers_per_thread} registers/thread exceeds limit "
+            f"{device.max_registers_per_thread}"
+        )
+    if req.threads * req.registers_per_thread > device.registers_per_sm:
+        raise ResourceError(
+            "a single block exhausts the SM register file: "
+            f"{req.threads} threads x {req.registers_per_thread} regs"
+        )
+
+
+def compute_occupancy(device: GpuDevice, req: BlockRequirements) -> Occupancy:
+    """CUDA occupancy for a kernel whose blocks demand ``req``.
+
+    ``validate_block`` must pass first; this function assumes a
+    launchable block and only computes residency.
+    """
+    warps_per_block = ceil_div(req.threads, device.warp_size)
+
+    by_threads = device.max_threads_per_sm // (
+        warps_per_block * device.warp_size
+    )
+    by_blocks = device.max_blocks_per_sm
+    if req.shared_mem_bytes > 0:
+        by_smem = device.shared_mem_per_sm // req.shared_mem_bytes
+    else:
+        by_smem = device.max_blocks_per_sm
+    regs_per_block = req.threads * max(req.registers_per_thread, 1)
+    by_regs = device.registers_per_sm // regs_per_block
+
+    limits = {
+        "threads": by_threads,
+        "blocks": by_blocks,
+        "smem": by_smem,
+        "regs": by_regs,
+    }
+    limiter = min(limits, key=lambda k: limits[k])
+    blocks_per_sm = max(limits[limiter], 0)
+    if blocks_per_sm == 0:
+        raise ResourceError(
+            f"block cannot be resident on an SM (limited by {limiter})"
+        )
+    active_warps = blocks_per_sm * warps_per_block
+    active_warps = min(active_warps, device.max_warps_per_sm)
+    return Occupancy(
+        blocks_per_sm=blocks_per_sm,
+        active_warps=active_warps,
+        warp_occupancy=active_warps / device.max_warps_per_sm,
+        limiter=limiter,
+    )

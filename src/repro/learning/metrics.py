@@ -1,0 +1,58 @@
+"""Evaluation metrics for cost models.
+
+Tuning cares about *ranking* (which configuration is best) more than
+absolute regression error, so alongside RMSE this module provides
+pairwise rank accuracy and top-k recall — the metrics used by the
+AutoTVM paper to compare cost models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _validate(y_true: np.ndarray, y_pred: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true, dtype=np.float64)
+    y_pred = np.asarray(y_pred, dtype=np.float64)
+    if y_true.shape != y_pred.shape or y_true.ndim != 1:
+        raise ValueError("y_true and y_pred must be equal-length 1-D arrays")
+    if len(y_true) == 0:
+        raise ValueError("empty inputs")
+    return y_true, y_pred
+
+
+def rmse(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Root-mean-squared error."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    return float(np.sqrt(np.mean((y_true - y_pred) ** 2)))
+
+
+def rank_accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of ordered pairs ranked concordantly (ties count half).
+
+    1.0 means the prediction induces exactly the true order; 0.5 is
+    chance level.
+    """
+    y_true, y_pred = _validate(y_true, y_pred)
+    n = len(y_true)
+    if n < 2:
+        raise ValueError("need at least 2 samples for rank accuracy")
+    dt = np.sign(y_true[:, None] - y_true[None, :])
+    dp = np.sign(y_pred[:, None] - y_pred[None, :])
+    mask = np.triu(np.ones((n, n), dtype=bool), k=1) & (dt != 0)
+    total = int(mask.sum())
+    if total == 0:
+        return 1.0  # all-true-ties: any prediction is vacuously concordant
+    concordant = float(np.sum((dt == dp) & mask))
+    ties = float(np.sum((dp == 0) & mask))
+    return (concordant + 0.5 * ties) / total
+
+
+def top_k_recall(y_true: np.ndarray, y_pred: np.ndarray, k: int) -> float:
+    """Fraction of the true top-``k`` items found in the predicted top-``k``."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    if not 1 <= k <= len(y_true):
+        raise ValueError(f"k must be in [1, {len(y_true)}]")
+    true_top = set(np.argsort(-y_true, kind="stable")[:k].tolist())
+    pred_top = set(np.argsort(-y_pred, kind="stable")[:k].tolist())
+    return len(true_top & pred_top) / k

@@ -1,0 +1,89 @@
+"""Model-guided parallel simulated annealing.
+
+AutoTVM's iterative optimizer [16], [18]: a batch of Markov chains
+walks the configuration space, scored by the surrogate model (cheap to
+evaluate), and the visited configurations with the highest predicted
+scores are proposed for real hardware measurement.  Used by the
+baseline AutoTVM arm; the BAO arm replaces this proposal mechanism.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Iterable, List, Optional, Set
+
+import numpy as np
+
+from repro.space.space import ConfigSpace
+from repro.utils.rng import SeedLike, as_generator
+
+ScoreFn = Callable[[np.ndarray], np.ndarray]
+
+
+def simulated_annealing_search(
+    space: ConfigSpace,
+    score_fn: ScoreFn,
+    plan_size: int,
+    seed: SeedLike = None,
+    n_chains: int = 128,
+    n_steps: int = 150,
+    temp_start: float = 1.0,
+    temp_end: float = 0.0,
+    exclude: Optional[Iterable[int]] = None,
+) -> List[int]:
+    """Propose ``plan_size`` high-scoring distinct configs.
+
+    ``score_fn`` maps an array of config indices to predicted scores
+    (higher is better).  ``exclude`` marks already-measured indices that
+    must not be proposed again.  Returns up to ``plan_size`` indices
+    sorted by descending predicted score.
+    """
+    if plan_size <= 0:
+        raise ValueError("plan_size must be positive")
+    if n_chains <= 0 or n_steps <= 0:
+        raise ValueError("n_chains and n_steps must be positive")
+    rng = as_generator(seed)
+    excluded: Set[int] = set(int(i) for i in exclude) if exclude else set()
+
+    points = space.sample(n_chains, seed=rng)
+    scores = score_fn(points)
+
+    # top-k heap of (score, index) over *visited*, non-excluded configs
+    heap: List[tuple[float, int]] = []
+    in_heap: Set[int] = set()
+
+    def offer(batch_points: np.ndarray, batch_scores: np.ndarray) -> None:
+        for idx, s in zip(batch_points, batch_scores):
+            idx = int(idx)
+            if idx in excluded or idx in in_heap:
+                continue
+            item = (float(s), idx)
+            if len(heap) < plan_size:
+                heapq.heappush(heap, item)
+                in_heap.add(idx)
+            elif item > heap[0]:
+                _, evicted = heapq.heappushpop(heap, item)
+                in_heap.discard(evicted)
+                in_heap.add(idx)
+
+    offer(points, scores)
+
+    temps = np.linspace(temp_start, temp_end, n_steps)
+    for temp in temps:
+        proposals = np.array(
+            [space.random_walk(int(p), seed=rng) for p in points],
+            dtype=np.int64,
+        )
+        prop_scores = score_fn(proposals)
+        delta = prop_scores - scores
+        if temp > 1e-9:
+            accept_prob = np.exp(np.minimum(delta / temp, 0.0))
+            accept = (delta > 0) | (rng.random(len(points)) < accept_prob)
+        else:
+            accept = delta > 0
+        points = np.where(accept, proposals, points)
+        scores = np.where(accept, prop_scores, scores)
+        offer(proposals[accept], prop_scores[accept])
+
+    ranked = sorted(heap, reverse=True)
+    return [idx for _, idx in ranked]

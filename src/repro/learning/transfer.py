@@ -1,0 +1,109 @@
+"""Transfer learning across tuning tasks.
+
+AutoTVM accelerates new tasks with history from previously tuned tasks
+[17], [18].  Feature spaces differ across operator templates, so history
+transfers only between tasks with equal feature dimension; targets are
+normalized per task (GFLOPS scales differ by orders of magnitude across
+layers) and history samples get a discounted weight when fitting the
+evaluation function of a new task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+
+@dataclass
+class _TaskRecord:
+    task_name: str
+    features: np.ndarray
+    targets: np.ndarray  # normalized to [0, 1] by the task's best
+
+
+class TransferHistory:
+    """Accumulates (features, normalized score) pairs across tasks."""
+
+    def __init__(self, history_weight: float = 0.25, max_per_task: int = 512):
+        if not 0.0 <= history_weight <= 1.0:
+            raise ValueError("history_weight must be in [0, 1]")
+        if max_per_task < 1:
+            raise ValueError("max_per_task must be >= 1")
+        self.history_weight = history_weight
+        self.max_per_task = max_per_task
+        self._records: List[_TaskRecord] = []
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def num_samples(self) -> int:
+        return sum(len(r.targets) for r in self._records)
+
+    def add_task(
+        self, task_name: str, features: np.ndarray, scores: np.ndarray
+    ) -> None:
+        """Store one finished task's measured data.
+
+        ``scores`` are raw GFLOPS; they are normalized by the task's
+        best score so tasks of different magnitudes mix.  Only the
+        ``max_per_task`` best samples are kept.
+        """
+        features = np.asarray(features, dtype=np.float64)
+        scores = np.asarray(scores, dtype=np.float64)
+        if features.ndim != 2 or scores.shape != (features.shape[0],):
+            raise ValueError("features must be (n, d), scores (n,)")
+        if len(scores) == 0:
+            return
+        best = float(scores.max())
+        if best <= 0:
+            return
+        order = np.argsort(-scores, kind="stable")[: self.max_per_task]
+        self._records.append(
+            _TaskRecord(
+                task_name=task_name,
+                features=features[order].copy(),
+                targets=scores[order] / best,
+            )
+        )
+
+    def training_data(
+        self,
+        feature_dim: int,
+        current_features: Optional[np.ndarray] = None,
+        current_targets: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Assemble (X, y, weights) mixing history with current-task data.
+
+        History rows (matching ``feature_dim``) get ``history_weight``;
+        current rows get weight 1.  Returns empty arrays when nothing
+        matches.
+        """
+        xs: List[np.ndarray] = []
+        ys: List[np.ndarray] = []
+        ws: List[np.ndarray] = []
+        for record in self._records:
+            if record.features.shape[1] != feature_dim:
+                continue
+            xs.append(record.features)
+            ys.append(record.targets)
+            ws.append(np.full(len(record.targets), self.history_weight))
+        if current_features is not None and current_targets is not None:
+            current_features = np.asarray(current_features, dtype=np.float64)
+            current_targets = np.asarray(current_targets, dtype=np.float64)
+            if current_features.shape[1] != feature_dim:
+                raise ValueError("current feature dim mismatch")
+            best = float(current_targets.max()) if len(current_targets) else 0.0
+            norm = best if best > 0 else 1.0
+            xs.append(current_features)
+            ys.append(current_targets / norm)
+            ws.append(np.ones(len(current_targets)))
+        if not xs:
+            return (
+                np.empty((0, feature_dim)),
+                np.empty(0),
+                np.empty(0),
+            )
+        return np.vstack(xs), np.concatenate(ys), np.concatenate(ws)

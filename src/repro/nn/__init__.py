@@ -1,0 +1,63 @@
+"""DNN computational-graph substrate.
+
+This package is the stand-in for the TVM frontend the paper builds on:
+layer specifications with shape inference (:mod:`repro.nn.layers`), a
+computational-graph IR (:mod:`repro.nn.graph`), the graph-level operator
+fusion pass (:mod:`repro.nn.fusion`), and the five-model zoo used in the
+paper's evaluation (:mod:`repro.nn.zoo`).
+"""
+
+from repro.nn.layers import (
+    LayerSpec,
+    Input,
+    Conv2D,
+    DepthwiseConv2D,
+    Dense,
+    Pool2D,
+    GlobalAvgPool,
+    BatchNorm,
+    ReLU,
+    LRN,
+    Dropout,
+    Softmax,
+    Flatten,
+    Concat,
+    Add,
+)
+from repro.nn.graph import Graph, Node, GraphBuilder
+from repro.nn.fusion import fuse_graph, FusedOp
+from repro.nn.workloads import (
+    Workload,
+    Conv2DWorkload,
+    DepthwiseConv2DWorkload,
+    DenseWorkload,
+)
+from repro.nn import zoo
+
+__all__ = [
+    "LayerSpec",
+    "Input",
+    "Conv2D",
+    "DepthwiseConv2D",
+    "Dense",
+    "Pool2D",
+    "GlobalAvgPool",
+    "BatchNorm",
+    "ReLU",
+    "LRN",
+    "Dropout",
+    "Softmax",
+    "Flatten",
+    "Concat",
+    "Add",
+    "Graph",
+    "Node",
+    "GraphBuilder",
+    "fuse_graph",
+    "FusedOp",
+    "Workload",
+    "Conv2DWorkload",
+    "DepthwiseConv2DWorkload",
+    "DenseWorkload",
+    "zoo",
+]

@@ -1,0 +1,138 @@
+"""Graph-level operator fusion.
+
+This reproduces the high-level computation-graph optimization stage of
+Fig. 1 in the paper (and TVM's fuse-ops pass at its standard opt level):
+injective operators (batch-norm, ReLU, bias-add, residual add, dropout,
+...) are folded into the preceding compute-heavy *anchor* operator
+(conv2d / depthwise conv2d / dense), producing one fused kernel per
+anchor.  Each fused kernel whose anchor is tunable becomes one
+node-wise optimization task.
+
+The fusion rule is the classic greedy one:
+
+* every anchor node opens a new fused group;
+* an injective node joins the group of its producer when that producer
+  (a) already belongs to a group with an anchor and (b) is consumed by
+  this node alone — otherwise the intermediate tensor must materialize
+  and fusion is illegal;
+* for two-input injective joins (residual ``add``) the node may join the
+  group of either producer under the same sole-consumer condition;
+* everything else (pooling, concat, input) forms a standalone
+  non-tunable group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.nn.graph import Graph, Node
+from repro.nn.workloads import Workload
+
+
+@dataclass
+class FusedOp:
+    """One fused kernel: an ordered group of graph nodes.
+
+    ``workload`` is set when the group contains a tunable anchor; fused
+    groups with equal workloads share a tuning task downstream.
+    """
+
+    name: str
+    node_ids: Tuple[int, ...]
+    anchor_id: Optional[int]
+    workload: Optional[Workload]
+    ops: Tuple[str, ...]
+    flops: int = 0
+
+    @property
+    def is_tunable(self) -> bool:
+        return self.workload is not None
+
+    def __repr__(self) -> str:
+        tag = "tunable" if self.is_tunable else "fixed"
+        return f"FusedOp({self.name!r}, ops={'+'.join(self.ops)}, {tag})"
+
+
+def fuse_graph(graph: Graph) -> List[FusedOp]:
+    """Fuse ``graph`` into a list of :class:`FusedOp` groups.
+
+    Groups are returned in topological order of their first node.  The
+    union of all groups' ``node_ids`` is exactly the set of graph nodes
+    (each node belongs to exactly one group).
+    """
+    graph.infer_shapes()
+    consumer_count: Dict[int, int] = {node.node_id: 0 for node in graph}
+    for node in graph:
+        for src in node.inputs:
+            consumer_count[src] += 1
+
+    group_of: Dict[int, int] = {}
+    groups: List[List[int]] = []
+    anchor_of_group: List[Optional[int]] = []
+
+    def open_group(node: Node, anchored: bool) -> None:
+        group_of[node.node_id] = len(groups)
+        groups.append([node.node_id])
+        anchor_of_group.append(node.node_id if anchored else None)
+
+    for node in graph.topological_order():
+        layer = node.layer
+        if layer.is_anchor:
+            open_group(node, anchored=True)
+            continue
+        if layer.is_injective and node.inputs:
+            joined = False
+            for src in node.inputs:
+                src_group = group_of[src]
+                if anchor_of_group[src_group] is None:
+                    continue
+                if consumer_count[src] != 1:
+                    continue
+                # The producer must be the tail of its group: fusing past
+                # an interior node would reorder computation.
+                if groups[src_group][-1] != src:
+                    continue
+                groups[src_group].append(node.node_id)
+                group_of[node.node_id] = src_group
+                joined = True
+                break
+            if joined:
+                continue
+        open_group(node, anchored=False)
+
+    fused: List[FusedOp] = []
+    for group_ids, anchor_id in zip(groups, anchor_of_group):
+        nodes = [graph[i] for i in group_ids]
+        workload = None
+        if anchor_id is not None:
+            anchor = graph[anchor_id]
+            workload = anchor.layer.workload(graph.input_shapes_of(anchor))
+        flops = sum(
+            n.layer.flops(graph.input_shapes_of(n)) for n in nodes
+        )
+        fused.append(
+            FusedOp(
+                name=nodes[0].name,
+                node_ids=tuple(group_ids),
+                anchor_id=anchor_id,
+                workload=workload,
+                ops=tuple(n.op for n in nodes),
+                flops=flops,
+            )
+        )
+    return fused
+
+
+def tunable_workloads(graph: Graph) -> List[Workload]:
+    """Deduplicated tunable workloads of ``graph``, in first-seen order.
+
+    This is the per-model tuning-task list: equal workloads collapse to
+    one task, matching how AutoTVM extracts tasks (e.g. MobileNet-v1's
+    28 anchor layers collapse to the 19 tasks of the paper's Fig. 5).
+    """
+    seen: Dict[Workload, None] = {}
+    for op in fuse_graph(graph):
+        if op.workload is not None and op.workload not in seen:
+            seen[op.workload] = None
+    return list(seen.keys())

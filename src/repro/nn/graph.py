@@ -1,0 +1,323 @@
+"""Computational-graph IR.
+
+A :class:`Graph` is a DAG of :class:`Node` objects, each wrapping a
+:class:`~repro.nn.layers.LayerSpec`.  The graph owns topological
+ordering, whole-graph shape inference, and aggregate statistics (FLOPs,
+parameters).  :class:`GraphBuilder` provides the fluent API the model
+zoo uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.nn.layers import Input, LayerSpec, Shape, ShapeError
+
+
+@dataclass
+class Node:
+    """One graph node: a layer plus the ids of its input nodes."""
+
+    node_id: int
+    layer: LayerSpec
+    inputs: Tuple[int, ...]
+    output_shape: Optional[Shape] = field(default=None)
+
+    @property
+    def name(self) -> str:
+        return self.layer.name
+
+    @property
+    def op(self) -> str:
+        return self.layer.op
+
+    def __repr__(self) -> str:
+        return (
+            f"Node(id={self.node_id}, op={self.op!r}, name={self.name!r}, "
+            f"inputs={list(self.inputs)}, shape={self.output_shape})"
+        )
+
+
+class Graph:
+    """A directed acyclic computational graph.
+
+    Nodes are appended in construction order; input edges must point to
+    already-existing nodes, which guarantees acyclicity and makes the
+    insertion order a valid topological order.
+    """
+
+    def __init__(self, name: str = "graph"):
+        self.name = name
+        self._nodes: List[Node] = []
+        self._names: Dict[str, int] = {}
+        self._shapes_ready = False
+
+    # ------------------------------------------------------------------
+    # construction
+
+    def add(self, layer: LayerSpec, inputs: Sequence[int] = ()) -> int:
+        """Append a node for ``layer`` fed by node ids ``inputs``.
+
+        Returns the new node's id.  Raises :class:`ValueError` on a
+        duplicate layer name or a dangling input reference.
+        """
+        if layer.name in self._names:
+            raise ValueError(f"duplicate layer name {layer.name!r} in {self.name!r}")
+        for src in inputs:
+            if not 0 <= src < len(self._nodes):
+                raise ValueError(
+                    f"layer {layer.name!r} references unknown node id {src}"
+                )
+        node_id = len(self._nodes)
+        self._nodes.append(Node(node_id, layer, tuple(inputs)))
+        self._names[layer.name] = node_id
+        self._shapes_ready = False
+        return node_id
+
+    # ------------------------------------------------------------------
+    # access
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._nodes)
+
+    def __getitem__(self, node_id: int) -> Node:
+        return self._nodes[node_id]
+
+    def node_by_name(self, name: str) -> Node:
+        """Look a node up by its layer name."""
+        if name not in self._names:
+            raise KeyError(f"no node named {name!r} in graph {self.name!r}")
+        return self._nodes[self._names[name]]
+
+    @property
+    def nodes(self) -> List[Node]:
+        return list(self._nodes)
+
+    def topological_order(self) -> List[Node]:
+        """Nodes in a valid topological order (== insertion order)."""
+        return list(self._nodes)
+
+    def consumers(self, node_id: int) -> List[int]:
+        """Ids of nodes that read the output of ``node_id``."""
+        return [n.node_id for n in self._nodes if node_id in n.inputs]
+
+    def output_nodes(self) -> List[Node]:
+        """Nodes whose outputs nothing consumes (graph outputs)."""
+        consumed = {src for node in self._nodes for src in node.inputs}
+        return [n for n in self._nodes if n.node_id not in consumed]
+
+    # ------------------------------------------------------------------
+    # analysis
+
+    def infer_shapes(self) -> None:
+        """Run shape inference over the whole graph (idempotent)."""
+        if self._shapes_ready:
+            return
+        for node in self._nodes:
+            input_shapes = []
+            for src in node.inputs:
+                shape = self._nodes[src].output_shape
+                if shape is None:
+                    raise ShapeError(
+                        f"node {node.name!r} reads {self._nodes[src].name!r} "
+                        "whose shape is unknown"
+                    )
+                input_shapes.append(shape)
+            node.output_shape = node.layer.infer_shape(input_shapes)
+        self._shapes_ready = True
+
+    def input_shapes_of(self, node: Node) -> List[Shape]:
+        """Inferred shapes of ``node``'s inputs (shape inference implied)."""
+        self.infer_shapes()
+        shapes = []
+        for src in node.inputs:
+            shape = self._nodes[src].output_shape
+            assert shape is not None
+            shapes.append(shape)
+        return shapes
+
+    def total_flops(self) -> int:
+        """Sum of per-layer FLOPs over the whole graph."""
+        self.infer_shapes()
+        return sum(
+            node.layer.flops(self.input_shapes_of(node)) for node in self._nodes
+        )
+
+    def total_params(self) -> int:
+        """Total learnable-parameter count."""
+        self.infer_shapes()
+        return sum(node.layer.param_count() for node in self._nodes)
+
+    def summary(self) -> str:
+        """Human-readable multi-line summary table of the graph."""
+        self.infer_shapes()
+        lines = [f"Graph {self.name!r}: {len(self)} nodes"]
+        header = f"{'id':>4}  {'op':<18} {'name':<24} {'shape':<20} {'inputs'}"
+        lines.append(header)
+        lines.append("-" * len(header))
+        for node in self._nodes:
+            lines.append(
+                f"{node.node_id:>4}  {node.op:<18} {node.name:<24} "
+                f"{str(node.output_shape):<20} {list(node.inputs)}"
+            )
+        lines.append(
+            f"total: {self.total_flops() / 1e9:.3f} GFLOPs, "
+            f"{self.total_params() / 1e6:.3f} M params"
+        )
+        return "\n".join(lines)
+
+
+class GraphBuilder:
+    """Fluent helper for building sequential-with-branches graphs.
+
+    The builder tracks a *cursor* (the most recently added node), so
+    straight-line sections read naturally, while explicit node ids
+    support branches and joins:
+
+    >>> b = GraphBuilder("tiny")
+    >>> _ = b.input((1, 3, 8, 8))
+    >>> _ = b.conv2d("c1", 8, kernel=(3, 3), padding=(1, 1))
+    >>> _ = b.relu("r1")
+    >>> g = b.graph
+    >>> g.infer_shapes()
+    """
+
+    def __init__(self, name: str = "graph"):
+        self.graph = Graph(name)
+        self._cursor: Optional[int] = None
+
+    @property
+    def cursor(self) -> int:
+        """Id of the most recently added node."""
+        if self._cursor is None:
+            raise ValueError("graph is empty; add an input first")
+        return self._cursor
+
+    def _push(self, layer: LayerSpec, inputs: Sequence[int]) -> int:
+        self._cursor = self.graph.add(layer, inputs)
+        return self._cursor
+
+    def _resolve(self, source: Optional[int]) -> Tuple[int, ...]:
+        return (self.cursor if source is None else source,)
+
+    # -- layer helpers (all return the new node id) --------------------
+
+    def input(self, shape: Shape, name: str = "input") -> int:
+        from repro.nn.layers import Input
+
+        return self._push(Input(name=name, shape=tuple(shape)), ())
+
+    def conv2d(
+        self,
+        name: str,
+        out_channels: int,
+        kernel: Tuple[int, int] = (3, 3),
+        stride: Tuple[int, int] = (1, 1),
+        padding: Tuple[int, int] = (0, 0),
+        groups: int = 1,
+        source: Optional[int] = None,
+    ) -> int:
+        from repro.nn.layers import Conv2D
+
+        layer = Conv2D(
+            name=name,
+            out_channels=out_channels,
+            kernel=kernel,
+            stride=stride,
+            padding=padding,
+            groups=groups,
+        )
+        return self._push(layer, self._resolve(source))
+
+    def depthwise_conv2d(
+        self,
+        name: str,
+        kernel: Tuple[int, int] = (3, 3),
+        stride: Tuple[int, int] = (1, 1),
+        padding: Tuple[int, int] = (1, 1),
+        source: Optional[int] = None,
+    ) -> int:
+        from repro.nn.layers import DepthwiseConv2D
+
+        layer = DepthwiseConv2D(
+            name=name, kernel=kernel, stride=stride, padding=padding
+        )
+        return self._push(layer, self._resolve(source))
+
+    def dense(self, name: str, out_features: int, source: Optional[int] = None) -> int:
+        from repro.nn.layers import Dense
+
+        return self._push(
+            Dense(name=name, out_features=out_features), self._resolve(source)
+        )
+
+    def pool2d(
+        self,
+        name: str,
+        kernel: Tuple[int, int] = (2, 2),
+        stride: Tuple[int, int] = (2, 2),
+        padding: Tuple[int, int] = (0, 0),
+        mode: str = "max",
+        ceil_mode: bool = False,
+        source: Optional[int] = None,
+    ) -> int:
+        from repro.nn.layers import Pool2D
+
+        layer = Pool2D(
+            name=name,
+            kernel=kernel,
+            stride=stride,
+            padding=padding,
+            mode=mode,
+            ceil_mode=ceil_mode,
+        )
+        return self._push(layer, self._resolve(source))
+
+    def global_avg_pool(self, name: str, source: Optional[int] = None) -> int:
+        from repro.nn.layers import GlobalAvgPool
+
+        return self._push(GlobalAvgPool(name=name), self._resolve(source))
+
+    def batch_norm(self, name: str, source: Optional[int] = None) -> int:
+        from repro.nn.layers import BatchNorm
+
+        return self._push(BatchNorm(name=name), self._resolve(source))
+
+    def relu(self, name: str, source: Optional[int] = None) -> int:
+        from repro.nn.layers import ReLU
+
+        return self._push(ReLU(name=name), self._resolve(source))
+
+    def lrn(self, name: str, source: Optional[int] = None) -> int:
+        from repro.nn.layers import LRN
+
+        return self._push(LRN(name=name), self._resolve(source))
+
+    def dropout(self, name: str, rate: float = 0.5, source: Optional[int] = None) -> int:
+        from repro.nn.layers import Dropout
+
+        return self._push(Dropout(name=name, rate=rate), self._resolve(source))
+
+    def softmax(self, name: str, source: Optional[int] = None) -> int:
+        from repro.nn.layers import Softmax
+
+        return self._push(Softmax(name=name), self._resolve(source))
+
+    def flatten(self, name: str, source: Optional[int] = None) -> int:
+        from repro.nn.layers import Flatten
+
+        return self._push(Flatten(name=name), self._resolve(source))
+
+    def concat(self, name: str, sources: Sequence[int], axis: int = 1) -> int:
+        from repro.nn.layers import Concat
+
+        return self._push(Concat(name=name, axis=axis), tuple(sources))
+
+    def add(self, name: str, lhs: int, rhs: int) -> int:
+        from repro.nn.layers import Add
+
+        return self._push(Add(name=name), (lhs, rhs))

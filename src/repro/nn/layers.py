@@ -1,0 +1,547 @@
+"""Layer specifications with shape inference.
+
+Layers are *descriptions*, not executable kernels: the library optimizes
+schedules, it does not run inference.  Each layer knows how to infer its
+output shape from input shapes, how many FLOPs and parameters it costs,
+and — for the tunable anchors (conv / depthwise conv / dense) — which
+:class:`~repro.nn.workloads.Workload` it maps to.
+
+Shapes are ``(N, C, H, W)`` tuples for feature maps and ``(N, F)`` for
+flattened features, matching TVM's NCHW convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+from repro.nn.workloads import (
+    Conv2DWorkload,
+    DenseWorkload,
+    DepthwiseConv2DWorkload,
+    Workload,
+)
+
+Shape = Tuple[int, ...]
+
+
+class ShapeError(ValueError):
+    """Raised when a layer receives inputs with incompatible shapes."""
+
+
+def _expect_rank(shape: Shape, rank: int, layer: str) -> None:
+    if len(shape) != rank:
+        raise ShapeError(f"{layer} expects rank-{rank} input, got shape {shape}")
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """Base class for all layer specifications."""
+
+    name: str
+
+    #: how many inputs the layer consumes; ``None`` means variadic.
+    ARITY: Optional[int] = field(default=1, init=False, repr=False)
+
+    @property
+    def op(self) -> str:
+        """Operator-class tag, e.g. ``"conv2d"`` or ``"relu"``."""
+        raise NotImplementedError
+
+    @property
+    def is_anchor(self) -> bool:
+        """True for compute-heavy ops that anchor a fused group."""
+        return False
+
+    @property
+    def is_injective(self) -> bool:
+        """True for elementwise/injective ops that can fuse into an anchor."""
+        return False
+
+    def infer_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        """Output shape given input shapes; raises :class:`ShapeError`."""
+        raise NotImplementedError
+
+    def flops(self, input_shapes: Sequence[Shape]) -> int:
+        """Floating-point operations for one forward pass (default 0)."""
+        return 0
+
+    def param_count(self) -> int:
+        """Number of learnable parameters (default 0)."""
+        return 0
+
+    def workload(self, input_shapes: Sequence[Shape]) -> Optional[Workload]:
+        """The tunable workload this layer maps to, if it is an anchor."""
+        return None
+
+    def _check_arity(self, input_shapes: Sequence[Shape]) -> None:
+        if self.ARITY is not None and len(input_shapes) != self.ARITY:
+            raise ShapeError(
+                f"{self.op} '{self.name}' expects {self.ARITY} input(s), "
+                f"got {len(input_shapes)}"
+            )
+
+
+@dataclass(frozen=True)
+class Input(LayerSpec):
+    """Graph input placeholder carrying a fixed shape."""
+
+    shape: Shape = (1, 3, 224, 224)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "ARITY", 0)
+
+    @property
+    def op(self) -> str:
+        return "input"
+
+    def infer_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        self._check_arity(input_shapes)
+        return tuple(self.shape)
+
+
+@dataclass(frozen=True)
+class Conv2D(LayerSpec):
+    """2-D convolution over NCHW input (grouped supported via ``groups``)."""
+
+    out_channels: int = 64
+    kernel: Tuple[int, int] = (3, 3)
+    stride: Tuple[int, int] = (1, 1)
+    padding: Tuple[int, int] = (0, 0)
+    groups: int = 1
+    bias: bool = True
+    _in_channels: Optional[int] = field(default=None, compare=False)
+
+    @property
+    def op(self) -> str:
+        return "conv2d"
+
+    @property
+    def is_anchor(self) -> bool:
+        return True
+
+    def infer_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        self._check_arity(input_shapes)
+        (shape,) = input_shapes
+        _expect_rank(shape, 4, self.op)
+        n, c, h, w = shape
+        if c % self.groups != 0:
+            raise ShapeError(
+                f"conv2d '{self.name}': {c} channels not divisible by "
+                f"groups={self.groups}"
+            )
+        kh, kw = self.kernel
+        sh, sw = self.stride
+        ph, pw = self.padding
+        oh = (h + 2 * ph - kh) // sh + 1
+        ow = (w + 2 * pw - kw) // sw + 1
+        if oh <= 0 or ow <= 0:
+            raise ShapeError(
+                f"conv2d '{self.name}': kernel {self.kernel} does not fit "
+                f"input {shape} with padding {self.padding}"
+            )
+        object.__setattr__(self, "_in_channels", c)
+        return (n, self.out_channels, oh, ow)
+
+    def workload(self, input_shapes: Sequence[Shape]) -> Conv2DWorkload:
+        (shape,) = input_shapes
+        n, c, h, w = shape
+        return Conv2DWorkload(
+            batch=n,
+            in_channels=c,
+            out_channels=self.out_channels,
+            height=h,
+            width=w,
+            kernel_h=self.kernel[0],
+            kernel_w=self.kernel[1],
+            stride_h=self.stride[0],
+            stride_w=self.stride[1],
+            pad_h=self.padding[0],
+            pad_w=self.padding[1],
+            groups=self.groups,
+        )
+
+    def flops(self, input_shapes: Sequence[Shape]) -> int:
+        return self.workload(input_shapes).flops
+
+    def param_count(self) -> int:
+        if self._in_channels is None:
+            raise ShapeError(
+                f"conv2d '{self.name}': call infer_shape before param_count"
+            )
+        kh, kw = self.kernel
+        weights = self.out_channels * (self._in_channels // self.groups) * kh * kw
+        return weights + (self.out_channels if self.bias else 0)
+
+
+@dataclass(frozen=True)
+class DepthwiseConv2D(LayerSpec):
+    """Depthwise 2-D convolution (one filter per input channel)."""
+
+    kernel: Tuple[int, int] = (3, 3)
+    stride: Tuple[int, int] = (1, 1)
+    padding: Tuple[int, int] = (1, 1)
+    channel_multiplier: int = 1
+    bias: bool = True
+    _in_channels: Optional[int] = field(default=None, compare=False)
+
+    @property
+    def op(self) -> str:
+        return "depthwise_conv2d"
+
+    @property
+    def is_anchor(self) -> bool:
+        return True
+
+    def infer_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        self._check_arity(input_shapes)
+        (shape,) = input_shapes
+        _expect_rank(shape, 4, self.op)
+        n, c, h, w = shape
+        kh, kw = self.kernel
+        sh, sw = self.stride
+        ph, pw = self.padding
+        oh = (h + 2 * ph - kh) // sh + 1
+        ow = (w + 2 * pw - kw) // sw + 1
+        if oh <= 0 or ow <= 0:
+            raise ShapeError(
+                f"depthwise_conv2d '{self.name}': kernel {self.kernel} does "
+                f"not fit input {shape}"
+            )
+        object.__setattr__(self, "_in_channels", c)
+        return (n, c * self.channel_multiplier, oh, ow)
+
+    def workload(self, input_shapes: Sequence[Shape]) -> DepthwiseConv2DWorkload:
+        (shape,) = input_shapes
+        n, c, h, w = shape
+        return DepthwiseConv2DWorkload(
+            batch=n,
+            channels=c,
+            height=h,
+            width=w,
+            kernel_h=self.kernel[0],
+            kernel_w=self.kernel[1],
+            stride_h=self.stride[0],
+            stride_w=self.stride[1],
+            pad_h=self.padding[0],
+            pad_w=self.padding[1],
+            channel_multiplier=self.channel_multiplier,
+        )
+
+    def flops(self, input_shapes: Sequence[Shape]) -> int:
+        return self.workload(input_shapes).flops
+
+    def param_count(self) -> int:
+        if self._in_channels is None:
+            raise ShapeError(
+                f"depthwise_conv2d '{self.name}': call infer_shape first"
+            )
+        kh, kw = self.kernel
+        out_c = self._in_channels * self.channel_multiplier
+        return out_c * kh * kw + (out_c if self.bias else 0)
+
+
+@dataclass(frozen=True)
+class Dense(LayerSpec):
+    """Fully-connected layer on rank-2 input ``(N, F)``."""
+
+    out_features: int = 1000
+    bias: bool = True
+    _in_features: Optional[int] = field(default=None, compare=False)
+
+    @property
+    def op(self) -> str:
+        return "dense"
+
+    @property
+    def is_anchor(self) -> bool:
+        return True
+
+    def infer_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        self._check_arity(input_shapes)
+        (shape,) = input_shapes
+        _expect_rank(shape, 2, self.op)
+        n, f = shape
+        object.__setattr__(self, "_in_features", f)
+        return (n, self.out_features)
+
+    def workload(self, input_shapes: Sequence[Shape]) -> DenseWorkload:
+        (shape,) = input_shapes
+        n, f = shape
+        return DenseWorkload(batch=n, in_features=f, out_features=self.out_features)
+
+    def flops(self, input_shapes: Sequence[Shape]) -> int:
+        return self.workload(input_shapes).flops
+
+    def param_count(self) -> int:
+        if self._in_features is None:
+            raise ShapeError(f"dense '{self.name}': call infer_shape first")
+        return self._in_features * self.out_features + (
+            self.out_features if self.bias else 0
+        )
+
+
+@dataclass(frozen=True)
+class Pool2D(LayerSpec):
+    """Max or average pooling over NCHW input."""
+
+    kernel: Tuple[int, int] = (2, 2)
+    stride: Tuple[int, int] = (2, 2)
+    padding: Tuple[int, int] = (0, 0)
+    mode: str = "max"
+    ceil_mode: bool = False
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("max", "avg"):
+            raise ValueError(f"pool mode must be 'max' or 'avg', got {self.mode!r}")
+
+    @property
+    def op(self) -> str:
+        return f"{self.mode}_pool2d"
+
+    def infer_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        self._check_arity(input_shapes)
+        (shape,) = input_shapes
+        _expect_rank(shape, 4, self.op)
+        n, c, h, w = shape
+        kh, kw = self.kernel
+        sh, sw = self.stride
+        ph, pw = self.padding
+        if self.ceil_mode:
+            oh = -(-(h + 2 * ph - kh) // sh) + 1
+            ow = -(-(w + 2 * pw - kw) // sw) + 1
+        else:
+            oh = (h + 2 * ph - kh) // sh + 1
+            ow = (w + 2 * pw - kw) // sw + 1
+        if oh <= 0 or ow <= 0:
+            raise ShapeError(f"{self.op} '{self.name}': window does not fit {shape}")
+        return (n, c, oh, ow)
+
+    def flops(self, input_shapes: Sequence[Shape]) -> int:
+        n, c, oh, ow = self.infer_shape(input_shapes)
+        return n * c * oh * ow * self.kernel[0] * self.kernel[1]
+
+
+@dataclass(frozen=True)
+class GlobalAvgPool(LayerSpec):
+    """Global average pooling: ``(N, C, H, W) -> (N, C, 1, 1)``."""
+
+    @property
+    def op(self) -> str:
+        return "global_avg_pool"
+
+    def infer_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        self._check_arity(input_shapes)
+        (shape,) = input_shapes
+        _expect_rank(shape, 4, self.op)
+        n, c, _, _ = shape
+        return (n, c, 1, 1)
+
+    def flops(self, input_shapes: Sequence[Shape]) -> int:
+        n, c, h, w = input_shapes[0]
+        return n * c * h * w
+
+
+@dataclass(frozen=True)
+class BatchNorm(LayerSpec):
+    """Inference-mode batch normalization (fusable, injective)."""
+
+    _channels: Optional[int] = field(default=None, compare=False)
+
+    @property
+    def op(self) -> str:
+        return "batch_norm"
+
+    @property
+    def is_injective(self) -> bool:
+        return True
+
+    def infer_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        self._check_arity(input_shapes)
+        (shape,) = input_shapes
+        _expect_rank(shape, 4, self.op)
+        object.__setattr__(self, "_channels", shape[1])
+        return shape
+
+    def flops(self, input_shapes: Sequence[Shape]) -> int:
+        n, c, h, w = input_shapes[0]
+        return 2 * n * c * h * w
+
+    def param_count(self) -> int:
+        if self._channels is None:
+            raise ShapeError(f"batch_norm '{self.name}': call infer_shape first")
+        return 2 * self._channels
+
+
+@dataclass(frozen=True)
+class ReLU(LayerSpec):
+    """Rectified linear activation (fusable, injective)."""
+
+    @property
+    def op(self) -> str:
+        return "relu"
+
+    @property
+    def is_injective(self) -> bool:
+        return True
+
+    def infer_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        self._check_arity(input_shapes)
+        return input_shapes[0]
+
+    def flops(self, input_shapes: Sequence[Shape]) -> int:
+        total = 1
+        for dim in input_shapes[0]:
+            total *= dim
+        return total
+
+
+@dataclass(frozen=True)
+class LRN(LayerSpec):
+    """Local response normalization (AlexNet-era; injective for fusion)."""
+
+    size: int = 5
+    alpha: float = 1e-4
+    beta: float = 0.75
+
+    @property
+    def op(self) -> str:
+        return "lrn"
+
+    @property
+    def is_injective(self) -> bool:
+        return True
+
+    def infer_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        self._check_arity(input_shapes)
+        _expect_rank(input_shapes[0], 4, self.op)
+        return input_shapes[0]
+
+    def flops(self, input_shapes: Sequence[Shape]) -> int:
+        n, c, h, w = input_shapes[0]
+        return n * c * h * w * (2 * self.size + 3)
+
+
+@dataclass(frozen=True)
+class Dropout(LayerSpec):
+    """Dropout — identity at inference time (injective)."""
+
+    rate: float = 0.5
+
+    @property
+    def op(self) -> str:
+        return "dropout"
+
+    @property
+    def is_injective(self) -> bool:
+        return True
+
+    def infer_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        self._check_arity(input_shapes)
+        return input_shapes[0]
+
+
+@dataclass(frozen=True)
+class Softmax(LayerSpec):
+    """Softmax over the last axis (injective for fusion purposes)."""
+
+    @property
+    def op(self) -> str:
+        return "softmax"
+
+    @property
+    def is_injective(self) -> bool:
+        return True
+
+    def infer_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        self._check_arity(input_shapes)
+        return input_shapes[0]
+
+    def flops(self, input_shapes: Sequence[Shape]) -> int:
+        total = 1
+        for dim in input_shapes[0]:
+            total *= dim
+        return 3 * total
+
+
+@dataclass(frozen=True)
+class Flatten(LayerSpec):
+    """Flatten all but the batch dimension: ``(N, ...) -> (N, F)``."""
+
+    @property
+    def op(self) -> str:
+        return "flatten"
+
+    @property
+    def is_injective(self) -> bool:
+        return True
+
+    def infer_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        self._check_arity(input_shapes)
+        (shape,) = input_shapes
+        if len(shape) < 2:
+            raise ShapeError(f"flatten '{self.name}': need rank >= 2, got {shape}")
+        features = 1
+        for dim in shape[1:]:
+            features *= dim
+        return (shape[0], features)
+
+
+@dataclass(frozen=True)
+class Concat(LayerSpec):
+    """Concatenate along the channel axis (multi-branch join)."""
+
+    axis: int = 1
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "ARITY", None)
+
+    @property
+    def op(self) -> str:
+        return "concat"
+
+    def infer_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        if len(input_shapes) < 2:
+            raise ShapeError(f"concat '{self.name}': need >= 2 inputs")
+        first = input_shapes[0]
+        for shape in input_shapes[1:]:
+            if len(shape) != len(first):
+                raise ShapeError(f"concat '{self.name}': rank mismatch")
+            for i, (a, b) in enumerate(zip(first, shape)):
+                if i != self.axis and a != b:
+                    raise ShapeError(
+                        f"concat '{self.name}': shapes {first} and {shape} "
+                        f"differ outside axis {self.axis}"
+                    )
+        out = list(first)
+        out[self.axis] = sum(shape[self.axis] for shape in input_shapes)
+        return tuple(out)
+
+
+@dataclass(frozen=True)
+class Add(LayerSpec):
+    """Elementwise addition (residual shortcut join; injective)."""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "ARITY", 2)
+
+    @property
+    def op(self) -> str:
+        return "add"
+
+    @property
+    def is_injective(self) -> bool:
+        return True
+
+    def infer_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        self._check_arity(input_shapes)
+        a, b = input_shapes
+        if a != b:
+            raise ShapeError(f"add '{self.name}': shape mismatch {a} vs {b}")
+        return a
+
+    def flops(self, input_shapes: Sequence[Shape]) -> int:
+        total = 1
+        for dim in input_shapes[0]:
+            total *= dim
+        return total

@@ -1,0 +1,245 @@
+"""Tunable-operator workload descriptions.
+
+A *workload* identifies a tensor computation up to everything that
+matters for scheduling: operator kind, tensor shapes, strides, padding,
+grouping.  Two layers with equal workloads share one tuning task —
+exactly how AutoTVM deduplicates the per-node searches (this is why
+MobileNet-v1's 28 layers collapse to 19 tunable tasks in the paper).
+
+Workloads are frozen dataclasses so they can key dictionaries and sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, asdict
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class Workload:
+    """Base class for all workloads."""
+
+    @property
+    def kind(self) -> str:
+        """Short operator-class tag, e.g. ``"conv2d"``."""
+        raise NotImplementedError
+
+    @property
+    def flops(self) -> int:
+        """Number of floating-point operations (multiply-add counts as 2)."""
+        raise NotImplementedError
+
+    @property
+    def input_bytes(self) -> int:
+        """Bytes of input activations + weights read once (fp32)."""
+        raise NotImplementedError
+
+    @property
+    def output_bytes(self) -> int:
+        """Bytes of the output tensor (fp32)."""
+        raise NotImplementedError
+
+    def to_dict(self) -> Dict[str, object]:
+        """Serializable representation (kind + all fields)."""
+        data = asdict(self)
+        data["kind"] = self.kind
+        return data
+
+    def __str__(self) -> str:
+        fields = ", ".join(f"{k}={v}" for k, v in asdict(self).items())
+        return f"{self.kind}({fields})"
+
+
+@dataclass(frozen=True)
+class Conv2DWorkload(Workload):
+    """Direct 2-D convolution, NCHW layout.
+
+    ``groups`` covers grouped convolution; ``groups == in_channels``
+    should instead use :class:`DepthwiseConv2DWorkload`, which gets its
+    own schedule template (as in TVM).
+    """
+
+    batch: int
+    in_channels: int
+    out_channels: int
+    height: int
+    width: int
+    kernel_h: int
+    kernel_w: int
+    stride_h: int = 1
+    stride_w: int = 1
+    pad_h: int = 0
+    pad_w: int = 0
+    groups: int = 1
+
+    def __post_init__(self) -> None:
+        for name in (
+            "batch",
+            "in_channels",
+            "out_channels",
+            "height",
+            "width",
+            "kernel_h",
+            "kernel_w",
+            "stride_h",
+            "stride_w",
+            "groups",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.pad_h < 0 or self.pad_w < 0:
+            raise ValueError("padding must be non-negative")
+        if self.in_channels % self.groups or self.out_channels % self.groups:
+            raise ValueError("channels must be divisible by groups")
+
+    @property
+    def kind(self) -> str:
+        return "conv2d"
+
+    @property
+    def out_height(self) -> int:
+        return (self.height + 2 * self.pad_h - self.kernel_h) // self.stride_h + 1
+
+    @property
+    def out_width(self) -> int:
+        return (self.width + 2 * self.pad_w - self.kernel_w) // self.stride_w + 1
+
+    @property
+    def flops(self) -> int:
+        per_output = (
+            2 * (self.in_channels // self.groups) * self.kernel_h * self.kernel_w
+        )
+        outputs = self.batch * self.out_channels * self.out_height * self.out_width
+        return per_output * outputs
+
+    @property
+    def weight_count(self) -> int:
+        return (
+            self.out_channels
+            * (self.in_channels // self.groups)
+            * self.kernel_h
+            * self.kernel_w
+        )
+
+    @property
+    def input_bytes(self) -> int:
+        activations = self.batch * self.in_channels * self.height * self.width
+        return 4 * (activations + self.weight_count)
+
+    @property
+    def output_bytes(self) -> int:
+        return 4 * self.batch * self.out_channels * self.out_height * self.out_width
+
+
+@dataclass(frozen=True)
+class DepthwiseConv2DWorkload(Workload):
+    """Depthwise 2-D convolution (one filter per channel), NCHW layout."""
+
+    batch: int
+    channels: int
+    height: int
+    width: int
+    kernel_h: int
+    kernel_w: int
+    stride_h: int = 1
+    stride_w: int = 1
+    pad_h: int = 0
+    pad_w: int = 0
+    channel_multiplier: int = 1
+
+    def __post_init__(self) -> None:
+        for name in (
+            "batch",
+            "channels",
+            "height",
+            "width",
+            "kernel_h",
+            "kernel_w",
+            "stride_h",
+            "stride_w",
+            "channel_multiplier",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.pad_h < 0 or self.pad_w < 0:
+            raise ValueError("padding must be non-negative")
+
+    @property
+    def kind(self) -> str:
+        return "depthwise_conv2d"
+
+    @property
+    def out_channels(self) -> int:
+        return self.channels * self.channel_multiplier
+
+    @property
+    def out_height(self) -> int:
+        return (self.height + 2 * self.pad_h - self.kernel_h) // self.stride_h + 1
+
+    @property
+    def out_width(self) -> int:
+        return (self.width + 2 * self.pad_w - self.kernel_w) // self.stride_w + 1
+
+    @property
+    def flops(self) -> int:
+        per_output = 2 * self.kernel_h * self.kernel_w
+        outputs = self.batch * self.out_channels * self.out_height * self.out_width
+        return per_output * outputs
+
+    @property
+    def weight_count(self) -> int:
+        return self.out_channels * self.kernel_h * self.kernel_w
+
+    @property
+    def input_bytes(self) -> int:
+        activations = self.batch * self.channels * self.height * self.width
+        return 4 * (activations + self.weight_count)
+
+    @property
+    def output_bytes(self) -> int:
+        return 4 * self.batch * self.out_channels * self.out_height * self.out_width
+
+
+@dataclass(frozen=True)
+class DenseWorkload(Workload):
+    """Fully-connected layer: ``(batch, in) x (out, in)^T -> (batch, out)``."""
+
+    batch: int
+    in_features: int
+    out_features: int
+
+    def __post_init__(self) -> None:
+        for name in ("batch", "in_features", "out_features"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+    @property
+    def kind(self) -> str:
+        return "dense"
+
+    @property
+    def flops(self) -> int:
+        return 2 * self.batch * self.in_features * self.out_features
+
+    @property
+    def weight_count(self) -> int:
+        return self.in_features * self.out_features
+
+    @property
+    def input_bytes(self) -> int:
+        return 4 * (self.batch * self.in_features + self.weight_count)
+
+    @property
+    def output_bytes(self) -> int:
+        return 4 * self.batch * self.out_features
+
+
+def arithmetic_intensity(workload: Workload) -> float:
+    """FLOPs per byte of unavoidable DRAM traffic for ``workload``.
+
+    A coarse roofline coordinate used by the hardware model and useful
+    for sanity checks: pointwise convs have low intensity, big spatial
+    convs have high intensity.
+    """
+    bytes_moved = workload.input_bytes + workload.output_bytes
+    return workload.flops / float(bytes_moved)

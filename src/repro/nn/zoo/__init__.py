@@ -1,0 +1,69 @@
+"""Model zoo: the five networks of the paper's evaluation (Sec. V).
+
+Each builder returns a shape-inferred :class:`~repro.nn.graph.Graph`
+with batch size 1 and 224x224 RGB input (227x227 for AlexNet, as in the
+original network), matching the TVM tutorial models the paper tunes.
+"""
+
+from typing import Callable, Dict, List
+
+from repro.nn.graph import Graph
+from repro.nn.zoo.alexnet import build_alexnet
+from repro.nn.zoo.vgg import build_vgg16, build_vgg19
+from repro.nn.zoo.resnet import build_resnet18, build_resnet34
+from repro.nn.zoo.mobilenet import build_mobilenet_v1, build_mobilenet_v2
+from repro.nn.zoo.squeezenet import build_squeezenet_v1_1
+
+MODEL_BUILDERS: Dict[str, Callable[..., Graph]] = {
+    "alexnet": build_alexnet,
+    "vgg-16": build_vgg16,
+    "vgg-19": build_vgg19,
+    "resnet-18": build_resnet18,
+    "resnet-34": build_resnet34,
+    "mobilenet-v1": build_mobilenet_v1,
+    "mobilenet-v2": build_mobilenet_v2,
+    "squeezenet-v1.1": build_squeezenet_v1_1,
+}
+
+#: canonical evaluation order used throughout the paper's tables
+PAPER_MODELS: List[str] = [
+    "alexnet",
+    "resnet-18",
+    "vgg-16",
+    "mobilenet-v1",
+    "squeezenet-v1.1",
+]
+
+#: models beyond the paper's evaluation, for library users
+EXTENSION_MODELS: List[str] = ["vgg-19", "resnet-34", "mobilenet-v2"]
+
+
+def build_model(name: str, batch: int = 1) -> Graph:
+    """Build a zoo model by its canonical name.
+
+    >>> g = build_model("mobilenet-v1")
+    >>> g.name
+    'mobilenet-v1'
+    """
+    key = name.lower()
+    if key not in MODEL_BUILDERS:
+        raise KeyError(
+            f"unknown model {name!r}; available: {sorted(MODEL_BUILDERS)}"
+        )
+    return MODEL_BUILDERS[key](batch=batch)
+
+
+__all__ = [
+    "MODEL_BUILDERS",
+    "PAPER_MODELS",
+    "EXTENSION_MODELS",
+    "build_model",
+    "build_alexnet",
+    "build_vgg16",
+    "build_vgg19",
+    "build_resnet18",
+    "build_resnet34",
+    "build_mobilenet_v1",
+    "build_mobilenet_v2",
+    "build_squeezenet_v1_1",
+]

@@ -1,0 +1,43 @@
+"""AlexNet (Krizhevsky et al., NeurIPS 2012) — single-tower variant."""
+
+from __future__ import annotations
+
+from repro.nn.graph import Graph, GraphBuilder
+
+
+def build_alexnet(batch: int = 1, num_classes: int = 1000) -> Graph:
+    """Build AlexNet with 227x227 input (5 conv layers, 3 dense layers)."""
+    b = GraphBuilder("alexnet")
+    b.input((batch, 3, 227, 227))
+
+    b.conv2d("conv1", 96, kernel=(11, 11), stride=(4, 4))
+    b.relu("relu1")
+    b.lrn("lrn1")
+    b.pool2d("pool1", kernel=(3, 3), stride=(2, 2))
+
+    b.conv2d("conv2", 256, kernel=(5, 5), padding=(2, 2))
+    b.relu("relu2")
+    b.lrn("lrn2")
+    b.pool2d("pool2", kernel=(3, 3), stride=(2, 2))
+
+    b.conv2d("conv3", 384, kernel=(3, 3), padding=(1, 1))
+    b.relu("relu3")
+    b.conv2d("conv4", 384, kernel=(3, 3), padding=(1, 1))
+    b.relu("relu4")
+    b.conv2d("conv5", 256, kernel=(3, 3), padding=(1, 1))
+    b.relu("relu5")
+    b.pool2d("pool5", kernel=(3, 3), stride=(2, 2))
+
+    b.flatten("flatten")
+    b.dense("fc6", 4096)
+    b.relu("relu6")
+    b.dropout("drop6")
+    b.dense("fc7", 4096)
+    b.relu("relu7")
+    b.dropout("drop7")
+    b.dense("fc8", num_classes)
+    b.softmax("prob")
+
+    graph = b.graph
+    graph.infer_shapes()
+    return graph

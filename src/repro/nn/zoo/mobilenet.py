@@ -1,0 +1,127 @@
+"""MobileNet-v1 (Howard et al., 2017), width multiplier 1.0.
+
+The 28-layer network collapses to 19 unique conv/depthwise tuning tasks
+after workload deduplication — the task count of Fig. 5 in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.nn.graph import Graph, GraphBuilder
+
+# (depthwise stride, pointwise output channels) for the 13 separable blocks
+_BLOCKS: List[Tuple[int, int]] = [
+    (1, 64),
+    (2, 128),
+    (1, 128),
+    (2, 256),
+    (1, 256),
+    (2, 512),
+    (1, 512),
+    (1, 512),
+    (1, 512),
+    (1, 512),
+    (1, 512),
+    (2, 1024),
+    (1, 1024),
+]
+
+
+# (expansion, out_channels, repeats, first stride) for MobileNet-v2
+_V2_BLOCKS: List[Tuple[int, int, int, int]] = [
+    (1, 16, 1, 1),
+    (6, 24, 2, 2),
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+]
+
+
+def build_mobilenet_v2(batch: int = 1, num_classes: int = 1000) -> Graph:
+    """Build MobileNet-v2 (Sandler et al., 2018) with 224x224 input.
+
+    An *extension* model beyond the paper's zoo: its inverted-residual
+    blocks exercise the fusion pass's shortcut handling on depthwise
+    anchors.  Activations are modeled as ReLU (the IR has no ReLU6
+    distinction; schedule spaces are unaffected).
+    """
+    b = GraphBuilder("mobilenet-v2")
+    b.input((batch, 3, 224, 224))
+
+    b.conv2d("conv1", 32, kernel=(3, 3), stride=(2, 2), padding=(1, 1))
+    b.batch_norm("conv1_bn")
+    b.relu("conv1_relu")
+
+    in_channels = 32
+    block_id = 0
+    for expansion, out_channels, repeats, first_stride in _V2_BLOCKS:
+        for r in range(repeats):
+            block_id += 1
+            stride = first_stride if r == 0 else 1
+            name = f"block{block_id}"
+            entry = b.cursor
+            hidden = in_channels * expansion
+            if expansion != 1:
+                b.conv2d(f"{name}_expand", hidden, kernel=(1, 1))
+                b.batch_norm(f"{name}_expand_bn")
+                b.relu(f"{name}_expand_relu")
+            b.depthwise_conv2d(
+                f"{name}_dw",
+                kernel=(3, 3),
+                stride=(stride, stride),
+                padding=(1, 1),
+            )
+            b.batch_norm(f"{name}_dw_bn")
+            b.relu(f"{name}_dw_relu")
+            b.conv2d(f"{name}_project", out_channels, kernel=(1, 1))
+            b.batch_norm(f"{name}_project_bn")
+            if stride == 1 and in_channels == out_channels:
+                b.add(f"{name}_residual", b.cursor, entry)
+            in_channels = out_channels
+
+    b.conv2d("conv_last", 1280, kernel=(1, 1))
+    b.batch_norm("conv_last_bn")
+    b.relu("conv_last_relu")
+    b.global_avg_pool("gap")
+    b.flatten("flatten")
+    b.dense("fc", num_classes)
+    b.softmax("prob")
+
+    graph = b.graph
+    graph.infer_shapes()
+    return graph
+
+
+def build_mobilenet_v1(batch: int = 1, num_classes: int = 1000) -> Graph:
+    """Build MobileNet-v1 with 224x224 input."""
+    b = GraphBuilder("mobilenet-v1")
+    b.input((batch, 3, 224, 224))
+
+    b.conv2d("conv1", 32, kernel=(3, 3), stride=(2, 2), padding=(1, 1))
+    b.batch_norm("conv1_bn")
+    b.relu("conv1_relu")
+
+    for i, (stride, out_channels) in enumerate(_BLOCKS, start=1):
+        b.depthwise_conv2d(
+            f"block{i}_dw",
+            kernel=(3, 3),
+            stride=(stride, stride),
+            padding=(1, 1),
+        )
+        b.batch_norm(f"block{i}_dw_bn")
+        b.relu(f"block{i}_dw_relu")
+        b.conv2d(f"block{i}_pw", out_channels, kernel=(1, 1))
+        b.batch_norm(f"block{i}_pw_bn")
+        b.relu(f"block{i}_pw_relu")
+
+    b.global_avg_pool("gap")
+    b.flatten("flatten")
+    b.dense("fc", num_classes)
+    b.softmax("prob")
+
+    graph = b.graph
+    graph.infer_shapes()
+    return graph

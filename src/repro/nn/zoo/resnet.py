@@ -1,0 +1,96 @@
+"""ResNet-18 (He et al., CVPR 2016) — basic-block variant."""
+
+from __future__ import annotations
+
+from repro.nn.graph import Graph, GraphBuilder
+
+
+def _basic_block(
+    b: GraphBuilder,
+    name: str,
+    in_node: int,
+    channels: int,
+    stride: int,
+    downsample: bool,
+) -> int:
+    """Add one two-conv residual basic block; returns the output node id."""
+    b.conv2d(
+        f"{name}_conv1",
+        channels,
+        kernel=(3, 3),
+        stride=(stride, stride),
+        padding=(1, 1),
+        source=in_node,
+    )
+    b.batch_norm(f"{name}_bn1")
+    b.relu(f"{name}_relu1")
+    b.conv2d(f"{name}_conv2", channels, kernel=(3, 3), padding=(1, 1))
+    b.batch_norm(f"{name}_bn2")
+    main = b.cursor
+
+    if downsample:
+        b.conv2d(
+            f"{name}_downsample",
+            channels,
+            kernel=(1, 1),
+            stride=(stride, stride),
+            source=in_node,
+        )
+        b.batch_norm(f"{name}_downsample_bn")
+        shortcut = b.cursor
+    else:
+        shortcut = in_node
+
+    b.add(f"{name}_add", main, shortcut)
+    return b.relu(f"{name}_relu2")
+
+
+def _build_basic_resnet(
+    name: str, blocks_per_stage, batch: int, num_classes: int
+) -> Graph:
+    """Shared builder for basic-block ResNets (18/34 layer variants)."""
+    b = GraphBuilder(name)
+    b.input((batch, 3, 224, 224))
+
+    b.conv2d("conv1", 64, kernel=(7, 7), stride=(2, 2), padding=(3, 3))
+    b.batch_norm("bn1")
+    b.relu("relu1")
+    b.pool2d("pool1", kernel=(3, 3), stride=(2, 2), padding=(1, 1))
+
+    node = b.cursor
+    plan = [(1, 64, 1), (2, 128, 2), (3, 256, 2), (4, 512, 2)]
+    for (stage, channels, first_stride), n_blocks in zip(
+        plan, blocks_per_stage
+    ):
+        for block in range(1, n_blocks + 1):
+            stride = first_stride if block == 1 else 1
+            node = _basic_block(
+                b,
+                f"layer{stage}_block{block}",
+                node,
+                channels,
+                stride=stride,
+                downsample=(block == 1 and first_stride != 1),
+            )
+
+    b.global_avg_pool("gap", source=node)
+    b.flatten("flatten")
+    b.dense("fc", num_classes)
+    b.softmax("prob")
+
+    graph = b.graph
+    graph.infer_shapes()
+    return graph
+
+
+def build_resnet18(batch: int = 1, num_classes: int = 1000) -> Graph:
+    """Build ResNet-18 with 224x224 input (basic blocks, [2,2,2,2])."""
+    return _build_basic_resnet("resnet-18", (2, 2, 2, 2), batch, num_classes)
+
+
+def build_resnet34(batch: int = 1, num_classes: int = 1000) -> Graph:
+    """Build ResNet-34 with 224x224 input (basic blocks, [3,4,6,3]).
+
+    An extension model beyond the paper's evaluation zoo.
+    """
+    return _build_basic_resnet("resnet-34", (3, 4, 6, 3), batch, num_classes)

@@ -1,0 +1,65 @@
+"""SqueezeNet v1.1 (Iandola et al., 2016)."""
+
+from __future__ import annotations
+
+from repro.nn.graph import Graph, GraphBuilder
+
+
+def _fire(
+    b: GraphBuilder,
+    name: str,
+    in_node: int,
+    squeeze: int,
+    expand: int,
+) -> int:
+    """Add one fire module; returns the concat output node id."""
+    b.conv2d(f"{name}_squeeze1x1", squeeze, kernel=(1, 1), source=in_node)
+    b.relu(f"{name}_squeeze_relu")
+    squeezed = b.cursor
+
+    b.conv2d(f"{name}_expand1x1", expand, kernel=(1, 1), source=squeezed)
+    left = b.relu(f"{name}_expand1x1_relu")
+
+    b.conv2d(
+        f"{name}_expand3x3", expand, kernel=(3, 3), padding=(1, 1), source=squeezed
+    )
+    right = b.relu(f"{name}_expand3x3_relu")
+
+    return b.concat(f"{name}_concat", [left, right])
+
+
+def build_squeezenet_v1_1(batch: int = 1, num_classes: int = 1000) -> Graph:
+    """Build SqueezeNet v1.1 with 224x224 input (8 fire modules)."""
+    b = GraphBuilder("squeezenet-v1.1")
+    b.input((batch, 3, 224, 224))
+
+    b.conv2d("conv1", 64, kernel=(3, 3), stride=(2, 2))
+    b.relu("relu1")
+    b.pool2d("pool1", kernel=(3, 3), stride=(2, 2), ceil_mode=True)
+
+    node = b.cursor
+    node = _fire(b, "fire2", node, squeeze=16, expand=64)
+    node = _fire(b, "fire3", node, squeeze=16, expand=64)
+    b.pool2d("pool3", kernel=(3, 3), stride=(2, 2), ceil_mode=True, source=node)
+
+    node = b.cursor
+    node = _fire(b, "fire4", node, squeeze=32, expand=128)
+    node = _fire(b, "fire5", node, squeeze=32, expand=128)
+    b.pool2d("pool5", kernel=(3, 3), stride=(2, 2), ceil_mode=True, source=node)
+
+    node = b.cursor
+    node = _fire(b, "fire6", node, squeeze=48, expand=192)
+    node = _fire(b, "fire7", node, squeeze=48, expand=192)
+    node = _fire(b, "fire8", node, squeeze=64, expand=256)
+    node = _fire(b, "fire9", node, squeeze=64, expand=256)
+
+    b.dropout("drop9", source=node)
+    b.conv2d("conv10", num_classes, kernel=(1, 1))
+    b.relu("relu10")
+    b.global_avg_pool("gap")
+    b.flatten("flatten")
+    b.softmax("prob")
+
+    graph = b.graph
+    graph.infer_shapes()
+    return graph

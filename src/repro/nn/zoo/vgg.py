@@ -1,0 +1,67 @@
+"""VGG-16 (Simonyan & Zisserman, ICLR 2015), configuration D."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.nn.graph import Graph, GraphBuilder
+
+# (stage, number of convs, output channels) for configuration D
+_VGG16_STAGES: List[Tuple[int, int, int]] = [
+    (1, 2, 64),
+    (2, 2, 128),
+    (3, 3, 256),
+    (4, 3, 512),
+    (5, 3, 512),
+]
+
+# configuration E adds one conv to each of the last three stages
+_VGG19_STAGES: List[Tuple[int, int, int]] = [
+    (1, 2, 64),
+    (2, 2, 128),
+    (3, 4, 256),
+    (4, 4, 512),
+    (5, 4, 512),
+]
+
+
+def build_vgg16(batch: int = 1, num_classes: int = 1000) -> Graph:
+    """Build VGG-16 with 224x224 input (13 conv layers, 3 dense layers)."""
+    return _build_vgg("vgg-16", _VGG16_STAGES, batch, num_classes)
+
+
+def build_vgg19(batch: int = 1, num_classes: int = 1000) -> Graph:
+    """Build VGG-19 (configuration E) — an extension model."""
+    return _build_vgg("vgg-19", _VGG19_STAGES, batch, num_classes)
+
+
+def _build_vgg(
+    name: str,
+    stages: List[Tuple[int, int, int]],
+    batch: int,
+    num_classes: int,
+) -> Graph:
+    b = GraphBuilder(name)
+    b.input((batch, 3, 224, 224))
+
+    for stage, n_convs, channels in stages:
+        for i in range(1, n_convs + 1):
+            b.conv2d(
+                f"conv{stage}_{i}", channels, kernel=(3, 3), padding=(1, 1)
+            )
+            b.relu(f"relu{stage}_{i}")
+        b.pool2d(f"pool{stage}", kernel=(2, 2), stride=(2, 2))
+
+    b.flatten("flatten")
+    b.dense("fc6", 4096)
+    b.relu("relu6")
+    b.dropout("drop6")
+    b.dense("fc7", 4096)
+    b.relu("relu7")
+    b.dropout("drop7")
+    b.dense("fc8", num_classes)
+    b.softmax("prob")
+
+    graph = b.graph
+    graph.infer_shapes()
+    return graph

@@ -1,0 +1,24 @@
+"""End-to-end deployment pipeline (Fig. 1 of the paper).
+
+Model -> graph optimization (fusion) -> task extraction -> node-wise
+tuning -> combined deployment, plus the tuning-record store and the
+end-to-end latency evaluator that Table I measures.
+"""
+
+from repro.pipeline.tasks import extract_tasks, TaskSpec
+from repro.pipeline.records import RecordStore, TuningRecord
+from repro.pipeline.compiler import (
+    DeploymentCompiler,
+    CompiledModel,
+    LatencySample,
+)
+
+__all__ = [
+    "extract_tasks",
+    "TaskSpec",
+    "RecordStore",
+    "TuningRecord",
+    "DeploymentCompiler",
+    "CompiledModel",
+    "LatencySample",
+]

@@ -1,0 +1,278 @@
+"""Deployment compilation and end-to-end latency evaluation.
+
+:class:`DeploymentCompiler` drives the full Fig. 1 flow for one model:
+extract tasks, tune each node with a chosen arm, and combine the best
+configurations into a :class:`CompiledModel`.  The compiled model
+evaluates end-to-end inference latency the way the paper measures it
+(Sec. V-A): the deployed model is "run" many times (600 in the paper)
+and the mean latency and its variance across runs are reported.
+
+Per-run latency is
+
+    L = (1 + g) * sum_k t_k * (1 + e_k)
+
+where ``t_k`` is a kernel's ground-truth time, ``e_k`` its private
+timing jitter (std from the kernel profile), and ``g`` a run-global
+factor (clock/thermal state) whose std is proportional to the
+time-weighted mean kernel sigma — so choosing robust configurations
+lowers *both* noise terms, reproducing the Table I variance effect.
+
+Fused kernels not covered by a tuning task (pooling, softmax, the dense
+layers that the TVM tutorial flow does not tune) contribute a fixed
+default-schedule time from a conservative roofline estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core import make_tuner
+from repro.core.tuner import TuningResult
+from repro.hardware.device import GTX_1080_TI, GpuDevice
+from repro.hardware.measure import SimulatedTask
+from repro.nn.graph import Graph
+from repro.pipeline.records import RecordStore, TuningRecord
+from repro.pipeline.tasks import TaskSpec, extract_tasks, untuned_ops
+from repro.utils.log import get_logger
+from repro.utils.rng import derive_seed
+
+logger = get_logger("pipeline.compiler")
+
+#: default-schedule efficiencies for non-tuned kernels: an untuned
+#: fallback schedule realizes only a small fraction of the machine
+#: (typically several times slower than a tuned kernel)
+_DEFAULT_COMPUTE_FRACTION = 0.08
+_DEFAULT_BANDWIDTH_FRACTION = 0.25
+_DEFAULT_KERNEL_SIGMA = 0.012
+#: coupling between per-kernel noise and the run-global factor
+_GLOBAL_NOISE_COUPLING = 2.0
+
+
+@dataclass(frozen=True)
+class KernelTiming:
+    """Ground-truth time and noise level of one deployed kernel."""
+
+    name: str
+    time_s: float
+    sigma_rel: float
+    tuned: bool
+
+
+@dataclass
+class LatencySample:
+    """Latency statistics over repeated timed runs of a deployment."""
+
+    latencies_ms: np.ndarray
+
+    @property
+    def mean_ms(self) -> float:
+        return float(self.latencies_ms.mean())
+
+    @property
+    def variance(self) -> float:
+        """Variance across runs in ms^2 (the paper's 'Variance' column)."""
+        return float(self.latencies_ms.var(ddof=1))
+
+    @property
+    def std_ms(self) -> float:
+        return float(self.latencies_ms.std(ddof=1))
+
+
+@dataclass
+class CompiledModel:
+    """A fully deployed model: every kernel bound to a schedule."""
+
+    model_name: str
+    device: GpuDevice
+    kernels: List[KernelTiming]
+    #: per-task tuning results (empty when built from a record store)
+    tuning_results: Dict[int, TuningResult] = field(default_factory=dict)
+
+    @property
+    def base_latency_ms(self) -> float:
+        """Noise-free end-to-end latency."""
+        return 1e3 * sum(k.time_s for k in self.kernels)
+
+    def measure_latency(
+        self, num_runs: int = 600, seed: int = 0
+    ) -> LatencySample:
+        """Time ``num_runs`` end-to-end inferences (Sec. V-A protocol)."""
+        if num_runs < 2:
+            raise ValueError("need at least 2 runs for a variance")
+        rng = np.random.default_rng(derive_seed(seed, "latency", self.model_name))
+        times = np.array([k.time_s for k in self.kernels])
+        sigmas = np.array([k.sigma_rel for k in self.kernels])
+        total = times.sum()
+        weights = times / total if total > 0 else np.ones_like(times)
+        sigma_global = _GLOBAL_NOISE_COUPLING * float(np.dot(weights, sigmas))
+
+        per_kernel = rng.normal(
+            0.0, 1.0, size=(num_runs, len(times))
+        ) * sigmas[None, :]
+        np.maximum(per_kernel, -0.9, out=per_kernel)
+        g = np.maximum(rng.normal(0.0, sigma_global, size=num_runs), -0.9)
+        run_times = (1.0 + g) * ((times[None, :] * (1.0 + per_kernel)).sum(axis=1))
+        return LatencySample(latencies_ms=run_times * 1e3)
+
+
+class DeploymentCompiler:
+    """Tune and deploy one model on a (simulated) device.
+
+    The per-task environments (terrain, measurement noise) derive from
+    ``env_seed`` only, so different tuner arms compared under one
+    compiler face the *same* optimization problems — the paper's
+    experimental protocol.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        device: GpuDevice = GTX_1080_TI,
+        env_seed: int = 0,
+        include_winograd: bool = False,
+    ):
+        self.graph = graph
+        self.device = device
+        self.env_seed = int(env_seed)
+        self.tasks: List[TaskSpec] = extract_tasks(
+            graph, include_winograd=include_winograd
+        )
+        self._untuned = untuned_ops(graph)
+
+    def simulated_task(self, spec: TaskSpec) -> SimulatedTask:
+        """The (deterministic) environment for one task."""
+        return spec.to_simulated(device=self.device, seed=self.env_seed)
+
+    # ------------------------------------------------------------------
+
+    def tune(
+        self,
+        tuner_name: str,
+        n_trial: int = 1024,
+        early_stopping: Optional[int] = 400,
+        trial_seed: int = 0,
+        tuner_kwargs: Optional[dict] = None,
+        record_store: Optional[RecordStore] = None,
+        progress: Optional[Callable[[TaskSpec, TuningResult], None]] = None,
+    ) -> CompiledModel:
+        """Tune every task with arm ``tuner_name`` and compile.
+
+        ``trial_seed`` varies the tuner randomness across repeated
+        trials while the environment stays fixed.
+        """
+        kwargs = dict(tuner_kwargs or {})
+        results: Dict[int, TuningResult] = {}
+        best_configs: Dict[int, Optional[int]] = {}
+        for spec in self.tasks:
+            task = self.simulated_task(spec)
+            tuner_seed = derive_seed(
+                trial_seed, "tuner", tuner_name, spec.task_id
+            )
+            tuner = make_tuner(tuner_name, task, seed=tuner_seed, **kwargs)
+            result = tuner.tune(n_trial=n_trial, early_stopping=early_stopping)
+            results[spec.task_id] = result
+            best_configs[spec.task_id] = result.best_index
+            if record_store is not None:
+                for record in result.records:
+                    record_store.add(
+                        TuningRecord(
+                            workload=spec.workload,
+                            config_index=record.config_index,
+                            gflops=record.gflops,
+                            tuner_name=tuner_name,
+                            error=record.error,
+                            template=spec.template,
+                        )
+                    )
+            if progress is not None:
+                progress(spec, result)
+            logger.info(
+                "%s T%d (%s): best %.1f GFLOPS in %d measurements",
+                self.graph.name,
+                spec.task_id + 1,
+                tuner_name,
+                result.best_gflops,
+                result.num_measurements,
+            )
+        compiled = self._compile(best_configs)
+        compiled.tuning_results = results
+        return compiled
+
+    def compile_from_records(self, store: RecordStore) -> CompiledModel:
+        """Deploy using the best logged configuration per workload."""
+        best_configs: Dict[int, Optional[int]] = {}
+        for spec in self.tasks:
+            record = store.best_for(spec.workload, template=spec.template)
+            best_configs[spec.task_id] = (
+                record.config_index if record is not None else None
+            )
+        return self._compile(best_configs)
+
+    # ------------------------------------------------------------------
+
+    def _default_time(self, flops: int, traffic_bytes: int) -> float:
+        """Roofline time of an untuned kernel under a default schedule."""
+        compute = flops / (self.device.peak_flops * _DEFAULT_COMPUTE_FRACTION)
+        memory = traffic_bytes / (
+            self.device.mem_bandwidth * _DEFAULT_BANDWIDTH_FRACTION
+        )
+        return max(compute, memory) + self.device.launch_overhead_s
+
+    def _spec_timing(
+        self, spec: TaskSpec, index: Optional[int]
+    ) -> Tuple[float, float]:
+        """(kernel time, noise sigma) for one tuned task variant."""
+        if index is None:
+            time_s = self._default_time(
+                spec.workload.flops,
+                spec.workload.input_bytes + spec.workload.output_bytes,
+            )
+            return time_s, 3 * _DEFAULT_KERNEL_SIGMA
+        task = self.simulated_task(spec)
+        return task.true_time_s(index), task.noise_sigma(index)
+
+    def _compile(
+        self, best_configs: Dict[int, Optional[int]]
+    ) -> CompiledModel:
+        kernels: List[KernelTiming] = []
+        # template variants of one workload share kernel names; deploy
+        # whichever variant timed fastest (TVM graph-tuner behaviour)
+        by_workload: Dict[object, List[TaskSpec]] = {}
+        for spec in self.tasks:
+            by_workload.setdefault(spec.workload, []).append(spec)
+        for specs in by_workload.values():
+            timings = [
+                self._spec_timing(spec, best_configs.get(spec.task_id))
+                for spec in specs
+            ]
+            time_s, sigma = min(timings, key=lambda t: t[0])
+            for name in specs[0].kernel_names:
+                kernels.append(
+                    KernelTiming(
+                        name=name, time_s=time_s, sigma_rel=sigma, tuned=True
+                    )
+                )
+        for fused in self._untuned:
+            traffic = 0
+            for node_id in fused.node_ids:
+                node = self.graph[node_id]
+                shape = node.output_shape or ()
+                size = 4
+                for dim in shape:
+                    size *= dim
+                traffic += size
+            time_s = self._default_time(fused.flops, 2 * traffic)
+            kernels.append(
+                KernelTiming(
+                    name=fused.name,
+                    time_s=time_s,
+                    sigma_rel=_DEFAULT_KERNEL_SIGMA,
+                    tuned=False,
+                )
+            )
+        return CompiledModel(
+            model_name=self.graph.name, device=self.device, kernels=kernels
+        )

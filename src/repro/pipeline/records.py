@@ -1,0 +1,140 @@
+"""Tuning-record persistence.
+
+AutoTVM logs every measurement as a JSON line and replays logs to apply
+the best configuration per workload; :class:`RecordStore` reproduces
+that contract: append records during tuning, query the best record per
+workload, serialize to / load from JSON-lines files.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Union
+
+from repro.nn.workloads import (
+    Conv2DWorkload,
+    DenseWorkload,
+    DepthwiseConv2DWorkload,
+    Workload,
+)
+
+_WORKLOAD_CLASSES = {
+    "conv2d": Conv2DWorkload,
+    "depthwise_conv2d": DepthwiseConv2DWorkload,
+    "dense": DenseWorkload,
+}
+
+
+def workload_from_dict(data: Dict[str, object]) -> Workload:
+    """Inverse of :meth:`Workload.to_dict`."""
+    data = dict(data)
+    kind = data.pop("kind", None)
+    if kind not in _WORKLOAD_CLASSES:
+        raise ValueError(f"unknown workload kind {kind!r}")
+    return _WORKLOAD_CLASSES[kind](**data)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class TuningRecord:
+    """One logged measurement: workload, config index, result."""
+
+    workload: Workload
+    config_index: int
+    gflops: float
+    tuner_name: str = ""
+    error: str = ""
+    template: str = "direct"
+
+    @property
+    def ok(self) -> bool:
+        return not self.error
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "workload": self.workload.to_dict(),
+                "config_index": self.config_index,
+                "gflops": self.gflops,
+                "tuner": self.tuner_name,
+                "error": self.error,
+                "template": self.template,
+            },
+            sort_keys=True,
+        )
+
+    @staticmethod
+    def from_json(line: str) -> "TuningRecord":
+        data = json.loads(line)
+        return TuningRecord(
+            workload=workload_from_dict(data["workload"]),
+            config_index=int(data["config_index"]),
+            gflops=float(data["gflops"]),
+            tuner_name=data.get("tuner", ""),
+            error=data.get("error", ""),
+            template=data.get("template", "direct"),
+        )
+
+
+class RecordStore:
+    """In-memory record collection with JSON-lines persistence."""
+
+    def __init__(self) -> None:
+        self._records: List[TuningRecord] = []
+        self._best: Dict[tuple, TuningRecord] = {}
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TuningRecord]:
+        return iter(self._records)
+
+    def add(self, record: TuningRecord) -> None:
+        """Append one record, updating the per-(workload, template) best."""
+        self._records.append(record)
+        if record.ok and record.gflops > 0:
+            key = (record.workload, record.template)
+            incumbent = self._best.get(key)
+            if incumbent is None or record.gflops > incumbent.gflops:
+                self._best[key] = record
+
+    def extend(self, records: Iterable[TuningRecord]) -> None:
+        for record in records:
+            self.add(record)
+
+    def best_for(
+        self, workload: Workload, template: str = "direct"
+    ) -> Optional[TuningRecord]:
+        """Best valid record for ``(workload, template)``, if any."""
+        return self._best.get((workload, template))
+
+    def workloads(self) -> List[Workload]:
+        """Workloads that have at least one valid record."""
+        seen: Dict[Workload, None] = {}
+        for workload, _template in self._best:
+            seen.setdefault(workload, None)
+        return list(seen.keys())
+
+    # ------------------------------------------------------------------
+    # persistence
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write all records as JSON lines."""
+        path = Path(path)
+        with path.open("w", encoding="utf-8") as fh:
+            for record in self._records:
+                fh.write(record.to_json())
+                fh.write("\n")
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "RecordStore":
+        """Load a JSON-lines record file."""
+        store = cls()
+        path = Path(path)
+        with path.open("r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    store.add(TuningRecord.from_json(line))
+        return store

@@ -1,0 +1,118 @@
+"""Tuning-task extraction from computational graphs.
+
+Mirrors AutoTVM's ``extract_from_program``: fuse the graph, collect the
+tunable anchor workloads, deduplicate equal workloads into one task
+each, and record how many fused kernels share every task (needed to
+assemble end-to-end latency).  As in the TVM CUDA tutorials the paper
+follows, only convolution-family operators are extracted by default —
+that is what makes MobileNet-v1 a 19-task model (Fig. 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.hardware.device import GTX_1080_TI, GpuDevice
+from repro.hardware.measure import SimulatedTask
+from repro.nn.fusion import FusedOp, fuse_graph
+from repro.nn.graph import Graph
+from repro.nn.workloads import Workload
+
+#: operator kinds extracted as tuning tasks by default (TVM tutorial set)
+DEFAULT_TUNABLE_OPS: Tuple[str, ...] = ("conv2d", "depthwise_conv2d")
+
+
+@dataclass
+class TaskSpec:
+    """One deduplicated tuning task of a model."""
+
+    task_id: int
+    workload: Workload
+    #: fused-kernel names in the graph that share this workload
+    kernel_names: Tuple[str, ...]
+    #: schedule template family ('direct' or 'winograd')
+    template: str = "direct"
+
+    @property
+    def occurrences(self) -> int:
+        return len(self.kernel_names)
+
+    @property
+    def total_flops(self) -> int:
+        """FLOPs contributed to one inference by all occurrences."""
+        return self.workload.flops * self.occurrences
+
+    def to_simulated(
+        self, device: GpuDevice = GTX_1080_TI, seed: int = 0
+    ) -> SimulatedTask:
+        """Bind the task to a simulated device environment."""
+        return SimulatedTask(
+            self.workload, device=device, seed=seed, template=self.template
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"TaskSpec(T{self.task_id + 1}, {self.workload.kind}"
+            f"/{self.template}, x{self.occurrences})"
+        )
+
+
+def extract_tasks(
+    graph: Graph,
+    ops: Sequence[str] = DEFAULT_TUNABLE_OPS,
+    include_winograd: bool = False,
+) -> List[TaskSpec]:
+    """Extract deduplicated tuning tasks from ``graph``.
+
+    Tasks are numbered in first-appearance order (T1, T2, ... as in the
+    paper's Fig. 5).  With ``include_winograd=True``, every eligible
+    convolution additionally yields a Winograd-template task (appended
+    after the direct tasks) — the deployment compiler then picks the
+    faster template per kernel, as TVM's graph tuner does.
+    """
+    from repro.space.templates import winograd_applicable
+
+    wanted = set(ops)
+    order: List[Workload] = []
+    kernels: Dict[Workload, List[str]] = {}
+    for fused in fuse_graph(graph):
+        workload = fused.workload
+        if workload is None or workload.kind not in wanted:
+            continue
+        if workload not in kernels:
+            kernels[workload] = []
+            order.append(workload)
+        kernels[workload].append(fused.name)
+    tasks = [
+        TaskSpec(task_id=i, workload=w, kernel_names=tuple(kernels[w]))
+        for i, w in enumerate(order)
+    ]
+    if include_winograd:
+        next_id = len(tasks)
+        for workload in order:
+            if winograd_applicable(workload):
+                tasks.append(
+                    TaskSpec(
+                        task_id=next_id,
+                        workload=workload,
+                        kernel_names=tuple(kernels[workload]),
+                        template="winograd",
+                    )
+                )
+                next_id += 1
+    return tasks
+
+
+def untuned_ops(graph: Graph, ops: Sequence[str] = DEFAULT_TUNABLE_OPS) -> List[FusedOp]:
+    """Fused groups that are *not* covered by the extracted tasks.
+
+    Used by the latency evaluator to account for the fixed (non-tuned)
+    portion of end-to-end inference time.
+    """
+    wanted = set(ops)
+    out = []
+    for fused in fuse_graph(graph):
+        if fused.workload is None or fused.workload.kind not in wanted:
+            out.append(fused)
+    return out

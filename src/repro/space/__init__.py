@@ -1,0 +1,28 @@
+"""Schedule configuration spaces (the AutoTVM ``ConfigSpace`` stand-in).
+
+A deployment configuration (Definition 1 in the paper) is a point in the
+Cartesian product of per-knob candidate lists.  This package provides
+the knob types (:mod:`repro.space.knobs`), the indexable product space
+with feature encoding and neighborhoods (:mod:`repro.space.space`), and
+the CUDA schedule templates that generate a space from a workload
+(:mod:`repro.space.templates`).
+"""
+
+from repro.space.knobs import Knob, SplitKnob, OtherKnob, BoolKnob, ReorderKnob
+from repro.space.space import ConfigSpace, ConfigEntity
+from repro.space.templates import build_space, TemplateError
+from repro.space.neighborhood import sample_neighborhood, neighbors_within
+
+__all__ = [
+    "Knob",
+    "SplitKnob",
+    "OtherKnob",
+    "BoolKnob",
+    "ReorderKnob",
+    "ConfigSpace",
+    "ConfigEntity",
+    "build_space",
+    "TemplateError",
+    "sample_neighborhood",
+    "neighbors_within",
+]

@@ -1,0 +1,36 @@
+"""Shared utilities: seeded randomness, logging, records, math helpers.
+
+These are infrastructure pieces used by every other subpackage.  They
+deliberately contain no domain knowledge about DNNs, schedules, or the
+search algorithms.
+"""
+
+from repro.utils.rng import RngPool, derive_seed, as_generator
+from repro.utils.log import get_logger
+from repro.utils.mathx import (
+    factor_pairs,
+    factorize,
+    all_factorizations,
+    round_up,
+    ceil_div,
+    is_power_of_two,
+    next_power_of_two,
+    clamp,
+    pairwise_sq_dists,
+)
+
+__all__ = [
+    "RngPool",
+    "derive_seed",
+    "as_generator",
+    "get_logger",
+    "factor_pairs",
+    "factorize",
+    "all_factorizations",
+    "round_up",
+    "ceil_div",
+    "is_power_of_two",
+    "next_power_of_two",
+    "clamp",
+    "pairwise_sq_dists",
+]

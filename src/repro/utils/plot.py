@@ -1,0 +1,104 @@
+"""Dependency-free ASCII/Unicode plotting for terminal reports.
+
+Used by the examples and the experiment report generator to render
+convergence curves (Fig. 4 style) and per-task bar groups (Fig. 5
+style) without matplotlib.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """Down-sample ``values`` into a unicode block sparkline."""
+    values = np.asarray(values, dtype=np.float64)
+    if len(values) == 0:
+        raise ValueError("no values to plot")
+    if len(values) > width:
+        idx = np.linspace(0, len(values) - 1, width).astype(int)
+        values = values[idx]
+    lo, hi = float(values.min()), float(values.max())
+    span = (hi - lo) or 1.0
+    return "".join(
+        _BLOCKS[int((v - lo) / span * (len(_BLOCKS) - 1))] for v in values
+    )
+
+
+def hbar_chart(
+    data: Dict[str, float],
+    width: int = 50,
+    unit: str = "",
+    baseline: Optional[str] = None,
+) -> str:
+    """Horizontal bar chart, one labelled row per entry.
+
+    When ``baseline`` names a key, each row also shows the percentage
+    relative to that entry (the Fig. 5(b) presentation).
+    """
+    if not data:
+        raise ValueError("no data to plot")
+    max_value = max(data.values())
+    if max_value <= 0:
+        raise ValueError("values must contain a positive entry")
+    label_width = max(len(k) for k in data)
+    base = data.get(baseline) if baseline is not None else None
+    lines: List[str] = []
+    for key, value in data.items():
+        bar = "█" * max(1, int(round(width * value / max_value)))
+        line = f"{key.rjust(label_width)} |{bar} {value:.1f}{unit}"
+        if base:
+            line += f" ({100.0 * value / base:.1f}%)"
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def curve_plot(
+    curves: Dict[str, Sequence[float]],
+    height: int = 12,
+    width: int = 64,
+    ylabel: str = "",
+) -> str:
+    """Multi-series line plot on a character canvas (Fig. 4 style).
+
+    Series are drawn with distinct markers in legend order; later
+    series overwrite earlier ones where they collide.
+    """
+    if not curves:
+        raise ValueError("no curves to plot")
+    markers = "*o+x#@%&"
+    all_values = np.concatenate(
+        [np.asarray(v, dtype=np.float64) for v in curves.values()]
+    )
+    if len(all_values) == 0:
+        raise ValueError("curves are empty")
+    lo, hi = float(all_values.min()), float(all_values.max())
+    span = (hi - lo) or 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for series_idx, values in enumerate(curves.values()):
+        values = np.asarray(values, dtype=np.float64)
+        marker = markers[series_idx % len(markers)]
+        cols = np.linspace(0, width - 1, min(len(values), width)).astype(int)
+        idx = np.linspace(0, len(values) - 1, len(cols)).astype(int)
+        for col, i in zip(cols, idx):
+            row = height - 1 - int((values[i] - lo) / span * (height - 1))
+            canvas[row][col] = marker
+
+    lines = []
+    for r, row in enumerate(canvas):
+        y_value = hi - span * r / (height - 1) if height > 1 else hi
+        lines.append(f"{y_value:>10.1f} |" + "".join(row))
+    lines.append(" " * 11 + "+" + "-" * width)
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} {name}"
+        for i, name in enumerate(curves)
+    )
+    lines.append(" " * 12 + legend)
+    if ylabel:
+        lines.insert(0, f"{ylabel}")
+    return "\n".join(lines)

@@ -1,0 +1,94 @@
+"""Deterministic random-number management.
+
+Every stochastic component in the library takes an explicit seed or an
+explicit :class:`numpy.random.Generator`.  This module provides the two
+primitives that make a multi-component experiment reproducible:
+
+* :func:`derive_seed` — derive a child seed from a parent seed and a
+  string label, so that independent components (tuner, noise model,
+  bootstrap resampler, ...) consume independent streams and adding a new
+  consumer never perturbs existing ones.
+* :class:`RngPool` — a named pool of generators derived from one root
+  seed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+SeedLike = Union[int, np.random.Generator, None]
+
+_MASK_63 = (1 << 63) - 1
+
+
+def derive_seed(root: int, *labels: object) -> int:
+    """Derive a stable 63-bit child seed from ``root`` and ``labels``.
+
+    The derivation is a SHA-256 hash of the root seed and the string
+    representation of each label, so it is stable across processes and
+    Python versions (unlike ``hash()``).
+
+    >>> derive_seed(0, "noise") == derive_seed(0, "noise")
+    True
+    >>> derive_seed(0, "noise") != derive_seed(0, "model")
+    True
+    """
+    digest = hashlib.sha256()
+    digest.update(str(int(root)).encode("utf-8"))
+    for label in labels:
+        digest.update(b"\x1f")
+        digest.update(str(label).encode("utf-8"))
+    return int.from_bytes(digest.digest()[:8], "little") & _MASK_63
+
+
+def as_generator(seed: SeedLike) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    Accepts an existing generator (returned as-is), an integer seed, or
+    ``None`` (fresh OS entropy).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+class RngPool:
+    """A pool of independent, named random generators.
+
+    Each distinct name yields its own generator whose seed is derived
+    from the pool's root seed.  Requesting the same name twice returns
+    the same generator object, so consumers observe one continuous
+    stream per name.
+
+    >>> pool = RngPool(42)
+    >>> a = pool.get("sa").integers(0, 100, 3)
+    >>> b = RngPool(42).get("sa").integers(0, 100, 3)
+    >>> bool((a == b).all())
+    True
+    """
+
+    def __init__(self, root_seed: Optional[int] = None):
+        if root_seed is None:
+            root_seed = int(np.random.default_rng().integers(0, _MASK_63))
+        self.root_seed = int(root_seed)
+        self._generators: Dict[str, np.random.Generator] = {}
+
+    def seed_for(self, name: str) -> int:
+        """Return the derived seed for stream ``name`` without creating it."""
+        return derive_seed(self.root_seed, name)
+
+    def get(self, name: str) -> np.random.Generator:
+        """Return (creating on first use) the generator for stream ``name``."""
+        if name not in self._generators:
+            self._generators[name] = np.random.default_rng(self.seed_for(name))
+        return self._generators[name]
+
+    def child(self, name: str) -> "RngPool":
+        """Return a new pool rooted at the derived seed for ``name``."""
+        return RngPool(self.seed_for(name))
+
+    def __repr__(self) -> str:
+        return f"RngPool(root_seed={self.root_seed})"

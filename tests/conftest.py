@@ -1,0 +1,56 @@
+"""Shared fixtures: small workloads/tasks that keep tests fast."""
+
+import pytest
+
+from repro.hardware.measure import SimulatedTask
+from repro.nn.workloads import (
+    Conv2DWorkload,
+    DenseWorkload,
+    DepthwiseConv2DWorkload,
+)
+
+
+@pytest.fixture
+def small_conv_workload() -> Conv2DWorkload:
+    """A small conv2d whose space has a few hundred thousand points."""
+    return Conv2DWorkload(
+        batch=1,
+        in_channels=8,
+        out_channels=16,
+        height=14,
+        width=14,
+        kernel_h=3,
+        kernel_w=3,
+        pad_h=1,
+        pad_w=1,
+    )
+
+
+@pytest.fixture
+def dense_workload() -> DenseWorkload:
+    """A dense workload with a small, cheap space."""
+    return DenseWorkload(batch=1, in_features=64, out_features=48)
+
+
+@pytest.fixture
+def depthwise_workload() -> DepthwiseConv2DWorkload:
+    return DepthwiseConv2DWorkload(
+        batch=1,
+        channels=16,
+        height=14,
+        width=14,
+        kernel_h=3,
+        kernel_w=3,
+        pad_h=1,
+        pad_w=1,
+    )
+
+
+@pytest.fixture
+def small_task(small_conv_workload) -> SimulatedTask:
+    return SimulatedTask(small_conv_workload, seed=7)
+
+
+@pytest.fixture
+def dense_task(dense_workload) -> SimulatedTask:
+    return SimulatedTask(dense_workload, seed=7)

@@ -1,0 +1,108 @@
+"""Shared hypothesis strategies for property-based tests.
+
+Generates random (but always *valid*) workloads, configuration spaces,
+and layer graphs so invariants can be checked across the whole input
+domain rather than on hand-picked cases.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.nn.workloads import (
+    Conv2DWorkload,
+    DenseWorkload,
+    DepthwiseConv2DWorkload,
+)
+from repro.space.knobs import BoolKnob, OtherKnob, ReorderKnob, SplitKnob
+from repro.space.space import ConfigSpace
+
+# keep extents small so spaces stay cheap to probe exhaustively
+_extent = st.integers(min_value=1, max_value=36)
+_channels = st.sampled_from([1, 2, 3, 4, 8, 12, 16])
+_spatial = st.sampled_from([4, 6, 7, 8, 12, 14, 16])
+_kernel = st.sampled_from([1, 3, 5])
+
+
+@st.composite
+def conv2d_workloads(draw) -> Conv2DWorkload:
+    kernel = draw(_kernel)
+    size = draw(_spatial)
+    stride = draw(st.sampled_from([1, 2]))
+    pad = draw(st.integers(0, kernel // 2 + 1))
+    # guarantee a positive output size
+    if size + 2 * pad < kernel:
+        pad = kernel  # over-pad; always valid
+    return Conv2DWorkload(
+        batch=draw(st.sampled_from([1, 2])),
+        in_channels=draw(_channels),
+        out_channels=draw(_channels),
+        height=size,
+        width=size,
+        kernel_h=kernel,
+        kernel_w=kernel,
+        stride_h=stride,
+        stride_w=stride,
+        pad_h=pad,
+        pad_w=pad,
+    )
+
+
+@st.composite
+def depthwise_workloads(draw) -> DepthwiseConv2DWorkload:
+    kernel = draw(_kernel)
+    size = draw(_spatial)
+    pad = kernel // 2
+    return DepthwiseConv2DWorkload(
+        batch=1,
+        channels=draw(_channels),
+        height=size,
+        width=size,
+        kernel_h=kernel,
+        kernel_w=kernel,
+        stride_h=draw(st.sampled_from([1, 2])),
+        stride_w=1,
+        pad_h=pad,
+        pad_w=pad,
+    )
+
+
+@st.composite
+def dense_workloads(draw) -> DenseWorkload:
+    return DenseWorkload(
+        batch=draw(st.sampled_from([1, 2, 4])),
+        in_features=draw(st.integers(1, 64)),
+        out_features=draw(st.integers(1, 64)),
+    )
+
+
+def workloads():
+    """Any tunable workload."""
+    return st.one_of(conv2d_workloads(), depthwise_workloads(),
+                     dense_workloads())
+
+
+@st.composite
+def knobs(draw, index: int):
+    kind = draw(st.integers(0, 3))
+    name = f"knob{index}"
+    if kind == 0:
+        return SplitKnob(name, draw(_extent), draw(st.integers(2, 3)))
+    if kind == 1:
+        n = draw(st.integers(1, 6))
+        return OtherKnob(name, list(range(n)))
+    if kind == 2:
+        return BoolKnob(name)
+    return ReorderKnob(name, ["a", "b", "c"], max_candidates=6)
+
+
+@st.composite
+def config_spaces(draw) -> ConfigSpace:
+    """A random small config space (size kept below ~50k points)."""
+    space = ConfigSpace("random")
+    n_knobs = draw(st.integers(1, 4))
+    for i in range(n_knobs):
+        space.add_knob(draw(knobs(i)))
+        if len(space) > 50_000:
+            break
+    return space

@@ -1,0 +1,73 @@
+"""Tests for repro.experiments.ablation."""
+
+import pytest
+
+from repro.experiments.ablation import (
+    DiversityStats,
+    adaptive_radius_ablation,
+    bted_batch_sweep,
+    gamma_sweep,
+    init_diversity_comparison,
+)
+from repro.experiments.settings import ExperimentSettings
+
+FAST = ExperimentSettings(
+    init_size=16,
+    n_trial=32,
+    early_stopping=None,
+    batch_candidates=64,
+    num_batches=2,
+    num_trials=1,
+    env_seed=3,
+)
+
+
+class TestDiversityStats:
+    def test_of_known_points(self):
+        import numpy as np
+
+        points = np.array([[0.0, 0.0], [3.0, 0.0], [0.0, 4.0]])
+        stats = DiversityStats.of(points)
+        assert stats.min_distance == pytest.approx(3.0)
+        assert stats.mean_nearest_neighbor == pytest.approx((3 + 3 + 4) / 3)
+
+    def test_needs_two_points(self):
+        import numpy as np
+
+        with pytest.raises(ValueError):
+            DiversityStats.of(np.ones((1, 2)))
+
+
+class TestInitDiversity:
+    def test_bted_beats_random(self, small_task):
+        stats = init_diversity_comparison(small_task, m=32, seed=0)
+        assert stats["bted"].mean_nearest_neighbor > (
+            stats["random"].mean_nearest_neighbor
+        )
+
+
+class TestBatchSweep:
+    def test_returns_all_counts(self, small_task):
+        sweep = bted_batch_sweep(
+            small_task, batch_counts=(1, 4), m=16, batch_candidates=64,
+            seed=0,
+        )
+        assert set(sweep) == {1, 4}
+        for stats in sweep.values():
+            assert stats.min_distance > 0
+
+
+class TestGammaSweep:
+    def test_smoke(self, small_task):
+        result = gamma_sweep(
+            small_task, FAST, gammas=(1, 2), num_trials=1
+        )
+        assert set(result) == {1, 2}
+        assert all(v > 0 for v in result.values())
+
+
+class TestRadiusAblation:
+    def test_smoke(self, small_task):
+        result = adaptive_radius_ablation(small_task, FAST, num_trials=1)
+        assert set(result) == {"adaptive", "fixed", "compound"}
+        assert all(v > 0 for v in result.values())

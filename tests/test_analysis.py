@@ -1,0 +1,117 @@
+"""Tests for repro.experiments.analysis."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.analysis import (
+    ComparisonResult,
+    ConfidenceInterval,
+    bootstrap_ci,
+    compare_arms,
+    curve_auc,
+    time_to_fraction,
+    variance_reduction_pct,
+)
+
+
+class TestBootstrapCi:
+    def test_contains_point(self):
+        rng = np.random.default_rng(0)
+        ci = bootstrap_ci(rng.normal(10, 1, size=50), seed=1)
+        assert ci.point in ci
+        assert ci.low < ci.point < ci.high
+
+    def test_covers_true_mean_usually(self):
+        rng = np.random.default_rng(1)
+        hits = 0
+        for i in range(20):
+            samples = rng.normal(5.0, 2.0, size=40)
+            if 5.0 in bootstrap_ci(samples, seed=i):
+                hits += 1
+        assert hits >= 16  # ~95% nominal coverage
+
+    def test_width_shrinks_with_n(self):
+        rng = np.random.default_rng(2)
+        small = bootstrap_ci(rng.normal(0, 1, 10), seed=0)
+        large = bootstrap_ci(rng.normal(0, 1, 1000), seed=0)
+        assert (large.high - large.low) < (small.high - small.low)
+
+    def test_custom_statistic(self):
+        ci = bootstrap_ci([1.0, 2.0, 3.0, 100.0], statistic=np.median, seed=0)
+        assert ci.point == pytest.approx(2.5)
+
+    def test_deterministic(self):
+        data = np.arange(20.0)
+        a = bootstrap_ci(data, seed=3)
+        b = bootstrap_ci(data, seed=3)
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0])
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0, 2.0], confidence=1.5)
+
+    def test_str(self):
+        assert "@95%" in str(bootstrap_ci([1.0, 2.0, 3.0], seed=0))
+
+
+class TestCompareArms:
+    def test_clear_winner(self):
+        a = np.random.default_rng(0).normal(10, 0.5, size=30)
+        b = np.random.default_rng(1).normal(5, 0.5, size=30)
+        result = compare_arms(a, b)
+        assert result.prob_superiority > 0.95
+        assert result.significant
+        assert result.median_a > result.median_b
+
+    def test_identical_arms_not_significant(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(0, 1, size=30)
+        b = rng.normal(0, 1, size=30)
+        result = compare_arms(a, b)
+        assert not result.significant
+        assert 0.3 < result.prob_superiority < 0.7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            compare_arms([1.0], [1.0, 2.0])
+
+
+class TestCurveMetrics:
+    def test_instant_convergence_auc_is_one(self):
+        assert curve_auc([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+
+    def test_slow_convergence_lower_auc(self):
+        fast = curve_auc([4.0, 5.0, 5.0, 5.0])
+        slow = curve_auc([1.0, 2.0, 3.0, 5.0])
+        assert fast > slow
+
+    def test_unnormalized(self):
+        assert curve_auc([2.0, 4.0], normalize=False) == pytest.approx(3.0)
+
+    def test_time_to_fraction(self):
+        curve = [1.0, 5.0, 9.0, 10.0]
+        assert time_to_fraction(curve, 0.5) == 2
+        assert time_to_fraction(curve, 1.0) == 4
+        assert time_to_fraction(curve, 1.5) is None
+
+    def test_curve_validation(self):
+        with pytest.raises(ValueError):
+            curve_auc([])
+        with pytest.raises(ValueError):
+            time_to_fraction([], 0.5)
+        with pytest.raises(ValueError):
+            time_to_fraction([1.0], 0.0)
+
+
+class TestVarianceReduction:
+    def test_matches_paper_convention(self):
+        # paper Table I: 0.9290 -> 0.0674 is -92.74%
+        assert variance_reduction_pct(0.9290, 0.0674) == pytest.approx(
+            -92.74, abs=0.05
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            variance_reduction_pct(0.0, 1.0)

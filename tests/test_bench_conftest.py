@@ -1,0 +1,57 @@
+"""Tests for the benchmark harness plumbing (scale env, artifacts)."""
+
+import importlib
+import sys
+from pathlib import Path
+
+import pytest
+
+BENCH_DIR = Path(__file__).parent.parent / "benchmarks"
+sys.path.insert(0, str(BENCH_DIR.parent))
+
+
+@pytest.fixture
+def conftest_module():
+    import benchmarks.conftest as module
+
+    return module
+
+
+class TestBenchScale:
+    def test_default(self, conftest_module, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert conftest_module.bench_scale() == pytest.approx(0.1)
+
+    def test_env_override(self, conftest_module, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.5")
+        assert conftest_module.bench_scale() == pytest.approx(0.5)
+
+
+class TestSaveResult:
+    def test_writes_artifact(self, conftest_module, tmp_path, capsys):
+        conftest_module.save_result(tmp_path, "unit_test", "hello table")
+        path = tmp_path / "unit_test.txt"
+        assert path.read_text().startswith("hello table")
+        assert "hello table" in capsys.readouterr().out
+
+
+class TestBenchmarkInventory:
+    def test_one_bench_per_paper_artifact(self):
+        """Every paper table/figure has a dedicated benchmark module."""
+        names = {p.name for p in BENCH_DIR.glob("test_*.py")}
+        assert "test_fig4_convergence.py" in names
+        assert "test_fig5_mobilenet_tasks.py" in names
+        assert "test_table1_end_to_end.py" in names
+
+    def test_all_benchmarks_use_the_fixture(self):
+        """--benchmark-only must not silently skip any bench test."""
+        import ast
+
+        for path in BENCH_DIR.glob("test_*.py"):
+            tree = ast.parse(path.read_text())
+            for node in ast.iter_child_nodes(tree):
+                if isinstance(node, ast.FunctionDef) and node.name.startswith(
+                    "test_"
+                ):
+                    args = {a.arg for a in node.args.args}
+                    assert "benchmark" in args, f"{path.name}:{node.name}"

@@ -1,0 +1,70 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_tune_defaults(self):
+        args = build_parser().parse_args(["tune", "--model", "alexnet"])
+        args.func  # bound
+        assert args.arm == "bted+bao"
+        assert args.budget == 256
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["tune", "--model", "lenet"])
+
+    def test_experiment_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig9"])
+
+
+class TestCommands:
+    def test_models(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "mobilenet-v1" in out
+        assert "vgg-16" in out
+
+    def test_tasks(self, capsys):
+        assert main(["tasks", "--model", "alexnet"]) == 0
+        out = capsys.readouterr().out
+        assert "5 tuning tasks" in out
+        assert "T1" in out
+
+    def test_tune_small(self, capsys, tmp_path):
+        records = tmp_path / "records.jsonl"
+        code = main([
+            "tune",
+            "--model", "squeezenet-v1.1",
+            "--arm", "random",
+            "--budget", "8",
+            "--runs", "50",
+            "--records", str(records),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "latency" in out
+        assert records.exists()
+
+    def test_experiment_fig4_smoke(self, capsys, monkeypatch):
+        import repro.cli as cli
+
+        def fake_run_fig4(**kwargs):
+            class Fake:
+                def report(self, checkpoints=None):
+                    return "Fig. 4 — fake"
+
+            return Fake()
+
+        import repro.experiments.fig4 as fig4
+
+        monkeypatch.setattr(fig4, "run_fig4", fake_run_fig4)
+        assert main(["experiment", "fig4", "--scale", "0.05"]) == 0
+        assert "Fig. 4" in capsys.readouterr().out

@@ -1,0 +1,144 @@
+"""Tests for repro.core.bao (Algorithm 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.bao import BaoOptimizer, BaoSettings
+
+
+class TestBaoSettings:
+    def test_paper_defaults(self):
+        s = BaoSettings()
+        assert s.eta == 0.05
+        assert s.gamma == 2
+        assert s.tau == 1.5
+        assert s.radius == 3.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"eta": -0.1},
+            {"gamma": 0},
+            {"tau": 1.0},
+            {"radius": 0.0},
+            {"neighborhood_size": 0},
+            {"center": "middle"},
+            {"metric": "cosine"},
+            {"refit_interval": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            BaoSettings(**kwargs)
+
+
+class TestRadiusAdaptation:
+    def make(self, task, **kwargs):
+        settings = BaoSettings(**kwargs)
+        return BaoOptimizer(task.space, settings=settings, seed=0)
+
+    def test_base_radius_before_history(self, small_task):
+        bao = self.make(small_task)
+        assert bao.current_radius() == 3.0
+        bao.observe(10.0)
+        assert bao.current_radius() == 3.0
+
+    def test_widens_on_stagnation(self, small_task):
+        bao = self.make(small_task)
+        bao.observe(100.0)
+        bao.observe(100.0)  # 0% improvement < eta
+        assert bao.current_radius() == pytest.approx(4.5)
+
+    def test_stays_base_on_improvement(self, small_task):
+        bao = self.make(small_task)
+        bao.observe(100.0)
+        bao.observe(120.0)  # 16.7% improvement >= eta
+        assert bao.current_radius() == pytest.approx(3.0)
+
+    def test_threshold_boundary(self, small_task):
+        bao = self.make(small_task, eta=0.05)
+        bao.observe(95.0)
+        bao.observe(100.0)  # exactly 5% improvement -> no widening
+        assert bao.current_radius() == pytest.approx(3.0)
+
+    def test_one_step_widening_resets(self, small_task):
+        """The paper's rule is a one-step widening, not compounding."""
+        bao = self.make(small_task)
+        for value in (100.0, 100.0, 100.0, 100.0):
+            bao.observe(value)
+        assert bao.current_radius() == pytest.approx(4.5)
+
+    def test_compound_mode(self, small_task):
+        bao = self.make(small_task, compound_radius=True)
+        bao.observe(100.0)
+        bao.observe(100.0)
+        assert bao.current_radius() == pytest.approx(4.5)
+        bao.observe(100.0)
+        assert bao.current_radius() == pytest.approx(6.75)
+
+    def test_zero_best_is_safe(self, small_task):
+        bao = self.make(small_task)
+        bao.observe(0.0)
+        bao.observe(0.0)
+        assert bao.current_radius() == pytest.approx(4.5)
+
+
+class TestPropose:
+    def _measured_state(self, task, n=48, seed=0):
+        indices = task.space.sample(n, seed=seed)
+        feats = task.space.feature_matrix(indices)
+        scores = np.array([task.true_gflops(int(i)) for i in indices])
+        best = int(indices[int(np.argmax(scores))])
+        return indices, feats, scores, best
+
+    def test_proposes_valid_index(self, small_task):
+        indices, feats, scores, best = self._measured_state(small_task)
+        bao = BaoOptimizer(small_task.space, seed=0)
+        chosen = bao.propose(feats, scores, best_index=best)
+        assert 0 <= chosen < len(small_task.space)
+
+    def test_avoids_visited_when_possible(self, small_task):
+        indices, feats, scores, best = self._measured_state(small_task)
+        bao = BaoOptimizer(small_task.space, seed=0)
+        visited = set(int(i) for i in indices)
+        chosen = bao.propose(feats, scores, best_index=best, visited=visited)
+        assert chosen not in visited
+
+    def test_requires_measurements(self, small_task):
+        bao = BaoOptimizer(small_task.space, seed=0)
+        with pytest.raises(ValueError):
+            bao.propose(np.empty((0, 4)), np.empty(0), best_index=0)
+
+    def test_deterministic(self, small_task):
+        indices, feats, scores, best = self._measured_state(small_task)
+        a = BaoOptimizer(small_task.space, seed=4).propose(
+            feats, scores, best_index=best
+        )
+        b = BaoOptimizer(small_task.space, seed=4).propose(
+            feats, scores, best_index=best
+        )
+        assert a == b
+
+    def test_proposal_is_near_incumbent(self, small_task):
+        """With the feature metric, the proposal must lie within the
+        (widened) radius of the incumbent in feature space, unless it is
+        a lattice step."""
+        indices, feats, scores, best = self._measured_state(small_task)
+        settings = BaoSettings(neighborhood_size=128)
+        bao = BaoOptimizer(small_task.space, settings=settings, seed=1)
+        chosen = bao.propose(feats, scores, best_index=best)
+        space = small_task.space
+        dist = float(
+            np.linalg.norm(space.features_of(chosen) - space.features_of(best))
+        )
+        # one lattice step can move a feature by ~log2(extent); bound loosely
+        assert dist <= max(settings.radius * settings.tau, 8.0)
+
+    def test_refit_interval_reuses_ensemble(self, small_task):
+        indices, feats, scores, best = self._measured_state(small_task)
+        settings = BaoSettings(refit_interval=5)
+        bao = BaoOptimizer(small_task.space, settings=settings, seed=2)
+        bao.propose(feats, scores, best_index=best)
+        fitted_first = bao._ensemble._models
+        bao.propose(feats, scores, best_index=best)
+        assert bao._ensemble._models is fitted_first  # not refit yet

@@ -1,0 +1,58 @@
+"""Tests for repro.core.callbacks."""
+
+import io
+
+import pytest
+
+from repro.core.callbacks import LogProgress, ProgressBar, RecordToStore
+from repro.core.tuners.random import RandomTuner
+from repro.pipeline.records import RecordStore
+
+
+class TestRecordToStore:
+    def test_records_everything(self, small_task):
+        store = RecordStore()
+        tuner = RandomTuner(small_task, seed=0, batch_size=8)
+        result = tuner.tune(
+            n_trial=24, early_stopping=None, callbacks=[RecordToStore(store)]
+        )
+        assert len(store) == result.num_measurements
+
+    def test_best_record_matches_tuner(self, small_task):
+        store = RecordStore()
+        tuner = RandomTuner(small_task, seed=0, batch_size=8)
+        result = tuner.tune(
+            n_trial=24, early_stopping=None, callbacks=[RecordToStore(store)]
+        )
+        best = store.best_for(small_task.workload)
+        assert best is not None
+        assert best.config_index == result.best_index
+        assert best.gflops == pytest.approx(result.best_gflops)
+
+
+class TestProgressBar:
+    def test_renders_and_fills(self, small_task):
+        stream = io.StringIO()
+        bar = ProgressBar(total=16, width=10, stream=stream)
+        tuner = RandomTuner(small_task, seed=0, batch_size=8)
+        tuner.tune(n_trial=16, early_stopping=None, callbacks=[bar])
+        output = stream.getvalue()
+        assert "16/16" in output
+        assert "best=" in output
+        assert bar.render().startswith("[##########]")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProgressBar(total=0)
+
+
+class TestLogProgress:
+    def test_runs_without_error(self, small_task):
+        callback = LogProgress(interval=8)
+        tuner = RandomTuner(small_task, seed=0, batch_size=8)
+        tuner.tune(n_trial=16, early_stopping=None, callbacks=[callback])
+        assert callback._count == 16
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LogProgress(interval=0)

@@ -1,0 +1,65 @@
+"""Tests for the genetic-algorithm baseline tuner."""
+
+import pytest
+
+from repro.core import make_tuner
+from repro.core.tuners.ga import GATuner
+
+
+class TestGATuner:
+    def test_registry(self, small_task):
+        assert isinstance(make_tuner("ga", small_task), GATuner)
+
+    def test_budget_respected(self, small_task):
+        tuner = GATuner(small_task, seed=0, population_size=16)
+        result = tuner.tune(n_trial=64, early_stopping=None)
+        assert result.num_measurements == 64
+
+    def test_no_duplicates(self, small_task):
+        tuner = GATuner(small_task, seed=0, population_size=16)
+        result = tuner.tune(n_trial=80, early_stopping=None)
+        indices = [r.config_index for r in result.records]
+        assert len(set(indices)) == len(indices)
+
+    def test_deterministic(self, small_task):
+        a = GATuner(small_task, seed=5, population_size=16).tune(
+            n_trial=48, early_stopping=None
+        )
+        b = GATuner(small_task, seed=5, population_size=16).tune(
+            n_trial=48, early_stopping=None
+        )
+        assert [r.config_index for r in a.records] == [
+            r.config_index for r in b.records
+        ]
+
+    def test_evolution_improves_over_first_generation(self, small_task):
+        tuner = GATuner(small_task, seed=2, population_size=32)
+        result = tuner.tune(n_trial=160, early_stopping=None)
+        curve = result.best_curve()
+        assert curve[-1] > curve[31]  # later generations found better
+
+    def test_competitive_with_random(self, small_task):
+        budget = 160
+        ga_best = GATuner(small_task, seed=1, population_size=32).tune(
+            n_trial=budget, early_stopping=None
+        ).best_gflops
+        random_best = make_tuner("random", small_task, seed=1).tune(
+            n_trial=budget, early_stopping=None
+        ).best_gflops
+        assert ga_best > 0.9 * random_best
+
+    def test_validation(self, small_task):
+        with pytest.raises(ValueError):
+            GATuner(small_task, population_size=2)
+        with pytest.raises(ValueError):
+            GATuner(small_task, elite_fraction=1.5)
+        with pytest.raises(ValueError):
+            GATuner(small_task, mutation_prob=-0.1)
+
+    def test_settings_kwargs(self, small_task):
+        from repro.experiments.settings import PAPER_SETTINGS
+
+        tuner = make_tuner(
+            "ga", small_task, seed=0, **PAPER_SETTINGS.tuner_kwargs("ga")
+        )
+        assert tuner.population_size == PAPER_SETTINGS.batch_size

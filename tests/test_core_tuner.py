@@ -1,0 +1,131 @@
+"""Tests for repro.core.tuner: records, early stopping, the tune loop."""
+
+import numpy as np
+import pytest
+
+from repro.core.tuner import EarlyStopper, Tuner, TuningResult, TrialRecord
+from repro.core.tuners.random import RandomTuner
+
+
+class TestEarlyStopper:
+    def test_stops_after_patience(self):
+        stopper = EarlyStopper(patience=3)
+        assert not stopper.update(10.0)
+        assert not stopper.update(5.0)
+        assert not stopper.update(5.0)
+        assert stopper.update(5.0)  # 3 steps since the best at step 1
+
+    def test_improvement_resets(self):
+        stopper = EarlyStopper(patience=3)
+        stopper.update(10.0)
+        stopper.update(5.0)
+        stopper.update(11.0)  # new best
+        assert not stopper.update(5.0)
+        assert not stopper.update(5.0)
+        assert stopper.update(5.0)
+
+    def test_min_delta(self):
+        stopper = EarlyStopper(patience=2, min_delta=1.0)
+        stopper.update(10.0)
+        stopper.update(10.5)  # below min_delta: not an improvement
+        assert stopper.update(10.9)
+
+    def test_bad_patience(self):
+        with pytest.raises(ValueError):
+            EarlyStopper(patience=0)
+
+
+class TestTuningResult:
+    def make(self, gflops_list):
+        records = [
+            TrialRecord(step=i + 1, config_index=i, gflops=g)
+            for i, g in enumerate(gflops_list)
+        ]
+        return TuningResult(
+            task_name="t",
+            tuner_name="x",
+            records=records,
+            best_index=int(np.argmax(gflops_list)),
+            best_gflops=max(gflops_list),
+        )
+
+    def test_best_curve_monotone(self):
+        result = self.make([1.0, 5.0, 3.0, 7.0, 2.0])
+        curve = result.best_curve()
+        assert (np.diff(curve) >= 0).all()
+        assert curve[-1] == 7.0
+        assert curve[0] == 1.0
+
+    def test_gflops_series(self):
+        result = self.make([1.0, 0.0, 2.0])
+        assert result.gflops_series().tolist() == [1.0, 0.0, 2.0]
+
+    def test_num_measurements(self):
+        assert self.make([1.0] * 7).num_measurements == 7
+
+    def test_repr(self):
+        assert "best=" in repr(self.make([3.0]))
+
+
+class TestTuneLoop:
+    def test_budget_respected(self, small_task):
+        tuner = RandomTuner(small_task, seed=0, batch_size=16)
+        result = tuner.tune(n_trial=50, early_stopping=None)
+        assert result.num_measurements == 50
+
+    def test_no_duplicate_configs(self, small_task):
+        tuner = RandomTuner(small_task, seed=0, batch_size=16)
+        result = tuner.tune(n_trial=100, early_stopping=None)
+        indices = [r.config_index for r in result.records]
+        assert len(set(indices)) == len(indices)
+
+    def test_early_stopping_cuts_run_short(self, dense_task):
+        tuner = RandomTuner(dense_task, seed=0, batch_size=8)
+        result = tuner.tune(n_trial=10_000, early_stopping=30)
+        assert result.num_measurements < 10_000
+
+    def test_best_matches_records(self, small_task):
+        tuner = RandomTuner(small_task, seed=1, batch_size=16)
+        result = tuner.tune(n_trial=64, early_stopping=None)
+        best_record = max(result.records, key=lambda r: r.gflops)
+        assert result.best_gflops == best_record.gflops
+        assert result.best_index == best_record.config_index
+
+    def test_callbacks_see_all_measurements(self, small_task):
+        seen = []
+
+        def callback(tuner, results):
+            seen.extend(results)
+
+        tuner = RandomTuner(small_task, seed=0, batch_size=16)
+        result = tuner.tune(n_trial=48, early_stopping=None,
+                            callbacks=[callback])
+        assert len(seen) == result.num_measurements
+
+    def test_exhausts_tiny_space(self):
+        from repro.hardware.measure import SimulatedTask
+        from repro.nn.workloads import DenseWorkload
+
+        task = SimulatedTask(DenseWorkload(1, 4, 4), seed=0)
+        tuner = RandomTuner(task, seed=0, batch_size=8)
+        result = tuner.tune(n_trial=10_000, early_stopping=None)
+        assert result.num_measurements == len(task.space)
+
+    def test_invalid_n_trial(self, small_task):
+        with pytest.raises(ValueError):
+            RandomTuner(small_task, seed=0).tune(n_trial=0)
+
+    def test_deterministic_given_seed(self, small_task):
+        a = RandomTuner(small_task, seed=9).tune(n_trial=32,
+                                                 early_stopping=None)
+        b = RandomTuner(small_task, seed=9).tune(n_trial=32,
+                                                 early_stopping=None)
+        assert [r.config_index for r in a.records] == [
+            r.config_index for r in b.records
+        ]
+        assert a.best_gflops == b.best_gflops
+
+    def test_subclass_contract_enforced(self, small_task):
+        tuner = Tuner(small_task, seed=0)
+        with pytest.raises(NotImplementedError):
+            tuner.tune(n_trial=4)

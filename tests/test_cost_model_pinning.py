@@ -1,0 +1,116 @@
+"""Behaviour-pinning tests for the analytical cost model.
+
+These pin the model's outputs for a handful of reference configurations
+so unintended drift in the simulator (which would silently change every
+experiment) is caught in review.  Values were recorded from the
+released model; update them deliberately when the model is revised,
+alongside EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.hardware.cost_model import AnalyticalGpuModel
+from repro.hardware.device import GTX_1080_TI
+from repro.nn.workloads import Conv2DWorkload, DenseWorkload
+
+
+@pytest.fixture(scope="module")
+def model():
+    return AnalyticalGpuModel(GTX_1080_TI)
+
+
+REFERENCE_CONV = Conv2DWorkload(1, 64, 64, 56, 56, 3, 3, pad_h=1, pad_w=1)
+REFERENCE_VALUES = {
+    "tile_f": (2, 2, 16, 1),
+    "tile_y": (4, 1, 7, 2),
+    "tile_x": (7, 1, 8, 1),
+    "tile_rc": (8, 8),
+    "tile_ry": (1, 3),
+    "tile_rx": (1, 3),
+    "auto_unroll_max_step": 512,
+    "unroll_explicit": 1,
+}
+
+
+class TestPinnedProfiles:
+    def test_reference_conv_structure(self, model):
+        profile = model.profile(REFERENCE_CONV, REFERENCE_VALUES)
+        assert profile.threads_per_block == 16 * 7 * 8
+        assert profile.num_blocks == 2 * 4 * 7
+        assert profile.blocks_per_sm >= 1
+        assert profile.occupancy_limiter in (
+            "threads", "blocks", "smem", "regs"
+        )
+
+    def test_reference_conv_rate_band(self, model):
+        """The reference schedule must stay a *good* one: within the top
+        throughput band for this workload (pinned loosely so only real
+        model changes trip it)."""
+        profile = model.profile(REFERENCE_CONV, REFERENCE_VALUES)
+        assert 1000.0 < profile.gflops < 11000.0
+
+    def test_monotone_under_device_scaling(self):
+        """Doubling peak+bandwidth must speed up any feasible config."""
+        import dataclasses
+
+        fast_device = dataclasses.replace(
+            GTX_1080_TI,
+            peak_gflops=2 * GTX_1080_TI.peak_gflops,
+            mem_bandwidth_gbs=2 * GTX_1080_TI.mem_bandwidth_gbs,
+        )
+        slow = AnalyticalGpuModel(GTX_1080_TI).profile(
+            REFERENCE_CONV, REFERENCE_VALUES
+        )
+        fast = AnalyticalGpuModel(fast_device).profile(
+            REFERENCE_CONV, REFERENCE_VALUES
+        )
+        assert fast.gflops > slow.gflops
+
+    def test_dense_reference(self, model):
+        wl = DenseWorkload(1, 4096, 4096)
+        values = {
+            "tile_x": (16, 1, 256, 1),
+            "tile_k": (256, 16),
+            "auto_unroll_max_step": 512,
+            "unroll_explicit": 0,
+        }
+        profile = model.profile(wl, values)
+        # a GEMV is bandwidth-bound: the achievable rate is capped by
+        # weight traffic at ~bandwidth/4 MACs
+        assert profile.is_memory_bound
+        bandwidth_bound = 2 * GTX_1080_TI.mem_bandwidth / 4.0 / 1e9
+        assert profile.gflops <= bandwidth_bound * 1.05
+
+    def test_unroll_gain_vs_register_pressure(self, model):
+        """Unrolling must help when registers are plentiful (small
+        blocks) — and the register cost must be modeled at all (the
+        extra registers show up in the profile)."""
+        small_block = dict(
+            REFERENCE_VALUES,
+            tile_f=(8, 1, 8, 1),
+            tile_y=(8, 1, 7, 1),
+            tile_x=(28, 1, 2, 1),
+        )  # 112 threads/block: occupancy is block-limited, not reg-limited
+        base = dict(small_block, auto_unroll_max_step=0, unroll_explicit=0)
+        unrolled = dict(small_block, auto_unroll_max_step=512,
+                        unroll_explicit=1)
+        p_base = model.profile(REFERENCE_CONV, base)
+        p_unrolled = model.profile(REFERENCE_CONV, unrolled)
+        assert p_unrolled.registers_per_thread > p_base.registers_per_thread
+        assert p_unrolled.gflops > p_base.gflops
+
+    def test_noise_sigma_ordering(self, model):
+        """A warp-starved config must time less repeatably than a
+        well-shaped one."""
+        good = model.profile(REFERENCE_CONV, REFERENCE_VALUES)
+        lazy = model.profile(
+            REFERENCE_CONV,
+            dict(
+                REFERENCE_VALUES,
+                tile_f=(64, 1, 1, 1),
+                tile_y=(28, 1, 2, 1),
+                tile_x=(56, 1, 1, 1),
+            ),
+        )  # 2 threads per block: 30/32 of every warp idles
+        assert lazy.threads_per_block < GTX_1080_TI.warp_size
+        assert lazy.noise_sigma_rel > good.noise_sigma_rel

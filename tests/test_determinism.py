@@ -1,0 +1,75 @@
+"""End-to-end determinism: identical inputs produce identical outputs.
+
+Reproducibility is a design requirement (DESIGN.md §6): every
+stochastic component is seeded, so repeating any experiment with the
+same seeds must yield byte-identical results.
+"""
+
+import numpy as np
+
+from repro.core import make_tuner
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.settings import ExperimentSettings
+from repro.nn.zoo import build_model
+from repro.pipeline.compiler import DeploymentCompiler
+
+TINY = ExperimentSettings(
+    init_size=8,
+    n_trial=24,
+    early_stopping=None,
+    batch_size=8,
+    batch_candidates=32,
+    num_batches=2,
+    num_runs=100,
+    num_trials=1,
+    env_seed=123,
+)
+
+
+class TestTunerDeterminism:
+    def test_every_arm_is_deterministic(self, dense_task):
+        for arm in ("random", "grid", "ga", "autotvm", "bted", "bted+bao"):
+            runs = []
+            for _ in range(2):
+                tuner = make_tuner(
+                    arm, dense_task, seed=7, **TINY.tuner_kwargs(arm)
+                )
+                result = tuner.tune(n_trial=20, early_stopping=None)
+                runs.append(
+                    (
+                        [r.config_index for r in result.records],
+                        [r.gflops for r in result.records],
+                    )
+                )
+            assert runs[0] == runs[1], arm
+
+
+class TestPipelineDeterminism:
+    def test_compile_twice_identical(self):
+        graph = build_model("squeezenet-v1.1")
+        latencies = []
+        for _ in range(2):
+            compiler = DeploymentCompiler(graph, env_seed=5)
+            compiled = compiler.tune(
+                "random", n_trial=16, early_stopping=None, trial_seed=3
+            )
+            sample = compiled.measure_latency(num_runs=100, seed=9)
+            latencies.append(sample.latencies_ms)
+        assert np.array_equal(latencies[0], latencies[1])
+
+
+class TestExperimentDeterminism:
+    def test_fig4_reproducible(self):
+        results = [
+            run_fig4(
+                num_layers=1,
+                arms=("random",),
+                settings=TINY,
+                num_measurements=16,
+                num_trials=1,
+            )
+            for _ in range(2)
+        ]
+        a = results[0].curves[(0, "random")]
+        b = results[1].curves[(0, "random")]
+        assert np.array_equal(a, b)

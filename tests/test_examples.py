@@ -1,0 +1,75 @@
+"""Smoke tests: every example script runs end-to-end.
+
+Each script is executed in a subprocess with a tiny measurement budget;
+the tests assert a zero exit code and the expected headline output.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py", "--budget", "32")
+        assert "GFLOPS" in out
+        assert "random" in out
+        assert "bted+bao" in out
+
+    def test_end_to_end_deployment(self):
+        out = run_example(
+            "end_to_end_deployment.py",
+            "--budget", "8", "--arm", "random", "--runs", "50",
+            "--model", "squeezenet-v1.1",
+        )
+        assert "mean latency" in out
+        assert "identical deployment" in out
+
+    def test_convergence_study(self):
+        out = run_example(
+            "convergence_study.py", "--budget", "32", "--trials", "1",
+            "--layers", "1",
+        )
+        assert "Fig. 4" in out
+
+    def test_transfer_learning_demo(self):
+        out = run_example(
+            "transfer_learning_demo.py", "--budget", "24", "--tasks", "2"
+        )
+        assert "with transfer history" in out
+        assert "aggregate GFLOPS" in out
+
+    def test_custom_operator_and_device(self):
+        out = run_example("custom_operator_and_device.py", "--budget", "24")
+        assert "GTX 1080 Ti" in out
+        assert "Jetson TX2" in out
+
+    def test_alternative_evaluation_functions(self):
+        out = run_example(
+            "alternative_evaluation_functions.py", "--budget", "24"
+        )
+        assert "MLP regressor" in out
+        assert "rank-objective GBT" in out
+
+    def test_winograd_template_selection(self):
+        out = run_example(
+            "winograd_template_selection.py", "--budget", "16",
+            "--model", "resnet-18",
+        )
+        assert "template choice" in out
+        assert "end-to-end" in out

@@ -1,0 +1,166 @@
+"""Tests for the experiment harness (scaled-down smoke-level runs)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.runner import average_curves, format_table, run_arm_on_task
+from repro.experiments.settings import ARMS, ExperimentSettings, PAPER_SETTINGS
+from repro.experiments.table1 import run_table1
+
+
+TINY = ExperimentSettings(
+    init_size=16,
+    n_trial=48,
+    early_stopping=None,
+    batch_size=16,
+    batch_candidates=64,
+    num_batches=2,
+    num_runs=100,
+    num_trials=1,
+    env_seed=7,
+)
+
+
+class TestSettings:
+    def test_paper_defaults(self):
+        assert PAPER_SETTINGS.init_size == 64
+        assert PAPER_SETTINGS.early_stopping == 400
+        assert PAPER_SETTINGS.mu == 0.1
+        assert PAPER_SETTINGS.batch_candidates == 500
+        assert PAPER_SETTINGS.num_batches == 10
+        assert PAPER_SETTINGS.num_runs == 600
+        assert PAPER_SETTINGS.num_trials == 10
+        assert PAPER_SETTINGS.bao.eta == 0.05
+        assert PAPER_SETTINGS.bao.gamma == 2
+        assert PAPER_SETTINGS.bao.tau == 1.5
+        assert PAPER_SETTINGS.bao.radius == 3.0
+
+    def test_scaled_shrinks_budgets(self):
+        scaled = PAPER_SETTINGS.scaled(0.25)
+        assert scaled.n_trial < PAPER_SETTINGS.n_trial
+        assert scaled.num_trials < PAPER_SETTINGS.num_trials
+        # algorithmic settings untouched
+        assert scaled.mu == PAPER_SETTINGS.mu
+        assert scaled.bao == PAPER_SETTINGS.bao
+
+    def test_scaled_floors(self):
+        scaled = PAPER_SETTINGS.scaled(0.01)
+        assert scaled.num_trials >= 2
+        assert scaled.num_runs >= 100
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            PAPER_SETTINGS.scaled(0.0)
+        with pytest.raises(ValueError):
+            PAPER_SETTINGS.scaled(2.0)
+
+    def test_tuner_kwargs_cover_all_arms(self):
+        for arm in ARMS + ("random", "grid"):
+            assert isinstance(PAPER_SETTINGS.tuner_kwargs(arm), dict)
+        with pytest.raises(KeyError):
+            PAPER_SETTINGS.tuner_kwargs("cmaes")
+
+
+class TestRunnerHelpers:
+    def test_average_curves_padding(self):
+        avg = average_curves([np.array([1.0, 2.0]), np.array([3.0])])
+        assert avg.tolist() == [2.0, 2.5]
+
+    def test_average_curves_truncation(self):
+        avg = average_curves([np.array([1.0, 2.0, 3.0])], length=2)
+        assert avg.tolist() == [1.0, 2.0]
+
+    def test_average_curves_validation(self):
+        with pytest.raises(ValueError):
+            average_curves([])
+        with pytest.raises(ValueError):
+            average_curves([np.array([])])
+
+    def test_format_table(self):
+        text = format_table(["a", "bb"], [[1, 22], [333, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "---" in lines[1]
+
+    def test_run_arm_deterministic(self, small_task):
+        a = run_arm_on_task("random", small_task, TINY, trial=0)
+        b = run_arm_on_task("random", small_task, TINY, trial=0)
+        assert a.best_gflops == b.best_gflops
+
+    def test_trials_differ(self, small_task):
+        a = run_arm_on_task("random", small_task, TINY, trial=0)
+        b = run_arm_on_task("random", small_task, TINY, trial=1)
+        assert [r.config_index for r in a.records] != [
+            r.config_index for r in b.records
+        ]
+
+
+class TestFig4:
+    def test_smoke(self):
+        result = run_fig4(
+            num_layers=1,
+            arms=("random", "autotvm"),
+            settings=TINY,
+            num_measurements=48,
+            num_trials=1,
+        )
+        assert set(result.curves) == {(0, "random"), (0, "autotvm")}
+        for curve in result.curves.values():
+            assert len(curve) == 48
+            assert (np.diff(curve) >= 0).all()
+        report = result.report(checkpoints=[16, 48])
+        assert "Fig. 4" in report
+
+    def test_too_many_layers(self):
+        with pytest.raises(ValueError):
+            run_fig4(model_name="alexnet", num_layers=99, settings=TINY,
+                     num_trials=1, num_measurements=8)
+
+
+class TestFig5:
+    def test_smoke(self):
+        result = run_fig5(
+            arms=("random", "autotvm"),
+            settings=TINY,
+            num_trials=1,
+            max_tasks=2,
+        )
+        assert len(result.task_ids) == 2
+        assert result.gflops_ratio(0, "random") == pytest.approx(
+            100.0 * result.gflops[(0, "random")]
+            / result.gflops[(0, "random")]
+        )
+        assert "AVG" in result.report()
+
+    def test_baseline_ratio_is_100(self):
+        result = run_fig5(
+            arms=("random",), settings=TINY, num_trials=1, max_tasks=1
+        )
+        assert result.gflops_ratio(0, "random") == pytest.approx(100.0)
+
+
+class TestTable1:
+    def test_smoke(self):
+        result = run_table1(
+            models=("squeezenet-v1.1",),
+            arms=("random",),
+            settings=TINY,
+            num_trials=1,
+        )
+        stats = result.cells[("squeezenet-v1.1", "random")]
+        assert stats.latency_ms > 0
+        assert stats.variance > 0
+        assert "Table I" in result.report()
+
+    def test_deltas_vs_baseline(self):
+        result = run_table1(
+            models=("squeezenet-v1.1",),
+            arms=("random", "grid"),
+            settings=TINY,
+            num_trials=1,
+        )
+        assert result.latency_delta_pct("squeezenet-v1.1", "random") == 0.0
+        delta = result.latency_delta_pct("squeezenet-v1.1", "grid")
+        assert np.isfinite(delta)

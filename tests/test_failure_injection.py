@@ -1,0 +1,111 @@
+"""Failure-injection tests: the loop survives hostile environments.
+
+The tuners must stay correct when the environment is degenerate: every
+measurement failing, extremely noisy measurements, or an evaluation
+function that throws.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import make_tuner
+from repro.core.bootstrap import BootstrapEnsemble
+from repro.core.tuners.btedbao import BTEDBAOTuner
+from repro.hardware.measure import (
+    MeasureErrorKind,
+    MeasureResult,
+    Measurer,
+    SimulatedTask,
+)
+
+
+class AllFailMeasurer(Measurer):
+    """A measurer whose every deployment errors out."""
+
+    def measure_one(self, config_index: int) -> MeasureResult:
+        self.num_measurements += 1
+        return MeasureResult(
+            config_index=config_index,
+            gflops=0.0,
+            mean_time_s=float("inf"),
+            error_kind=MeasureErrorKind.RESOURCE_ERROR,
+            error_msg="injected failure",
+        )
+
+
+class TestAllMeasurementsFail:
+    @pytest.mark.parametrize("arm", ["random", "autotvm", "bted+bao", "ga"])
+    def test_tuner_completes_with_zero_best(self, arm, dense_task):
+        tuner = make_tuner(arm, dense_task, seed=0)
+        tuner.measurer = AllFailMeasurer(dense_task, seed=0)
+        result = tuner.tune(n_trial=40, early_stopping=None)
+        assert result.num_measurements == 40
+        assert result.best_gflops == 0.0
+        assert all(not r.ok for r in result.records)
+
+    def test_early_stopping_fires_on_flat_zero(self, dense_task):
+        tuner = make_tuner("random", dense_task, seed=0)
+        tuner.measurer = AllFailMeasurer(dense_task, seed=0)
+        result = tuner.tune(n_trial=10_000, early_stopping=25)
+        assert result.num_measurements < 200
+
+
+class TestExtremeNoise:
+    def test_tuner_still_finds_decent_config(self, small_task):
+        noisy = Measurer(small_task, seed=0, repeats=1)
+        # amplify noise 10x by monkeypatching the sampler
+        original = noisy._noise.sample_time_factors
+
+        def loud(sigma, n=1, rng=None):
+            return original(min(10 * sigma, 0.8), n=n, rng=rng)
+
+        noisy._noise.sample_time_factors = loud
+        tuner = make_tuner("autotvm", small_task, seed=0)
+        tuner.measurer = noisy
+        result = tuner.tune(n_trial=128, early_stopping=None)
+        assert result.best_gflops > 0
+
+    def test_records_stay_consistent(self, small_task):
+        tuner = make_tuner("autotvm", small_task, seed=1)
+        result = tuner.tune(n_trial=96, early_stopping=None)
+        best = max(r.gflops for r in result.records)
+        assert result.best_gflops == best
+
+
+class TestBrokenEvaluationFunction:
+    def test_bootstrap_propagates_model_errors(self):
+        class Broken:
+            def fit(self, X, y):
+                raise RuntimeError("injected model failure")
+
+            def predict(self, X):  # pragma: no cover
+                return np.zeros(len(X))
+
+        ensemble = BootstrapEnsemble(gamma=2, model_factory=Broken, seed=0)
+        with pytest.raises(RuntimeError, match="injected"):
+            ensemble.fit(np.ones((10, 3)), np.ones(10))
+
+    def test_bao_tuner_surfaces_model_errors(self, dense_task):
+        class BrokenAfterFirst:
+            calls = 0
+
+            def fit(self, X, y):
+                type(self).calls += 1
+                if type(self).calls > 2:
+                    raise RuntimeError("injected late failure")
+                self._mean = float(np.mean(y))
+                return self
+
+            def predict(self, X):
+                return np.full(len(X), self._mean)
+
+        tuner = BTEDBAOTuner(
+            dense_task,
+            seed=0,
+            init_size=8,
+            batch_candidates=32,
+            num_batches=2,
+            model_factory=BrokenAfterFirst,
+        )
+        with pytest.raises(RuntimeError, match="injected late"):
+            tuner.tune(n_trial=24, early_stopping=None)

@@ -1,0 +1,108 @@
+"""Tests for experiment result containers' derived quantities."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig4 import Fig4Result
+from repro.experiments.fig5 import Fig5Result
+from repro.experiments.table1 import ModelArmStats, Table1Result
+
+
+class TestFig4Result:
+    def make(self):
+        return Fig4Result(
+            model_name="m",
+            num_measurements=4,
+            curves={
+                (0, "autotvm"): np.array([1.0, 2.0, 2.0, 3.0]),
+                (0, "bted"): np.array([1.5, 2.5, 3.0, 3.5]),
+            },
+        )
+
+    def test_arms_and_layers(self):
+        result = self.make()
+        assert result.arms() == ["autotvm", "bted"]
+        assert result.layers() == [0]
+
+    def test_final_gflops(self):
+        assert self.make().final_gflops(0, "bted") == 3.5
+
+    def test_report_filters_checkpoints(self):
+        report = self.make().report(checkpoints=(2, 4, 999))
+        assert "@2" in report
+        assert "@999" not in report
+
+
+class TestFig5Result:
+    def make(self):
+        return Fig5Result(
+            model_name="m",
+            task_ids=[0, 1],
+            num_configs={
+                (0, "autotvm"): 100.0,
+                (1, "autotvm"): 200.0,
+                (0, "bted"): 150.0,
+                (1, "bted"): 250.0,
+            },
+            gflops={
+                (0, "autotvm"): 10.0,
+                (1, "autotvm"): 20.0,
+                (0, "bted"): 12.0,
+                (1, "bted"): 30.0,
+            },
+        )
+
+    def test_ratios(self):
+        result = self.make()
+        assert result.gflops_ratio(0, "bted") == pytest.approx(120.0)
+        assert result.gflops_ratio(1, "bted") == pytest.approx(150.0)
+        assert result.average_ratio("bted") == pytest.approx(135.0)
+
+    def test_average_configs(self):
+        assert self.make().average_configs("bted") == pytest.approx(200.0)
+
+    def test_zero_baseline_is_nan(self):
+        result = self.make()
+        result.gflops[(0, "autotvm")] = 0.0
+        assert np.isnan(result.gflops_ratio(0, "bted"))
+
+    def test_report_has_avg_row(self):
+        assert "AVG" in self.make().report()
+
+
+class TestTable1Result:
+    def make(self):
+        def stats(lat, var):
+            return ModelArmStats(lat, var, [lat], [var])
+
+        return Table1Result(
+            cells={
+                ("m1", "autotvm"): stats(2.0, 1.0),
+                ("m1", "bted+bao"): stats(1.5, 0.25),
+                ("m2", "autotvm"): stats(4.0, 2.0),
+                ("m2", "bted+bao"): stats(4.0, 1.0),
+            },
+            models=["m1", "m2"],
+            arms=["autotvm", "bted+bao"],
+        )
+
+    def test_deltas(self):
+        result = self.make()
+        assert result.latency_delta_pct("m1", "bted+bao") == pytest.approx(
+            -25.0
+        )
+        assert result.variance_delta_pct("m1", "bted+bao") == pytest.approx(
+            -75.0
+        )
+        assert result.latency_delta_pct("m2", "bted+bao") == 0.0
+
+    def test_average_row(self):
+        lat, var = self.make().average_row("bted+bao")
+        assert lat == pytest.approx(2.75)
+        assert var == pytest.approx(0.625)
+
+    def test_report_contains_models_and_average(self):
+        report = self.make().report()
+        assert "m1" in report
+        assert "Average" in report
+        assert "-25.00" in report

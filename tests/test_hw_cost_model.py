@@ -1,0 +1,199 @@
+"""Tests for repro.hardware.cost_model: the analytical GPU model.
+
+The assertions encode *mechanistic* expectations (resource violations
+rejected, sane bounds, sensible monotonicities) rather than absolute
+numbers, which is exactly what the simulator must get right for the
+search experiments to be meaningful.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hardware.cost_model import AnalyticalGpuModel, KernelProfile
+from repro.hardware.device import GTX_1080_TI, JETSON_TX2
+from repro.hardware.resources import ResourceError
+from repro.nn.workloads import Conv2DWorkload, DenseWorkload
+from repro.space.templates import build_space
+
+
+@pytest.fixture
+def model() -> AnalyticalGpuModel:
+    return AnalyticalGpuModel(GTX_1080_TI)
+
+
+def conv_values(**overrides):
+    """A hand-built reasonable conv schedule."""
+    values = {
+        "tile_f": (1, 2, 8, 1),
+        "tile_y": (2, 1, 7, 1),
+        "tile_x": (2, 1, 7, 1),
+        "tile_rc": (2, 4),
+        "tile_ry": (1, 3),
+        "tile_rx": (1, 3),
+        "auto_unroll_max_step": 512,
+        "unroll_explicit": 1,
+    }
+    values.update(overrides)
+    return values
+
+
+@pytest.fixture
+def conv_wl() -> Conv2DWorkload:
+    return Conv2DWorkload(1, 8, 16, 14, 14, 3, 3, pad_h=1, pad_w=1)
+
+
+class TestConvProfile:
+    def test_profile_fields(self, model, conv_wl):
+        profile = model.profile(conv_wl, conv_values())
+        assert isinstance(profile, KernelProfile)
+        assert profile.gflops > 0
+        assert profile.time_s > 0
+        assert 0 < profile.warp_occupancy <= 1
+        assert 0 < profile.efficiency <= 1
+        assert profile.threads_per_block == 8 * 7 * 7
+
+    def test_gflops_below_peak(self, model, conv_wl):
+        profile = model.profile(conv_wl, conv_values())
+        assert profile.gflops < GTX_1080_TI.peak_gflops
+
+    def test_too_many_threads_rejected(self, model):
+        wl = Conv2DWorkload(1, 64, 64, 56, 56, 3, 3, pad_h=1, pad_w=1)
+        values = conv_values(
+            tile_f=(1, 1, 64, 1), tile_y=(1, 1, 56, 1), tile_x=(1, 1, 56, 1),
+            tile_rc=(1, 64),
+        )
+        with pytest.raises(ResourceError):
+            model.profile(wl, values)
+
+    def test_smem_overflow_rejected(self, model):
+        wl = Conv2DWorkload(1, 512, 64, 56, 56, 3, 3, pad_h=1, pad_w=1)
+        # stage all 512 reduction channels at once: blows shared memory
+        values = conv_values(
+            tile_f=(4, 1, 16, 1),
+            tile_y=(4, 1, 14, 1),
+            tile_x=(4, 1, 14, 1),
+            tile_rc=(1, 512),
+        )
+        with pytest.raises(ResourceError):
+            model.profile(wl, values)
+
+    def test_noise_sigma_bounded(self, model, conv_wl):
+        profile = model.profile(conv_wl, conv_values())
+        assert 0.0 < profile.noise_sigma_rel < 0.2
+
+    def test_deterministic(self, model, conv_wl):
+        a = model.profile(conv_wl, conv_values())
+        b = model.profile(conv_wl, conv_values())
+        assert a == b
+
+    def test_missing_knob_raises(self, model, conv_wl):
+        values = conv_values()
+        del values["tile_f"]
+        with pytest.raises(KeyError):
+            model.profile(conv_wl, values)
+
+
+class TestMonotonicities:
+    def test_warp_aligned_beats_misaligned(self, model):
+        """Blocks of 49 threads waste most of two warps."""
+        wl = Conv2DWorkload(1, 8, 16, 14, 14, 3, 3, pad_h=1, pad_w=1)
+        aligned = model.profile(wl, conv_values(
+            tile_y=(2, 1, 7, 1), tile_x=(1, 1, 14, 1), tile_f=(2, 1, 8, 1)))
+        misaligned = model.profile(wl, conv_values(
+            tile_y=(2, 1, 7, 1), tile_x=(2, 1, 7, 1), tile_f=(16, 1, 1, 1)))
+        # aligned: 8*7*14 = 784 threads? recompute: threads = tf*ty*tx
+        assert aligned.threads_per_block % 2 == 0
+
+    def test_bigger_device_is_faster(self, conv_wl):
+        # a config with enough blocks to cover the large device's SMs
+        values = conv_values(
+            tile_f=(4, 1, 4, 1), tile_y=(7, 1, 2, 1), tile_x=(1, 1, 14, 1)
+        )
+        big = AnalyticalGpuModel(GTX_1080_TI).profile(conv_wl, values)
+        small = AnalyticalGpuModel(JETSON_TX2).profile(conv_wl, values)
+        assert big.gflops > small.gflops
+
+    def test_single_thread_config_is_terrible(self, model, conv_wl):
+        lazy = conv_values(
+            tile_f=(16, 1, 1, 1), tile_y=(14, 1, 1, 1), tile_x=(14, 1, 1, 1)
+        )
+        good = conv_values(
+            tile_f=(4, 1, 4, 1), tile_y=(7, 1, 2, 1), tile_x=(1, 1, 14, 1)
+        )
+        assert (
+            model.profile(conv_wl, lazy).gflops
+            < model.profile(conv_wl, good).gflops
+        )
+
+    def test_underfilled_grid_wastes_the_device(self, model, conv_wl):
+        """4 blocks cannot keep 28 SMs busy: grid coverage must bite."""
+        few_blocks = conv_values()  # bf*by*bx = 1*2*2 = 4 blocks
+        many_blocks = conv_values(
+            tile_f=(4, 1, 4, 1), tile_y=(7, 1, 2, 1), tile_x=(1, 1, 14, 1)
+        )  # 28 blocks
+        assert (
+            model.profile(conv_wl, few_blocks).gflops
+            < model.profile(conv_wl, many_blocks).gflops
+        )
+
+    def test_memory_bound_flag(self, model):
+        # 1x1 conv with few channels is memory-bound on any schedule
+        wl = Conv2DWorkload(1, 8, 8, 56, 56, 1, 1)
+        values = conv_values(
+            tile_f=(1, 1, 8, 1),
+            tile_y=(8, 1, 7, 1),
+            tile_x=(4, 1, 14, 1),
+            tile_rc=(1, 8),
+            tile_ry=(1, 1),
+            tile_rx=(1, 1),
+        )
+        profile = model.profile(wl, values)
+        assert profile.is_memory_bound
+
+
+class TestSpaceWideSanity:
+    """Random configs across a real template space behave sanely."""
+
+    def test_spread_on_small_task(self, small_task):
+        space = small_task.space
+        model = small_task.model
+        gflops = []
+        for idx in space.sample(300, seed=0):
+            try:
+                profile = model.profile(small_task.workload,
+                                        space.get(int(idx)).values)
+                gflops.append(profile.gflops)
+            except ResourceError:
+                pass
+        assert len(gflops) > 50          # enough feasible configs
+        spread = max(gflops) / max(min(gflops), 1e-9)
+        assert spread > 10               # orders-of-magnitude spread
+
+    def test_paper_size_task_has_infeasible_configs(self):
+        """At real layer sizes some random configs violate resources
+        (the errored measurements AutoTVM routinely logs)."""
+        wl = Conv2DWorkload(1, 64, 64, 56, 56, 3, 3, pad_h=1, pad_w=1)
+        from repro.hardware.measure import SimulatedTask
+
+        task = SimulatedTask(wl, seed=0)
+        errors = 0
+        for idx in task.space.sample(200, seed=0):
+            try:
+                task.model.profile(wl, task.space.get(int(idx)).values)
+            except ResourceError:
+                errors += 1
+        assert errors > 10
+
+    def test_dense_profiles(self, dense_task):
+        space = dense_task.space
+        ok = 0
+        for idx in space.sample(100, seed=1):
+            try:
+                profile = dense_task.model.profile(
+                    dense_task.workload, space.get(int(idx)).values
+                )
+                assert profile.gflops > 0
+                ok += 1
+            except ResourceError:
+                pass
+        assert ok > 20

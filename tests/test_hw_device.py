@@ -1,0 +1,45 @@
+"""Tests for repro.hardware.device."""
+
+import dataclasses
+
+import pytest
+
+from repro.hardware.device import GTX_1080_TI, JETSON_TX2, TESLA_V100, GpuDevice
+
+
+class TestPresets:
+    def test_gtx_1080_ti_spec(self):
+        assert GTX_1080_TI.num_sms == 28
+        assert GTX_1080_TI.peak_gflops == pytest.approx(11340.0)
+        assert GTX_1080_TI.mem_bandwidth_gbs == pytest.approx(484.0)
+        assert GTX_1080_TI.warp_size == 32
+
+    def test_derived_quantities(self):
+        assert GTX_1080_TI.max_warps_per_sm == 64
+        assert GTX_1080_TI.peak_flops == pytest.approx(11.34e12)
+        assert GTX_1080_TI.mem_bandwidth == pytest.approx(484e9)
+
+    def test_device_ordering_makes_sense(self):
+        assert JETSON_TX2.peak_gflops < GTX_1080_TI.peak_gflops
+        assert GTX_1080_TI.peak_gflops < TESLA_V100.peak_gflops
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            GTX_1080_TI.num_sms = 1
+
+
+class TestValidation:
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            GpuDevice(name="bad", num_sms=0, peak_gflops=1.0,
+                      mem_bandwidth_gbs=1.0)
+
+    def test_rejects_bad_cache_factor(self):
+        with pytest.raises(ValueError):
+            GpuDevice(
+                name="bad",
+                num_sms=1,
+                peak_gflops=1.0,
+                mem_bandwidth_gbs=1.0,
+                cache_factor=1.5,
+            )

@@ -1,0 +1,132 @@
+"""Tests for repro.hardware.measure: tasks and the measurement harness."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.device import JETSON_TX2
+from repro.hardware.measure import (
+    MeasureErrorKind,
+    Measurer,
+    SimulatedTask,
+)
+
+
+class TestSimulatedTask:
+    def test_space_built_automatically(self, small_conv_workload):
+        task = SimulatedTask(small_conv_workload, seed=0)
+        assert len(task.space) > 1000
+
+    def test_environment_is_pure_function_of_seed(self, small_conv_workload):
+        a = SimulatedTask(small_conv_workload, seed=3)
+        b = SimulatedTask(small_conv_workload, seed=3)
+        idx = int(a.space.sample(1, seed=0)[0])
+        assert a.true_gflops(idx) == pytest.approx(b.true_gflops(idx))
+
+    def test_different_seed_different_terrain(self, small_conv_workload):
+        a = SimulatedTask(small_conv_workload, seed=3)
+        b = SimulatedTask(small_conv_workload, seed=4)
+        indices = a.space.sample(50, seed=0)
+        va = np.array([a.true_gflops(int(i)) for i in indices])
+        vb = np.array([b.true_gflops(int(i)) for i in indices])
+        assert not np.allclose(va, vb)
+
+    def test_device_changes_environment(self, small_conv_workload):
+        a = SimulatedTask(small_conv_workload, seed=3)
+        b = SimulatedTask(small_conv_workload, seed=3, device=JETSON_TX2)
+        idx = next(
+            int(i)
+            for i in a.space.sample(50, seed=0)
+            if a.true_gflops(int(i)) > 0 and b.true_gflops(int(i)) > 0
+        )
+        assert a.true_gflops(idx) != pytest.approx(b.true_gflops(idx))
+
+    def test_invalid_config_zero_gflops(self, small_task):
+        space = small_task.space
+        invalid = next(
+            int(i)
+            for i in space.sample(500, seed=2)
+            if small_task.true_gflops(int(i)) == 0.0
+        )
+        assert small_task.true_time_s(invalid) == float("inf")
+        assert small_task.noise_sigma(invalid) == 0.0
+
+    def test_time_consistent_with_gflops(self, small_task):
+        idx = next(
+            int(i)
+            for i in small_task.space.sample(100, seed=0)
+            if small_task.true_gflops(int(i)) > 0
+        )
+        gflops = small_task.true_gflops(idx)
+        time_s = small_task.true_time_s(idx)
+        assert gflops * 1e9 * time_s == pytest.approx(
+            small_task.workload.flops, rel=1e-9
+        )
+
+    def test_repr(self, small_task):
+        assert "SimulatedTask" in repr(small_task)
+
+
+class TestMeasurer:
+    def test_counts_measurements(self, small_task):
+        measurer = Measurer(small_task, seed=0)
+        measurer.measure_batch(small_task.space.sample(7, seed=1))
+        assert measurer.num_measurements == 7
+
+    def test_valid_measurement_near_truth(self, small_task):
+        measurer = Measurer(small_task, seed=0, repeats=10)
+        idx = next(
+            int(i)
+            for i in small_task.space.sample(100, seed=0)
+            if small_task.true_gflops(int(i)) > 0
+        )
+        result = measurer.measure_one(idx)
+        assert result.ok
+        truth = small_task.true_gflops(idx)
+        assert result.gflops == pytest.approx(truth, rel=0.25)
+
+    def test_noise_varies_between_measurements(self, small_task):
+        measurer = Measurer(small_task, seed=0, repeats=1)
+        idx = next(
+            int(i)
+            for i in small_task.space.sample(100, seed=0)
+            if small_task.true_gflops(int(i)) > 0
+        )
+        a = measurer.measure_one(idx).gflops
+        b = measurer.measure_one(idx).gflops
+        assert a != b
+
+    def test_resource_error_reported(self, small_task):
+        measurer = Measurer(small_task, seed=0)
+        invalid = next(
+            int(i)
+            for i in small_task.space.sample(500, seed=2)
+            if small_task.true_gflops(int(i)) == 0.0
+        )
+        result = measurer.measure_one(invalid)
+        assert not result.ok
+        assert result.gflops == 0.0
+        assert result.error_kind in (
+            MeasureErrorKind.RESOURCE_ERROR,
+            MeasureErrorKind.TIMEOUT,
+        )
+        assert result.error_msg
+
+    def test_timeout(self, small_task):
+        tight = Measurer(small_task, seed=0, timeout_s=1e-9)
+        valid = next(
+            int(i)
+            for i in small_task.space.sample(100, seed=0)
+            if small_task.true_gflops(int(i)) > 0
+        )
+        result = tight.measure_one(valid)
+        assert result.error_kind is MeasureErrorKind.TIMEOUT
+
+    def test_batch_order_preserved(self, small_task):
+        measurer = Measurer(small_task, seed=0)
+        indices = [int(i) for i in small_task.space.sample(5, seed=3)]
+        results = measurer.measure_batch(indices)
+        assert [r.config_index for r in results] == indices
+
+    def test_rejects_bad_repeats(self, small_task):
+        with pytest.raises(ValueError):
+            Measurer(small_task, repeats=0)

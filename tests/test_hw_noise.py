@@ -1,0 +1,91 @@
+"""Tests for repro.hardware.noise: terrain and measurement jitter."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hardware.noise import MeasurementNoise, TaskTerrain
+
+
+class TestTaskTerrain:
+    def test_bounds(self):
+        terrain = TaskTerrain(feature_dim=6, seed=0, amplitude=0.2)
+        rng = np.random.default_rng(1)
+        factors = terrain.factor_batch(rng.normal(size=(500, 6)))
+        assert factors.min() >= 1.0 - 0.2 - 1e-9
+        assert factors.max() <= 1.0 + 1e-9
+
+    def test_deterministic_per_seed(self):
+        x = np.random.default_rng(0).normal(size=(10, 4))
+        a = TaskTerrain(4, seed=5).factor_batch(x)
+        b = TaskTerrain(4, seed=5).factor_batch(x)
+        assert np.allclose(a, b)
+
+    def test_different_seeds_different_fields(self):
+        x = np.random.default_rng(0).normal(size=(50, 4))
+        a = TaskTerrain(4, seed=5).factor_batch(x)
+        b = TaskTerrain(4, seed=6).factor_batch(x)
+        assert not np.allclose(a, b)
+
+    def test_local_smoothness(self):
+        """Nearby feature vectors must have nearby terrain values — the
+        assumption BAO's neighborhood search leans on."""
+        terrain = TaskTerrain(8, seed=3, amplitude=0.15)
+        rng = np.random.default_rng(2)
+        base = rng.normal(size=(200, 8))
+        nearby = base + 0.01 * rng.normal(size=base.shape)
+        delta = np.abs(
+            terrain.factor_batch(base) - terrain.factor_batch(nearby)
+        )
+        assert delta.max() < 0.01
+
+    def test_global_variation(self):
+        terrain = TaskTerrain(8, seed=3, amplitude=0.15)
+        rng = np.random.default_rng(2)
+        factors = terrain.factor_batch(rng.normal(scale=4.0, size=(500, 8)))
+        assert factors.std() > 0.01  # the field is not flat
+
+    def test_scalar_factor(self):
+        terrain = TaskTerrain(4, seed=1)
+        x = np.ones(4)
+        assert terrain.factor(x) == pytest.approx(
+            float(terrain.factor_batch(x[None, :])[0])
+        )
+
+    def test_shape_validation(self):
+        terrain = TaskTerrain(4, seed=1)
+        with pytest.raises(ValueError):
+            terrain.factor_batch(np.ones((3, 5)))
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            TaskTerrain(0, seed=1)
+        with pytest.raises(ValueError):
+            TaskTerrain(4, seed=1, amplitude=1.5)
+
+
+class TestMeasurementNoise:
+    def test_factors_positive(self):
+        noise = MeasurementNoise(seed=0)
+        factors = noise.sample_time_factors(0.5, n=10_000)
+        assert (factors > 0).all()
+
+    def test_zero_sigma_is_exact(self):
+        noise = MeasurementNoise(seed=0)
+        assert np.allclose(noise.sample_time_factors(0.0, n=5), 1.0)
+
+    def test_scale(self):
+        noise = MeasurementNoise(seed=0)
+        factors = noise.sample_time_factors(0.05, n=20_000)
+        assert factors.std() == pytest.approx(0.05, rel=0.1)
+        assert factors.mean() == pytest.approx(1.0, abs=0.005)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            MeasurementNoise(seed=0).sample_time_factors(-0.1)
+
+    @given(st.floats(0.0, 0.3), st.integers(1, 100))
+    @settings(max_examples=25, deadline=None)
+    def test_always_positive(self, sigma, n):
+        factors = MeasurementNoise(seed=1).sample_time_factors(sigma, n=n)
+        assert (factors > 0).all()

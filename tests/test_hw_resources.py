@@ -1,0 +1,82 @@
+"""Tests for repro.hardware.resources: occupancy mechanics."""
+
+import pytest
+
+from repro.hardware.device import GTX_1080_TI
+from repro.hardware.resources import (
+    BlockRequirements,
+    ResourceError,
+    compute_occupancy,
+    validate_block,
+)
+
+
+def req(threads=256, smem=0, regs=32) -> BlockRequirements:
+    return BlockRequirements(
+        threads=threads, shared_mem_bytes=smem, registers_per_thread=regs
+    )
+
+
+class TestValidateBlock:
+    def test_ok(self):
+        validate_block(GTX_1080_TI, req())
+
+    def test_too_many_threads(self):
+        with pytest.raises(ResourceError, match="threads/block"):
+            validate_block(GTX_1080_TI, req(threads=2048))
+
+    def test_smem_overflow(self):
+        with pytest.raises(ResourceError, match="shared memory"):
+            validate_block(GTX_1080_TI, req(smem=64 * 1024))
+
+    def test_register_overflow(self):
+        with pytest.raises(ResourceError, match="registers/thread"):
+            validate_block(GTX_1080_TI, req(regs=300))
+
+    def test_register_file_exhaustion(self):
+        with pytest.raises(ResourceError, match="register file"):
+            validate_block(GTX_1080_TI, req(threads=1024, regs=255))
+
+    def test_invalid_requirements(self):
+        with pytest.raises(ValueError):
+            BlockRequirements(threads=0, shared_mem_bytes=0,
+                              registers_per_thread=0)
+
+
+class TestOccupancy:
+    def test_thread_limited(self):
+        occ = compute_occupancy(GTX_1080_TI, req(threads=1024, regs=16))
+        assert occ.blocks_per_sm == 2  # 2048 / 1024
+        assert occ.warp_occupancy == pytest.approx(1.0)
+
+    def test_small_blocks_hit_block_limit(self):
+        occ = compute_occupancy(GTX_1080_TI, req(threads=32, regs=16))
+        assert occ.blocks_per_sm == 32
+        assert occ.limiter == "blocks"
+        assert occ.warp_occupancy == pytest.approx(0.5)
+
+    def test_smem_limited(self):
+        occ = compute_occupancy(GTX_1080_TI, req(threads=64, smem=40 * 1024,
+                                                 regs=16))
+        assert occ.limiter == "smem"
+        assert occ.blocks_per_sm == 2  # 96KB / 40KB
+
+    def test_register_limited(self):
+        occ = compute_occupancy(GTX_1080_TI, req(threads=256, regs=128))
+        # 65536 / (256*128) = 2 blocks
+        assert occ.limiter == "regs"
+        assert occ.blocks_per_sm == 2
+
+    def test_more_registers_reduce_occupancy(self):
+        low = compute_occupancy(GTX_1080_TI, req(threads=256, regs=32))
+        high = compute_occupancy(GTX_1080_TI, req(threads=256, regs=128))
+        assert high.warp_occupancy <= low.warp_occupancy
+
+    def test_partial_warp_rounds_up(self):
+        # 48 threads occupy 2 warps of residency
+        occ = compute_occupancy(GTX_1080_TI, req(threads=48, regs=16))
+        assert occ.active_warps % 2 == 0
+
+    def test_active_warps_capped(self):
+        occ = compute_occupancy(GTX_1080_TI, req(threads=64, regs=1))
+        assert occ.active_warps <= GTX_1080_TI.max_warps_per_sm

@@ -1,0 +1,84 @@
+"""Tests for repro.learning.metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.learning.metrics import rank_accuracy, rmse, top_k_recall
+
+
+class TestRmse:
+    def test_zero_for_exact(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert rmse(y, y) == 0.0
+
+    def test_known_value(self):
+        assert rmse(np.array([0.0, 0.0]), np.array([3.0, 4.0])) == (
+            pytest.approx(np.sqrt(12.5))
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rmse(np.array([1.0]), np.array([1.0, 2.0]))
+        with pytest.raises(ValueError):
+            rmse(np.array([]), np.array([]))
+
+
+class TestRankAccuracy:
+    def test_perfect(self):
+        y = np.array([1.0, 2.0, 3.0, 4.0])
+        assert rank_accuracy(y, y * 10) == 1.0
+
+    def test_reversed(self):
+        y = np.array([1.0, 2.0, 3.0, 4.0])
+        assert rank_accuracy(y, -y) == 0.0
+
+    def test_constant_prediction_is_half(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert rank_accuracy(y, np.zeros(3)) == pytest.approx(0.5)
+
+    def test_all_true_ties(self):
+        assert rank_accuracy(np.ones(3), np.array([1.0, 2.0, 3.0])) == 1.0
+
+    def test_needs_two(self):
+        with pytest.raises(ValueError):
+            rank_accuracy(np.array([1.0]), np.array([1.0]))
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_in_unit_interval(self, seed):
+        rng = np.random.default_rng(seed)
+        y_true = rng.normal(size=10)
+        y_pred = rng.normal(size=10)
+        acc = rank_accuracy(y_true, y_pred)
+        assert 0.0 <= acc <= 1.0
+
+    def test_monotone_transform_invariance(self):
+        rng = np.random.default_rng(0)
+        y_true = rng.normal(size=20)
+        y_pred = rng.normal(size=20)
+        a = rank_accuracy(y_true, y_pred)
+        b = rank_accuracy(y_true, np.exp(y_pred))
+        assert a == pytest.approx(b)
+
+
+class TestTopKRecall:
+    def test_perfect(self):
+        y = np.arange(10.0)
+        assert top_k_recall(y, y, k=3) == 1.0
+
+    def test_disjoint(self):
+        y_true = np.arange(10.0)
+        assert top_k_recall(y_true, -y_true, k=3) == 0.0
+
+    def test_partial(self):
+        y_true = np.array([0.0, 1.0, 2.0, 3.0])
+        y_pred = np.array([0.0, 3.0, 1.0, 2.0])
+        # true top-2 {3, 2}; predicted top-2 {1, 3}: overlap 1
+        assert top_k_recall(y_true, y_pred, k=2) == 0.5
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            top_k_recall(np.ones(3), np.ones(3), k=0)
+        with pytest.raises(ValueError):
+            top_k_recall(np.ones(3), np.ones(3), k=4)

@@ -1,0 +1,121 @@
+"""Tests for the alternative evaluation functions (MLP, rank GBT).
+
+These back the paper's Sec. IV claim that the framework is independent
+of the evaluation-function form: both models satisfy the fit/predict
+contract and plug into the bootstrap ensemble.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.bootstrap import BootstrapEnsemble
+from repro.learning.metrics import rank_accuracy, rmse
+from repro.learning.mlp import MlpRegressor
+from repro.learning.rank import RankGradientBoostedTrees
+
+
+def smooth_data(n=300, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-1, 1, size=(n, 6))
+    y = X[:, 0] * 3 + np.sin(2 * X[:, 1]) + X[:, 2] * X[:, 3]
+    return X, y
+
+
+class TestMlpRegressor:
+    def test_fits_smooth_function(self):
+        X, y = smooth_data()
+        model = MlpRegressor(hidden_layers=(32, 16), epochs=80, seed=0)
+        model.fit(X, y)
+        assert rmse(y, model.predict(X)) < 0.4 * y.std()
+
+    def test_generalizes(self):
+        X, y = smooth_data(400, seed=1)
+        Xt, yt = smooth_data(100, seed=2)
+        model = MlpRegressor(hidden_layers=(32, 16), epochs=80, seed=0)
+        model.fit(X, y)
+        assert rmse(yt, model.predict(Xt)) < 0.6 * yt.std()
+
+    def test_deterministic(self):
+        X, y = smooth_data(100)
+        a = MlpRegressor(epochs=10, seed=3).fit(X, y).predict(X)
+        b = MlpRegressor(epochs=10, seed=3).fit(X, y).predict(X)
+        assert np.allclose(a, b)
+
+    def test_constant_target(self):
+        X = np.random.default_rng(0).normal(size=(40, 3))
+        model = MlpRegressor(epochs=60, seed=0).fit(X, np.full(40, 7.0))
+        assert model.predict(X) == pytest.approx(np.full(40, 7.0), abs=1.0)
+
+    def test_constant_feature_column_is_safe(self):
+        X = np.random.default_rng(0).normal(size=(50, 3))
+        X[:, 1] = 5.0
+        y = X[:, 0]
+        model = MlpRegressor(epochs=30, seed=0).fit(X, y)
+        assert np.isfinite(model.predict(X)).all()
+
+    def test_sample_weight(self):
+        X = np.vstack([np.zeros((30, 2)), np.ones((30, 2))])
+        y = np.concatenate([np.zeros(30), np.full(30, 10.0)])
+        w = np.concatenate([np.ones(30), np.full(30, 1e-6)])
+        model = MlpRegressor(epochs=60, seed=0).fit(X, y, sample_weight=w)
+        assert abs(model.predict(np.zeros((1, 2)))[0]) < 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MlpRegressor(hidden_layers=())
+        with pytest.raises(ValueError):
+            MlpRegressor(epochs=0)
+        with pytest.raises(ValueError):
+            MlpRegressor().fit(np.ones((5, 2)), np.ones(4))
+        with pytest.raises(RuntimeError):
+            MlpRegressor().predict(np.ones((2, 2)))
+
+    def test_plugs_into_bootstrap_ensemble(self):
+        X, y = smooth_data(120)
+        ensemble = BootstrapEnsemble(
+            gamma=2,
+            model_factory=lambda: MlpRegressor(
+                hidden_layers=(16,), epochs=25, seed=1
+            ),
+            seed=0,
+        ).fit(X, y)
+        scores = ensemble.predict_sum(X)
+        assert np.corrcoef(scores, y)[0, 1] > 0.6
+
+
+class TestRankGbt:
+    def test_ranks_smooth_function(self):
+        X, y = smooth_data(250, seed=4)
+        model = RankGradientBoostedTrees(n_estimators=40, seed=0).fit(X, y)
+        assert rank_accuracy(y, model.predict(X)) > 0.85
+
+    def test_generalizes_ranking(self):
+        X, y = smooth_data(400, seed=5)
+        Xt, yt = smooth_data(120, seed=6)
+        model = RankGradientBoostedTrees(n_estimators=40, seed=0).fit(X, y)
+        assert rank_accuracy(yt, model.predict(Xt)) > 0.75
+
+    def test_invariant_to_target_scale(self):
+        """Rank loss only sees order: scaling y must not change scores."""
+        X, y = smooth_data(150, seed=7)
+        a = RankGradientBoostedTrees(n_estimators=10, seed=1).fit(X, y)
+        b = RankGradientBoostedTrees(n_estimators=10, seed=1).fit(X, y * 100)
+        assert np.allclose(a.predict(X), b.predict(X))
+
+    def test_constant_target_stops_early(self):
+        X = np.random.default_rng(0).normal(size=(50, 3))
+        model = RankGradientBoostedTrees(n_estimators=20, seed=0).fit(
+            X, np.ones(50)
+        )
+        assert model.n_trees == 0
+        assert np.allclose(model.predict(X), 0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RankGradientBoostedTrees(n_estimators=0)
+        with pytest.raises(ValueError):
+            RankGradientBoostedTrees(pairs_per_sample=0)
+        with pytest.raises(RuntimeError):
+            RankGradientBoostedTrees().predict(np.ones((2, 2)))
+        with pytest.raises(ValueError):
+            RankGradientBoostedTrees().fit(np.empty((0, 2)), np.empty(0))

@@ -1,0 +1,99 @@
+"""Tests for repro.learning.sa: model-guided simulated annealing."""
+
+import numpy as np
+import pytest
+
+from repro.learning.sa import simulated_annealing_search
+from repro.space.knobs import OtherKnob
+from repro.space.space import ConfigSpace
+
+
+def lattice_space(sizes=(16, 16)) -> ConfigSpace:
+    space = ConfigSpace("sa")
+    for i, size in enumerate(sizes):
+        space.add_knob(OtherKnob(f"k{i}", list(range(size))))
+    return space
+
+
+def quadratic_score(space, optimum):
+    """Score peaking at a known optimum in knob-index space."""
+    target = np.asarray(optimum, dtype=np.float64)
+
+    def score(indices: np.ndarray) -> np.ndarray:
+        digits = space.decode_batch(np.asarray(indices))
+        return -np.sum((digits - target) ** 2, axis=1).astype(float)
+
+    return score
+
+
+class TestSearchQuality:
+    def test_finds_known_optimum_region(self):
+        space = lattice_space((16, 16))
+        score = quadratic_score(space, (10, 5))
+        plan = simulated_annealing_search(
+            space, score, plan_size=8, seed=0, n_chains=32, n_steps=100
+        )
+        best = space.decode(plan[0])
+        assert abs(best[0] - 10) <= 1
+        assert abs(best[1] - 5) <= 1
+
+    def test_plan_sorted_by_score(self):
+        space = lattice_space()
+        score = quadratic_score(space, (3, 3))
+        plan = simulated_annealing_search(space, score, plan_size=10, seed=1)
+        scores = score(np.array(plan))
+        assert (np.diff(scores) <= 1e-12).all()
+
+    def test_beats_random_on_average(self, small_task):
+        space = small_task.space
+        rng = np.random.default_rng(0)
+
+        def score(indices):
+            return small_task.space.feature_matrix(indices).sum(axis=1)
+
+        plan = simulated_annealing_search(
+            space, score, plan_size=16, seed=2, n_chains=32, n_steps=60
+        )
+        random_pick = space.sample(16, seed=3)
+        assert score(np.array(plan)).mean() > score(random_pick).mean()
+
+
+class TestContract:
+    def test_plan_is_distinct(self):
+        space = lattice_space()
+        score = quadratic_score(space, (8, 8))
+        plan = simulated_annealing_search(space, score, plan_size=20, seed=4)
+        assert len(set(plan)) == len(plan)
+
+    def test_exclusions_respected(self):
+        space = lattice_space((8, 8))
+        score = quadratic_score(space, (4, 4))
+        exclude = set(range(0, len(space), 2))
+        plan = simulated_annealing_search(
+            space, score, plan_size=10, seed=5, exclude=exclude
+        )
+        assert not (set(plan) & exclude)
+
+    def test_deterministic(self):
+        space = lattice_space()
+        score = quadratic_score(space, (2, 12))
+        a = simulated_annealing_search(space, score, plan_size=6, seed=6)
+        b = simulated_annealing_search(space, score, plan_size=6, seed=6)
+        assert a == b
+
+    def test_bad_args(self):
+        space = lattice_space()
+        score = quadratic_score(space, (0, 0))
+        with pytest.raises(ValueError):
+            simulated_annealing_search(space, score, plan_size=0)
+        with pytest.raises(ValueError):
+            simulated_annealing_search(space, score, plan_size=4, n_chains=0)
+
+    def test_plan_size_larger_than_reachable(self):
+        space = ConfigSpace("tiny")
+        space.add_knob(OtherKnob("k", [0, 1, 2]))
+        score = lambda idx: np.zeros(len(idx))
+        plan = simulated_annealing_search(
+            space, score, plan_size=10, seed=0, n_chains=4, n_steps=10
+        )
+        assert len(plan) <= 3

@@ -1,0 +1,93 @@
+"""Tests for repro.learning.transfer."""
+
+import numpy as np
+import pytest
+
+from repro.learning.transfer import TransferHistory
+
+
+def fake_task_data(n=50, d=4, seed=0, best=100.0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, d))
+    y = rng.uniform(0, best, size=n)
+    y[0] = best  # pin the max
+    return X, y
+
+
+class TestAddTask:
+    def test_counts(self):
+        history = TransferHistory()
+        X, y = fake_task_data()
+        history.add_task("t1", X, y)
+        assert len(history) == 1
+        assert history.num_samples == 50
+
+    def test_normalization(self):
+        history = TransferHistory()
+        X, y = fake_task_data(best=1234.0)
+        history.add_task("t1", X, y)
+        _, targets, _ = history.training_data(4)
+        assert targets.max() == pytest.approx(1.0)
+
+    def test_max_per_task_keeps_best(self):
+        history = TransferHistory(max_per_task=10)
+        X, y = fake_task_data(n=100)
+        history.add_task("t1", X, y)
+        _, targets, _ = history.training_data(4)
+        assert len(targets) == 10
+        assert targets.min() >= np.sort(y / y.max())[-10] - 1e-12
+
+    def test_all_zero_scores_ignored(self):
+        history = TransferHistory()
+        history.add_task("dead", np.ones((5, 4)), np.zeros(5))
+        assert len(history) == 0
+
+    def test_empty_ignored(self):
+        history = TransferHistory()
+        history.add_task("empty", np.empty((0, 4)), np.empty(0))
+        assert len(history) == 0
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            TransferHistory().add_task("bad", np.ones((5, 4)), np.ones(4))
+
+
+class TestTrainingData:
+    def test_mixes_history_and_current(self):
+        history = TransferHistory(history_weight=0.3)
+        X, y = fake_task_data(seed=1)
+        history.add_task("t1", X, y)
+        Xc, yc = fake_task_data(n=20, seed=2)
+        Xall, yall, wall = history.training_data(
+            4, current_features=Xc, current_targets=yc
+        )
+        assert len(yall) == 70
+        assert set(np.round(wall, 6)) == {0.3, 1.0}
+
+    def test_dimension_filter(self):
+        history = TransferHistory()
+        history.add_task("t1", *fake_task_data(d=4))
+        history.add_task("t2", *fake_task_data(d=6, seed=3))
+        X, y, w = history.training_data(6)
+        assert X.shape[1] == 6
+        assert len(y) == 50  # only the d=6 task
+
+    def test_empty_history(self):
+        X, y, w = TransferHistory().training_data(4)
+        assert X.shape == (0, 4)
+        assert len(y) == 0
+
+    def test_current_dim_mismatch(self):
+        history = TransferHistory()
+        with pytest.raises(ValueError):
+            history.training_data(
+                4,
+                current_features=np.ones((3, 5)),
+                current_targets=np.ones(3),
+            )
+
+    def test_bad_constructor(self):
+        with pytest.raises(ValueError):
+            TransferHistory(history_weight=2.0)
+        with pytest.raises(ValueError):
+            TransferHistory(max_per_task=0)

@@ -1,0 +1,90 @@
+"""Coverage for small behaviours not exercised elsewhere."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import format_table
+from repro.hardware.measure import Measurer
+from repro.space.knobs import OtherKnob
+from repro.space.space import ConfigSpace
+
+
+class TestFormatTableEdges:
+    def test_single_column(self):
+        text = format_table(["only"], [["a"], ["bb"]])
+        assert text.splitlines()[0].strip() == "only"
+
+    def test_no_rows(self):
+        text = format_table(["a", "b"], [])
+        assert len(text.splitlines()) == 2  # header + rule
+
+    def test_wide_cells_set_width(self):
+        text = format_table(["x"], [["wide-cell-value"]])
+        assert "wide-cell-value" in text
+
+
+class TestConfigEntityCaching:
+    def test_knob_indices_cached(self):
+        space = ConfigSpace()
+        space.add_knob(OtherKnob("a", [0, 1, 2]))
+        entity = space.get(2)
+        first = entity.knob_indices
+        assert entity.knob_indices is first
+
+    def test_values_cached(self):
+        space = ConfigSpace()
+        space.add_knob(OtherKnob("a", [0, 1, 2]))
+        entity = space.get(1)
+        assert entity.values is entity.values
+
+
+class TestIterationGuard:
+    def test_huge_space_refuses_iteration(self, small_task):
+        if len(small_task.space) <= 10_000_000:
+            pytest.skip("fixture space too small for the guard")
+        with pytest.raises(RuntimeError, match="refusing"):
+            iter(small_task.space)
+
+    def test_guard_threshold_on_template_space(self):
+        from repro.nn.workloads import Conv2DWorkload
+        from repro.space.templates import build_space
+
+        space = build_space(
+            Conv2DWorkload(1, 64, 64, 56, 56, 3, 3, pad_h=1, pad_w=1)
+        )
+        assert len(space) > 10_000_000
+        with pytest.raises(RuntimeError):
+            iter(space)
+
+
+class TestRepeatsReduceNoise:
+    def test_more_repeats_tighter_measurements(self, small_task):
+        idx = next(
+            int(i)
+            for i in small_task.space.sample(100, seed=0)
+            if small_task.true_gflops(int(i)) > 0
+        )
+        truth = small_task.true_gflops(idx)
+
+        def spread(repeats, n=30):
+            measurer = Measurer(small_task, seed=1, repeats=repeats)
+            samples = [measurer.measure_one(idx).gflops for _ in range(n)]
+            return np.std(samples) / truth
+
+        assert spread(10) < spread(1)
+
+
+class TestTransferRetention:
+    def test_keeps_the_best_samples(self):
+        from repro.learning.transfer import TransferHistory
+
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(100, 4))
+        y = np.linspace(1.0, 100.0, 100)
+        history = TransferHistory(max_per_task=10)
+        history.add_task("t", X, y)
+        _, targets, _ = history.training_data(4)
+        # kept samples are the 10 largest, normalized by the max
+        assert np.allclose(
+            np.sort(targets), np.linspace(91, 100, 10) / 100.0
+        )

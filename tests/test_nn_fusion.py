@@ -1,0 +1,98 @@
+"""Tests for repro.nn.fusion: the graph-level fusion pass."""
+
+import pytest
+
+from repro.nn.fusion import fuse_graph, tunable_workloads
+from repro.nn.graph import GraphBuilder
+
+
+def conv_bn_relu_graph():
+    b = GraphBuilder("cbr")
+    b.input((1, 3, 8, 8))
+    b.conv2d("c1", 8, kernel=(3, 3), padding=(1, 1))
+    b.batch_norm("bn1")
+    b.relu("r1")
+    return b.graph
+
+
+class TestBasicFusion:
+    def test_conv_bn_relu_fuses_into_one_kernel(self):
+        groups = fuse_graph(conv_bn_relu_graph())
+        ops = [g.ops for g in groups]
+        assert ("conv2d", "batch_norm", "relu") in ops
+
+    def test_every_node_in_exactly_one_group(self):
+        graph = conv_bn_relu_graph()
+        groups = fuse_graph(graph)
+        all_ids = sorted(i for g in groups for i in g.node_ids)
+        assert all_ids == list(range(len(graph)))
+
+    def test_pooling_breaks_fusion(self):
+        b = GraphBuilder()
+        b.input((1, 3, 8, 8))
+        b.conv2d("c", 8, padding=(1, 1))
+        b.pool2d("p")
+        b.relu("r")
+        groups = fuse_graph(b.graph)
+        pool_group = next(g for g in groups if "max_pool2d" in g.ops)
+        # relu cannot fuse into the pool group (no anchor there)
+        assert pool_group.ops == ("max_pool2d",)
+
+    def test_input_is_its_own_group(self):
+        groups = fuse_graph(conv_bn_relu_graph())
+        assert groups[0].ops == ("input",)
+        assert not groups[0].is_tunable
+
+    def test_flops_accumulate(self):
+        graph = conv_bn_relu_graph()
+        groups = fuse_graph(graph)
+        assert sum(g.flops for g in groups) == graph.total_flops()
+
+
+class TestMultiConsumer:
+    def test_fanout_blocks_fusion(self):
+        # conv output feeds two relus: neither can fuse (tensor must
+        # materialize)
+        b = GraphBuilder()
+        b.input((1, 3, 8, 8))
+        conv = b.conv2d("c", 8, padding=(1, 1))
+        b.relu("r1", source=conv)
+        b.relu("r2", source=conv)
+        groups = fuse_graph(b.graph)
+        conv_group = next(g for g in groups if "conv2d" in g.ops)
+        assert conv_group.ops == ("conv2d",)
+
+    def test_residual_add_fuses_into_main_branch(self):
+        b = GraphBuilder()
+        src = b.input((1, 8, 8, 8))
+        main = b.conv2d("c1", 8, padding=(1, 1), source=src)
+        b.add("sum", main, src)
+        groups = fuse_graph(b.graph)
+        conv_group = next(g for g in groups if "conv2d" in g.ops)
+        assert "add" in conv_group.ops
+
+
+class TestWorkloads:
+    def test_tunable_groups_have_workloads(self):
+        groups = fuse_graph(conv_bn_relu_graph())
+        tunable = [g for g in groups if g.is_tunable]
+        assert len(tunable) == 1
+        assert tunable[0].workload.kind == "conv2d"
+
+    def test_dedup(self):
+        b = GraphBuilder()
+        b.input((1, 8, 8, 8))
+        b.conv2d("c1", 8, padding=(1, 1))
+        b.conv2d("c2", 8, padding=(1, 1))  # identical workload
+        assert len(tunable_workloads(b.graph)) == 1
+
+    def test_different_shapes_not_deduped(self):
+        b = GraphBuilder()
+        b.input((1, 8, 8, 8))
+        b.conv2d("c1", 8, padding=(1, 1))
+        b.conv2d("c2", 16, padding=(1, 1))
+        assert len(tunable_workloads(b.graph)) == 2
+
+    def test_repr(self):
+        groups = fuse_graph(conv_bn_relu_graph())
+        assert "FusedOp" in repr(groups[1])

@@ -1,0 +1,142 @@
+"""Tests for repro.nn.graph: construction, shape inference, stats."""
+
+import pytest
+
+from repro.nn.graph import Graph, GraphBuilder
+from repro.nn.layers import Conv2D, Input, ReLU, ShapeError
+
+
+def tiny_graph() -> Graph:
+    b = GraphBuilder("tiny")
+    b.input((1, 3, 8, 8))
+    b.conv2d("c1", 8, kernel=(3, 3), padding=(1, 1))
+    b.relu("r1")
+    return b.graph
+
+
+class TestConstruction:
+    def test_add_returns_sequential_ids(self):
+        g = Graph()
+        i0 = g.add(Input(name="in", shape=(1, 3, 8, 8)))
+        i1 = g.add(ReLU(name="r"), [i0])
+        assert (i0, i1) == (0, 1)
+
+    def test_duplicate_name_rejected(self):
+        g = Graph()
+        g.add(Input(name="in", shape=(1, 3, 8, 8)))
+        with pytest.raises(ValueError, match="duplicate"):
+            g.add(Input(name="in", shape=(1, 3, 8, 8)))
+
+    def test_dangling_input_rejected(self):
+        g = Graph()
+        with pytest.raises(ValueError, match="unknown node"):
+            g.add(ReLU(name="r"), [5])
+
+    def test_len_and_iter(self):
+        g = tiny_graph()
+        assert len(g) == 3
+        assert [n.op for n in g] == ["input", "conv2d", "relu"]
+
+    def test_node_by_name(self):
+        g = tiny_graph()
+        assert g.node_by_name("c1").op == "conv2d"
+        with pytest.raises(KeyError):
+            g.node_by_name("nope")
+
+
+class TestTopology:
+    def test_topological_order_is_insertion(self):
+        g = tiny_graph()
+        order = [n.node_id for n in g.topological_order()]
+        assert order == [0, 1, 2]
+
+    def test_consumers(self):
+        g = tiny_graph()
+        assert g.consumers(0) == [1]
+        assert g.consumers(2) == []
+
+    def test_output_nodes(self):
+        g = tiny_graph()
+        outs = g.output_nodes()
+        assert [n.name for n in outs] == ["r1"]
+
+    def test_branching_outputs(self):
+        b = GraphBuilder("branch")
+        src = b.input((1, 4, 4, 4))
+        b.relu("a", source=src)
+        b.relu("b", source=src)
+        outs = {n.name for n in b.graph.output_nodes()}
+        assert outs == {"a", "b"}
+
+
+class TestShapeInference:
+    def test_infer_shapes(self):
+        g = tiny_graph()
+        g.infer_shapes()
+        assert g[1].output_shape == (1, 8, 8, 8)
+        assert g[2].output_shape == (1, 8, 8, 8)
+
+    def test_idempotent(self):
+        g = tiny_graph()
+        g.infer_shapes()
+        g.infer_shapes()
+        assert g[2].output_shape == (1, 8, 8, 8)
+
+    def test_propagates_layer_error(self):
+        b = GraphBuilder("bad")
+        b.input((1, 3, 4, 4))
+        b.conv2d("c", 8, kernel=(9, 9))
+        with pytest.raises(ShapeError):
+            b.graph.infer_shapes()
+
+    def test_input_shapes_of(self):
+        g = tiny_graph()
+        assert g.input_shapes_of(g[1]) == [(1, 3, 8, 8)]
+
+
+class TestStats:
+    def test_total_flops_matches_manual(self):
+        g = tiny_graph()
+        conv_flops = 2 * 3 * 3 * 3 * 8 * 8 * 8
+        relu_flops = 1 * 8 * 8 * 8
+        assert g.total_flops() == conv_flops + relu_flops
+
+    def test_total_params(self):
+        g = tiny_graph()
+        assert g.total_params() == 8 * 3 * 9 + 8
+
+    def test_summary_mentions_everything(self):
+        text = tiny_graph().summary()
+        assert "conv2d" in text
+        assert "GFLOPs" in text
+
+
+class TestBuilder:
+    def test_cursor_tracks_last(self):
+        b = GraphBuilder()
+        b.input((1, 3, 8, 8))
+        cid = b.conv2d("c", 4, padding=(1, 1))
+        assert b.cursor == cid
+
+    def test_cursor_on_empty_graph(self):
+        with pytest.raises(ValueError):
+            GraphBuilder().cursor
+
+    def test_explicit_source(self):
+        b = GraphBuilder()
+        src = b.input((1, 4, 8, 8))
+        b.relu("r1")
+        b.relu("r2", source=src)
+        assert b.graph.node_by_name("r2").inputs == (src,)
+
+    def test_add_and_concat(self):
+        b = GraphBuilder()
+        src = b.input((1, 4, 8, 8))
+        a = b.relu("a", source=src)
+        c = b.relu("b", source=src)
+        b.add("sum", a, c)
+        b.concat("cat", [a, c])
+        g = b.graph
+        g.infer_shapes()
+        assert g.node_by_name("sum").output_shape == (1, 4, 8, 8)
+        assert g.node_by_name("cat").output_shape == (1, 8, 8, 8)

@@ -1,0 +1,186 @@
+"""Tests for repro.nn.layers: shape inference and bookkeeping."""
+
+import pytest
+
+from repro.nn.layers import (
+    Add,
+    BatchNorm,
+    Concat,
+    Conv2D,
+    Dense,
+    DepthwiseConv2D,
+    Dropout,
+    Flatten,
+    GlobalAvgPool,
+    Input,
+    LRN,
+    Pool2D,
+    ReLU,
+    ShapeError,
+    Softmax,
+)
+
+
+class TestInput:
+    def test_shape_passthrough(self):
+        layer = Input(name="in", shape=(1, 3, 8, 8))
+        assert layer.infer_shape([]) == (1, 3, 8, 8)
+
+    def test_rejects_inputs(self):
+        layer = Input(name="in", shape=(1, 3, 8, 8))
+        with pytest.raises(ShapeError):
+            layer.infer_shape([(1, 3, 8, 8)])
+
+
+class TestConv2D:
+    def test_basic_shape(self):
+        layer = Conv2D(name="c", out_channels=16, kernel=(3, 3), padding=(1, 1))
+        assert layer.infer_shape([(1, 8, 14, 14)]) == (1, 16, 14, 14)
+
+    def test_stride(self):
+        layer = Conv2D(name="c", out_channels=16, kernel=(3, 3),
+                       stride=(2, 2), padding=(1, 1))
+        assert layer.infer_shape([(1, 8, 14, 14)]) == (1, 16, 7, 7)
+
+    def test_kernel_too_big(self):
+        layer = Conv2D(name="c", out_channels=4, kernel=(9, 9))
+        with pytest.raises(ShapeError):
+            layer.infer_shape([(1, 3, 8, 8)])
+
+    def test_groups_must_divide(self):
+        layer = Conv2D(name="c", out_channels=9, kernel=(1, 1), groups=3)
+        with pytest.raises(ShapeError):
+            layer.infer_shape([(1, 8, 8, 8)])
+
+    def test_param_count_after_inference(self):
+        layer = Conv2D(name="c", out_channels=16, kernel=(3, 3))
+        layer.infer_shape([(1, 8, 14, 14)])
+        assert layer.param_count() == 16 * 8 * 9 + 16
+
+    def test_param_count_before_inference_fails(self):
+        layer = Conv2D(name="c", out_channels=16)
+        with pytest.raises(ShapeError):
+            layer.param_count()
+
+    def test_rank_check(self):
+        layer = Conv2D(name="c", out_channels=4)
+        with pytest.raises(ShapeError):
+            layer.infer_shape([(1, 8)])
+
+    def test_is_anchor(self):
+        assert Conv2D(name="c", out_channels=4).is_anchor
+        assert not Conv2D(name="c", out_channels=4).is_injective
+
+
+class TestDepthwise:
+    def test_shape(self):
+        layer = DepthwiseConv2D(name="d", kernel=(3, 3), padding=(1, 1))
+        assert layer.infer_shape([(1, 32, 14, 14)]) == (1, 32, 14, 14)
+
+    def test_multiplier(self):
+        layer = DepthwiseConv2D(
+            name="d", kernel=(3, 3), padding=(1, 1), channel_multiplier=2
+        )
+        assert layer.infer_shape([(1, 8, 14, 14)]) == (1, 16, 14, 14)
+
+    def test_params(self):
+        layer = DepthwiseConv2D(name="d", kernel=(3, 3), padding=(1, 1))
+        layer.infer_shape([(1, 8, 14, 14)])
+        assert layer.param_count() == 8 * 9 + 8
+
+
+class TestDense:
+    def test_shape(self):
+        layer = Dense(name="fc", out_features=10)
+        assert layer.infer_shape([(4, 64)]) == (4, 10)
+
+    def test_requires_rank2(self):
+        layer = Dense(name="fc", out_features=10)
+        with pytest.raises(ShapeError):
+            layer.infer_shape([(1, 8, 4, 4)])
+
+    def test_params(self):
+        layer = Dense(name="fc", out_features=10)
+        layer.infer_shape([(1, 64)])
+        assert layer.param_count() == 64 * 10 + 10
+
+
+class TestPooling:
+    def test_max_pool(self):
+        layer = Pool2D(name="p", kernel=(2, 2), stride=(2, 2))
+        assert layer.infer_shape([(1, 8, 14, 14)]) == (1, 8, 7, 7)
+
+    def test_ceil_mode(self):
+        floor_pool = Pool2D(name="p", kernel=(3, 3), stride=(2, 2))
+        ceil_pool = Pool2D(name="p", kernel=(3, 3), stride=(2, 2),
+                           ceil_mode=True)
+        assert floor_pool.infer_shape([(1, 8, 112, 112)]) == (1, 8, 55, 55)
+        assert ceil_pool.infer_shape([(1, 8, 112, 112)]) == (1, 8, 56, 56)
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            Pool2D(name="p", mode="median")
+
+    def test_global_avg(self):
+        layer = GlobalAvgPool(name="g")
+        assert layer.infer_shape([(1, 128, 7, 7)]) == (1, 128, 1, 1)
+
+
+class TestInjectives:
+    @pytest.mark.parametrize(
+        "layer",
+        [
+            ReLU(name="r"),
+            Dropout(name="d"),
+            Softmax(name="s"),
+        ],
+    )
+    def test_identity_shape(self, layer):
+        assert layer.infer_shape([(1, 10)]) == (1, 10)
+        assert layer.is_injective
+
+    def test_batch_norm_preserves_and_counts_params(self):
+        layer = BatchNorm(name="bn")
+        assert layer.infer_shape([(1, 32, 7, 7)]) == (1, 32, 7, 7)
+        assert layer.param_count() == 64
+
+    def test_lrn_requires_4d(self):
+        with pytest.raises(ShapeError):
+            LRN(name="l").infer_shape([(1, 10)])
+
+    def test_flatten(self):
+        layer = Flatten(name="f")
+        assert layer.infer_shape([(2, 8, 3, 3)]) == (2, 72)
+
+    def test_flatten_needs_rank2(self):
+        with pytest.raises(ShapeError):
+            Flatten(name="f").infer_shape([(5,)])
+
+
+class TestJoins:
+    def test_concat(self):
+        layer = Concat(name="c")
+        out = layer.infer_shape([(1, 8, 7, 7), (1, 16, 7, 7)])
+        assert out == (1, 24, 7, 7)
+
+    def test_concat_mismatch(self):
+        layer = Concat(name="c")
+        with pytest.raises(ShapeError):
+            layer.infer_shape([(1, 8, 7, 7), (1, 16, 6, 7)])
+
+    def test_concat_needs_two(self):
+        with pytest.raises(ShapeError):
+            Concat(name="c").infer_shape([(1, 8, 7, 7)])
+
+    def test_add(self):
+        layer = Add(name="a")
+        assert layer.infer_shape([(1, 8, 7, 7), (1, 8, 7, 7)]) == (1, 8, 7, 7)
+        assert layer.is_injective
+
+    def test_add_mismatch(self):
+        with pytest.raises(ShapeError):
+            Add(name="a").infer_shape([(1, 8, 7, 7), (1, 9, 7, 7)])
+
+    def test_add_arity(self):
+        with pytest.raises(ShapeError):
+            Add(name="a").infer_shape([(1, 8, 7, 7)])

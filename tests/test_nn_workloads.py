@@ -1,0 +1,120 @@
+"""Tests for repro.nn.workloads: shapes, FLOPs, hashing, serialization."""
+
+import pytest
+
+from repro.nn.workloads import (
+    Conv2DWorkload,
+    DenseWorkload,
+    DepthwiseConv2DWorkload,
+    arithmetic_intensity,
+)
+from repro.pipeline.records import workload_from_dict
+
+
+class TestConv2DWorkload:
+    def test_output_shape(self):
+        wl = Conv2DWorkload(1, 3, 64, 224, 224, 7, 7, 2, 2, 3, 3)
+        assert wl.out_height == 112
+        assert wl.out_width == 112
+
+    def test_flops_known_value(self):
+        # 3x3 conv, 64->64, 56x56, pad 1: 2*64*3*3 * (64*56*56) FLOPs
+        wl = Conv2DWorkload(1, 64, 64, 56, 56, 3, 3, pad_h=1, pad_w=1)
+        assert wl.flops == 2 * 64 * 3 * 3 * 64 * 56 * 56
+
+    def test_grouped_conv_flops_divide(self):
+        base = Conv2DWorkload(1, 64, 64, 28, 28, 3, 3, pad_h=1, pad_w=1)
+        grouped = Conv2DWorkload(
+            1, 64, 64, 28, 28, 3, 3, pad_h=1, pad_w=1, groups=4
+        )
+        assert grouped.flops * 4 == base.flops
+
+    def test_equal_workloads_hash_equal(self):
+        a = Conv2DWorkload(1, 8, 8, 14, 14, 3, 3)
+        b = Conv2DWorkload(1, 8, 8, 14, 14, 3, 3)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_invalid_groups(self):
+        with pytest.raises(ValueError):
+            Conv2DWorkload(1, 10, 8, 14, 14, 3, 3, groups=3)
+
+    def test_negative_padding(self):
+        with pytest.raises(ValueError):
+            Conv2DWorkload(1, 8, 8, 14, 14, 3, 3, pad_h=-1)
+
+    def test_nonpositive_dims(self):
+        with pytest.raises(ValueError):
+            Conv2DWorkload(0, 8, 8, 14, 14, 3, 3)
+
+    def test_bytes_positive(self):
+        wl = Conv2DWorkload(1, 8, 8, 14, 14, 3, 3)
+        assert wl.input_bytes > 0
+        assert wl.output_bytes > 0
+
+    def test_str_contains_kind(self):
+        assert "conv2d" in str(Conv2DWorkload(1, 8, 8, 14, 14, 3, 3))
+
+
+class TestDepthwiseWorkload:
+    def test_output_channels(self):
+        wl = DepthwiseConv2DWorkload(1, 32, 112, 112, 3, 3, 1, 1, 1, 1)
+        assert wl.out_channels == 32
+        assert wl.out_height == 112
+
+    def test_multiplier(self):
+        wl = DepthwiseConv2DWorkload(
+            1, 16, 14, 14, 3, 3, 1, 1, 1, 1, channel_multiplier=2
+        )
+        assert wl.out_channels == 32
+
+    def test_flops_scale_with_channels_not_squared(self):
+        small = DepthwiseConv2DWorkload(1, 16, 14, 14, 3, 3, 1, 1, 1, 1)
+        big = DepthwiseConv2DWorkload(1, 32, 14, 14, 3, 3, 1, 1, 1, 1)
+        assert big.flops == 2 * small.flops
+
+    def test_kind(self):
+        wl = DepthwiseConv2DWorkload(1, 16, 14, 14, 3, 3)
+        assert wl.kind == "depthwise_conv2d"
+
+
+class TestDenseWorkload:
+    def test_flops(self):
+        wl = DenseWorkload(1, 1024, 1000)
+        assert wl.flops == 2 * 1024 * 1000
+
+    def test_weight_count(self):
+        assert DenseWorkload(1, 10, 5).weight_count == 50
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            DenseWorkload(1, 0, 5)
+
+
+class TestSerialization:
+    @pytest.mark.parametrize(
+        "wl",
+        [
+            Conv2DWorkload(1, 8, 16, 14, 14, 3, 3, pad_h=1, pad_w=1),
+            DepthwiseConv2DWorkload(1, 16, 14, 14, 3, 3, 2, 2, 1, 1),
+            DenseWorkload(2, 64, 48),
+        ],
+    )
+    def test_roundtrip(self, wl):
+        assert workload_from_dict(wl.to_dict()) == wl
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            workload_from_dict({"kind": "softmax"})
+
+
+class TestArithmeticIntensity:
+    def test_pointwise_lower_than_spatial(self):
+        pointwise = Conv2DWorkload(1, 256, 256, 14, 14, 1, 1)
+        spatial = Conv2DWorkload(1, 256, 256, 14, 14, 3, 3, pad_h=1, pad_w=1)
+        assert arithmetic_intensity(pointwise) < arithmetic_intensity(spatial)
+
+    def test_depthwise_is_memory_bound(self):
+        dw = DepthwiseConv2DWorkload(1, 512, 14, 14, 3, 3, 1, 1, 1, 1)
+        assert arithmetic_intensity(dw) < 10

@@ -1,0 +1,118 @@
+"""Tests for the model zoo: published FLOPs/params and task counts."""
+
+import pytest
+
+from repro.nn.fusion import fuse_graph
+from repro.nn.zoo import MODEL_BUILDERS, PAPER_MODELS, build_model
+from repro.pipeline.tasks import extract_tasks
+
+
+class TestRegistry:
+    def test_all_builders_listed(self):
+        from repro.nn.zoo import EXTENSION_MODELS
+
+        assert set(PAPER_MODELS) | set(EXTENSION_MODELS) == set(
+            MODEL_BUILDERS
+        )
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError):
+            build_model("lenet-5")
+
+    def test_case_insensitive(self):
+        assert build_model("MobileNet-V1").name == "mobilenet-v1"
+
+    @pytest.mark.parametrize("name", PAPER_MODELS)
+    def test_builds_and_infers(self, name):
+        graph = build_model(name)
+        graph.infer_shapes()
+        assert len(graph) > 10
+
+
+class TestPublishedNumbers:
+    """Parameter/FLOP counts must match the literature (+-2%)."""
+
+    @pytest.mark.parametrize(
+        "name,params_m",
+        [
+            ("alexnet", 62.4),
+            ("vgg-16", 138.4),
+            ("resnet-18", 11.7),
+            ("mobilenet-v1", 4.2),
+            ("squeezenet-v1.1", 1.24),
+        ],
+    )
+    def test_param_counts(self, name, params_m):
+        params = build_model(name).total_params() / 1e6
+        assert params == pytest.approx(params_m, rel=0.02)
+
+    @pytest.mark.parametrize(
+        "name,gflops",
+        [
+            ("vgg-16", 31.0),
+            ("resnet-18", 3.6),
+            ("mobilenet-v1", 1.15),
+            ("squeezenet-v1.1", 0.70),
+        ],
+    )
+    def test_flop_counts(self, name, gflops):
+        flops = build_model(name).total_flops() / 1e9
+        assert flops == pytest.approx(gflops, rel=0.05)
+
+    def test_classifier_output_shape(self):
+        for name in PAPER_MODELS:
+            graph = build_model(name)
+            graph.infer_shapes()
+            (out,) = graph.output_nodes()
+            assert out.output_shape == (1, 1000)
+
+
+class TestTaskCounts:
+    def test_mobilenet_has_19_tasks(self):
+        """The paper's Fig. 5 tunes exactly 19 MobileNet-v1 tasks."""
+        tasks = extract_tasks(build_model("mobilenet-v1"))
+        assert len(tasks) == 19
+
+    def test_total_tasks_near_paper(self):
+        """The paper reports 58 nodes over the 5 models; our builders
+        yield 62 (exact layer/dedup bookkeeping differs slightly from
+        TVM v0.6.1 — see EXPERIMENTS.md)."""
+        total = sum(
+            len(extract_tasks(build_model(name))) for name in PAPER_MODELS
+        )
+        assert 55 <= total <= 65
+
+    def test_alexnet_task_count(self):
+        assert len(extract_tasks(build_model("alexnet"))) == 5
+
+    def test_vgg_task_count(self):
+        assert len(extract_tasks(build_model("vgg-16"))) == 9
+
+    def test_mobilenet_occurrences_cover_all_convs(self):
+        tasks = extract_tasks(build_model("mobilenet-v1"))
+        # 27 conv/dw layers + conv1 = 28 anchor layers minus fc
+        assert sum(t.occurrences for t in tasks) == 27
+
+    def test_batch_size_parameter(self):
+        graph = build_model("resnet-18", batch=4)
+        graph.infer_shapes()
+        (out,) = graph.output_nodes()
+        assert out.output_shape == (4, 1000)
+
+
+class TestFusionOnZoo:
+    @pytest.mark.parametrize("name", PAPER_MODELS)
+    def test_fusion_covers_graph(self, name):
+        graph = build_model(name)
+        groups = fuse_graph(graph)
+        covered = sorted(i for g in groups for i in g.node_ids)
+        assert covered == list(range(len(graph)))
+
+    def test_mobilenet_blocks_fuse_bn_relu(self):
+        graph = build_model("mobilenet-v1")
+        groups = fuse_graph(graph)
+        fused_convs = [
+            g for g in groups if g.is_tunable and "batch_norm" in g.ops
+        ]
+        # every conv/dw in MobileNet is followed by bn+relu
+        assert len(fused_convs) == 27

@@ -1,0 +1,71 @@
+"""Tests for the extension models (beyond the paper's evaluation zoo)."""
+
+import pytest
+
+from repro.nn.fusion import fuse_graph
+from repro.nn.zoo import EXTENSION_MODELS, PAPER_MODELS, build_model
+from repro.pipeline.tasks import extract_tasks
+
+
+class TestRegistry:
+    def test_extension_models_disjoint_from_paper(self):
+        assert not set(EXTENSION_MODELS) & set(PAPER_MODELS)
+
+    @pytest.mark.parametrize("name", EXTENSION_MODELS)
+    def test_builds(self, name):
+        graph = build_model(name)
+        graph.infer_shapes()
+        (out,) = graph.output_nodes()
+        assert out.output_shape == (1, 1000)
+
+
+class TestPublishedNumbers:
+    @pytest.mark.parametrize(
+        "name,params_m",
+        [
+            ("vgg-19", 143.7),
+            ("resnet-34", 21.8),
+            ("mobilenet-v2", 3.5),
+        ],
+    )
+    def test_param_counts(self, name, params_m):
+        params = build_model(name).total_params() / 1e6
+        assert params == pytest.approx(params_m, rel=0.03)
+
+    def test_vgg19_flops_above_vgg16(self):
+        assert (
+            build_model("vgg-19").total_flops()
+            > build_model("vgg-16").total_flops()
+        )
+
+    def test_mobilenet_v2_flops(self):
+        # ~0.3 GMACs = ~0.6 GFLOPs at 224x224
+        flops = build_model("mobilenet-v2").total_flops() / 1e9
+        assert flops == pytest.approx(0.62, rel=0.1)
+
+
+class TestStructure:
+    def test_resnet34_has_16_blocks(self):
+        graph = build_model("resnet-34")
+        adds = [n for n in graph if n.op == "add"]
+        assert len(adds) == 3 + 4 + 6 + 3
+
+    def test_mobilenet_v2_residuals_only_on_matching_shapes(self):
+        graph = build_model("mobilenet-v2")
+        graph.infer_shapes()
+        for node in graph:
+            if node.op == "add":
+                a, b = node.inputs
+                assert graph[a].output_shape == graph[b].output_shape
+
+    def test_mobilenet_v2_task_count(self):
+        # deduplicated conv+dw tasks
+        tasks = extract_tasks(build_model("mobilenet-v2"))
+        assert len(tasks) == 30
+
+    @pytest.mark.parametrize("name", EXTENSION_MODELS)
+    def test_fusion_covers_graph(self, name):
+        graph = build_model(name)
+        groups = fuse_graph(graph)
+        covered = sorted(i for g in groups for i in g.node_ids)
+        assert covered == list(range(len(graph)))

@@ -1,0 +1,120 @@
+"""Structural checks of zoo networks at well-known interior points."""
+
+import pytest
+
+from repro.nn.zoo import build_model
+
+
+def shape_of(graph, name):
+    graph.infer_shapes()
+    return graph.node_by_name(name).output_shape
+
+
+class TestAlexNetShapes:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return build_model("alexnet")
+
+    def test_conv1(self, graph):
+        assert shape_of(graph, "conv1") == (1, 96, 55, 55)
+
+    def test_pool1(self, graph):
+        assert shape_of(graph, "pool1") == (1, 96, 27, 27)
+
+    def test_conv5(self, graph):
+        assert shape_of(graph, "conv5") == (1, 256, 13, 13)
+
+    def test_pool5(self, graph):
+        assert shape_of(graph, "pool5") == (1, 256, 6, 6)
+
+    def test_fc6_input_is_9216(self, graph):
+        assert shape_of(graph, "flatten") == (1, 9216)
+
+
+class TestVggShapes:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return build_model("vgg-16")
+
+    @pytest.mark.parametrize(
+        "name,shape",
+        [
+            ("pool1", (1, 64, 112, 112)),
+            ("pool2", (1, 128, 56, 56)),
+            ("pool3", (1, 256, 28, 28)),
+            ("pool4", (1, 512, 14, 14)),
+            ("pool5", (1, 512, 7, 7)),
+        ],
+    )
+    def test_stage_outputs(self, graph, name, shape):
+        assert shape_of(graph, name) == shape
+
+    def test_flatten_is_25088(self, graph):
+        assert shape_of(graph, "flatten") == (1, 25088)
+
+
+class TestResNetShapes:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return build_model("resnet-18")
+
+    @pytest.mark.parametrize(
+        "name,shape",
+        [
+            ("pool1", (1, 64, 56, 56)),
+            ("layer1_block2_relu2", (1, 64, 56, 56)),
+            ("layer2_block2_relu2", (1, 128, 28, 28)),
+            ("layer3_block2_relu2", (1, 256, 14, 14)),
+            ("layer4_block2_relu2", (1, 512, 7, 7)),
+            ("gap", (1, 512, 1, 1)),
+        ],
+    )
+    def test_stage_outputs(self, graph, name, shape):
+        assert shape_of(graph, name) == shape
+
+    def test_downsample_paths_exist(self, graph):
+        for stage in (2, 3, 4):
+            node = graph.node_by_name(f"layer{stage}_block1_downsample")
+            assert node.op == "conv2d"
+
+
+class TestMobileNetShapes:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return build_model("mobilenet-v1")
+
+    @pytest.mark.parametrize(
+        "name,shape",
+        [
+            ("conv1", (1, 32, 112, 112)),
+            ("block2_dw", (1, 64, 56, 56)),
+            ("block6_pw", (1, 512, 14, 14)),
+            ("block13_pw", (1, 1024, 7, 7)),
+        ],
+    )
+    def test_block_outputs(self, graph, name, shape):
+        assert shape_of(graph, name) == shape
+
+
+class TestSqueezeNetShapes:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return build_model("squeezenet-v1.1")
+
+    def test_conv1(self, graph):
+        assert shape_of(graph, "conv1") == (1, 64, 111, 111)
+
+    @pytest.mark.parametrize(
+        "name,channels",
+        [
+            ("fire2_concat", 128),
+            ("fire4_concat", 256),
+            ("fire6_concat", 384),
+            ("fire9_concat", 512),
+        ],
+    )
+    def test_fire_concat_channels(self, graph, name, channels):
+        assert shape_of(graph, name)[1] == channels
+
+    def test_classifier_conv(self, graph):
+        assert shape_of(graph, "conv10") == (1, 1000, 13, 13)

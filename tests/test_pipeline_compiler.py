@@ -1,0 +1,128 @@
+"""Tests for repro.pipeline.compiler: deployment and latency evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.nn.graph import GraphBuilder
+from repro.pipeline.compiler import CompiledModel, DeploymentCompiler, KernelTiming
+from repro.pipeline.records import RecordStore
+
+
+def tiny_model():
+    b = GraphBuilder("tiny-model")
+    b.input((1, 3, 16, 16))
+    b.conv2d("c1", 8, padding=(1, 1))
+    b.relu("r1")
+    b.pool2d("p1")
+    b.conv2d("c2", 16, padding=(1, 1))
+    b.relu("r2")
+    b.flatten("f")
+    b.dense("fc", 10)
+    return b.graph
+
+
+@pytest.fixture
+def compiler():
+    return DeploymentCompiler(tiny_model(), env_seed=5)
+
+
+class TestDeploymentCompiler:
+    def test_task_extraction(self, compiler):
+        assert len(compiler.tasks) == 2
+
+    def test_tune_returns_compiled_model(self, compiler):
+        compiled = compiler.tune("random", n_trial=32, early_stopping=None)
+        assert isinstance(compiled, CompiledModel)
+        assert compiled.base_latency_ms > 0
+        assert len(compiled.tuning_results) == 2
+
+    def test_kernels_cover_tuned_and_untuned(self, compiler):
+        compiled = compiler.tune("random", n_trial=32, early_stopping=None)
+        tuned = [k for k in compiled.kernels if k.tuned]
+        untuned = [k for k in compiled.kernels if not k.tuned]
+        assert len(tuned) == 2
+        assert len(untuned) >= 3  # input, pool, flatten/dense, ...
+
+    def test_record_store_integration(self, compiler):
+        store = RecordStore()
+        compiler.tune("random", n_trial=32, early_stopping=None,
+                      record_store=store)
+        assert len(store) == 32 * 1 or len(store) == 64  # 2 tasks x 32
+
+    def test_compile_from_records_matches_tuned(self, compiler):
+        store = RecordStore()
+        compiled = compiler.tune(
+            "random", n_trial=32, early_stopping=None, record_store=store
+        )
+        replayed = compiler.compile_from_records(store)
+        assert replayed.base_latency_ms == pytest.approx(
+            compiled.base_latency_ms
+        )
+
+    def test_compile_from_empty_records_uses_defaults(self, compiler):
+        compiled = compiler.compile_from_records(RecordStore())
+        assert compiled.base_latency_ms > 0
+
+    def test_environment_fixed_across_arms(self):
+        """Different arms must face identical task environments."""
+        a = DeploymentCompiler(tiny_model(), env_seed=5)
+        b = DeploymentCompiler(tiny_model(), env_seed=5)
+        spec = a.tasks[0]
+        idx = int(a.simulated_task(spec).space.sample(1, seed=0)[0])
+        assert a.simulated_task(spec).true_gflops(idx) == pytest.approx(
+            b.simulated_task(spec).true_gflops(idx)
+        )
+
+    def test_progress_callback(self, compiler):
+        calls = []
+        compiler.tune(
+            "random",
+            n_trial=16,
+            early_stopping=None,
+            progress=lambda spec, result: calls.append(spec.task_id),
+        )
+        assert calls == [0, 1]
+
+
+class TestLatencyMeasurement:
+    def make_compiled(self, sigma=0.02):
+        kernels = [
+            KernelTiming("a", 1e-4, sigma, True),
+            KernelTiming("b", 2e-4, sigma, True),
+        ]
+        from repro.hardware.device import GTX_1080_TI
+
+        return CompiledModel("m", GTX_1080_TI, kernels)
+
+    def test_mean_near_base(self):
+        compiled = self.make_compiled()
+        sample = compiled.measure_latency(num_runs=2000, seed=0)
+        assert sample.mean_ms == pytest.approx(compiled.base_latency_ms,
+                                               rel=0.02)
+
+    def test_deterministic_given_seed(self):
+        compiled = self.make_compiled()
+        a = compiled.measure_latency(num_runs=100, seed=1)
+        b = compiled.measure_latency(num_runs=100, seed=1)
+        assert np.allclose(a.latencies_ms, b.latencies_ms)
+
+    def test_noisier_kernels_give_higher_variance(self):
+        quiet = self.make_compiled(sigma=0.01)
+        noisy = self.make_compiled(sigma=0.08)
+        vq = quiet.measure_latency(num_runs=1500, seed=2).variance
+        vn = noisy.measure_latency(num_runs=1500, seed=2).variance
+        assert vn > 3 * vq
+
+    def test_positive_latencies(self):
+        sample = self.make_compiled(sigma=0.3).measure_latency(
+            num_runs=500, seed=3
+        )
+        assert (sample.latencies_ms > 0).all()
+
+    def test_std_matches_variance(self):
+        sample = self.make_compiled().measure_latency(num_runs=300, seed=4)
+        assert sample.std_ms == pytest.approx(np.sqrt(sample.variance))
+
+    def test_needs_two_runs(self):
+        with pytest.raises(ValueError):
+            self.make_compiled().measure_latency(num_runs=1)

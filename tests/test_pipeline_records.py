@@ -1,0 +1,82 @@
+"""Tests for repro.pipeline.records: the tuning-record store."""
+
+import pytest
+
+from repro.nn.workloads import Conv2DWorkload, DenseWorkload
+from repro.pipeline.records import RecordStore, TuningRecord
+
+
+def wl_a():
+    return Conv2DWorkload(1, 8, 16, 14, 14, 3, 3, pad_h=1, pad_w=1)
+
+
+def wl_b():
+    return DenseWorkload(1, 64, 32)
+
+
+class TestRecordStore:
+    def test_add_and_len(self):
+        store = RecordStore()
+        store.add(TuningRecord(wl_a(), 5, 100.0))
+        assert len(store) == 1
+
+    def test_best_for_tracks_max(self):
+        store = RecordStore()
+        store.add(TuningRecord(wl_a(), 1, 50.0))
+        store.add(TuningRecord(wl_a(), 2, 80.0))
+        store.add(TuningRecord(wl_a(), 3, 60.0))
+        best = store.best_for(wl_a())
+        assert best.config_index == 2
+        assert best.gflops == 80.0
+
+    def test_errored_records_never_best(self):
+        store = RecordStore()
+        store.add(TuningRecord(wl_a(), 1, 0.0, error="resource"))
+        assert store.best_for(wl_a()) is None
+        store.add(TuningRecord(wl_a(), 2, 10.0))
+        assert store.best_for(wl_a()).config_index == 2
+
+    def test_workloads_listing(self):
+        store = RecordStore()
+        store.add(TuningRecord(wl_a(), 1, 10.0))
+        store.add(TuningRecord(wl_b(), 2, 20.0))
+        assert set(store.workloads()) == {wl_a(), wl_b()}
+
+    def test_unknown_workload(self):
+        assert RecordStore().best_for(wl_a()) is None
+
+    def test_extend_and_iter(self):
+        store = RecordStore()
+        records = [TuningRecord(wl_a(), i, float(i)) for i in range(5)]
+        store.extend(records)
+        assert list(store) == records
+
+
+class TestPersistence:
+    def test_roundtrip(self, tmp_path):
+        store = RecordStore()
+        store.add(TuningRecord(wl_a(), 7, 123.5, tuner_name="bted+bao"))
+        store.add(TuningRecord(wl_b(), 9, 55.5, error="timeout"))
+        path = tmp_path / "records.jsonl"
+        store.save(path)
+
+        loaded = RecordStore.load(path)
+        assert len(loaded) == 2
+        best = loaded.best_for(wl_a())
+        assert best.config_index == 7
+        assert best.gflops == 123.5
+        assert best.tuner_name == "bted+bao"
+        assert loaded.best_for(wl_b()) is None  # errored record
+
+    def test_json_line_format(self):
+        record = TuningRecord(wl_a(), 3, 42.0)
+        line = record.to_json()
+        assert "\n" not in line
+        parsed = TuningRecord.from_json(line)
+        assert parsed == record
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "records.jsonl"
+        record = TuningRecord(wl_a(), 3, 42.0)
+        path.write_text(record.to_json() + "\n\n\n")
+        assert len(RecordStore.load(path)) == 1

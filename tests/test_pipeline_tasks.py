@@ -1,0 +1,82 @@
+"""Tests for repro.pipeline.tasks: task extraction."""
+
+import pytest
+
+from repro.nn.graph import GraphBuilder
+from repro.nn.zoo import build_model
+from repro.pipeline.tasks import extract_tasks, untuned_ops
+
+
+def small_net():
+    b = GraphBuilder("small")
+    b.input((1, 3, 16, 16))
+    b.conv2d("c1", 8, padding=(1, 1))
+    b.relu("r1")
+    b.conv2d("c2", 8, padding=(1, 1))  # same workload as c1? no: in_ch=8
+    b.relu("r2")
+    b.pool2d("p1")
+    b.flatten("f")
+    b.dense("fc", 10)
+    return b.graph
+
+
+class TestExtractTasks:
+    def test_default_excludes_dense(self):
+        tasks = extract_tasks(small_net())
+        kinds = {t.workload.kind for t in tasks}
+        assert kinds == {"conv2d"}
+
+    def test_include_dense_explicitly(self):
+        tasks = extract_tasks(small_net(), ops=("conv2d", "dense"))
+        kinds = {t.workload.kind for t in tasks}
+        assert kinds == {"conv2d", "dense"}
+
+    def test_task_ids_sequential(self):
+        tasks = extract_tasks(small_net())
+        assert [t.task_id for t in tasks] == list(range(len(tasks)))
+
+    def test_occurrences(self):
+        b = GraphBuilder("dup")
+        b.input((1, 8, 16, 16))
+        b.conv2d("c1", 8, padding=(1, 1))
+        b.conv2d("c2", 8, padding=(1, 1))  # identical workload
+        tasks = extract_tasks(b.graph)
+        assert len(tasks) == 1
+        assert tasks[0].occurrences == 2
+        assert tasks[0].kernel_names == ("c1", "c2")
+
+    def test_total_flops_scales_with_occurrences(self):
+        b = GraphBuilder("dup")
+        b.input((1, 8, 16, 16))
+        b.conv2d("c1", 8, padding=(1, 1))
+        b.conv2d("c2", 8, padding=(1, 1))
+        task = extract_tasks(b.graph)[0]
+        assert task.total_flops == 2 * task.workload.flops
+
+    def test_to_simulated(self):
+        task = extract_tasks(small_net())[0]
+        sim = task.to_simulated(seed=3)
+        assert sim.workload == task.workload
+
+    def test_repr(self):
+        task = extract_tasks(small_net())[0]
+        assert "T1" in repr(task)
+
+
+class TestUntunedOps:
+    def test_complement(self):
+        graph = small_net()
+        tuned_kernels = {
+            name
+            for t in extract_tasks(graph)
+            for name in t.kernel_names
+        }
+        untuned = {op.name for op in untuned_ops(graph)}
+        assert not (tuned_kernels & untuned)
+        assert "p1" in untuned
+        assert "fc" in untuned  # dense not tuned by default
+
+    def test_zoo_untuned_contains_pooling(self):
+        graph = build_model("resnet-18")
+        names = {op.ops[0] for op in untuned_ops(graph)}
+        assert "max_pool2d" in names or "global_avg_pool" in names

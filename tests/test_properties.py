@@ -1,0 +1,145 @@
+"""Cross-cutting property-based tests over random workloads and spaces.
+
+Invariants verified here hold for *every* generated input, not just the
+hand-written cases in the per-module test files:
+
+* config-space addressing is a bijection and features are consistent;
+* schedule templates produce valid spaces for any workload;
+* the cost model never returns non-finite or non-positive throughput
+  for a launchable config, and respects resource limits;
+* TED always returns distinct in-range rows;
+* measurement results are internally consistent.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.ted import ted_select
+from repro.hardware.measure import Measurer, SimulatedTask
+from repro.hardware.resources import ResourceError
+from repro.space.templates import build_space
+
+from tests.strategies import config_spaces, workloads
+
+COMMON = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+class TestSpaceProperties:
+    @given(config_spaces())
+    @COMMON
+    def test_encode_decode_bijection(self, space):
+        size = len(space)
+        probe = np.unique(
+            np.linspace(0, size - 1, min(size, 200)).astype(np.int64)
+        )
+        digits = space.decode_batch(probe)
+        assert (space.encode_batch(digits) == probe).all()
+
+    @given(config_spaces())
+    @COMMON
+    def test_feature_matrix_consistent(self, space):
+        probe = np.unique(
+            np.linspace(0, len(space) - 1, min(len(space), 50)).astype(
+                np.int64
+            )
+        )
+        matrix = space.feature_matrix(probe)
+        assert matrix.shape == (len(probe), space.feature_dim)
+        assert np.isfinite(matrix).all()
+        for row, idx in zip(matrix, probe):
+            assert np.allclose(row, space.features_of(int(idx)))
+
+    @given(config_spaces())
+    @COMMON
+    def test_sampling_in_range_and_distinct(self, space):
+        n = min(len(space), 64)
+        sample = space.sample(n, seed=0)
+        assert len(set(sample.tolist())) == n
+        assert sample.min() >= 0
+        assert int(sample.max()) < len(space)
+
+    @given(config_spaces())
+    @COMMON
+    def test_random_walk_stays_in_space(self, space):
+        idx = len(space) // 2
+        for seed in range(5):
+            moved = space.random_walk(idx, seed=seed)
+            assert 0 <= moved < len(space)
+
+
+class TestTemplateAndCostModelProperties:
+    @given(workloads())
+    @COMMON
+    def test_template_builds_valid_space(self, workload):
+        space = build_space(workload)
+        assert len(space) >= 1
+        assert space.feature_dim > 0
+        entity = space.get(len(space) - 1)
+        assert entity.values
+
+    @given(workloads())
+    @COMMON
+    def test_cost_model_outputs_are_sane(self, workload):
+        task = SimulatedTask(workload, seed=1)
+        device = task.device
+        for idx in task.space.sample(min(len(task.space), 40), seed=0):
+            try:
+                profile = task.profile_of(int(idx))
+            except ResourceError:
+                continue
+            assert np.isfinite(profile.gflops)
+            assert profile.gflops > 0
+            assert profile.gflops < device.peak_gflops
+            assert profile.time_s > 0
+            assert 0 < profile.warp_occupancy <= 1
+            assert 0 < profile.sm_utilization <= 1
+            assert profile.threads_per_block <= device.max_threads_per_block
+            assert profile.shared_mem_bytes <= device.shared_mem_per_block
+            assert 0 <= profile.noise_sigma_rel < 0.5
+
+    @given(workloads())
+    @COMMON
+    def test_terrain_bounded(self, workload):
+        task = SimulatedTask(workload, seed=2)
+        indices = task.space.sample(min(len(task.space), 30), seed=0)
+        feats = task.space.feature_matrix(indices)
+        factors = task.terrain.factor_batch(feats)
+        assert (factors <= 1.0 + 1e-12).all()
+        assert (factors >= 1.0 - task.terrain.amplitude - 1e-12).all()
+
+    @given(workloads())
+    @COMMON
+    def test_measurement_consistency(self, workload):
+        task = SimulatedTask(workload, seed=3)
+        measurer = Measurer(task, seed=0, repeats=2)
+        for idx in task.space.sample(min(len(task.space), 10), seed=1):
+            result = measurer.measure_one(int(idx))
+            if result.ok:
+                assert result.gflops > 0
+                assert np.isfinite(result.mean_time_s)
+                # gflops * time == flops
+                assert result.gflops * 1e9 * result.mean_time_s == (
+                    pytest.approx(task.workload.flops, rel=1e-6)
+                )
+            else:
+                assert result.gflops == 0.0
+                assert result.mean_time_s == float("inf")
+
+
+class TestTedProperties:
+    @given(config_spaces())
+    @COMMON
+    def test_ted_on_real_feature_matrices(self, space):
+        n = min(len(space), 40)
+        indices = space.sample(n, seed=0)
+        feats = space.feature_matrix(indices)
+        m = min(8, n)
+        picked = ted_select(feats, m=m, mu=0.1)
+        assert len(picked) == m
+        assert len(set(picked)) == m
+        assert all(0 <= p < n for p in picked)

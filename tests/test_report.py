@@ -1,0 +1,64 @@
+"""Tests for repro.experiments.report."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.report import (
+    build_report,
+    summarize_results_dir,
+    write_report,
+)
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    (tmp_path / "fig4_convergence.txt").write_text("Fig. 4 data\n")
+    (tmp_path / "table1_end_to_end.txt").write_text("Table I data\n")
+    return tmp_path
+
+
+class TestSummary:
+    def test_present_and_missing(self, results_dir):
+        summary = summarize_results_dir(results_dir)
+        assert "fig4_convergence" in summary.present
+        assert "fig5_mobilenet_tasks" in summary.missing
+        assert not summary.complete
+
+    def test_empty_dir(self, tmp_path):
+        summary = summarize_results_dir(tmp_path)
+        assert summary.present == []
+
+
+class TestBuildReport:
+    def test_includes_artifact_content(self, results_dir):
+        report = build_report(results_dir)
+        assert "Fig. 4 data" in report
+        assert "Table I data" in report
+
+    def test_marks_missing_sections(self, results_dir):
+        report = build_report(results_dir)
+        assert "not generated" in report
+
+    def test_can_suppress_missing(self, results_dir):
+        report = build_report(results_dir, include_missing=False)
+        assert "not generated" not in report
+
+    def test_title(self, results_dir):
+        assert build_report(results_dir, title="My Title").startswith(
+            "# My Title"
+        )
+
+
+class TestWriteReport:
+    def test_writes_file(self, results_dir, tmp_path):
+        out = write_report(results_dir, tmp_path / "report.md")
+        assert out.exists()
+        assert "Fig. 4 data" in out.read_text()
+
+    def test_real_results_dir_if_available(self):
+        real = Path(__file__).parent.parent / "benchmarks" / "results"
+        if not real.exists():
+            pytest.skip("benchmarks not run yet")
+        report = build_report(real)
+        assert "Reproduction report" in report

@@ -1,0 +1,64 @@
+"""Statistical checks on the random samplers (uniformity, independence)."""
+
+import numpy as np
+from scipy import stats
+
+from repro.space.knobs import OtherKnob
+from repro.space.space import ConfigSpace
+
+
+def small_space(size=60) -> ConfigSpace:
+    space = ConfigSpace("stat")
+    space.add_knob(OtherKnob("a", list(range(size))))
+    return space
+
+
+class TestSampleUniformity:
+    def test_chi_square_uniform_over_indices(self):
+        """Pooled samples across seeds must be uniform over the space."""
+        space = small_space(60)
+        counts = np.zeros(len(space))
+        for seed in range(200):
+            for idx in space.sample(6, seed=seed):
+                counts[int(idx)] += 1
+        _, p_value = stats.chisquare(counts)
+        assert p_value > 0.001  # not detectably non-uniform
+
+    def test_knob_marginals_uniform_in_product_space(self):
+        space = ConfigSpace("prod")
+        space.add_knob(OtherKnob("a", list(range(8))))
+        space.add_knob(OtherKnob("b", list(range(8))))
+        indices = space.sample(48, seed=0)
+        pooled = []
+        for seed in range(100):
+            pooled.extend(space.sample(10, seed=seed).tolist())
+        digits = space.decode_batch(np.asarray(pooled))
+        for k in range(2):
+            counts = np.bincount(digits[:, k], minlength=8)
+            _, p_value = stats.chisquare(counts)
+            assert p_value > 0.001
+
+    def test_random_walks_reach_everywhere(self):
+        """The SA mutation kernel must be irreducible: repeated walks
+        starting anywhere visit the whole (small) space."""
+        space = small_space(12)
+        visited = set()
+        position = 0
+        for step in range(600):
+            position = space.random_walk(position, seed=step)
+            visited.add(position)
+        assert visited == set(range(len(space)))
+
+
+class TestBootstrapResampleStatistics:
+    def test_unique_fraction_matches_theory(self):
+        """Sec. II-C: a bootstrap resample contains ~63.2% unique items."""
+        rng = np.random.default_rng(0)
+        n = 500
+        fractions = []
+        for _ in range(50):
+            rows = rng.integers(0, n, size=n)
+            fractions.append(len(np.unique(rows)) / n)
+        np.testing.assert_allclose(
+            np.mean(fractions), 1 - np.exp(-1), atol=0.01
+        )

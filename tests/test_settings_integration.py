@@ -1,0 +1,39 @@
+"""Settings-to-tuner integration: every arm constructs from settings."""
+
+import pytest
+
+from repro.core import TUNER_REGISTRY, make_tuner
+from repro.experiments.settings import ARMS, BENCH_SETTINGS, PAPER_SETTINGS
+
+
+class TestTunerConstruction:
+    @pytest.mark.parametrize("arm", ARMS + ("random", "grid"))
+    def test_paper_settings_construct(self, arm, small_task):
+        tuner = make_tuner(
+            arm, small_task, seed=0, **PAPER_SETTINGS.tuner_kwargs(arm)
+        )
+        assert tuner.task is small_task
+
+    @pytest.mark.parametrize("arm", ARMS)
+    def test_bench_settings_construct_and_run(self, arm, dense_task):
+        tuner = make_tuner(
+            arm, dense_task, seed=0, **BENCH_SETTINGS.tuner_kwargs(arm)
+        )
+        result = tuner.tune(n_trial=12, early_stopping=None)
+        assert result.num_measurements == 12
+
+    def test_bao_settings_threaded_through(self, small_task):
+        from dataclasses import replace
+
+        settings = replace(
+            PAPER_SETTINGS, bao=replace(PAPER_SETTINGS.bao, gamma=4)
+        )
+        tuner = make_tuner(
+            "bted+bao", small_task, seed=0,
+            **settings.tuner_kwargs("bted+bao"),
+        )
+        assert tuner.bao.settings.gamma == 4
+
+    def test_registry_and_arms_consistent(self):
+        for arm in ARMS:
+            assert arm in TUNER_REGISTRY

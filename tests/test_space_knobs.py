@@ -1,0 +1,115 @@
+"""Tests for repro.space.knobs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.space.knobs import BoolKnob, OtherKnob, ReorderKnob, SplitKnob
+
+
+class TestSplitKnob:
+    def test_candidate_count(self):
+        knob = SplitKnob("tile", extent=4, num_outputs=2)
+        assert len(knob) == 3
+        assert knob.value(0) == (1, 4)
+
+    def test_products(self):
+        knob = SplitKnob("tile", extent=12, num_outputs=3)
+        for i in range(len(knob)):
+            product = 1
+            for f in knob.value(i):
+                product *= f
+            assert product == 12
+
+    def test_features_are_log2(self):
+        knob = SplitKnob("tile", extent=8, num_outputs=2)
+        i = next(
+            j for j in range(len(knob)) if knob.value(j) == (2, 4)
+        )
+        assert np.allclose(knob.features(i), [1.0, 2.0])
+
+    def test_feature_dim(self):
+        assert SplitKnob("t", 16, 4).feature_dim == 4
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            SplitKnob("t", 0, 2)
+        with pytest.raises(ValueError):
+            SplitKnob("t", 4, 1)
+        with pytest.raises(ValueError):
+            SplitKnob("", 4, 2)
+
+    def test_index_bounds(self):
+        knob = SplitKnob("t", 4, 2)
+        with pytest.raises(IndexError):
+            knob.value(len(knob))
+        with pytest.raises(IndexError):
+            knob.features(-1)
+
+    @given(st.integers(1, 100), st.integers(2, 4))
+    def test_all_candidates_distinct(self, extent, parts):
+        knob = SplitKnob("t", extent, parts)
+        values = [knob.value(i) for i in range(len(knob))]
+        assert len(set(values)) == len(values)
+
+
+class TestOtherKnob:
+    def test_values(self):
+        knob = OtherKnob("unroll", [0, 512, 1500])
+        assert len(knob) == 3
+        assert knob.value(1) == 512
+
+    def test_features_monotone_in_value(self):
+        knob = OtherKnob("unroll", [0, 512, 1500])
+        feats = [knob.features(i)[0] for i in range(3)]
+        assert feats == sorted(feats)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            OtherKnob("x", [])
+
+    def test_feature_dim(self):
+        assert OtherKnob("x", [1, 2]).feature_dim == 1
+
+
+class TestBoolKnob:
+    def test_two_candidates(self):
+        knob = BoolKnob("flag")
+        assert len(knob) == 2
+        assert knob.value(0) == 0
+        assert knob.value(1) == 1
+
+
+class TestReorderKnob:
+    def test_candidates_are_permutations(self):
+        knob = ReorderKnob("order", ["i", "j", "k"])
+        assert len(knob) == 6
+        values = {knob.value(i) for i in range(len(knob))}
+        assert ("i", "j", "k") in values
+        assert all(sorted(v) == ["i", "j", "k"] for v in values)
+
+    def test_cap(self):
+        knob = ReorderKnob("order", ["a", "b", "c", "d"], max_candidates=10)
+        assert len(knob) == 10
+
+    def test_features_in_unit_range(self):
+        knob = ReorderKnob("order", ["i", "j", "k"])
+        for i in range(len(knob)):
+            feats = knob.features(i)
+            assert feats.min() >= 0.0
+            assert feats.max() <= 1.0
+
+    def test_identity_features(self):
+        knob = ReorderKnob("order", ["i", "j"])
+        i = next(
+            j for j in range(len(knob)) if knob.value(j) == ("i", "j")
+        )
+        assert np.allclose(knob.features(i), [0.0, 1.0])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            ReorderKnob("order", ["i", "i"])
+
+    def test_rejects_single_axis(self):
+        with pytest.raises(ValueError):
+            ReorderKnob("order", ["i"])

@@ -1,0 +1,126 @@
+"""Tests for repro.space.neighborhood."""
+
+import numpy as np
+import pytest
+
+from repro.space.knobs import OtherKnob, SplitKnob
+from repro.space.neighborhood import neighbors_within, sample_neighborhood
+from repro.space.space import ConfigSpace
+
+
+def lattice_space(sizes=(5, 5, 5)) -> ConfigSpace:
+    """A space whose knob indices form a plain integer lattice."""
+    space = ConfigSpace("lattice")
+    for i, size in enumerate(sizes):
+        space.add_knob(OtherKnob(f"k{i}", list(range(size))))
+    return space
+
+
+class TestNeighborsWithin:
+    def test_radius_one_gives_unit_steps(self):
+        space = lattice_space()
+        center = space.encode([2, 2, 2])
+        neighbors = neighbors_within(space, center, radius=1.0)
+        assert len(neighbors) == 6  # +-1 per knob
+
+    def test_radius_counts_in_ball(self):
+        space = lattice_space()
+        center = space.encode([2, 2, 2])
+        neighbors = neighbors_within(space, center, radius=1.5)
+        # {offsets with norm <= 1.5}: 6 units + 12 diagonal pairs = 18
+        assert len(neighbors) == 18
+
+    def test_boundary_clipping(self):
+        space = lattice_space()
+        corner = space.encode([0, 0, 0])
+        neighbors = neighbors_within(space, corner, radius=1.0)
+        assert len(neighbors) == 3
+
+    def test_center_excluded(self):
+        space = lattice_space()
+        center = space.encode([2, 2, 2])
+        assert center not in neighbors_within(space, center, radius=2.0)
+
+    def test_zero_radius(self):
+        space = lattice_space()
+        assert neighbors_within(space, 0, radius=0.0) == []
+
+
+class TestSampleNeighborhood:
+    def test_respects_index_radius(self):
+        space = lattice_space((9, 9, 9))
+        center = space.encode([4, 4, 4])
+        sampled = sample_neighborhood(
+            space, center, radius=2.0, max_points=100, seed=0, metric="index"
+        )
+        center_digits = np.array([4, 4, 4])
+        for idx in sampled:
+            offset = np.array(space.decode(int(idx))) - center_digits
+            assert np.sum(offset**2) <= 4.0 + 1e-9
+
+    def test_respects_feature_radius(self):
+        space = ConfigSpace("feat")
+        space.add_knob(SplitKnob("tile", 64, 3))
+        space.add_knob(OtherKnob("u", [0, 512, 1500]))
+        center = 10
+        radius = 2.5
+        sampled = sample_neighborhood(
+            space, center, radius=radius, max_points=64, seed=0,
+            metric="feature",
+        )
+        center_feat = space.features_of(center)
+        feats = space.feature_matrix(sampled)
+        dists = np.linalg.norm(feats - center_feat, axis=1)
+        # lattice +-1 steps are always included and may exceed the radius;
+        # every *other* point must be inside the ball
+        lattice = set()
+        digits = np.array(space.decode(center))
+        for k, size in enumerate(space.knob_sizes):
+            for step in (-1, 1):
+                cand = digits.copy()
+                cand[k] += step
+                if 0 <= cand[k] < size:
+                    lattice.add(space.encode(cand))
+        for idx, dist in zip(sampled, dists):
+            if int(idx) not in lattice:
+                assert dist <= radius + 1e-9
+
+    def test_center_never_returned(self):
+        space = lattice_space()
+        center = space.encode([2, 2, 2])
+        sampled = sample_neighborhood(space, center, 2.0, 50, seed=1)
+        assert center not in set(sampled.tolist())
+
+    def test_distinct(self):
+        space = lattice_space((7, 7, 7))
+        sampled = sample_neighborhood(space, space.encode([3, 3, 3]), 3.0,
+                                      200, seed=2)
+        assert len(set(sampled.tolist())) == len(sampled)
+
+    def test_max_points_cap(self):
+        space = lattice_space((9, 9, 9))
+        sampled = sample_neighborhood(space, space.encode([4, 4, 4]), 4.0,
+                                      10, seed=3)
+        assert len(sampled) <= 10
+
+    def test_deterministic(self):
+        space = lattice_space((9, 9, 9))
+        a = sample_neighborhood(space, 0, 3.0, 40, seed=9)
+        b = sample_neighborhood(space, 0, 3.0, 40, seed=9)
+        assert (a == b).all()
+
+    def test_zero_radius_empty(self):
+        space = lattice_space()
+        assert len(sample_neighborhood(space, 0, 0.0, 10, seed=0)) == 0
+
+    def test_invalid_metric(self):
+        space = lattice_space()
+        with pytest.raises(ValueError):
+            sample_neighborhood(space, 0, 1.0, 10, seed=0, metric="cosine")
+
+    def test_real_template_space(self, small_task):
+        space = small_task.space
+        center = int(space.sample(1, seed=5)[0])
+        sampled = sample_neighborhood(space, center, 3.0, 128, seed=4)
+        assert len(sampled) > 10
+        assert center not in set(sampled.tolist())

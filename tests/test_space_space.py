@@ -1,0 +1,150 @@
+"""Tests for repro.space.space: addressing, features, sampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.space.knobs import BoolKnob, OtherKnob, SplitKnob
+from repro.space.space import ConfigSpace
+
+
+def make_space() -> ConfigSpace:
+    space = ConfigSpace("test")
+    space.add_knob(SplitKnob("tile_a", 8, 2))  # 4 candidates
+    space.add_knob(OtherKnob("unroll", [0, 512, 1500]))  # 3
+    space.add_knob(BoolKnob("flag"))  # 2
+    return space
+
+
+class TestAddressing:
+    def test_size(self):
+        assert len(make_space()) == 4 * 3 * 2
+
+    def test_decode_encode_roundtrip_all(self):
+        space = make_space()
+        for i in range(len(space)):
+            assert space.encode(space.decode(i)) == i
+
+    def test_decode_out_of_range(self):
+        space = make_space()
+        with pytest.raises(IndexError):
+            space.decode(len(space))
+        with pytest.raises(IndexError):
+            space.decode(-1)
+
+    def test_encode_validates_digits(self):
+        space = make_space()
+        with pytest.raises(IndexError):
+            space.encode([4, 0, 0])
+        with pytest.raises(ValueError):
+            space.encode([0, 0])
+
+    def test_batch_matches_scalar(self):
+        space = make_space()
+        indices = np.arange(len(space))
+        digits = space.decode_batch(indices)
+        for i in indices:
+            assert tuple(digits[i]) == space.decode(int(i))
+        assert (space.encode_batch(digits) == indices).all()
+
+    def test_duplicate_knob_rejected(self):
+        space = make_space()
+        with pytest.raises(ValueError):
+            space.add_knob(BoolKnob("flag"))
+
+    def test_knob_lookup(self):
+        space = make_space()
+        assert space.knob("unroll").value(2) == 1500
+        with pytest.raises(KeyError):
+            space.knob("missing")
+
+
+class TestEntities:
+    def test_values(self):
+        space = make_space()
+        entity = space.get(0)
+        assert entity["tile_a"] == (1, 8)
+        assert entity["unroll"] == 0
+        assert entity["flag"] == 0
+
+    def test_equality_and_hash(self):
+        space = make_space()
+        assert space.get(3) == space.get(3)
+        assert space.get(3) != space.get(4)
+        assert len({space.get(3), space.get(3)}) == 1
+
+    def test_repr(self):
+        assert "tile_a" in repr(make_space().get(0))
+
+    def test_iteration_guard(self):
+        space = make_space()
+        assert len(list(space)) == len(space)
+
+
+class TestFeatures:
+    def test_feature_dim(self):
+        assert make_space().feature_dim == 2 + 1 + 1
+
+    def test_feature_matrix_matches_scalar(self):
+        space = make_space()
+        indices = [0, 5, 11, 23]
+        matrix = space.feature_matrix(indices)
+        for row, idx in zip(matrix, indices):
+            assert np.allclose(row, space.features_of(idx))
+
+    def test_empty_feature_matrix(self):
+        space = make_space()
+        assert space.feature_matrix([]).shape == (0, space.feature_dim)
+
+    def test_features_from_digits(self):
+        space = make_space()
+        digits = space.decode_batch(np.array([7, 13]))
+        feats = space.features_from_digits(digits)
+        assert np.allclose(feats, space.feature_matrix([7, 13]))
+
+    def test_distinct_configs_distinct_features(self):
+        # the three knobs chosen here embed injectively
+        space = make_space()
+        matrix = space.feature_matrix(list(range(len(space))))
+        unique_rows = np.unique(matrix, axis=0)
+        assert len(unique_rows) == len(space)
+
+
+class TestSampling:
+    def test_sample_distinct(self):
+        space = make_space()
+        indices = space.sample(10, seed=0)
+        assert len(set(indices.tolist())) == 10
+
+    def test_sample_more_than_space(self):
+        space = make_space()
+        indices = space.sample(1000, seed=0)
+        assert sorted(indices.tolist()) == list(range(len(space)))
+
+    def test_sample_deterministic(self):
+        space = make_space()
+        a = space.sample(8, seed=3)
+        b = space.sample(8, seed=3)
+        assert (a == b).all()
+
+    def test_sample_large_space_distinct(self, small_task):
+        indices = small_task.space.sample(500, seed=1)
+        assert len(set(indices.tolist())) == 500
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_random_walk_changes_one_knob(self, seed):
+        space = make_space()
+        start = int(np.random.default_rng(seed).integers(0, len(space)))
+        moved = space.random_walk(start, seed=seed)
+        a = space.decode(start)
+        b = space.decode(moved)
+        assert sum(x != y for x, y in zip(a, b)) == 1
+
+    def test_random_walk_on_singleton_space(self):
+        space = ConfigSpace()
+        space.add_knob(OtherKnob("only", [42]))
+        assert space.random_walk(0, seed=0) == 0
+
+    def test_repr(self):
+        assert "ConfigSpace" in repr(make_space())

@@ -1,0 +1,104 @@
+"""Tests for repro.space.templates: CUDA schedule-space generation."""
+
+import pytest
+
+from repro.nn.workloads import (
+    Conv2DWorkload,
+    DenseWorkload,
+    DepthwiseConv2DWorkload,
+)
+from repro.nn.zoo import build_model
+from repro.pipeline.tasks import extract_tasks
+from repro.space.templates import TemplateError, build_space
+
+
+class TestConvTemplate:
+    def test_knob_names(self, small_conv_workload):
+        space = build_space(small_conv_workload)
+        names = [k.name for k in space.knobs]
+        assert names == [
+            "tile_f",
+            "tile_y",
+            "tile_x",
+            "tile_rc",
+            "tile_ry",
+            "tile_rx",
+            "auto_unroll_max_step",
+            "unroll_explicit",
+        ]
+
+    def test_split_extents_match_workload(self, small_conv_workload):
+        space = build_space(small_conv_workload)
+        assert space.knob("tile_f").extent == small_conv_workload.out_channels
+        assert space.knob("tile_y").extent == small_conv_workload.out_height
+        assert space.knob("tile_rc").extent == small_conv_workload.in_channels
+
+    def test_config_values_multiply_out(self, small_conv_workload):
+        space = build_space(small_conv_workload)
+        entity = space.get(len(space) // 2)
+        tile_f = entity["tile_f"]
+        assert len(tile_f) == 4
+        product = 1
+        for f in tile_f:
+            product *= f
+        assert product == small_conv_workload.out_channels
+
+    def test_paper_scale_space_size(self):
+        """Sec. V: nodes average >50M configurations across the zoo
+        (ours: ~47M mean, max ~0.7B — same order as the paper's
+        '0.2 billion points' first VGG-16 node)."""
+        from repro.nn.zoo import PAPER_MODELS
+
+        sizes = []
+        for name in PAPER_MODELS:
+            for task in extract_tasks(build_model(name)):
+                sizes.append(len(build_space(task.workload)))
+        mean = sum(sizes) / len(sizes)
+        assert mean > 30_000_000
+        assert max(sizes) > 100_000_000
+
+
+class TestDepthwiseTemplate:
+    def test_no_reduction_knobs(self, depthwise_workload):
+        space = build_space(depthwise_workload)
+        names = {k.name for k in space.knobs}
+        assert "tile_rc" not in names
+        assert "tile_f" in names
+
+    def test_channel_extent(self, depthwise_workload):
+        space = build_space(depthwise_workload)
+        assert space.knob("tile_f").extent == depthwise_workload.out_channels
+
+
+class TestDenseTemplate:
+    def test_knobs(self, dense_workload):
+        space = build_space(dense_workload)
+        names = [k.name for k in space.knobs]
+        assert "tile_x" in names
+        assert "tile_k" in names
+
+    def test_space_is_nontrivial(self, dense_workload):
+        assert len(build_space(dense_workload)) > 100
+
+
+class TestDispatch:
+    def test_unknown_workload(self):
+        class Weird:
+            pass
+
+        with pytest.raises((TemplateError, TypeError)):
+            build_space(Weird())
+
+    @pytest.mark.parametrize(
+        "workload",
+        [
+            Conv2DWorkload(1, 4, 4, 7, 7, 3, 3, pad_h=1, pad_w=1),
+            DepthwiseConv2DWorkload(1, 4, 7, 7, 3, 3, 1, 1, 1, 1),
+            DenseWorkload(1, 12, 10),
+        ],
+    )
+    def test_all_indices_give_valid_entities(self, workload):
+        space = build_space(workload)
+        for idx in [0, len(space) // 3, len(space) - 1]:
+            entity = space.get(idx)
+            assert set(entity.values)  # non-empty mapping

@@ -1,0 +1,75 @@
+"""Property tests for template dispatch and Winograd cost-model sanity."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.hardware.measure import SimulatedTask
+from repro.hardware.resources import ResourceError
+from repro.nn.workloads import Conv2DWorkload
+from repro.space.templates import (
+    available_templates,
+    build_space,
+    winograd_applicable,
+)
+
+COMMON = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def wino_workloads(draw):
+    """Random Winograd-eligible 3x3 unit-stride convolutions."""
+    channels = draw(st.sampled_from([4, 8, 16]))
+    out = draw(st.sampled_from([4, 8, 16]))
+    size = draw(st.sampled_from([6, 8, 12, 14]))
+    return Conv2DWorkload(
+        1, channels, out, size, size, 3, 3, pad_h=1, pad_w=1
+    )
+
+
+class TestTemplateProperties:
+    @given(wino_workloads())
+    @COMMON
+    def test_templates_listed_consistently(self, wl):
+        templates = available_templates(wl)
+        assert templates[0] == "direct"
+        assert ("winograd" in templates) == winograd_applicable(wl)
+
+    @given(wino_workloads())
+    @COMMON
+    def test_winograd_space_addressing(self, wl):
+        space = build_space(wl, template="winograd")
+        probe = np.linspace(0, len(space) - 1, 20).astype(np.int64)
+        digits = space.decode_batch(probe)
+        assert (space.encode_batch(digits) == probe).all()
+        # tile products must reconstruct the extents
+        entity = space.get(int(probe[-1]))
+        k = 1
+        for f in entity["tile_k"]:
+            k *= f
+        assert k == wl.out_channels
+
+    @given(wino_workloads())
+    @COMMON
+    def test_winograd_profiles_sane(self, wl):
+        task = SimulatedTask(wl, seed=0, template="winograd")
+        for idx in task.space.sample(min(len(task.space), 25), seed=0):
+            try:
+                profile = task.profile_of(int(idx))
+            except ResourceError:
+                continue
+            assert np.isfinite(profile.gflops)
+            assert profile.gflops > 0
+            assert profile.time_s > 0
+            assert 0 <= profile.noise_sigma_rel < 0.5
+
+    @given(wino_workloads())
+    @COMMON
+    def test_direct_and_winograd_tasks_are_distinct_problems(self, wl):
+        direct = SimulatedTask(wl, seed=0, template="direct")
+        wino = SimulatedTask(wl, seed=0, template="winograd")
+        assert len(direct.space.knobs) != len(wino.space.knobs)

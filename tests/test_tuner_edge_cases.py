@@ -1,0 +1,77 @@
+"""Edge-case behaviour of the tuning loop shared across arms."""
+
+import pytest
+
+from repro.core import make_tuner
+from repro.core.tuners.random import RandomTuner
+from repro.hardware.measure import SimulatedTask
+from repro.nn.workloads import DenseWorkload
+
+
+@pytest.fixture
+def tiny_task():
+    """A space small enough to exhaust within a test."""
+    return SimulatedTask(DenseWorkload(1, 6, 6), seed=0)
+
+
+class TestSpaceExhaustion:
+    @pytest.mark.parametrize("arm", ["random", "ga", "autotvm"])
+    def test_arm_stops_at_space_size(self, arm, tiny_task):
+        tuner = make_tuner(arm, tiny_task, seed=0)
+        result = tuner.tune(n_trial=100_000, early_stopping=None)
+        assert result.num_measurements <= len(tiny_task.space)
+        indices = [r.config_index for r in result.records]
+        assert len(set(indices)) == len(indices)
+
+    def test_exhaustive_run_finds_global_optimum(self, tiny_task):
+        tuner = RandomTuner(tiny_task, seed=0, batch_size=16)
+        result = tuner.tune(n_trial=100_000, early_stopping=None)
+        truth = max(
+            tiny_task.true_gflops(i) for i in range(len(tiny_task.space))
+        )
+        # measured best is the noisy observation of the true optimum's
+        # neighborhood; allow measurement-noise slack
+        assert result.best_gflops >= 0.8 * truth
+
+
+class TestBudgetBoundaries:
+    def test_budget_smaller_than_init(self, small_task):
+        tuner = make_tuner("autotvm", small_task, seed=0, init_size=64)
+        result = tuner.tune(n_trial=10, early_stopping=None)
+        assert result.num_measurements == 10
+
+    def test_budget_of_one(self, small_task):
+        result = make_tuner("random", small_task, seed=0).tune(
+            n_trial=1, early_stopping=None
+        )
+        assert result.num_measurements == 1
+        assert result.best_index is not None
+
+    def test_early_stopping_equal_to_budget(self, small_task):
+        result = make_tuner("random", small_task, seed=0).tune(
+            n_trial=32, early_stopping=32
+        )
+        assert result.num_measurements <= 32
+
+
+class TestResultIntegrity:
+    def test_steps_are_sequential(self, small_task):
+        result = make_tuner("random", small_task, seed=0).tune(
+            n_trial=20, early_stopping=None
+        )
+        assert [r.step for r in result.records] == list(range(1, 21))
+
+    def test_wall_time_recorded(self, small_task):
+        result = make_tuner("random", small_task, seed=0).tune(
+            n_trial=8, early_stopping=None
+        )
+        assert result.wall_time_s > 0
+
+    def test_best_index_none_when_all_invalid(self, small_task):
+        from tests.test_failure_injection import AllFailMeasurer
+
+        tuner = make_tuner("random", small_task, seed=0)
+        tuner.measurer = AllFailMeasurer(small_task, seed=0)
+        result = tuner.tune(n_trial=8, early_stopping=None)
+        assert result.best_index is None
+        assert result.best_gflops == 0.0

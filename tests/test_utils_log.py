@@ -1,0 +1,50 @@
+"""Tests for repro.utils.log."""
+
+import logging
+
+from repro.utils.log import enable_console_logging, get_logger
+
+
+class TestGetLogger:
+    def test_namespace(self):
+        assert get_logger("core.bao").name == "repro.core.bao"
+
+    def test_already_qualified(self):
+        assert get_logger("repro.space").name == "repro.space"
+
+    def test_root(self):
+        assert get_logger().name == "repro"
+        assert get_logger("repro").name == "repro"
+
+    def test_null_handler_installed(self):
+        root = get_logger()
+        assert any(
+            isinstance(h, logging.NullHandler) for h in root.handlers
+        )
+
+
+class TestEnableConsoleLogging:
+    def test_idempotent(self):
+        enable_console_logging()
+        root = get_logger()
+        stream_handlers = [
+            h
+            for h in root.handlers
+            if isinstance(h, logging.StreamHandler)
+            and not isinstance(h, logging.NullHandler)
+        ]
+        count_before = len(stream_handlers)
+        enable_console_logging()
+        stream_handlers = [
+            h
+            for h in root.handlers
+            if isinstance(h, logging.StreamHandler)
+            and not isinstance(h, logging.NullHandler)
+        ]
+        assert len(stream_handlers) == count_before
+
+    def test_sets_level(self):
+        enable_console_logging(logging.WARNING)
+        # level change only happens on first attach; verify the logger
+        # has *a* concrete level configured
+        assert get_logger().level != logging.NOTSET

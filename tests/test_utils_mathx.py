@@ -1,0 +1,158 @@
+"""Tests for repro.utils.mathx: factorization and distance helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.mathx import (
+    all_factorizations,
+    ceil_div,
+    clamp,
+    factor_pairs,
+    factorize,
+    is_power_of_two,
+    next_power_of_two,
+    pairwise_sq_dists,
+    round_up,
+)
+
+
+class TestCeilDiv:
+    @pytest.mark.parametrize(
+        "a,b,expected", [(0, 3, 0), (1, 3, 1), (3, 3, 1), (4, 3, 2), (9, 3, 3)]
+    )
+    def test_values(self, a, b, expected):
+        assert ceil_div(a, b) == expected
+
+    def test_rejects_nonpositive_divisor(self):
+        with pytest.raises(ValueError):
+            ceil_div(5, 0)
+
+    @given(st.integers(0, 10**6), st.integers(1, 10**4))
+    def test_property(self, a, b):
+        q = ceil_div(a, b)
+        assert q * b >= a
+        assert (q - 1) * b < a or q == 0
+
+
+class TestRoundUpClamp:
+    def test_round_up(self):
+        assert round_up(5, 4) == 8
+        assert round_up(8, 4) == 8
+
+    def test_clamp(self):
+        assert clamp(5, 0, 3) == 3
+        assert clamp(-1, 0, 3) == 0
+        assert clamp(2, 0, 3) == 2
+
+    def test_clamp_empty_interval(self):
+        with pytest.raises(ValueError):
+            clamp(1, 3, 0)
+
+
+class TestPowersOfTwo:
+    def test_is_power_of_two(self):
+        assert is_power_of_two(1)
+        assert is_power_of_two(64)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(6)
+        assert not is_power_of_two(-4)
+
+    def test_next_power_of_two(self):
+        assert next_power_of_two(1) == 1
+        assert next_power_of_two(5) == 8
+        assert next_power_of_two(64) == 64
+
+    def test_next_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            next_power_of_two(0)
+
+
+class TestFactorize:
+    def test_twelve(self):
+        assert factorize(12) == (1, 2, 3, 4, 6, 12)
+
+    def test_prime(self):
+        assert factorize(13) == (1, 13)
+
+    def test_one(self):
+        assert factorize(1) == (1,)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            factorize(0)
+
+    @given(st.integers(1, 2000))
+    def test_all_divide(self, n):
+        for d in factorize(n):
+            assert n % d == 0
+
+    def test_factor_pairs(self):
+        assert factor_pairs(4) == [(1, 4), (2, 2), (4, 1)]
+        for a, b in factor_pairs(36):
+            assert a * b == 36
+
+
+class TestAllFactorizations:
+    def test_small(self):
+        assert all_factorizations(4, 2) == ((1, 4), (2, 2), (4, 1))
+
+    def test_single_part(self):
+        assert all_factorizations(6, 1) == ((6,),)
+
+    def test_rejects_zero_parts(self):
+        with pytest.raises(ValueError):
+            all_factorizations(4, 0)
+
+    @given(st.integers(1, 64), st.integers(1, 4))
+    def test_products_and_uniqueness(self, n, parts):
+        combos = all_factorizations(n, parts)
+        assert len(set(combos)) == len(combos)
+        for combo in combos:
+            assert len(combo) == parts
+            product = 1
+            for f in combo:
+                product *= f
+            assert product == n
+
+    def test_count_power_of_two(self):
+        # number of ordered factorizations of 2^a into k parts is C(a+k-1, k-1)
+        from math import comb
+
+        assert len(all_factorizations(2**5, 4)) == comb(5 + 3, 3)
+
+
+class TestPairwiseSqDists:
+    def test_simple(self):
+        a = np.array([[0.0, 0.0], [1.0, 0.0]])
+        d = pairwise_sq_dists(a, a)
+        assert d.shape == (2, 2)
+        assert d[0, 1] == pytest.approx(1.0)
+        assert d[0, 0] == pytest.approx(0.0)
+
+    def test_non_negative_despite_cancellation(self):
+        a = np.full((4, 3), 1e8)
+        d = pairwise_sq_dists(a, a)
+        assert (d >= 0).all()
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            pairwise_sq_dists(np.ones((2, 3)), np.ones((2, 4)))
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            pairwise_sq_dists(np.ones(3), np.ones((2, 3)))
+
+    @given(
+        st.integers(1, 8),
+        st.integers(1, 8),
+        st.integers(1, 5),
+        st.integers(0, 10**6),
+    )
+    def test_matches_naive(self, n, m, d, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=(n, d))
+        b = rng.normal(size=(m, d))
+        fast = pairwise_sq_dists(a, b)
+        naive = ((a[:, None, :] - b[None, :, :]) ** 2).sum(axis=2)
+        assert np.allclose(fast, naive, atol=1e-8)

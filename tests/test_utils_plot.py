@@ -1,0 +1,83 @@
+"""Tests for repro.utils.plot."""
+
+import numpy as np
+import pytest
+
+from repro.utils.plot import curve_plot, hbar_chart, sparkline
+
+
+class TestSparkline:
+    def test_length_capped(self):
+        line = sparkline(np.arange(1000), width=40)
+        assert len(line) == 40
+
+    def test_short_input_kept(self):
+        assert len(sparkline([1.0, 2.0, 3.0], width=40)) == 3
+
+    def test_monotone_input_monotone_blocks(self):
+        line = sparkline(np.linspace(0, 1, 20))
+        assert line[0] == " "
+        assert line[-1] == "█"
+
+    def test_constant_input(self):
+        line = sparkline(np.ones(10))
+        assert len(set(line)) == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            sparkline([])
+
+
+class TestHbarChart:
+    def test_rows_and_values(self):
+        chart = hbar_chart({"a": 10.0, "bb": 20.0})
+        lines = chart.splitlines()
+        assert len(lines) == 2
+        assert "10.0" in lines[0]
+        assert "20.0" in lines[1]
+
+    def test_baseline_percentages(self):
+        chart = hbar_chart({"base": 10.0, "x": 15.0}, baseline="base")
+        assert "(150.0%)" in chart
+
+    def test_longest_bar_is_max(self):
+        chart = hbar_chart({"small": 1.0, "big": 100.0}, width=20)
+        small_line, big_line = chart.splitlines()
+        assert big_line.count("█") > small_line.count("█")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hbar_chart({})
+        with pytest.raises(ValueError):
+            hbar_chart({"a": 0.0})
+
+
+class TestCurvePlot:
+    def test_canvas_dimensions(self):
+        plot = curve_plot(
+            {"a": np.linspace(0, 1, 50)}, height=8, width=30
+        )
+        lines = plot.splitlines()
+        # 8 canvas rows + axis + legend
+        assert len(lines) == 10
+
+    def test_legend_names_all_series(self):
+        plot = curve_plot(
+            {"alpha": [1, 2], "beta": [2, 1]}, height=4, width=10
+        )
+        assert "alpha" in plot
+        assert "beta" in plot
+
+    def test_markers_present(self):
+        plot = curve_plot({"a": [0.0, 1.0, 0.5]}, height=5, width=12)
+        assert "*" in plot
+
+    def test_ylabel(self):
+        plot = curve_plot({"a": [1, 2]}, ylabel="GFLOPS")
+        assert plot.splitlines()[0] == "GFLOPS"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            curve_plot({})
+        with pytest.raises(ValueError):
+            curve_plot({"a": []})

@@ -1,0 +1,87 @@
+"""Tests for repro.utils.rng: determinism and stream independence."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.rng import RngPool, as_generator, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "a", 1) == derive_seed(42, "a", 1)
+
+    def test_label_sensitivity(self):
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+
+    def test_root_sensitivity(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_multi_label_order_matters(self):
+        assert derive_seed(0, "a", "b") != derive_seed(0, "b", "a")
+
+    def test_label_concatenation_is_not_ambiguous(self):
+        # ("ab",) and ("a", "b") must differ (separator byte in the hash)
+        assert derive_seed(0, "ab") != derive_seed(0, "a", "b")
+
+    def test_range(self):
+        seed = derive_seed(123456789, "x")
+        assert 0 <= seed < 2**63
+
+    @given(st.integers(min_value=0, max_value=2**62), st.text(max_size=20))
+    def test_always_valid_and_stable(self, root, label):
+        a = derive_seed(root, label)
+        b = derive_seed(root, label)
+        assert a == b
+        assert 0 <= a < 2**63
+
+
+class TestAsGenerator:
+    def test_from_int(self):
+        g1 = as_generator(5)
+        g2 = as_generator(5)
+        assert g1.integers(0, 1000) == g2.integers(0, 1000)
+
+    def test_passthrough(self):
+        g = np.random.default_rng(0)
+        assert as_generator(g) is g
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+
+class TestRngPool:
+    def test_same_name_same_stream(self):
+        pool = RngPool(1)
+        g1 = pool.get("x")
+        g2 = pool.get("x")
+        assert g1 is g2
+
+    def test_reproducible_across_pools(self):
+        a = RngPool(9).get("sa").integers(0, 10**6, 5)
+        b = RngPool(9).get("sa").integers(0, 10**6, 5)
+        assert (a == b).all()
+
+    def test_streams_are_independent(self):
+        pool = RngPool(9)
+        a = pool.get("one").integers(0, 10**6, 20)
+        b = pool.get("two").integers(0, 10**6, 20)
+        assert not (a == b).all()
+
+    def test_child_pools_differ(self):
+        pool = RngPool(3)
+        c1 = pool.child("alpha")
+        c2 = pool.child("beta")
+        assert c1.root_seed != c2.root_seed
+        assert c1.root_seed == RngPool(3).child("alpha").root_seed
+
+    def test_seed_for_matches_get(self):
+        pool = RngPool(8)
+        expected = np.random.default_rng(pool.seed_for("m")).integers(0, 100)
+        assert pool.get("m").integers(0, 100) == expected
+
+    def test_default_root_is_random(self):
+        assert isinstance(RngPool().root_seed, int)
+
+    def test_repr(self):
+        assert "RngPool" in repr(RngPool(4))

