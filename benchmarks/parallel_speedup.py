@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""Measure the parallel-executor speedup over serial measurement.
+
+Runs the same measurement stream through :class:`SerialExecutor` and
+:class:`ParallelExecutor`, verifies the results are bit-identical (the
+executor contract), and reports wall-clock speedup.  On a machine with
+at least 4 cores the script *asserts* a >= 2x speedup with ``--jobs 4``
+(the acceptance bar for the parallel backend); on smaller machines it
+only reports, since there is nothing to parallelize onto.
+
+Run:  PYTHONPATH=src python benchmarks/parallel_speedup.py [--jobs 4]
+"""
+
+import argparse
+import os
+import time
+
+from repro.hardware.executor import ParallelExecutor, SerialExecutor
+from repro.hardware.measure import Measurer, SimulatedTask
+from repro.nn.workloads import Conv2DWorkload
+
+#: speedup bar from the issue: 2x with 4 workers on >= 4 cores
+REQUIRED_SPEEDUP = 2.0
+REQUIRED_CORES = 4
+
+
+def _task() -> SimulatedTask:
+    """A mid-size conv task (large enough space for distinct configs)."""
+    workload = Conv2DWorkload(
+        batch=1,
+        in_channels=32,
+        out_channels=64,
+        height=28,
+        width=28,
+        kernel_h=3,
+        kernel_w=3,
+        pad_h=1,
+        pad_w=1,
+    )
+    return SimulatedTask(workload, seed=0)
+
+
+def _signature(results):
+    """Comparable projection of measurement results."""
+    return [(r.config_index, r.gflops, r.mean_time_s) for r in results]
+
+
+def run(jobs: int, num_configs: int, batch_size: int) -> float:
+    """Time serial vs parallel on one stream; returns the speedup."""
+    task = _task()
+    rng_indices = [
+        (i * 7919) % len(task.space) for i in range(num_configs)
+    ]
+    batches = [
+        rng_indices[off: off + batch_size]
+        for off in range(0, num_configs, batch_size)
+    ]
+
+    serial = SerialExecutor(Measurer(task, seed=3))
+    start = time.perf_counter()
+    serial_results = [serial.measure_batch(batch) for batch in batches]
+    serial_s = time.perf_counter() - start
+
+    parallel = ParallelExecutor(
+        Measurer(task, seed=3), jobs=jobs, min_parallel=1
+    )
+    try:
+        parallel._ensure_pool()  # exclude pool start-up from the timing
+        start = time.perf_counter()
+        parallel_results = [
+            parallel.measure_batch(batch) for batch in batches
+        ]
+        parallel_s = time.perf_counter() - start
+    finally:
+        parallel.close()
+
+    for s_batch, p_batch in zip(serial_results, parallel_results):
+        assert _signature(s_batch) == _signature(p_batch), (
+            "parallel results diverged from serial"
+        )
+
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    print(
+        f"{num_configs} configs, batches of {batch_size}: "
+        f"serial {serial_s:.2f}s, parallel(jobs={jobs}) {parallel_s:.2f}s "
+        f"-> {speedup:.2f}x"
+    )
+    return speedup
+
+
+def main() -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=4)
+    parser.add_argument("--configs", type=int, default=2048)
+    parser.add_argument("--batch", type=int, default=256)
+    args = parser.parse_args()
+
+    cores = os.cpu_count() or 1
+    print(f"machine has {cores} core(s)")
+    speedup = run(args.jobs, args.configs, args.batch)
+
+    if cores >= REQUIRED_CORES and args.jobs >= REQUIRED_CORES:
+        assert speedup >= REQUIRED_SPEEDUP, (
+            f"speedup {speedup:.2f}x below the {REQUIRED_SPEEDUP}x bar "
+            f"on a {cores}-core machine"
+        )
+        print(f"PASS: {speedup:.2f}x >= {REQUIRED_SPEEDUP}x")
+    else:
+        print(
+            f"note: < {REQUIRED_CORES} cores (or jobs) — reporting only, "
+            f"no speedup assertion"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

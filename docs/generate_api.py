@@ -16,16 +16,18 @@ MODULES = [
     "repro.space.neighborhood",
     "repro.hardware.device", "repro.hardware.resources",
     "repro.hardware.cost_model", "repro.hardware.noise",
-    "repro.hardware.measure", "repro.hardware.calibration",
+    "repro.hardware.measure", "repro.hardware.executor",
+    "repro.hardware.calibration",
     "repro.learning.tree", "repro.learning.gbt", "repro.learning.mlp",
     "repro.learning.rank", "repro.learning.metrics", "repro.learning.sa",
     "repro.learning.transfer",
     "repro.core.ted", "repro.core.bted", "repro.core.bootstrap",
     "repro.core.bao", "repro.core.tuner", "repro.core.tuners",
-    "repro.core.callbacks",
+    "repro.core.callbacks", "repro.core.events",
     "repro.pipeline.tasks", "repro.pipeline.records",
     "repro.pipeline.compiler",
-    "repro.experiments.settings", "repro.experiments.fig4",
+    "repro.experiments.settings", "repro.experiments.runner",
+    "repro.experiments.engine", "repro.experiments.fig4",
     "repro.experiments.fig5", "repro.experiments.table1",
     "repro.experiments.ablation", "repro.experiments.analysis",
     "repro.experiments.report",

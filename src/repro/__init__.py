@@ -26,16 +26,26 @@ from repro.core import (
     BTEDBAOTuner,
     BTEDTuner,
     BaoSettings,
+    EventLog,
     GridTuner,
     RandomTuner,
     TUNER_REGISTRY,
     Tuner,
+    TuningEvent,
     TuningResult,
     bted_select,
     make_tuner,
     ted_select,
 )
-from repro.hardware import GTX_1080_TI, GpuDevice, Measurer, SimulatedTask
+from repro.hardware import (
+    GTX_1080_TI,
+    GpuDevice,
+    MeasureCache,
+    Measurer,
+    ParallelExecutor,
+    SerialExecutor,
+    SimulatedTask,
+)
 from repro.nn.zoo import PAPER_MODELS, build_model
 from repro.pipeline import DeploymentCompiler, RecordStore
 from repro.space import ConfigSpace, build_space
@@ -55,9 +65,14 @@ __all__ = [
     "bted_select",
     "make_tuner",
     "ted_select",
+    "EventLog",
+    "TuningEvent",
     "GTX_1080_TI",
     "GpuDevice",
+    "MeasureCache",
     "Measurer",
+    "ParallelExecutor",
+    "SerialExecutor",
     "SimulatedTask",
     "PAPER_MODELS",
     "build_model",

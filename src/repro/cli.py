@@ -17,6 +17,7 @@ from typing import List, Optional
 
 from repro.core import TUNER_REGISTRY
 from repro.experiments.settings import ExperimentSettings
+from repro.hardware.executor import EXECUTOR_KINDS, MeasureCache
 from repro.nn.zoo import MODEL_BUILDERS, PAPER_MODELS, build_model
 from repro.pipeline.compiler import DeploymentCompiler
 from repro.pipeline.records import RecordStore
@@ -69,6 +70,11 @@ def _cmd_tune(args: argparse.Namespace) -> int:
             f"in {result.num_measurements} measurements"
         )
 
+    cache = (
+        MeasureCache(path=args.measure_cache)
+        if args.measure_cache
+        else None
+    )
     compiled = compiler.tune(
         args.arm,
         n_trial=args.budget,
@@ -76,7 +82,13 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         trial_seed=args.seed,
         record_store=store,
         progress=progress,
+        executor=args.executor,
+        jobs=args.jobs,
+        measure_cache=cache,
     )
+    if cache is not None:
+        cache.save()
+        print(f"  cache    : {len(cache)} entries -> {args.measure_cache}")
     sample = compiled.measure_latency(num_runs=args.runs, seed=args.seed)
     print()
     print(f"{args.model} via {args.arm}:")
@@ -98,17 +110,24 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             settings=settings,
             num_measurements=max(128, int(1024 * args.scale)),
             num_trials=settings.num_trials,
+            jobs=args.jobs,
+            measure_cache=args.measure_cache,
         )
         print(result.report())
     elif args.which == "fig5":
         from repro.experiments.fig5 import run_fig5
 
-        result = run_fig5(settings=settings, max_tasks=args.max_tasks)
+        result = run_fig5(
+            settings=settings,
+            max_tasks=args.max_tasks,
+            jobs=args.jobs,
+            measure_cache=args.measure_cache,
+        )
         print(result.report())
     else:
         from repro.experiments.table1 import run_table1
 
-        result = run_table1(settings=settings)
+        result = run_table1(settings=settings, jobs=args.jobs)
         print(result.report())
     return 0
 
@@ -160,6 +179,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_tune.add_argument("--winograd", action="store_true",
                         help="also tune Winograd templates for eligible "
                              "convs and deploy the faster one per kernel")
+    p_tune.add_argument("--executor", default="serial",
+                        choices=list(EXECUTOR_KINDS),
+                        help="measurement backend (results are identical)")
+    p_tune.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for --executor parallel "
+                             "(default: all cores)")
+    p_tune.add_argument("--measure-cache", default=None,
+                        help="memoize measurements in this pickle file")
     p_tune.set_defaults(func=_cmd_tune)
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper result")
@@ -168,6 +195,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="budget scale in (0, 1]; 1.0 = paper protocol")
     p_exp.add_argument("--max-tasks", type=int, default=None,
                        help="fig5 only: limit the number of tasks")
+    p_exp.add_argument("--jobs", type=int, default=1,
+                       help="fan experiment cells over N worker processes "
+                            "(results are identical to --jobs 1)")
+    p_exp.add_argument("--measure-cache", default=None,
+                       help="fig4/fig5: memoize measurements in this "
+                            "pickle file")
     p_exp.set_defaults(func=_cmd_experiment)
 
     p_report = sub.add_parser(

@@ -13,6 +13,16 @@ from repro.core.ted import ted_select, rbf_kernel
 from repro.core.bted import bted_select
 from repro.core.bootstrap import bootstrap_sample, BootstrapEnsemble
 from repro.core.bao import BaoOptimizer, BaoSettings
+from repro.core.events import (
+    BatchMeasured,
+    BatchProposed,
+    EarlyStopped,
+    EventLog,
+    IncumbentImproved,
+    ScopeWidened,
+    SpaceExhausted,
+    TuningEvent,
+)
 from repro.core.tuner import Tuner, TrialRecord, TuningResult, EarlyStopper
 from repro.core.tuners.random import RandomTuner
 from repro.core.tuners.grid import GridTuner
@@ -51,6 +61,14 @@ __all__ = [
     "TrialRecord",
     "TuningResult",
     "EarlyStopper",
+    "TuningEvent",
+    "BatchProposed",
+    "BatchMeasured",
+    "IncumbentImproved",
+    "ScopeWidened",
+    "EarlyStopped",
+    "SpaceExhausted",
+    "EventLog",
     "RandomTuner",
     "GridTuner",
     "GATuner",

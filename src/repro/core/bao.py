@@ -125,6 +125,11 @@ class BaoOptimizer:
 
     # ------------------------------------------------------------------
 
+    @property
+    def stagnation(self) -> int:
+        """Consecutive steps with relative improvement below ``eta``."""
+        return self._stagnation
+
     def current_radius(self) -> float:
         """Radius for the upcoming step, per the adaptation rule."""
         s = self.settings

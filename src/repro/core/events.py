@@ -1,0 +1,120 @@
+"""Structured tuning events.
+
+The tuning loop used to be observable only through print-debugging or
+by re-deriving state from trial records.  Instead, :meth:`Tuner.tune`
+emits typed :class:`TuningEvent` objects through its ``on_event``
+callbacks at every decision point: a batch proposed, a batch measured,
+the incumbent improved, BAO widening its search scope (the ``r_t``
+rule of Alg. 4), early stopping firing, or the space running dry.
+
+Event consumers are callables ``(tuner, event) -> None``; the
+:class:`EventLog` collector is the one most tests and analyses need.
+``step`` on every event is the number of configurations measured when
+the event fired, i.e. the x-coordinate on the paper's Fig. 4 axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Tuple, Type, TypeVar
+
+from repro.hardware.measure import MeasureResult
+
+
+@dataclass(frozen=True)
+class TuningEvent:
+    """Base class of all events; ``step`` = measurements completed."""
+
+    step: int
+
+    @property
+    def kind(self) -> str:
+        """Event type as a lowercase name (``"batch_proposed"`` etc.)."""
+        name = type(self).__name__
+        out = [name[0].lower()]
+        for ch in name[1:]:
+            if ch.isupper():
+                out.append("_")
+                out.append(ch.lower())
+            else:
+                out.append(ch)
+        return "".join(out)
+
+
+@dataclass(frozen=True)
+class BatchProposed(TuningEvent):
+    """The search policy committed to measuring these configurations."""
+
+    config_indices: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class BatchMeasured(TuningEvent):
+    """A proposed batch came back from the measurement executor."""
+
+    results: Tuple[MeasureResult, ...]
+
+    @property
+    def num_ok(self) -> int:
+        """How many measurements in the batch succeeded."""
+        return sum(1 for r in self.results if r.ok)
+
+
+@dataclass(frozen=True)
+class IncumbentImproved(TuningEvent):
+    """A measurement beat the best-so-far configuration."""
+
+    config_index: int
+    gflops: float
+    previous_gflops: float
+
+
+@dataclass(frozen=True)
+class ScopeWidened(TuningEvent):
+    """BAO's ``r_t < eta`` rule widened the neighborhood radius."""
+
+    radius: float
+    base_radius: float
+    stagnation: int
+
+
+@dataclass(frozen=True)
+class EarlyStopped(TuningEvent):
+    """The no-improvement window expired and the loop stopped."""
+
+    patience: int
+    best_gflops: float
+
+
+@dataclass(frozen=True)
+class SpaceExhausted(TuningEvent):
+    """Every configuration in the space has been measured."""
+
+
+#: the ``on_event`` callback signature
+EventCallback = Callable[[object, TuningEvent], None]
+
+E = TypeVar("E", bound=TuningEvent)
+
+
+class EventLog:
+    """Event callback that records everything it sees, in order.
+
+    >>> log = EventLog()
+    >>> tuner.tune(n_trial=64, on_event=[log])       # doctest: +SKIP
+    >>> log.of_type(IncumbentImproved)               # doctest: +SKIP
+    """
+
+    def __init__(self) -> None:
+        self.events: List[TuningEvent] = []
+
+    def __call__(self, tuner: object, event: TuningEvent) -> None:
+        """Record one event."""
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def of_type(self, event_type: Type[E]) -> List[E]:
+        """All recorded events of one type, in emission order."""
+        return [e for e in self.events if isinstance(e, event_type)]

@@ -7,8 +7,12 @@ budget or the early-stopping criterion (no improvement within a window
 of measurements, AutoTVM's default stopping rule) is reached.
 
 Subclasses implement :meth:`Tuner._generate_initial` and
-:meth:`Tuner._generate_next`; the base class owns measurement,
-bookkeeping, the best-so-far curve, and stopping.
+:meth:`Tuner._generate_next`; the base class owns bookkeeping, the
+best-so-far curve, and stopping.  Measurement itself goes through a
+pluggable :class:`~repro.hardware.executor.MeasureExecutor` (serial by
+default, process-parallel or caching on request), and every decision
+point emits a structured :class:`~repro.core.events.TuningEvent`
+through the ``on_event`` callbacks.
 """
 
 from __future__ import annotations
@@ -19,6 +23,21 @@ from typing import Callable, List, Optional, Sequence, Set
 
 import numpy as np
 
+from repro.core.events import (
+    BatchMeasured,
+    BatchProposed,
+    EarlyStopped,
+    EventCallback,
+    IncumbentImproved,
+    SpaceExhausted,
+    TuningEvent,
+)
+from repro.hardware.executor import (
+    ExecutorSpec,
+    MeasureExecutor,
+    SerialExecutor,
+    build_executor,
+)
 from repro.hardware.measure import Measurer, MeasureResult, SimulatedTask
 from repro.utils.log import get_logger
 from repro.utils.rng import RngPool
@@ -59,12 +78,15 @@ class TuningResult:
 
     def best_curve(self) -> np.ndarray:
         """Best-so-far GFLOPS after each measurement (the Fig. 4 series)."""
-        best = 0.0
-        curve = np.empty(len(self.records))
-        for i, record in enumerate(self.records):
-            best = max(best, record.gflops)
-            curve[i] = best
-        return curve
+        if not self.records:
+            return np.empty(0)
+        series = np.fromiter(
+            (r.gflops for r in self.records),
+            dtype=np.float64,
+            count=len(self.records),
+        )
+        # running max with a 0.0 floor (errored trials report 0 GFLOPS)
+        return np.maximum.accumulate(np.maximum(series, 0.0))
 
     def gflops_series(self) -> np.ndarray:
         """Raw measured GFLOPS per step (0 for errored trials)."""
@@ -104,7 +126,14 @@ class EarlyStopper:
 
 
 class Tuner:
-    """Base class for all node-wise tuners (one task, one search policy)."""
+    """Base class for all node-wise tuners (one task, one search policy).
+
+    ``executor`` selects the measurement backend: ``None``/``"serial"``
+    (default), ``"parallel"``, a ``measurer -> MeasureExecutor``
+    factory, or a ready executor instance.  The default is resolved
+    lazily against :attr:`measurer` at each :meth:`tune` call, so tests
+    that swap the measurer keep working.
+    """
 
     name = "base"
 
@@ -114,6 +143,7 @@ class Tuner:
         seed: int = 0,
         batch_size: int = 64,
         measure_repeats: int = 3,
+        executor: ExecutorSpec = None,
     ):
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
@@ -124,6 +154,10 @@ class Tuner:
         self.measurer = Measurer(
             task, seed=self.rng_pool.seed_for("measure"), repeats=measure_repeats
         )
+        self._executor_spec = executor
+        self._executor: Optional[MeasureExecutor] = None
+        if executor is not None and executor != "serial":
+            self._executor = build_executor(self.measurer, executor)
 
         # measured state, shared with subclasses
         self.visited: Set[int] = set()
@@ -132,6 +166,22 @@ class Tuner:
         self._features_cache: List[np.ndarray] = []
         self.best_index: Optional[int] = None
         self.best_gflops: float = 0.0
+
+        # event plumbing (active only inside tune())
+        self._event_sinks: Sequence[EventCallback] = ()
+        self._pending_events: List[TuningEvent] = []
+
+    @property
+    def executor(self) -> MeasureExecutor:
+        """The measurement executor used by :meth:`tune`."""
+        if self._executor is not None:
+            return self._executor
+        return SerialExecutor(self.measurer)
+
+    def shutdown(self) -> None:
+        """Release executor worker resources (no-op for serial)."""
+        if self._executor is not None:
+            self._executor.close()
 
     # ------------------------------------------------------------------
     # subclass contract
@@ -186,6 +236,27 @@ class Tuner:
         return out
 
     # ------------------------------------------------------------------
+    # events
+
+    def _emit(self, event: TuningEvent) -> None:
+        """Deliver one event to every registered sink."""
+        for sink in self._event_sinks:
+            sink(self, event)
+
+    def _queue_event(self, event: TuningEvent) -> None:
+        """Queue a policy-side event (e.g. BAO scope widening).
+
+        Subclasses call this from ``_generate_next``; the main loop
+        flushes the queue right after proposal generation.
+        """
+        self._pending_events.append(event)
+
+    def _flush_policy_events(self) -> None:
+        for event in self._pending_events:
+            self._emit(event)
+        self._pending_events.clear()
+
+    # ------------------------------------------------------------------
     # main loop
 
     def tune(
@@ -193,11 +264,15 @@ class Tuner:
         n_trial: int = 1024,
         early_stopping: Optional[int] = 400,
         callbacks: Sequence[Callback] = (),
+        on_event: Sequence[EventCallback] = (),
     ) -> TuningResult:
         """Run the active-learning loop and return the result.
 
         ``n_trial`` bounds total measurements; ``early_stopping`` is the
-        no-improvement window (None disables it).
+        no-improvement window (None disables it).  ``callbacks`` receive
+        ``(tuner, results)`` after each measured batch (the AutoTVM
+        hook); ``on_event`` receives ``(tuner, TuningEvent)`` at every
+        decision point.
         """
         if n_trial <= 0:
             raise ValueError("n_trial must be positive")
@@ -207,26 +282,50 @@ class Tuner:
         )
         records: List[TrialRecord] = []
         stop = False
+        executor = self.executor
+        self._event_sinks = tuple(on_event)
+        self._pending_events.clear()
 
-        batch = self._filter_unvisited(self._generate_initial())
-        while batch and not stop and len(records) < n_trial:
-            batch = batch[: n_trial - len(records)]
-            results = self.measurer.measure_batch(batch)
-            new_records = self._absorb(results, records)
-            for callback in callbacks:
-                callback(self, results)
-            for record in new_records:
-                if stopper is not None and stopper.update(record.gflops):
-                    stop = True
+        try:
+            batch = self._filter_unvisited(self._generate_initial())
+            self._flush_policy_events()
+            while batch and not stop and len(records) < n_trial:
+                batch = batch[: n_trial - len(records)]
+                self._emit(
+                    BatchProposed(
+                        step=len(records), config_indices=tuple(batch)
+                    )
+                )
+                results = executor.measure_batch(batch)
+                new_records = self._absorb(results, records)
+                self._emit(
+                    BatchMeasured(step=len(records), results=tuple(results))
+                )
+                for callback in callbacks:
+                    callback(self, results)
+                for record in new_records:
+                    if stopper is not None and stopper.update(record.gflops):
+                        stop = True
+                        self._emit(
+                            EarlyStopped(
+                                step=record.step,
+                                patience=stopper.patience,
+                                best_gflops=self.best_gflops,
+                            )
+                        )
+                        break
+                if stop or len(records) >= n_trial:
                     break
-            if stop or len(records) >= n_trial:
-                break
-            batch = self._filter_unvisited(self._generate_next())
-            if not batch:
-                batch = self._random_unvisited(self.batch_size)
+                batch = self._filter_unvisited(self._generate_next())
+                self._flush_policy_events()
                 if not batch:
-                    logger.info("%s: search space exhausted", self.name)
-                    break
+                    batch = self._random_unvisited(self.batch_size)
+                    if not batch:
+                        self._emit(SpaceExhausted(step=len(records)))
+                        logger.info("%s: search space exhausted", self.name)
+                        break
+        finally:
+            self._event_sinks = ()
 
         wall = time.perf_counter() - start
         return TuningResult(
@@ -251,6 +350,14 @@ class Tuner:
             self.measured_scores.append(result.gflops)
             self._features_cache.append(space.features_of(idx))
             if result.gflops > self.best_gflops:
+                self._emit(
+                    IncumbentImproved(
+                        step=len(records) + 1,
+                        config_index=idx,
+                        gflops=result.gflops,
+                        previous_gflops=self.best_gflops,
+                    )
+                )
                 self.best_gflops = result.gflops
                 self.best_index = idx
             record = TrialRecord(

@@ -15,6 +15,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.core.tuner import Tuner
+from repro.hardware.executor import ExecutorSpec
 from repro.hardware.measure import SimulatedTask
 from repro.learning.gbt import GradientBoostedTrees
 from repro.learning.sa import simulated_annealing_search
@@ -36,8 +37,11 @@ class AutoTVMTuner(Tuner):
         sa_chains: int = 128,
         sa_steps: int = 120,
         transfer: Optional[TransferHistory] = None,
+        executor: ExecutorSpec = None,
     ):
-        super().__init__(task, seed=seed, batch_size=batch_size)
+        super().__init__(
+            task, seed=seed, batch_size=batch_size, executor=executor
+        )
         if init_size <= 0:
             raise ValueError("init_size must be positive")
         if not 0.0 <= epsilon_greedy < 1.0:

@@ -12,6 +12,7 @@ from typing import List, Optional
 
 from repro.core.bted import bted_select
 from repro.core.tuners.autotvm import AutoTVMTuner
+from repro.hardware.executor import ExecutorSpec
 from repro.hardware.measure import SimulatedTask
 from repro.learning.transfer import TransferHistory
 
@@ -34,6 +35,7 @@ class BTEDTuner(AutoTVMTuner):
         sa_chains: int = 128,
         sa_steps: int = 120,
         transfer: Optional[TransferHistory] = None,
+        executor: ExecutorSpec = None,
     ):
         super().__init__(
             task,
@@ -44,6 +46,7 @@ class BTEDTuner(AutoTVMTuner):
             sa_chains=sa_chains,
             sa_steps=sa_steps,
             transfer=transfer,
+            executor=executor,
         )
         self.mu = mu
         self.batch_candidates = batch_candidates

@@ -13,7 +13,9 @@ from typing import List, Optional
 from repro.core.bao import BaoOptimizer, BaoSettings
 from repro.core.bootstrap import ModelFactory
 from repro.core.bted import bted_select
+from repro.core.events import ScopeWidened
 from repro.core.tuner import Tuner
+from repro.hardware.executor import ExecutorSpec
 from repro.hardware.measure import SimulatedTask
 
 
@@ -33,13 +35,16 @@ class BTEDBAOTuner(Tuner):
         bao_settings: BaoSettings = BaoSettings(),
         model_factory: Optional[ModelFactory] = None,
         measure_batch_size: int = 1,
+        executor: ExecutorSpec = None,
     ):
         # BAO deploys one configuration per iteration (Alg. 4 line 10-11);
         # measure_batch_size > 1 enables the parallel-measurement
         # extension (top-k of the acquisition per ensemble refit)
         if measure_batch_size < 1:
             raise ValueError("measure_batch_size must be >= 1")
-        super().__init__(task, seed=seed, batch_size=measure_batch_size)
+        super().__init__(
+            task, seed=seed, batch_size=measure_batch_size, executor=executor
+        )
         if init_size <= 0:
             raise ValueError("init_size must be positive")
         self.init_size = init_size
@@ -84,6 +89,16 @@ class BTEDBAOTuner(Tuner):
                 best_index=self.best_index,
                 k=self.batch_size,
                 visited=self.visited,
+            )
+        # surface the r_t adaptation decision as a structured event
+        if self.bao.last_radius > self.bao.settings.radius:
+            self._queue_event(
+                ScopeWidened(
+                    step=len(self.measured_indices),
+                    radius=self.bao.last_radius,
+                    base_radius=self.bao.settings.radius,
+                    stagnation=self.bao.stagnation,
+                )
             )
         fresh = [c for c in chosen if c not in self.visited]
         if not fresh:

@@ -14,6 +14,7 @@ from typing import List
 import numpy as np
 
 from repro.core.tuner import Tuner
+from repro.hardware.executor import ExecutorSpec
 from repro.hardware.measure import SimulatedTask
 
 
@@ -29,8 +30,11 @@ class GATuner(Tuner):
         population_size: int = 64,
         elite_fraction: float = 0.25,
         mutation_prob: float = 0.1,
+        executor: ExecutorSpec = None,
     ):
-        super().__init__(task, seed=seed, batch_size=population_size)
+        super().__init__(
+            task, seed=seed, batch_size=population_size, executor=executor
+        )
         if population_size < 4:
             raise ValueError("population_size must be >= 4")
         if not 0.0 < elite_fraction < 1.0:

@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import List
 
 from repro.core.tuner import Tuner
+from repro.hardware.executor import ExecutorSpec
 from repro.hardware.measure import SimulatedTask
 
 
@@ -24,8 +25,11 @@ class GridTuner(Tuner):
         seed: int = 0,
         batch_size: int = 64,
         planned_trials: int = 2048,
+        executor: ExecutorSpec = None,
     ):
-        super().__init__(task, seed=seed, batch_size=batch_size)
+        super().__init__(
+            task, seed=seed, batch_size=batch_size, executor=executor
+        )
         if planned_trials <= 0:
             raise ValueError("planned_trials must be positive")
         size = len(task.space)

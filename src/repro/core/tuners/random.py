@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import List
 
 from repro.core.tuner import Tuner
+from repro.hardware.executor import ExecutorSpec
 from repro.hardware.measure import SimulatedTask
 
 
@@ -13,8 +14,16 @@ class RandomTuner(Tuner):
 
     name = "random"
 
-    def __init__(self, task: SimulatedTask, seed: int = 0, batch_size: int = 64):
-        super().__init__(task, seed=seed, batch_size=batch_size)
+    def __init__(
+        self,
+        task: SimulatedTask,
+        seed: int = 0,
+        batch_size: int = 64,
+        executor: ExecutorSpec = None,
+    ):
+        super().__init__(
+            task, seed=seed, batch_size=batch_size, executor=executor
+        )
 
     def _generate_initial(self) -> List[int]:
         return self._random_unvisited(self.batch_size)

@@ -12,7 +12,12 @@
 """
 
 from repro.experiments.settings import ExperimentSettings, PAPER_SETTINGS, ARMS
-from repro.experiments.runner import run_arm_on_task, average_curves
+from repro.experiments.runner import (
+    DEFAULT_EARLY_STOPPING,
+    run_arm_on_task,
+    average_curves,
+)
+from repro.experiments.engine import ExperimentCell, ExperimentEngine
 from repro.experiments.fig4 import run_fig4, Fig4Result
 from repro.experiments.fig5 import run_fig5, Fig5Result
 from repro.experiments.table1 import run_table1, Table1Result
@@ -28,8 +33,11 @@ __all__ = [
     "ExperimentSettings",
     "PAPER_SETTINGS",
     "ARMS",
+    "DEFAULT_EARLY_STOPPING",
     "run_arm_on_task",
     "average_curves",
+    "ExperimentCell",
+    "ExperimentEngine",
     "run_fig4",
     "Fig4Result",
     "run_fig5",

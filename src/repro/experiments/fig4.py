@@ -11,11 +11,12 @@ over trials.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.experiments.runner import average_curves, run_arm_on_task
+from repro.experiments.engine import ExperimentCell, ExperimentEngine
+from repro.experiments.runner import average_curves
 from repro.experiments.settings import ARMS, ExperimentSettings, PAPER_SETTINGS
 from repro.hardware.device import GTX_1080_TI, GpuDevice
 from repro.nn.zoo import build_model
@@ -64,31 +65,44 @@ def run_fig4(
     num_measurements: int = 1024,
     num_trials: int = 3,
     device: GpuDevice = GTX_1080_TI,
+    jobs: int = 1,
+    measure_cache: Optional[str] = None,
 ) -> Fig4Result:
-    """Regenerate the Fig. 4 convergence study."""
+    """Regenerate the Fig. 4 convergence study.
+
+    ``jobs`` fans the (layer, arm, trial) cells over a process pool;
+    results are identical to the serial run for any value.
+    """
     graph = build_model(model_name)
     tasks = extract_tasks(graph)[:num_layers]
     if len(tasks) < num_layers:
         raise ValueError(f"{model_name} has only {len(tasks)} tasks")
 
-    curves: Dict[Tuple[int, str], np.ndarray] = {}
-    for spec in tasks:
-        sim = spec.to_simulated(device=device, seed=settings.env_seed)
-        for arm in arms:
-            trial_curves = []
-            for trial in range(num_trials):
-                result = run_arm_on_task(
-                    arm,
-                    sim,
-                    settings,
-                    trial=trial,
-                    n_trial=num_measurements,
-                    early_stopping=None,
-                )
-                trial_curves.append(result.best_curve())
-            curves[(spec.task_id, arm)] = average_curves(
-                trial_curves, length=num_measurements
-            )
+    cells = [
+        ExperimentCell(
+            arm=arm,
+            task=spec.to_simulated(device=device, seed=settings.env_seed),
+            trial=trial,
+            n_trial=num_measurements,
+            early_stopping=None,
+            key=(spec.task_id, arm),
+        )
+        for spec in tasks
+        for arm in arms
+        for trial in range(num_trials)
+    ]
+    with ExperimentEngine(
+        settings, jobs=jobs, measure_cache=measure_cache
+    ) as engine:
+        results = engine.run_cells(cells)
+
+    trial_curves: Dict[Tuple[int, str], List[np.ndarray]] = {}
+    for cell, result in zip(cells, results):
+        trial_curves.setdefault(cell.key, []).append(result.best_curve())
+    curves = {
+        key: average_curves(curve_list, length=num_measurements)
+        for key, curve_list in trial_curves.items()
+    }
     return Fig4Result(
         model_name=model_name,
         num_measurements=num_measurements,

@@ -11,11 +11,12 @@ on GFLOPS (by up to ~36.7% / ~47.9% in the paper).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.experiments.runner import format_table, run_arm_on_task
+from repro.experiments.engine import ExperimentCell, ExperimentEngine
+from repro.experiments.runner import format_table
 from repro.experiments.settings import ARMS, ExperimentSettings, PAPER_SETTINGS
 from repro.hardware.device import GTX_1080_TI, GpuDevice
 from repro.nn.zoo import build_model
@@ -79,30 +80,46 @@ def run_fig5(
     model_name: str = "mobilenet-v1",
     arms: Sequence[str] = ARMS,
     settings: ExperimentSettings = PAPER_SETTINGS,
-    num_trials: int = None,
+    num_trials: Optional[int] = None,
     device: GpuDevice = GTX_1080_TI,
-    max_tasks: int = None,
+    max_tasks: Optional[int] = None,
+    jobs: int = 1,
+    measure_cache: Optional[str] = None,
 ) -> Fig5Result:
-    """Regenerate the Fig. 5 study (early stopping active, as in the paper)."""
+    """Regenerate the Fig. 5 study (early stopping active, as in the paper).
+
+    ``jobs`` fans the (task, arm, trial) cells over a process pool;
+    results are identical to the serial run for any value.
+    """
     graph = build_model(model_name)
     tasks = extract_tasks(graph)
     if max_tasks is not None:
         tasks = tasks[:max_tasks]
     trials = num_trials if num_trials is not None else settings.num_trials
 
-    num_configs: Dict[Tuple[int, str], float] = {}
-    gflops: Dict[Tuple[int, str], float] = {}
-    for spec in tasks:
-        sim = spec.to_simulated(device=device, seed=settings.env_seed)
-        for arm in arms:
-            counts = []
-            bests = []
-            for trial in range(trials):
-                result = run_arm_on_task(arm, sim, settings, trial=trial)
-                counts.append(result.num_measurements)
-                bests.append(result.best_gflops)
-            num_configs[(spec.task_id, arm)] = float(np.mean(counts))
-            gflops[(spec.task_id, arm)] = float(np.mean(bests))
+    cells = [
+        ExperimentCell(
+            arm=arm,
+            task=spec.to_simulated(device=device, seed=settings.env_seed),
+            trial=trial,
+            key=(spec.task_id, arm),
+        )
+        for spec in tasks
+        for arm in arms
+        for trial in range(trials)
+    ]
+    with ExperimentEngine(
+        settings, jobs=jobs, measure_cache=measure_cache
+    ) as engine:
+        results = engine.run_cells(cells)
+
+    counts: Dict[Tuple[int, str], List[float]] = {}
+    bests: Dict[Tuple[int, str], List[float]] = {}
+    for cell, result in zip(cells, results):
+        counts.setdefault(cell.key, []).append(result.num_measurements)
+        bests.setdefault(cell.key, []).append(result.best_gflops)
+    num_configs = {key: float(np.mean(v)) for key, v in counts.items()}
+    gflops = {key: float(np.mean(v)) for key, v in bests.items()}
     return Fig5Result(
         model_name=model_name,
         task_ids=[spec.task_id for spec in tasks],

@@ -2,15 +2,41 @@
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.core import make_tuner
 from repro.core.tuner import TuningResult
 from repro.experiments.settings import ExperimentSettings
+from repro.hardware.executor import ExecutorSpec, MeasureCache, build_executor
 from repro.hardware.measure import SimulatedTask
 from repro.utils.rng import derive_seed
+
+
+class DefaultEarlyStopping:
+    """Sentinel type: 'use the settings' early-stopping window'.
+
+    Distinct from both an integer window and ``None`` (stopping
+    disabled), so callers can explicitly pass ``None`` for fixed-budget
+    runs while omission defers to :class:`ExperimentSettings`.
+    """
+
+    _instance: Optional["DefaultEarlyStopping"] = None
+
+    def __new__(cls) -> "DefaultEarlyStopping":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "DEFAULT_EARLY_STOPPING"
+
+
+#: pass this (the default) to inherit ``settings.early_stopping``
+DEFAULT_EARLY_STOPPING = DefaultEarlyStopping()
+
+EarlyStoppingArg = Union[Optional[int], DefaultEarlyStopping]
 
 
 def run_arm_on_task(
@@ -19,22 +45,44 @@ def run_arm_on_task(
     settings: ExperimentSettings,
     trial: int = 0,
     n_trial: Optional[int] = None,
-    early_stopping: Optional[int] = "default",  # type: ignore[assignment]
+    early_stopping: EarlyStoppingArg = DEFAULT_EARLY_STOPPING,
+    executor: ExecutorSpec = None,
+    measure_cache: Optional[MeasureCache] = None,
 ) -> TuningResult:
     """Run one arm on one task for one trial.
 
     The tuner seed derives from ``(arm, task, trial)`` so trials are
-    independent while the task environment stays fixed.  Pass
+    independent while the task environment stays fixed — and so the
+    result is a pure function of the cell coordinates, independent of
+    which worker (or in which order) the cell executes.  Pass
     ``early_stopping=None`` to disable stopping (fixed-budget runs, as
-    in the Fig. 4 convergence study).
+    in the Fig. 4 convergence study).  ``executor``/``measure_cache``
+    select the measurement backend for the tuner.
     """
     seed = derive_seed(settings.env_seed, "trial", arm, task.name, trial)
-    tuner = make_tuner(arm, task, seed=seed, **settings.tuner_kwargs(arm))
-    stop = settings.early_stopping if early_stopping == "default" else early_stopping
-    return tuner.tune(
-        n_trial=n_trial if n_trial is not None else settings.n_trial,
-        early_stopping=stop,
+    executor_spec: ExecutorSpec = executor
+    if measure_cache is not None or not (
+        executor is None or executor == "serial"
+    ):
+        def executor_spec(measurer):  # noqa: F811 - intentional rebind
+            return build_executor(measurer, executor, cache=measure_cache)
+
+    tuner = make_tuner(
+        arm, task, seed=seed, executor=executor_spec,
+        **settings.tuner_kwargs(arm),
     )
+    stop = (
+        settings.early_stopping
+        if isinstance(early_stopping, DefaultEarlyStopping)
+        else early_stopping
+    )
+    try:
+        return tuner.tune(
+            n_trial=n_trial if n_trial is not None else settings.n_trial,
+            early_stopping=stop,
+        )
+    finally:
+        tuner.shutdown()
 
 
 def average_curves(

@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.experiments.engine import ExperimentEngine
 from repro.experiments.runner import format_table
 from repro.experiments.settings import ARMS, ExperimentSettings, PAPER_SETTINGS
 from repro.hardware.device import GTX_1080_TI, GpuDevice
@@ -98,52 +99,82 @@ class Table1Result:
         )
 
 
+def _table1_cell(
+    payload: Tuple[str, str, int, ExperimentSettings, GpuDevice],
+) -> Tuple[float, float]:
+    """Worker entry point: tune + deploy one (model, arm, trial) cell.
+
+    Returns ``(mean latency ms, variance)``.  All randomness derives
+    from the cell coordinates, so execution order is irrelevant.
+    """
+    model_name, arm, trial, settings, device = payload
+    graph = build_model(model_name)
+    compiler = DeploymentCompiler(
+        graph, device=device, env_seed=settings.env_seed
+    )
+    compiled = compiler.tune(
+        arm,
+        n_trial=settings.n_trial,
+        early_stopping=settings.early_stopping,
+        trial_seed=derive_seed(settings.env_seed, "t1", arm, trial),
+        tuner_kwargs=settings.tuner_kwargs(arm),
+    )
+    sample = compiled.measure_latency(
+        num_runs=settings.num_runs,
+        seed=derive_seed(settings.env_seed, "runs", trial),
+    )
+    logger.info(
+        "%s/%s trial %d: %.4f ms (var %.6f)",
+        model_name,
+        arm,
+        trial,
+        sample.mean_ms,
+        sample.variance,
+    )
+    return sample.mean_ms, sample.variance
+
+
 def run_table1(
     models: Sequence[str] = tuple(PAPER_MODELS),
     arms: Sequence[str] = ARMS,
     settings: ExperimentSettings = PAPER_SETTINGS,
     device: GpuDevice = GTX_1080_TI,
     num_trials: Optional[int] = None,
+    jobs: int = 1,
 ) -> Table1Result:
-    """Regenerate Table I (the full five-model end-to-end comparison)."""
+    """Regenerate Table I (the full five-model end-to-end comparison).
+
+    ``jobs`` fans the (model, arm, trial) cells over a process pool;
+    results are identical to the serial run for any value.
+    """
     trials = num_trials if num_trials is not None else settings.num_trials
-    cells: Dict[Tuple[str, str], ModelArmStats] = {}
-    for model_name in models:
-        graph = build_model(model_name)
-        compiler = DeploymentCompiler(
-            graph, device=device, env_seed=settings.env_seed
+    grid = [
+        (model_name, arm, trial)
+        for model_name in models
+        for arm in arms
+        for trial in range(trials)
+    ]
+    payloads = [
+        (model_name, arm, trial, settings, device)
+        for model_name, arm, trial in grid
+    ]
+    with ExperimentEngine(settings, jobs=jobs) as engine:
+        samples = engine.map(_table1_cell, payloads)
+
+    lat: Dict[Tuple[str, str], List[float]] = {}
+    var: Dict[Tuple[str, str], List[float]] = {}
+    for (model_name, arm, _trial), (mean_ms, variance) in zip(grid, samples):
+        lat.setdefault((model_name, arm), []).append(mean_ms)
+        var.setdefault((model_name, arm), []).append(variance)
+    cells = {
+        key: ModelArmStats(
+            latency_ms=float(np.mean(lat[key])),
+            variance=float(np.mean(var[key])),
+            per_trial_latency=lat[key],
+            per_trial_variance=var[key],
         )
-        for arm in arms:
-            lat_trials: List[float] = []
-            var_trials: List[float] = []
-            for trial in range(trials):
-                compiled = compiler.tune(
-                    arm,
-                    n_trial=settings.n_trial,
-                    early_stopping=settings.early_stopping,
-                    trial_seed=derive_seed(settings.env_seed, "t1", arm, trial),
-                    tuner_kwargs=settings.tuner_kwargs(arm),
-                )
-                sample = compiled.measure_latency(
-                    num_runs=settings.num_runs,
-                    seed=derive_seed(settings.env_seed, "runs", trial),
-                )
-                lat_trials.append(sample.mean_ms)
-                var_trials.append(sample.variance)
-                logger.info(
-                    "%s/%s trial %d: %.4f ms (var %.6f)",
-                    model_name,
-                    arm,
-                    trial,
-                    sample.mean_ms,
-                    sample.variance,
-                )
-            cells[(model_name, arm)] = ModelArmStats(
-                latency_ms=float(np.mean(lat_trials)),
-                variance=float(np.mean(var_trials)),
-                per_trial_latency=lat_trials,
-                per_trial_variance=var_trials,
-            )
+        for key in lat
+    }
     return Table1Result(
         cells=cells,
         models=list(models),

@@ -17,6 +17,14 @@ from repro.hardware.measure import (
     MeasureErrorKind,
     SimulatedTask,
 )
+from repro.hardware.executor import (
+    CachingExecutor,
+    MeasureCache,
+    MeasureExecutor,
+    ParallelExecutor,
+    SerialExecutor,
+    build_executor,
+)
 
 __all__ = [
     "GpuDevice",
@@ -29,4 +37,10 @@ __all__ = [
     "MeasureResult",
     "MeasureErrorKind",
     "SimulatedTask",
+    "MeasureExecutor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "CachingExecutor",
+    "MeasureCache",
+    "build_executor",
 ]

@@ -1,0 +1,363 @@
+"""Measurement execution: pluggable backends behind one batch contract.
+
+The tuning loop proposes batches of configurations; *how* a batch gets
+deployed is this module's concern.  :class:`MeasureExecutor` is the
+interface (AutoTVM's ``measure_batch`` contract), with three
+implementations:
+
+* :class:`SerialExecutor` — deploys the batch in order in-process
+  (the historical behaviour, and the default).
+* :class:`ParallelExecutor` — fans the batch out over a process pool.
+  The analytical cost model is pure CPU work, so chunks parallelize
+  cleanly; because measurement noise is a pure function of the
+  measurement ordinal (see :class:`repro.hardware.measure.Measurer`),
+  a parallel run reproduces the serial measurement stream bit for bit.
+* :class:`CachingExecutor` — a decorator that memoizes
+  ``(task fingerprint, config index) -> MeasureResult`` in memory and
+  optionally on disk, so repeated trials/arms never re-simulate a
+  configuration they have already deployed.
+
+Executors are cheap to construct around an existing
+:class:`~repro.hardware.measure.Measurer`; tuners accept an executor
+*spec* (a name, an instance, or a ``measurer -> executor`` factory) via
+their ``executor=`` argument — see :func:`build_executor`.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.hardware.measure import Measurer, MeasureResult
+from repro.utils.log import get_logger
+
+logger = get_logger("hardware.executor")
+
+#: what tuners accept as their ``executor=`` argument
+ExecutorSpec = Union[
+    None, str, "MeasureExecutor", Callable[[Measurer], "MeasureExecutor"]
+]
+
+
+class MeasureExecutor:
+    """Interface between a search policy and the measurement hardware.
+
+    Implementations own ordinal assignment: the ``k``-th configuration
+    ever submitted through an executor is measured at ordinal ``k``,
+    whatever backend performs the work.  That single rule is what makes
+    every backend produce identical results for identical submission
+    sequences.
+    """
+
+    def measure_batch(
+        self, config_indices: Sequence[int]
+    ) -> List[MeasureResult]:
+        """Deploy a batch of configurations, preserving order."""
+        raise NotImplementedError
+
+    @property
+    def measurer(self) -> Measurer:
+        """The underlying measurer (noise seed, task, repeat count)."""
+        raise NotImplementedError
+
+    @property
+    def num_measurements(self) -> int:
+        """Configurations deployed through this executor so far."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any worker resources (idempotent)."""
+
+    def __enter__(self) -> "MeasureExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class SerialExecutor(MeasureExecutor):
+    """Deploys each batch in order, in-process — the default backend."""
+
+    def __init__(self, measurer: Measurer):
+        self._measurer = measurer
+
+    @property
+    def measurer(self) -> Measurer:
+        return self._measurer
+
+    @property
+    def num_measurements(self) -> int:
+        return self._measurer.num_measurements
+
+    def measure_batch(
+        self, config_indices: Sequence[int]
+    ) -> List[MeasureResult]:
+        """Deploy the batch sequentially via the wrapped measurer."""
+        return self._measurer.measure_batch(config_indices)
+
+
+# ----------------------------------------------------------------------
+# parallel execution
+
+_WORKER_MEASURER: Optional[Measurer] = None
+
+
+def _init_worker(measurer_blob: bytes) -> None:
+    """Process-pool initializer: unpickle the measurer once per worker."""
+    global _WORKER_MEASURER
+    _WORKER_MEASURER = pickle.loads(measurer_blob)
+
+
+def _measure_chunk(
+    payload: Tuple[int, Tuple[int, ...]],
+) -> List[MeasureResult]:
+    """Measure one chunk of a batch at its assigned ordinals."""
+    start, indices = payload
+    measurer = _WORKER_MEASURER
+    if measurer is None:  # pragma: no cover - initializer always ran
+        raise RuntimeError("worker measurer not initialized")
+    return [
+        measurer.measure_at(start + offset, int(idx))
+        for offset, idx in enumerate(indices)
+    ]
+
+
+class ParallelExecutor(MeasureExecutor):
+    """Fans each batch out over a process pool of ``jobs`` workers.
+
+    Ordinals are assigned in batch order *before* dispatch and results
+    are reassembled in submission order, so the output is byte-identical
+    to :class:`SerialExecutor` regardless of worker scheduling.  Small
+    batches (fewer than ``min_parallel`` configs) are measured inline to
+    avoid paying IPC overhead for no win.
+    """
+
+    def __init__(
+        self,
+        measurer: Measurer,
+        jobs: Optional[int] = None,
+        chunk_size: int = 16,
+        min_parallel: int = 8,
+    ):
+        if jobs is not None and jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        self._measurer = measurer
+        self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
+        self.chunk_size = chunk_size
+        self.min_parallel = min_parallel
+        self._count = 0
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    @property
+    def measurer(self) -> Measurer:
+        return self._measurer
+
+    @property
+    def num_measurements(self) -> int:
+        return self._count
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs,
+                initializer=_init_worker,
+                initargs=(pickle.dumps(self._measurer),),
+            )
+        return self._pool
+
+    def measure_batch(
+        self, config_indices: Sequence[int]
+    ) -> List[MeasureResult]:
+        """Deploy the batch across workers (results in submission order)."""
+        indices = [int(i) for i in config_indices]
+        start = self._count
+        self._count += len(indices)
+        # keep the wrapped measurer's public counter in step, so code
+        # inspecting tuner.measurer.num_measurements sees the truth
+        self._measurer.num_measurements = self._count
+        if not indices:
+            return []
+        if self.jobs == 1 or len(indices) < self.min_parallel:
+            return [
+                self._measurer.measure_at(start + off, idx)
+                for off, idx in enumerate(indices)
+            ]
+        chunks = [
+            (start + off, tuple(indices[off: off + self.chunk_size]))
+            for off in range(0, len(indices), self.chunk_size)
+        ]
+        pool = self._ensure_pool()
+        results: List[MeasureResult] = []
+        for chunk_results in pool.map(_measure_chunk, chunks):
+            results.extend(chunk_results)
+        return results
+
+    def close(self) -> None:
+        """Shut the worker pool down (a later batch restarts it)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+
+# ----------------------------------------------------------------------
+# caching
+
+CacheKey = Tuple[str, int]
+
+
+class MeasureCache:
+    """Shared ``(task fingerprint, config index) -> MeasureResult`` store.
+
+    One cache may back many executors across tasks, trials and arms —
+    the fingerprint keeps environments apart while letting identical
+    configurations share one simulation.  ``path`` enables a disk
+    round-trip: existing entries load eagerly, :meth:`save` writes the
+    store back atomically.
+    """
+
+    def __init__(self, path: Optional[str] = None):
+        self._data: Dict[CacheKey, MeasureResult] = {}
+        self.path = path
+        if path is not None and os.path.exists(path):
+            self.load(path)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        return key in self._data
+
+    def get(self, key: CacheKey) -> Optional[MeasureResult]:
+        """Return the cached result for ``key`` (None on a miss)."""
+        return self._data.get(key)
+
+    def put(self, key: CacheKey, result: MeasureResult) -> None:
+        """Store one measurement under ``key``."""
+        self._data[key] = result
+
+    def load(self, path: str) -> int:
+        """Merge entries from ``path`` into the store; returns count read."""
+        with open(path, "rb") as handle:
+            entries: Dict[CacheKey, MeasureResult] = pickle.load(handle)
+        self._data.update(entries)
+        logger.info("measure cache: loaded %d entries from %s", len(entries), path)
+        return len(entries)
+
+    def save(self, path: Optional[str] = None) -> str:
+        """Write the store to disk atomically (temp file + rename)."""
+        target = path if path is not None else self.path
+        if target is None:
+            raise ValueError("no path given and cache has no default path")
+        directory = os.path.dirname(os.path.abspath(target))
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".cache.tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(self._data, handle)
+            os.replace(tmp, target)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        return target
+
+
+class CachingExecutor(MeasureExecutor):
+    """Decorator executor that memoizes measurements through a cache.
+
+    Hits return the stored :class:`MeasureResult` unchanged (same noise
+    draw as the first deployment); only misses reach the wrapped
+    executor, in their original relative order.  :attr:`hits` and
+    :attr:`misses` expose effectiveness.
+    """
+
+    def __init__(
+        self,
+        inner: MeasureExecutor,
+        cache: Optional[MeasureCache] = None,
+        path: Optional[str] = None,
+    ):
+        self.inner = inner
+        self.cache = cache if cache is not None else MeasureCache(path=path)
+        self._fingerprint = inner.measurer.task.fingerprint
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def measurer(self) -> Measurer:
+        return self.inner.measurer
+
+    @property
+    def num_measurements(self) -> int:
+        return self.inner.num_measurements
+
+    def measure_batch(
+        self, config_indices: Sequence[int]
+    ) -> List[MeasureResult]:
+        """Serve hits from the cache; deploy only the misses."""
+        indices = [int(i) for i in config_indices]
+        out: List[Optional[MeasureResult]] = [None] * len(indices)
+        miss_positions: List[int] = []
+        for pos, idx in enumerate(indices):
+            cached = self.cache.get((self._fingerprint, idx))
+            if cached is not None:
+                out[pos] = cached
+                self.hits += 1
+            else:
+                miss_positions.append(pos)
+        if miss_positions:
+            self.misses += len(miss_positions)
+            fresh = self.inner.measure_batch(
+                [indices[pos] for pos in miss_positions]
+            )
+            for pos, result in zip(miss_positions, fresh):
+                self.cache.put((self._fingerprint, indices[pos]), result)
+                out[pos] = result
+        return [r for r in out if r is not None]
+
+    def close(self) -> None:
+        """Persist the cache (when it has a path) and close the inner."""
+        if self.cache.path is not None:
+            self.cache.save()
+        self.inner.close()
+
+
+# ----------------------------------------------------------------------
+# spec resolution
+
+EXECUTOR_KINDS = ("serial", "parallel")
+
+
+def build_executor(
+    measurer: Measurer,
+    spec: ExecutorSpec = None,
+    jobs: Optional[int] = None,
+    cache: Optional[MeasureCache] = None,
+) -> MeasureExecutor:
+    """Resolve an executor spec against a measurer.
+
+    ``spec`` may be ``None``/``"serial"``, ``"parallel"``, an existing
+    :class:`MeasureExecutor` (returned as-is), or a factory callable
+    ``measurer -> MeasureExecutor``.  ``cache`` wraps the result in a
+    :class:`CachingExecutor`.
+    """
+    if isinstance(spec, MeasureExecutor):
+        executor = spec
+    elif callable(spec):
+        executor = spec(measurer)
+    elif spec is None or spec == "serial":
+        executor = SerialExecutor(measurer)
+    elif spec == "parallel":
+        executor = ParallelExecutor(measurer, jobs=jobs)
+    else:
+        raise ValueError(
+            f"unknown executor spec {spec!r}; expected one of "
+            f"{EXECUTOR_KINDS}, an executor, or a factory"
+        )
+    if cache is not None and not isinstance(executor, CachingExecutor):
+        executor = CachingExecutor(executor, cache=cache)
+    return executor

@@ -14,6 +14,8 @@ import enum
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+import numpy as np
+
 from repro.hardware.cost_model import AnalyticalGpuModel, KernelProfile
 from repro.hardware.device import GTX_1080_TI, GpuDevice
 from repro.hardware.noise import MeasurementNoise, TaskTerrain
@@ -55,7 +57,9 @@ class SimulatedTask:
     ``cost_model_gflops * terrain_factor``; repeated measurements jitter
     around it with the profile's noise sigma.  The terrain seed derives
     deterministically from ``(workload, seed)``, so a task is a pure
-    function of its constructor arguments.
+    function of its constructor arguments and :attr:`fingerprint`
+    identifies the environment across processes (the measurement-cache
+    key prefix).
     """
 
     def __init__(
@@ -87,6 +91,20 @@ class SimulatedTask:
     @property
     def name(self) -> str:
         return f"{self.workload.kind}@{self.space.name}"
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity of this environment across processes.
+
+        Two tasks share a fingerprint exactly when they present the same
+        optimization problem: same workload, device, template, space and
+        environment seed.  Used as the measurement-cache key prefix.
+        """
+        return (
+            f"{self.workload!r}|{self.device.name}|{self.template}"
+            f"|{self.space.name}|seed={self.seed}"
+            f"|amp={self.terrain.amplitude}"
+        )
 
     # ------------------------------------------------------------------
     # ground truth (used by the measurer, oracles, and tests)
@@ -139,6 +157,13 @@ class Measurer:
     The measurer counts every deployed configuration in
     :attr:`num_measurements` — the x-axis of the paper's Fig. 4 and
     Fig. 5(a).
+
+    Measurement noise is a pure function of
+    ``(measurer seed, measurement ordinal, config index)``: the ordinal
+    is the position of the measurement in the run's global sequence, so
+    a batch split across worker processes reproduces the serial noise
+    exactly (the determinism contract of
+    :class:`repro.hardware.executor.ParallelExecutor`).
     """
 
     def __init__(
@@ -153,14 +178,24 @@ class Measurer:
         self.task = task
         self.repeats = repeats
         self.timeout_s = timeout_s
-        self._noise = MeasurementNoise(
-            seed=derive_seed(seed, "measure", task.name)
-        )
+        self._noise_seed = derive_seed(seed, "measure", task.name)
+        self._noise = MeasurementNoise(seed=self._noise_seed)
         self.num_measurements = 0
 
     def measure_one(self, config_index: int) -> MeasureResult:
-        """Deploy one configuration and time it."""
+        """Deploy one configuration and time it (advances the ordinal)."""
+        ordinal = self.num_measurements
         self.num_measurements += 1
+        return self.measure_at(ordinal, config_index)
+
+    def measure_at(self, ordinal: int, config_index: int) -> MeasureResult:
+        """Deploy one configuration at an explicit sequence position.
+
+        Pure with respect to measurer state: the same ``(ordinal,
+        config_index)`` always yields the same result, which is what
+        lets executors evaluate a batch out of order or in parallel and
+        still match the serial measurement stream bit for bit.
+        """
         task = self.task
         try:
             profile = task.profile_of(config_index)
@@ -185,8 +220,11 @@ class Measurer:
                 profile=profile,
             )
 
+        rng = np.random.default_rng(
+            derive_seed(self._noise_seed, "jitter", ordinal, config_index)
+        )
         jitter = self._noise.sample_time_factors(
-            profile.noise_sigma_rel, n=self.repeats
+            profile.noise_sigma_rel, n=self.repeats, rng=rng
         )
         mean_time = float(true_time * jitter.mean())
         gflops = task.workload.flops / mean_time / 1e9

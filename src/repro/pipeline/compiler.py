@@ -32,6 +32,11 @@ import numpy as np
 from repro.core import make_tuner
 from repro.core.tuner import TuningResult
 from repro.hardware.device import GTX_1080_TI, GpuDevice
+from repro.hardware.executor import (
+    ExecutorSpec,
+    MeasureCache,
+    build_executor,
+)
 from repro.hardware.measure import SimulatedTask
 from repro.nn.graph import Graph
 from repro.pipeline.records import RecordStore, TuningRecord
@@ -157,13 +162,28 @@ class DeploymentCompiler:
         tuner_kwargs: Optional[dict] = None,
         record_store: Optional[RecordStore] = None,
         progress: Optional[Callable[[TaskSpec, TuningResult], None]] = None,
+        executor: ExecutorSpec = None,
+        jobs: Optional[int] = None,
+        measure_cache: Optional[MeasureCache] = None,
     ) -> CompiledModel:
         """Tune every task with arm ``tuner_name`` and compile.
 
         ``trial_seed`` varies the tuner randomness across repeated
-        trials while the environment stays fixed.
+        trials while the environment stays fixed.  ``executor`` /
+        ``jobs`` / ``measure_cache`` select the measurement backend the
+        per-task tuners use; results are identical for every choice
+        (see ``docs/EXECUTION.md``).
         """
         kwargs = dict(tuner_kwargs or {})
+        executor_spec: ExecutorSpec = executor
+        if measure_cache is not None or jobs is not None or not (
+            executor is None or executor == "serial"
+        ):
+            def executor_spec(measurer):  # noqa: F811 - intentional rebind
+                return build_executor(
+                    measurer, executor, jobs=jobs, cache=measure_cache
+                )
+
         results: Dict[int, TuningResult] = {}
         best_configs: Dict[int, Optional[int]] = {}
         for spec in self.tasks:
@@ -171,8 +191,16 @@ class DeploymentCompiler:
             tuner_seed = derive_seed(
                 trial_seed, "tuner", tuner_name, spec.task_id
             )
-            tuner = make_tuner(tuner_name, task, seed=tuner_seed, **kwargs)
-            result = tuner.tune(n_trial=n_trial, early_stopping=early_stopping)
+            tuner = make_tuner(
+                tuner_name, task, seed=tuner_seed,
+                executor=executor_spec, **kwargs,
+            )
+            try:
+                result = tuner.tune(
+                    n_trial=n_trial, early_stopping=early_stopping
+                )
+            finally:
+                tuner.shutdown()
             results[spec.task_id] = result
             best_configs[spec.task_id] = result.best_index
             if record_store is not None:

@@ -60,6 +60,33 @@ class TestTuningResult:
         result = self.make([1.0, 0.0, 2.0])
         assert result.gflops_series().tolist() == [1.0, 0.0, 2.0]
 
+    def test_best_curve_matches_reference_loop(self):
+        """The vectorized curve equals the original Python loop."""
+        rng = np.random.default_rng(42)
+        for trial in range(20):
+            series = rng.normal(5.0, 4.0, size=rng.integers(1, 60)).tolist()
+            result = self.make(series)
+            best, reference = 0.0, []
+            for gflops in series:
+                best = max(best, gflops)
+                reference.append(best)
+            assert result.best_curve().tolist() == reference
+
+    def test_best_curve_floors_errored_trials(self):
+        # errored trials report 0 GFLOPS; negatives must never leak
+        result = self.make([-3.0, -1.0, 2.0])
+        assert result.best_curve().tolist() == [0.0, 0.0, 2.0]
+
+    def test_best_curve_empty(self):
+        result = TuningResult(
+            task_name="t",
+            tuner_name="x",
+            records=[],
+            best_index=None,
+            best_gflops=0.0,
+        )
+        assert result.best_curve().shape == (0,)
+
     def test_num_measurements(self):
         assert self.make([1.0] * 7).num_measurements == 7
 

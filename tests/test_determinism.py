@@ -58,6 +58,55 @@ class TestPipelineDeterminism:
         assert np.array_equal(latencies[0], latencies[1])
 
 
+class TestEngineDeterminism:
+    """The experiment engine reproduces the serial loops exactly."""
+
+    def _cells(self):
+        from repro.experiments.engine import ExperimentCell
+        from repro.pipeline.tasks import extract_tasks
+
+        tasks = [
+            spec.to_simulated(seed=TINY.env_seed)
+            for spec in extract_tasks(build_model("squeezenet-v1.1"))[:2]
+        ]
+        return [
+            ExperimentCell(
+                arm=arm,
+                task=task,
+                trial=0,
+                n_trial=16,
+                early_stopping=None,
+                key=(task.name, arm),
+            )
+            for task in tasks
+            for arm in ("autotvm", "bted", "bted+bao")
+        ]
+
+    def test_parallel_cells_match_serial(self):
+        from repro.experiments.engine import ExperimentEngine
+
+        outcomes = []
+        for jobs in (1, 2):
+            with ExperimentEngine(TINY, jobs=jobs) as engine:
+                results = engine.run_cells(self._cells())
+            outcomes.append([r.records for r in results])
+        assert outcomes[0] == outcomes[1]
+
+    def test_fig4_parallel_matches_serial(self):
+        curves = []
+        for jobs in (1, 2):
+            result = run_fig4(
+                num_layers=1,
+                arms=("random",),
+                settings=TINY,
+                num_measurements=16,
+                num_trials=2,
+                jobs=jobs,
+            )
+            curves.append(result.curves[(0, "random")])
+        assert np.array_equal(curves[0], curves[1])
+
+
 class TestExperimentDeterminism:
     def test_fig4_reproducible(self):
         results = [

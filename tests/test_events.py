@@ -1,0 +1,180 @@
+"""Structured tuning events emitted by the tuning loop.
+
+Each decision point of :meth:`Tuner.tune` must surface as a typed
+event: proposals, measured batches, incumbent improvements, BAO scope
+widening, early stopping, and space exhaustion.  The paper's Fig. 4/5
+analyses all read off this stream, so its ordering and payloads are
+contractual.
+"""
+
+import pytest
+
+from repro.core import make_tuner
+from repro.core.bao import BaoSettings
+from repro.core.events import (
+    BatchMeasured,
+    BatchProposed,
+    EarlyStopped,
+    EventLog,
+    IncumbentImproved,
+    ScopeWidened,
+    SpaceExhausted,
+)
+from repro.hardware.measure import SimulatedTask
+from repro.nn.workloads import DenseWorkload
+
+
+@pytest.fixture
+def tiny_task() -> SimulatedTask:
+    """A task whose whole space (180 configs) can be measured in-test."""
+    return SimulatedTask(
+        DenseWorkload(batch=1, in_features=4, out_features=4), seed=7
+    )
+
+
+def _tune_with_log(arm, task, *, seed=11, n_trial=24, early_stopping=None,
+                   **kwargs):
+    log = EventLog()
+    tuner = make_tuner(arm, task, seed=seed, **kwargs)
+    result = tuner.tune(
+        n_trial=n_trial, early_stopping=early_stopping, on_event=[log]
+    )
+    return result, log
+
+
+class TestEventStream:
+    def test_proposal_and_measurement_pair_up(self, dense_task):
+        result, log = _tune_with_log("random", dense_task, n_trial=24)
+        proposed = log.of_type(BatchProposed)
+        measured = log.of_type(BatchMeasured)
+        assert len(proposed) == len(measured) >= 1
+        for p, m in zip(proposed, measured):
+            # step counts measurements completed at emission time
+            assert m.step == p.step + len(p.config_indices)
+            assert [r.config_index for r in m.results] == list(
+                p.config_indices
+            )
+        # every measured config shows up in a record, in stream order
+        streamed = [
+            r.config_index for m in measured for r in m.results
+        ]
+        assert streamed == [r.config_index for r in result.records]
+
+    def test_steps_track_measurement_count(self, dense_task):
+        _, log = _tune_with_log("random", dense_task, n_trial=24)
+        proposed = log.of_type(BatchProposed)
+        count = 0
+        for event in proposed:
+            assert event.step == count
+            count += len(event.config_indices)
+
+    def test_incumbent_improvements_are_increasing(self, dense_task):
+        result, log = _tune_with_log("random", dense_task, n_trial=32)
+        improvements = log.of_type(IncumbentImproved)
+        assert improvements, "a fresh tuner must improve at least once"
+        values = [e.gflops for e in improvements]
+        assert values == sorted(values)
+        for event in improvements:
+            assert event.gflops > event.previous_gflops
+        assert values[-1] == pytest.approx(result.best_gflops)
+        steps = [e.step for e in improvements]
+        assert steps == sorted(steps) and steps[0] >= 1
+
+    def test_event_kind_names(self):
+        assert BatchProposed(step=0, config_indices=()).kind == (
+            "batch_proposed"
+        )
+        assert SpaceExhausted(step=3).kind == "space_exhausted"
+        assert (
+            IncumbentImproved(
+                step=1, config_index=0, gflops=1.0, previous_gflops=0.0
+            ).kind
+            == "incumbent_improved"
+        )
+
+    def test_no_events_escape_outside_tune(self, dense_task):
+        log = EventLog()
+        tuner = make_tuner("random", dense_task, seed=11)
+        tuner.tune(n_trial=8, on_event=[log])
+        before = len(log)
+        tuner.executor.measure_batch([0])
+        assert len(log) == before
+
+
+class TestEarlyStoppedEvent:
+    def test_emitted_when_window_expires(self, dense_task):
+        result, log = _tune_with_log(
+            "random", dense_task, n_trial=200, early_stopping=10
+        )
+        stops = log.of_type(EarlyStopped)
+        assert result.num_measurements < 200, "budget should not be the limit"
+        assert len(stops) == 1
+        event = stops[0]
+        assert event.patience == 10
+        assert event.best_gflops == pytest.approx(result.best_gflops)
+        # the window can expire mid-batch; the rest of the batch is
+        # still absorbed into the records (batch-granular stopping)
+        assert 1 <= event.step <= result.records[-1].step
+
+    def test_not_emitted_without_stopping(self, dense_task):
+        _, log = _tune_with_log(
+            "random", dense_task, n_trial=16, early_stopping=None
+        )
+        assert log.of_type(EarlyStopped) == []
+
+
+class TestScopeWidenedEvent:
+    def test_forced_widening_emits_events(self, dense_task):
+        # an unreachable improvement threshold makes every adaptive step
+        # stagnate, so the radius widens deterministically
+        settings = BaoSettings(eta=1e9, tau=2.0, radius=2.0)
+        result, log = _tune_with_log(
+            "bted+bao",
+            dense_task,
+            n_trial=16,
+            init_size=8,
+            batch_candidates=32,
+            num_batches=2,
+            bao_settings=settings,
+        )
+        widened = log.of_type(ScopeWidened)
+        assert widened, "eta=1e9 must trigger widening"
+        for event in widened:
+            assert event.radius == pytest.approx(4.0)
+            assert event.base_radius == pytest.approx(2.0)
+            assert event.stagnation >= 1
+            assert event.step >= 8
+
+    def test_no_widening_when_every_step_improves(self, dense_task):
+        settings = BaoSettings(eta=0.0, tau=2.0, radius=2.0)
+        _, log = _tune_with_log(
+            "bted+bao",
+            dense_task,
+            n_trial=12,
+            init_size=8,
+            batch_candidates=32,
+            num_batches=2,
+            bao_settings=settings,
+        )
+        assert log.of_type(ScopeWidened) == []
+
+
+class TestSpaceExhaustedEvent:
+    def test_emitted_when_space_runs_dry(self, tiny_task):
+        result, log = _tune_with_log(
+            "random", tiny_task, n_trial=1000, early_stopping=None
+        )
+        assert result.num_measurements == len(tiny_task.space)
+        exhausted = log.of_type(SpaceExhausted)
+        assert len(exhausted) == 1
+        assert exhausted[0].step == len(tiny_task.space)
+
+
+class TestEventLog:
+    def test_of_type_preserves_order_and_len(self, dense_task):
+        _, log = _tune_with_log("random", dense_task, n_trial=16)
+        assert len(log) == len(log.events)
+        proposed = log.of_type(BatchProposed)
+        assert proposed == [
+            e for e in log.events if isinstance(e, BatchProposed)
+        ]
