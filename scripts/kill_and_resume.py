@@ -1,0 +1,179 @@
+#!/usr/bin/env python
+"""Kill-and-resume smoke test: SIGKILL a tuning run, resume, compare.
+
+The unit and property tests simulate crashes by raising inside the
+loop; this script delivers the real thing.  It forks a child process
+that tunes with per-batch checkpointing, SIGKILLs it as soon as a
+mid-run checkpoint exists, resumes from the checkpoint in a fresh
+process, and asserts that the resumed record log and final incumbent
+are bit-identical to an uninterrupted run of the same configuration.
+
+Run directly (used by CI)::
+
+    python scripts/kill_and_resume.py [--arm bted] [--n-trial 32]
+
+Exit code 0 means the determinism contract held.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+
+ARM_KWARGS = {
+    "random": {"batch_size": 8},
+    "bted": {"batch_size": 8, "init_size": 8, "batch_candidates": 32},
+    "bted+bao": {"init_size": 8, "batch_candidates": 32, "num_batches": 2},
+}
+
+# Child: tune with checkpointing, stalling after every batch so the
+# parent has time to deliver SIGKILL mid-run.
+_CHILD = """
+import sys, time
+sys.path.insert(0, {src!r})
+from repro.core import make_tuner
+from repro.core.checkpoint import CheckpointPolicy
+from repro.hardware.measure import SimulatedTask
+from repro.nn.workloads import DenseWorkload
+
+task = SimulatedTask(
+    DenseWorkload(batch=1, in_features=64, out_features=48), seed=7
+)
+tuner = make_tuner({arm!r}, task, seed=11, **{kwargs!r})
+tuner.tune(
+    n_trial={n_trial}, early_stopping=None,
+    checkpoint=CheckpointPolicy(path={ckpt!r}, every=1),
+    callbacks=[lambda t, results: time.sleep(0.2)],
+)
+print("CHILD-FINISHED")
+"""
+
+# Fresh process: run uninterrupted OR resume, dump the trace as JSON.
+_RUNNER = """
+import json, sys
+sys.path.insert(0, {src!r})
+from repro.core import make_tuner
+from repro.hardware.measure import SimulatedTask
+from repro.nn.workloads import DenseWorkload
+
+task = SimulatedTask(
+    DenseWorkload(batch=1, in_features=64, out_features=48), seed=7
+)
+tuner = make_tuner({arm!r}, task, seed=11, **{kwargs!r})
+if {resume!r}:
+    result = tuner.resume({ckpt!r})
+else:
+    result = tuner.tune(n_trial={n_trial}, early_stopping=None)
+print(json.dumps({{
+    "records": [
+        [r.step, r.config_index, r.gflops, r.error] for r in result.records
+    ],
+    "best_index": result.best_index,
+    "best_gflops": result.best_gflops,
+}}))
+"""
+
+
+def _run_trace(arm: str, kwargs: dict, n_trial: int, ckpt: str,
+               resume: bool) -> dict:
+    code = _RUNNER.format(
+        src=str(SRC), arm=arm, kwargs=kwargs, n_trial=n_trial,
+        ckpt=ckpt, resume=resume,
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", code], capture_output=True, text=True,
+        check=True,
+    )
+    return json.loads(out.stdout.strip().splitlines()[-1])
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--arm", default="bted", choices=sorted(ARM_KWARGS))
+    parser.add_argument("--n-trial", type=int, default=32)
+    parser.add_argument("--timeout", type=float, default=300.0,
+                        help="seconds to wait for the mid-run checkpoint")
+    args = parser.parse_args()
+    kwargs = ARM_KWARGS[args.arm]
+
+    with tempfile.TemporaryDirectory() as tmp:
+        ckpt = os.path.join(tmp, "run.ckpt")
+
+        print(f"[1/4] uninterrupted {args.arm} baseline "
+              f"({args.n_trial} trials)")
+        baseline = _run_trace(args.arm, kwargs, args.n_trial, ckpt,
+                              resume=False)
+
+        print("[2/4] starting child with per-batch checkpointing")
+        child = subprocess.Popen(
+            [sys.executable, "-c", _CHILD.format(
+                src=str(SRC), arm=args.arm, kwargs=kwargs,
+                n_trial=args.n_trial, ckpt=ckpt,
+            )],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        )
+        # wait for a *mid-run* checkpoint (the step-0 snapshot is
+        # written immediately; any later mtime bump means a measured
+        # batch has been checkpointed)
+        deadline = time.monotonic() + args.timeout
+        first_mtime = None
+        while time.monotonic() < deadline:
+            if os.path.exists(ckpt):
+                mtime = os.stat(ckpt).st_mtime_ns
+                if first_mtime is None:
+                    first_mtime = mtime
+                elif mtime != first_mtime:
+                    break
+            if child.poll() is not None:
+                break
+            time.sleep(0.02)
+        if child.poll() is not None:
+            print("child finished before it could be killed; "
+                  "increase --n-trial", file=sys.stderr)
+            return 1
+
+        print("[3/4] delivering SIGKILL mid-run")
+        child.send_signal(signal.SIGKILL)
+        child.wait()
+        if not os.path.exists(ckpt):
+            print("no checkpoint survived the kill", file=sys.stderr)
+            return 1
+
+        print("[4/4] resuming in a fresh process and comparing")
+        resumed = _run_trace(args.arm, kwargs, args.n_trial, ckpt,
+                             resume=True)
+
+        if resumed != baseline:
+            print("MISMATCH: resumed run diverged from the baseline",
+                  file=sys.stderr)
+            print(f"  baseline best: {baseline['best_index']} "
+                  f"@ {baseline['best_gflops']}", file=sys.stderr)
+            print(f"  resumed  best: {resumed['best_index']} "
+                  f"@ {resumed['best_gflops']}", file=sys.stderr)
+            for i, (b, r) in enumerate(
+                zip(baseline["records"], resumed["records"])
+            ):
+                if b != r:
+                    print(f"  first divergence at record {i}: {b} != {r}",
+                          file=sys.stderr)
+                    break
+            return 1
+
+        print(f"OK: SIGKILL + resume reproduced all "
+              f"{len(baseline['records'])} records and the incumbent "
+              f"(best config {baseline['best_index']})")
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

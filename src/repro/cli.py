@@ -18,6 +18,7 @@ from typing import List, Optional
 from repro.core import TUNER_REGISTRY
 from repro.experiments.settings import ExperimentSettings
 from repro.hardware.executor import EXECUTOR_KINDS, MeasureCache
+from repro.hardware.faults import FaultModel, RetryPolicy
 from repro.nn.zoo import MODEL_BUILDERS, PAPER_MODELS, build_model
 from repro.pipeline.compiler import DeploymentCompiler
 from repro.pipeline.records import RecordStore
@@ -75,6 +76,17 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         if args.measure_cache
         else None
     )
+    faults = None
+    if args.fault_rate > 0:
+        faults = FaultModel(rate=args.fault_rate, seed=args.fault_seed)
+    retry = (
+        RetryPolicy(max_retries=args.max_retries)
+        if args.max_retries is not None
+        else None
+    )
+    if args.resume and not args.checkpoint_dir:
+        print("--resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
     compiled = compiler.tune(
         args.arm,
         n_trial=args.budget,
@@ -85,6 +97,10 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         executor=args.executor,
         jobs=args.jobs,
         measure_cache=cache,
+        faults=faults,
+        retry=retry,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
     )
     if cache is not None:
         cache.save()
@@ -112,6 +128,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             num_trials=settings.num_trials,
             jobs=args.jobs,
             measure_cache=args.measure_cache,
+            checkpoint_dir=args.checkpoint_dir,
         )
         print(result.report())
     elif args.which == "fig5":
@@ -122,6 +139,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             max_tasks=args.max_tasks,
             jobs=args.jobs,
             measure_cache=args.measure_cache,
+            checkpoint_dir=args.checkpoint_dir,
         )
         print(result.report())
     else:
@@ -187,6 +205,20 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default: all cores)")
     p_tune.add_argument("--measure-cache", default=None,
                         help="memoize measurements in this pickle file")
+    p_tune.add_argument("--checkpoint-dir", default=None,
+                        help="write per-task tuning checkpoints here")
+    p_tune.add_argument("--resume", action="store_true",
+                        help="continue an interrupted run from "
+                             "--checkpoint-dir (bit-identical to an "
+                             "uninterrupted run)")
+    p_tune.add_argument("--fault-rate", type=float, default=0.0,
+                        help="inject deterministic transient measurement "
+                             "faults at this rate (0 disables)")
+    p_tune.add_argument("--fault-seed", type=int, default=0,
+                        help="seed of the fault-injection schedule")
+    p_tune.add_argument("--max-retries", type=int, default=None,
+                        help="retries per faulted measurement before it is "
+                             "recorded as failed (default: 3)")
     p_tune.set_defaults(func=_cmd_tune)
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper result")
@@ -201,6 +233,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--measure-cache", default=None,
                        help="fig4/fig5: memoize measurements in this "
                             "pickle file")
+    p_exp.add_argument("--checkpoint-dir", default=None,
+                       help="fig4/fig5: persist finished cells here; "
+                            "rerunning skips them")
     p_exp.set_defaults(func=_cmd_experiment)
 
     p_report = sub.add_parser(

@@ -13,15 +13,24 @@ from repro.core.ted import ted_select, rbf_kernel
 from repro.core.bted import bted_select
 from repro.core.bootstrap import bootstrap_sample, BootstrapEnsemble
 from repro.core.bao import BaoOptimizer, BaoSettings
+from repro.core.checkpoint import (
+    CheckpointError,
+    CheckpointPolicy,
+    TuningCheckpoint,
+)
 from repro.core.events import (
     BatchMeasured,
     BatchProposed,
+    CheckpointSaved,
     EarlyStopped,
     EventLog,
     IncumbentImproved,
+    MeasurementFailed,
+    MeasurementRetried,
     ScopeWidened,
     SpaceExhausted,
     TuningEvent,
+    TuningResumed,
 )
 from repro.core.tuner import Tuner, TrialRecord, TuningResult, EarlyStopper
 from repro.core.tuners.random import RandomTuner
@@ -68,7 +77,14 @@ __all__ = [
     "ScopeWidened",
     "EarlyStopped",
     "SpaceExhausted",
+    "MeasurementRetried",
+    "MeasurementFailed",
+    "CheckpointSaved",
+    "TuningResumed",
     "EventLog",
+    "TuningCheckpoint",
+    "CheckpointPolicy",
+    "CheckpointError",
     "RandomTuner",
     "GridTuner",
     "GATuner",

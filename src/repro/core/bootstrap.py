@@ -25,17 +25,29 @@ from repro.utils.rng import SeedLike, as_generator
 ModelFactory = Callable[[], GradientBoostedTrees]
 
 
-def _default_model_factory(rng: np.random.Generator) -> ModelFactory:
-    def make() -> GradientBoostedTrees:
+class _DefaultModelFactory:
+    """Default evaluation-function factory: small GBTs sharing one RNG.
+
+    A class (not a closure) so ensembles — and the tuners holding them —
+    stay picklable for checkpointing; pickle preserves the shared
+    generator object between the factory and its ensemble.
+    """
+
+    def __init__(self, rng: np.random.Generator):
+        self._rng = rng
+
+    def __call__(self) -> GradientBoostedTrees:
         return GradientBoostedTrees(
             n_estimators=24,
             learning_rate=0.28,
             max_depth=4,
             subsample=0.9,
-            seed=rng,
+            seed=self._rng,
         )
 
-    return make
+
+def _default_model_factory(rng: np.random.Generator) -> ModelFactory:
+    return _DefaultModelFactory(rng)
 
 
 class BootstrapEnsemble:

@@ -1,0 +1,157 @@
+"""Tuning checkpoints: crash-at-any-batch, resume-bit-identical.
+
+AutoTVM's JSON-line record log exists so tuning can be replayed and
+resumed; this module extends the idea to the *whole* search state.  A
+:class:`TuningCheckpoint` snapshots everything :meth:`Tuner.tune` needs
+to continue a run as if it had never stopped:
+
+* the tuner's measured state (visited set, measurement order, scores,
+  feature cache, incumbent),
+* every named RNG stream, mid-stream (``numpy`` generators pickle with
+  their exact position),
+* subclass policy state (BAO scope/ensemble, the GA population cursor,
+  the XGB round counter, ...) — captured generically because all tuner
+  attributes are plain picklable data,
+* the trial records accumulated so far, the early-stopper counters, and
+  the measurement ordinal (which also replays the noise and fault
+  streams from the right position).
+
+Checkpoints are written atomically (write-tmp-fsync-rename via
+:mod:`repro.utils.io`), so a crash *during* checkpointing preserves the
+previous checkpoint.  The determinism contract — ``crash at any batch +
+resume == uninterrupted run``, bit for bit, on both the record log and
+the final incumbent — is pinned by ``tests/test_resume_properties.py``
+across random crash points and fault schedules.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.utils.io import atomic_write_bytes
+
+#: bump when the checkpoint payload layout changes incompatibly
+CHECKPOINT_VERSION = 1
+
+_MAGIC = "repro-tuning-checkpoint"
+
+
+class CheckpointError(ValueError):
+    """A checkpoint file is unreadable or does not match the tuner."""
+
+
+@dataclass(frozen=True)
+class TuningCheckpoint:
+    """One resumable snapshot of a tuning run, taken at a batch boundary.
+
+    ``payload`` is an opaque pickle of the tuner's internal state; the
+    remaining fields identify *which* run the snapshot belongs to so
+    :meth:`Tuner.resume` can refuse a mismatched checkpoint instead of
+    silently diverging.
+    """
+
+    tuner_name: str
+    task_fingerprint: str
+    seed: int
+    step: int
+    n_trial: int
+    early_stopping: Optional[int]
+    #: False only for the step-0 snapshot written before the
+    #: initialization batch is proposed
+    initialized: bool
+    payload: bytes
+    version: int = CHECKPOINT_VERSION
+
+    def save(self, path: Union[str, Path]) -> str:
+        """Atomically write the checkpoint to ``path``."""
+        blob = pickle.dumps(
+            {"magic": _MAGIC, "checkpoint": self},
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        return atomic_write_bytes(path, blob)
+
+    @staticmethod
+    def load(path: Union[str, Path]) -> "TuningCheckpoint":
+        """Load and validate a checkpoint file.
+
+        Raises :class:`CheckpointError` on anything that is not a
+        complete, version-compatible checkpoint — including the torn
+        write a crash mid-checkpoint would have produced if writes were
+        not atomic.
+        """
+        path = Path(path)
+        try:
+            with path.open("rb") as handle:
+                data = pickle.load(handle)
+        except OSError:
+            raise
+        except Exception as exc:  # unpickling garbage raises many types
+            raise CheckpointError(
+                f"{path} is not a readable tuning checkpoint: {exc}"
+            ) from exc
+        if (
+            not isinstance(data, dict)
+            or data.get("magic") != _MAGIC
+            or not isinstance(data.get("checkpoint"), TuningCheckpoint)
+        ):
+            raise CheckpointError(
+                f"{path} is not a tuning checkpoint file"
+            )
+        checkpoint: TuningCheckpoint = data["checkpoint"]
+        if checkpoint.version != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"{path} has checkpoint version {checkpoint.version}; "
+                f"this build reads version {CHECKPOINT_VERSION}"
+            )
+        return checkpoint
+
+    def matches(self, tuner: object) -> Optional[str]:
+        """Why this checkpoint does not belong to ``tuner`` (None = it does)."""
+        name = getattr(tuner, "name", None)
+        if name != self.tuner_name:
+            return (
+                f"checkpoint was written by tuner {self.tuner_name!r}, "
+                f"resuming with {name!r}"
+            )
+        fingerprint = getattr(getattr(tuner, "task", None), "fingerprint", None)
+        if fingerprint != self.task_fingerprint:
+            return (
+                "checkpoint belongs to a different task environment "
+                f"({self.task_fingerprint!r} != {fingerprint!r})"
+            )
+        if getattr(tuner, "seed", None) != self.seed:
+            return (
+                f"checkpoint was written with seed {self.seed}, "
+                f"resuming with seed {getattr(tuner, 'seed', None)}"
+            )
+        return None
+
+
+@dataclass(frozen=True)
+class CheckpointPolicy:
+    """Where and how often :meth:`Tuner.tune` snapshots its state.
+
+    ``every`` counts measured batches between snapshots; the step-0
+    snapshot (before the first proposal) is always written so a crash
+    inside the very first batch is also resumable.
+    """
+
+    path: Union[str, Path]
+    every: int = 1
+
+    def __post_init__(self) -> None:
+        if self.every < 1:
+            raise ValueError("checkpoint every must be >= 1")
+
+
+CheckpointSpec = Union[None, str, Path, CheckpointPolicy]
+
+
+def as_checkpoint_policy(spec: CheckpointSpec) -> Optional[CheckpointPolicy]:
+    """Coerce a user-facing checkpoint spec into a policy (or None)."""
+    if spec is None or isinstance(spec, CheckpointPolicy):
+        return spec
+    return CheckpointPolicy(path=spec)

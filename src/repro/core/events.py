@@ -91,6 +91,45 @@ class SpaceExhausted(TuningEvent):
     """Every configuration in the space has been measured."""
 
 
+@dataclass(frozen=True)
+class MeasurementRetried(TuningEvent):
+    """Transient faults hit a measurement, but a retry recovered it."""
+
+    config_index: int
+    ordinal: int
+    #: attempts made in total, including the one that succeeded
+    attempts: int
+    #: fault kind names of the failed attempts, in order
+    faults: Tuple[str, ...]
+    backoff_s: float
+
+
+@dataclass(frozen=True)
+class MeasurementFailed(TuningEvent):
+    """Retries ran out; the config was recorded as an error, not raised."""
+
+    config_index: int
+    ordinal: int
+    attempts: int
+    #: fault kind name of the final failed attempt
+    fault: str
+
+
+@dataclass(frozen=True)
+class CheckpointSaved(TuningEvent):
+    """The tuning loop snapshotted its resumable state to disk."""
+
+    path: str
+
+
+@dataclass(frozen=True)
+class TuningResumed(TuningEvent):
+    """The loop picked up from a checkpoint instead of a fresh start."""
+
+    #: measurements already absorbed when the run resumed
+    restored_records: int
+
+
 #: the ``on_event`` callback signature
 EventCallback = Callable[[object, TuningEvent], None]
 

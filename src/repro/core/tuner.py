@@ -17,20 +17,33 @@ through the ``on_event`` callbacks.
 
 from __future__ import annotations
 
+import pickle
 import time
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Set
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Set, Union
 
 import numpy as np
 
+from repro.core.checkpoint import (
+    CheckpointError,
+    CheckpointPolicy,
+    CheckpointSpec,
+    TuningCheckpoint,
+    as_checkpoint_policy,
+)
 from repro.core.events import (
     BatchMeasured,
     BatchProposed,
+    CheckpointSaved,
     EarlyStopped,
     EventCallback,
     IncumbentImproved,
+    MeasurementFailed,
+    MeasurementRetried,
     SpaceExhausted,
     TuningEvent,
+    TuningResumed,
 )
 from repro.hardware.executor import (
     ExecutorSpec,
@@ -45,6 +58,20 @@ from repro.utils.rng import RngPool
 logger = get_logger("core.tuner")
 
 Callback = Callable[["Tuner", List[MeasureResult]], None]
+
+#: tuner attributes that are rebuilt from constructor arguments (or are
+#: only live inside ``tune``) and therefore stay out of checkpoints
+_EPHEMERAL_STATE = (
+    "task",
+    "measurer",
+    "_executor",
+    "_executor_spec",
+    "_event_sinks",
+    "_pending_events",
+)
+
+#: sentinel distinguishing "argument omitted" from an explicit ``None``
+_UNSET = object()
 
 
 @dataclass(frozen=True)
@@ -170,6 +197,9 @@ class Tuner:
         # event plumbing (active only inside tune())
         self._event_sinks: Sequence[EventCallback] = ()
         self._pending_events: List[TuningEvent] = []
+        #: events emitted so far, by kind — checkpointed with the rest
+        #: of the tuner state so a resumed run's counters keep climbing
+        self.event_counts: Dict[str, int] = {}
 
     @property
     def executor(self) -> MeasureExecutor:
@@ -240,8 +270,42 @@ class Tuner:
 
     def _emit(self, event: TuningEvent) -> None:
         """Deliver one event to every registered sink."""
+        self.event_counts[event.kind] = (
+            self.event_counts.get(event.kind, 0) + 1
+        )
         for sink in self._event_sinks:
             sink(self, event)
+
+    def _emit_fault_events(
+        self, executor: MeasureExecutor, step: int
+    ) -> None:
+        """Convert executor fault outcomes into structured events."""
+        drain = getattr(executor, "drain_fault_outcomes", None)
+        if drain is None:
+            return
+        for outcome in drain():
+            names = tuple(kind.value for kind in outcome.faults)
+            if outcome.exhausted:
+                self._emit(
+                    MeasurementFailed(
+                        step=step,
+                        config_index=outcome.config_index,
+                        ordinal=outcome.ordinal,
+                        attempts=outcome.attempts,
+                        fault=names[-1],
+                    )
+                )
+            else:
+                self._emit(
+                    MeasurementRetried(
+                        step=step,
+                        config_index=outcome.config_index,
+                        ordinal=outcome.ordinal,
+                        attempts=outcome.attempts,
+                        faults=names,
+                        backoff_s=outcome.backoff_s,
+                    )
+                )
 
     def _queue_event(self, event: TuningEvent) -> None:
         """Queue a policy-side event (e.g. BAO scope widening).
@@ -265,6 +329,8 @@ class Tuner:
         early_stopping: Optional[int] = 400,
         callbacks: Sequence[Callback] = (),
         on_event: Sequence[EventCallback] = (),
+        checkpoint: CheckpointSpec = None,
+        _resume: Optional[dict] = None,
     ) -> TuningResult:
         """Run the active-learning loop and return the result.
 
@@ -273,23 +339,71 @@ class Tuner:
         ``(tuner, results)`` after each measured batch (the AutoTVM
         hook); ``on_event`` receives ``(tuner, TuningEvent)`` at every
         decision point.
+
+        ``checkpoint`` (a path or :class:`CheckpointPolicy`) snapshots
+        the resumable tuner state at batch boundaries: if the process
+        dies at *any* point, :meth:`resume` on a freshly constructed
+        tuner continues the run so that its measurement stream, record
+        log, and final incumbent are bit-identical to an uninterrupted
+        run.  ``_resume`` is internal (restored loop state from
+        :meth:`resume`).
         """
         if n_trial <= 0:
             raise ValueError("n_trial must be positive")
         start = time.perf_counter()
-        stopper = (
-            EarlyStopper(early_stopping) if early_stopping is not None else None
-        )
-        records: List[TrialRecord] = []
+        policy = as_checkpoint_policy(checkpoint)
+        if _resume is not None:
+            records: List[TrialRecord] = list(_resume["records"])
+            stopper = self._restore_stopper(
+                early_stopping, _resume.get("stopper")
+            )
+            initialized: bool = _resume["initialized"]
+        else:
+            records = []
+            stopper = (
+                EarlyStopper(early_stopping)
+                if early_stopping is not None
+                else None
+            )
+            initialized = False
         stop = False
         executor = self.executor
         self._event_sinks = tuple(on_event)
         self._pending_events.clear()
+        batches_since_checkpoint = 0
 
         try:
-            batch = self._filter_unvisited(self._generate_initial())
-            self._flush_policy_events()
-            while batch and not stop and len(records) < n_trial:
+            if _resume is not None:
+                self._emit(
+                    TuningResumed(
+                        step=len(records), restored_records=len(records)
+                    )
+                )
+            elif policy is not None:
+                # step-0 snapshot: a crash inside the very first batch
+                # is resumable too (resuming it replays the whole run)
+                self._save_checkpoint(
+                    policy, records, stopper, n_trial, early_stopping,
+                    initialized=False,
+                )
+            while not stop and len(records) < n_trial:
+                if not initialized:
+                    batch = self._filter_unvisited(self._generate_initial())
+                    initialized = True
+                    self._flush_policy_events()
+                    if not batch:
+                        break
+                else:
+                    batch = self._filter_unvisited(self._generate_next())
+                    self._flush_policy_events()
+                    if not batch:
+                        batch = self._random_unvisited(self.batch_size)
+                        if not batch:
+                            self._emit(SpaceExhausted(step=len(records)))
+                            logger.info(
+                                "%s: search space exhausted", self.name
+                            )
+                            break
                 batch = batch[: n_trial - len(records)]
                 self._emit(
                     BatchProposed(
@@ -298,6 +412,7 @@ class Tuner:
                 )
                 results = executor.measure_batch(batch)
                 new_records = self._absorb(results, records)
+                self._emit_fault_events(executor, step=len(records))
                 self._emit(
                     BatchMeasured(step=len(records), results=tuple(results))
                 )
@@ -314,16 +429,18 @@ class Tuner:
                             )
                         )
                         break
-                if stop or len(records) >= n_trial:
-                    break
-                batch = self._filter_unvisited(self._generate_next())
-                self._flush_policy_events()
-                if not batch:
-                    batch = self._random_unvisited(self.batch_size)
-                    if not batch:
-                        self._emit(SpaceExhausted(step=len(records)))
-                        logger.info("%s: search space exhausted", self.name)
-                        break
+                batches_since_checkpoint += 1
+                if (
+                    policy is not None
+                    and not stop
+                    and len(records) < n_trial
+                    and batches_since_checkpoint >= policy.every
+                ):
+                    self._save_checkpoint(
+                        policy, records, stopper, n_trial, early_stopping,
+                        initialized=True,
+                    )
+                    batches_since_checkpoint = 0
         finally:
             self._event_sinks = ()
 
@@ -336,6 +453,149 @@ class Tuner:
             best_gflops=self.best_gflops,
             wall_time_s=wall,
         )
+
+    # ------------------------------------------------------------------
+    # checkpoint / resume
+
+    def snapshot(
+        self,
+        records: Sequence[TrialRecord] = (),
+        stopper: Optional[EarlyStopper] = None,
+        n_trial: int = 0,
+        early_stopping: Optional[int] = None,
+        initialized: bool = True,
+    ) -> TuningCheckpoint:
+        """Capture the resumable state of this tuner as a checkpoint.
+
+        Everything a bit-identical continuation needs is included: the
+        measured state, every RNG stream mid-position, subclass policy
+        state (captured generically — all tuner attributes are plain
+        picklable data), the trial records, the early-stopper counters,
+        and the measurement ordinal.  The task environment and the
+        executor are *not* serialized: both are pure functions of
+        constructor arguments, so :meth:`resume` rebuilds them from the
+        resuming tuner and validates identity via the task fingerprint.
+        """
+        state = {
+            key: value
+            for key, value in self.__dict__.items()
+            if key not in _EPHEMERAL_STATE
+        }
+        payload = pickle.dumps(
+            {
+                "tuner_state": state,
+                "measured_ordinal": self.executor.num_measurements,
+                "records": list(records),
+                "stopper": (
+                    None
+                    if stopper is None
+                    else (stopper._best, stopper._best_step, stopper._step)
+                ),
+            },
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        return TuningCheckpoint(
+            tuner_name=self.name,
+            task_fingerprint=self.task.fingerprint,
+            seed=self.seed,
+            step=len(records),
+            n_trial=n_trial,
+            early_stopping=early_stopping,
+            initialized=initialized,
+            payload=payload,
+        )
+
+    def resume(
+        self,
+        source: Union[str, Path, TuningCheckpoint],
+        callbacks: Sequence[Callback] = (),
+        on_event: Sequence[EventCallback] = (),
+        checkpoint: CheckpointSpec = _UNSET,  # type: ignore[assignment]
+        n_trial: Optional[int] = None,
+        early_stopping: Union[Optional[int], object] = _UNSET,
+    ) -> TuningResult:
+        """Continue a checkpointed run as if it had never stopped.
+
+        ``source`` is a checkpoint path (or a loaded
+        :class:`TuningCheckpoint`); this tuner must have been
+        constructed with the same task, seed, and arm as the one that
+        wrote it (validated, :class:`CheckpointError` otherwise).
+        ``n_trial``/``early_stopping`` default to the crashed run's
+        values; ``checkpoint`` defaults to continuing snapshots at the
+        source path, so a run that crashes repeatedly stays resumable.
+
+        The continuation is bit-identical: the resumed result carries
+        the full record log (restored prefix plus new measurements) and
+        the same final incumbent as an uninterrupted run.
+        """
+        if isinstance(source, TuningCheckpoint):
+            ckpt = source
+            default_spec: CheckpointSpec = None
+        else:
+            ckpt = TuningCheckpoint.load(source)
+            default_spec = source
+        payload = self._restore_checkpoint(ckpt)
+        spec = default_spec if checkpoint is _UNSET else checkpoint
+        return self.tune(
+            n_trial=ckpt.n_trial if n_trial is None else n_trial,
+            early_stopping=(
+                ckpt.early_stopping
+                if early_stopping is _UNSET
+                else early_stopping  # type: ignore[arg-type]
+            ),
+            callbacks=callbacks,
+            on_event=on_event,
+            checkpoint=spec,
+            _resume={
+                "records": payload["records"],
+                "stopper": payload["stopper"],
+                "initialized": ckpt.initialized,
+            },
+        )
+
+    def _save_checkpoint(
+        self,
+        policy: CheckpointPolicy,
+        records: Sequence[TrialRecord],
+        stopper: Optional[EarlyStopper],
+        n_trial: int,
+        early_stopping: Optional[int],
+        initialized: bool,
+    ) -> None:
+        ckpt = self.snapshot(
+            records=records,
+            stopper=stopper,
+            n_trial=n_trial,
+            early_stopping=early_stopping,
+            initialized=initialized,
+        )
+        path = ckpt.save(policy.path)
+        self._emit(CheckpointSaved(step=len(records), path=path))
+
+    def _restore_checkpoint(self, ckpt: TuningCheckpoint) -> dict:
+        """Swap this tuner's mutable state for the checkpointed state."""
+        mismatch = ckpt.matches(self)
+        if mismatch is not None:
+            raise CheckpointError(mismatch)
+        payload = pickle.loads(ckpt.payload)
+        for key, value in payload["tuner_state"].items():
+            setattr(self, key, value)
+        ordinal = int(payload["measured_ordinal"])
+        self.measurer.num_measurements = ordinal
+        if self._executor is not None:
+            self._executor.sync_ordinal(ordinal)
+        return payload
+
+    @staticmethod
+    def _restore_stopper(
+        early_stopping: Optional[int], saved: Optional[tuple]
+    ) -> Optional[EarlyStopper]:
+        if early_stopping is None:
+            return None
+        stopper = EarlyStopper(early_stopping)
+        if saved is not None:
+            stopper._best, stopper._best_step, stopper._step = saved
+        return stopper
 
     def _absorb(
         self, results: List[MeasureResult], records: List[TrialRecord]

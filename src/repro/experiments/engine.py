@@ -15,8 +15,11 @@ exact code path of the old serial loops, with zero pickling overhead.
 
 from __future__ import annotations
 
+import pickle
+import re
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.core.tuner import TuningResult
@@ -28,6 +31,7 @@ from repro.experiments.runner import (
 from repro.experiments.settings import ExperimentSettings
 from repro.hardware.executor import MeasureCache
 from repro.hardware.measure import SimulatedTask
+from repro.utils.io import atomic_pickle_dump
 from repro.utils.log import get_logger
 
 logger = get_logger("experiments.engine")
@@ -53,13 +57,24 @@ class ExperimentCell:
     key: Tuple = field(default=())
 
 
+def _cell_checkpoint_name(cell: ExperimentCell) -> str:
+    """Stable, filesystem-safe completed-cell filename."""
+    slug = re.sub(
+        r"[^A-Za-z0-9._+-]+", "_",
+        f"{cell.arm}-{cell.task.name}-t{cell.trial}",
+    )
+    return f"cell-{slug}.done"
+
+
 def _run_cell(
-    payload: Tuple[ExperimentCell, ExperimentSettings, Optional[str]],
+    payload: Tuple[
+        ExperimentCell, ExperimentSettings, Optional[str], Optional[str]
+    ],
 ) -> TuningResult:
     """Worker entry point: execute one cell (must stay module-level)."""
-    cell, settings, cache_path = payload
+    cell, settings, cache_path, done_path = payload
     cache = MeasureCache(path=cache_path) if cache_path is not None else None
-    return run_arm_on_task(
+    result = run_arm_on_task(
         cell.arm,
         cell.task,
         settings,
@@ -68,6 +83,9 @@ def _run_cell(
         early_stopping=cell.early_stopping,
         measure_cache=cache,
     )
+    if done_path is not None:
+        atomic_pickle_dump(done_path, result)
+    return result
 
 
 class ExperimentEngine:
@@ -80,6 +98,13 @@ class ExperimentEngine:
     previously simulated measurements across trials and arms; with
     ``jobs > 1`` each worker loads the cache read-only (no write-back
     merge across processes).
+
+    ``checkpoint_dir`` makes the grid restartable at cell granularity:
+    every finished cell is persisted (atomically) as a ``.done`` file
+    keyed by its coordinates, and a re-run with the same directory
+    loads those results instead of recomputing them.  Because each cell
+    is a pure function of its coordinates, a resumed grid is
+    bit-identical to an uninterrupted one.
     """
 
     def __init__(
@@ -87,12 +112,18 @@ class ExperimentEngine:
         settings: ExperimentSettings,
         jobs: int = 1,
         measure_cache: Optional[str] = None,
+        checkpoint_dir: Optional[str] = None,
     ):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         self.settings = settings
         self.jobs = jobs
         self.measure_cache = measure_cache
+        self.checkpoint_dir = (
+            Path(checkpoint_dir) if checkpoint_dir is not None else None
+        )
+        if self.checkpoint_dir is not None:
+            self.checkpoint_dir.mkdir(parents=True, exist_ok=True)
         self._shared_cache: Optional[MeasureCache] = None
         self._pool: Optional[ProcessPoolExecutor] = None
 
@@ -115,21 +146,40 @@ class ExperimentEngine:
         pool = self._ensure_pool()
         return list(pool.map(fn, payloads, chunksize=1))
 
+    def _cell_done_path(self, cell: ExperimentCell) -> Optional[Path]:
+        if self.checkpoint_dir is None:
+            return None
+        return self.checkpoint_dir / _cell_checkpoint_name(cell)
+
     def run_cells(
         self, cells: Sequence[ExperimentCell]
     ) -> List[TuningResult]:
-        """Execute every cell; results in submission order."""
+        """Execute every cell; results in submission order.
+
+        With ``checkpoint_dir`` set, cells whose ``.done`` file already
+        exists are loaded instead of recomputed.
+        """
+        results: List[Optional[TuningResult]] = [None] * len(cells)
+        pending: List[Tuple[int, ExperimentCell, Optional[Path]]] = []
+        for i, cell in enumerate(cells):
+            done_path = self._cell_done_path(cell)
+            if done_path is not None and done_path.exists():
+                with done_path.open("rb") as fh:
+                    results[i] = pickle.load(fh)
+            else:
+                pending.append((i, cell, done_path))
         logger.info(
-            "engine: %d cells on %d worker(s)", len(cells), self.jobs
+            "engine: %d cells (%d cached) on %d worker(s)",
+            len(cells), len(cells) - len(pending), self.jobs,
         )
         if self.jobs == 1:
             cache: Optional[MeasureCache] = None
-            if self.measure_cache is not None:
+            if self.measure_cache is not None and pending:
                 if self._shared_cache is None:
                     self._shared_cache = MeasureCache(path=self.measure_cache)
                 cache = self._shared_cache
-            results = [
-                run_arm_on_task(
+            for i, cell, done_path in pending:
+                result = run_arm_on_task(
                     cell.arm,
                     cell.task,
                     self.settings,
@@ -138,15 +188,24 @@ class ExperimentEngine:
                     early_stopping=cell.early_stopping,
                     measure_cache=cache,
                 )
-                for cell in cells
-            ]
+                if done_path is not None:
+                    atomic_pickle_dump(done_path, result)
+                results[i] = result
             if cache is not None:
                 cache.save()
-            return results
+            return list(results)  # type: ignore[arg-type]
         payloads = [
-            (cell, self.settings, self.measure_cache) for cell in cells
+            (
+                cell,
+                self.settings,
+                self.measure_cache,
+                str(done_path) if done_path is not None else None,
+            )
+            for _, cell, done_path in pending
         ]
-        return self.map(_run_cell, payloads)
+        for (i, _, _), result in zip(pending, self.map(_run_cell, payloads)):
+            results[i] = result
+        return list(results)  # type: ignore[arg-type]
 
     def close(self) -> None:
         """Shut the worker pool down (idempotent)."""

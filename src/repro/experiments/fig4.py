@@ -67,11 +67,14 @@ def run_fig4(
     device: GpuDevice = GTX_1080_TI,
     jobs: int = 1,
     measure_cache: Optional[str] = None,
+    checkpoint_dir: Optional[str] = None,
 ) -> Fig4Result:
     """Regenerate the Fig. 4 convergence study.
 
     ``jobs`` fans the (layer, arm, trial) cells over a process pool;
     results are identical to the serial run for any value.
+    ``checkpoint_dir`` persists finished cells so an interrupted study
+    can be rerun without recomputing them.
     """
     graph = build_model(model_name)
     tasks = extract_tasks(graph)[:num_layers]
@@ -92,7 +95,8 @@ def run_fig4(
         for trial in range(num_trials)
     ]
     with ExperimentEngine(
-        settings, jobs=jobs, measure_cache=measure_cache
+        settings, jobs=jobs, measure_cache=measure_cache,
+        checkpoint_dir=checkpoint_dir,
     ) as engine:
         results = engine.run_cells(cells)
 

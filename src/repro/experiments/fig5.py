@@ -85,11 +85,14 @@ def run_fig5(
     max_tasks: Optional[int] = None,
     jobs: int = 1,
     measure_cache: Optional[str] = None,
+    checkpoint_dir: Optional[str] = None,
 ) -> Fig5Result:
     """Regenerate the Fig. 5 study (early stopping active, as in the paper).
 
     ``jobs`` fans the (task, arm, trial) cells over a process pool;
     results are identical to the serial run for any value.
+    ``checkpoint_dir`` persists finished cells so an interrupted study
+    can be rerun without recomputing them.
     """
     graph = build_model(model_name)
     tasks = extract_tasks(graph)
@@ -109,7 +112,8 @@ def run_fig5(
         for trial in range(trials)
     ]
     with ExperimentEngine(
-        settings, jobs=jobs, measure_cache=measure_cache
+        settings, jobs=jobs, measure_cache=measure_cache,
+        checkpoint_dir=checkpoint_dir,
     ) as engine:
         results = engine.run_cells(cells)
 

@@ -2,14 +2,17 @@
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.core import make_tuner
+from repro.core.checkpoint import CheckpointSpec
 from repro.core.tuner import TuningResult
 from repro.experiments.settings import ExperimentSettings
 from repro.hardware.executor import ExecutorSpec, MeasureCache, build_executor
+from repro.hardware.faults import FaultModel, RetryPolicy
 from repro.hardware.measure import SimulatedTask
 from repro.utils.rng import derive_seed
 
@@ -48,6 +51,10 @@ def run_arm_on_task(
     early_stopping: EarlyStoppingArg = DEFAULT_EARLY_STOPPING,
     executor: ExecutorSpec = None,
     measure_cache: Optional[MeasureCache] = None,
+    faults: Optional[FaultModel] = None,
+    retry: Optional[RetryPolicy] = None,
+    checkpoint: CheckpointSpec = None,
+    resume: bool = False,
 ) -> TuningResult:
     """Run one arm on one task for one trial.
 
@@ -57,15 +64,24 @@ def run_arm_on_task(
     which worker (or in which order) the cell executes.  Pass
     ``early_stopping=None`` to disable stopping (fixed-budget runs, as
     in the Fig. 4 convergence study).  ``executor``/``measure_cache``
-    select the measurement backend for the tuner.
+    select the measurement backend for the tuner; ``faults``/``retry``
+    inject deterministic measurement faults with retry/backoff.
+
+    ``checkpoint`` enables periodic tuning checkpoints; with
+    ``resume=True`` and an existing checkpoint file the run continues
+    from it, reproducing the uninterrupted measurement stream exactly.
     """
     seed = derive_seed(settings.env_seed, "trial", arm, task.name, trial)
     executor_spec: ExecutorSpec = executor
-    if measure_cache is not None or not (
-        executor is None or executor == "serial"
+    if (
+        measure_cache is not None or faults is not None or retry is not None
+        or not (executor is None or executor == "serial")
     ):
         def executor_spec(measurer):  # noqa: F811 - intentional rebind
-            return build_executor(measurer, executor, cache=measure_cache)
+            return build_executor(
+                measurer, executor, cache=measure_cache,
+                faults=faults, retry=retry,
+            )
 
     tuner = make_tuner(
         arm, task, seed=seed, executor=executor_spec,
@@ -77,9 +93,16 @@ def run_arm_on_task(
         else early_stopping
     )
     try:
+        if resume and checkpoint is not None:
+            path = checkpoint if isinstance(checkpoint, (str, Path)) else (
+                checkpoint.path
+            )
+            if Path(path).exists():
+                return tuner.resume(path)
         return tuner.tune(
             n_trial=n_trial if n_trial is not None else settings.n_trial,
             early_stopping=stop,
+            checkpoint=checkpoint,
         )
     finally:
         tuner.shutdown()

@@ -19,11 +19,18 @@ from repro.hardware.measure import (
 )
 from repro.hardware.executor import (
     CachingExecutor,
+    FaultInjectingExecutor,
     MeasureCache,
     MeasureExecutor,
     ParallelExecutor,
     SerialExecutor,
     build_executor,
+)
+from repro.hardware.faults import (
+    FaultKind,
+    FaultModel,
+    FaultOutcome,
+    RetryPolicy,
 )
 
 __all__ = [
@@ -41,6 +48,11 @@ __all__ = [
     "SerialExecutor",
     "ParallelExecutor",
     "CachingExecutor",
+    "FaultInjectingExecutor",
     "MeasureCache",
     "build_executor",
+    "FaultKind",
+    "FaultModel",
+    "FaultOutcome",
+    "RetryPolicy",
 ]

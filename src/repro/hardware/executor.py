@@ -27,11 +27,22 @@ from __future__ import annotations
 
 import os
 import pickle
-import tempfile
+import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.hardware.measure import Measurer, MeasureResult
+from repro.hardware.faults import (
+    FaultKind,
+    FaultModel,
+    FaultOutcome,
+    RetryPolicy,
+)
+from repro.hardware.measure import (
+    MeasureErrorKind,
+    Measurer,
+    MeasureResult,
+)
+from repro.utils.io import atomic_write_bytes
 from repro.utils.log import get_logger
 
 logger = get_logger("hardware.executor")
@@ -68,6 +79,25 @@ class MeasureExecutor:
         """Configurations deployed through this executor so far."""
         raise NotImplementedError
 
+    def sync_ordinal(self, ordinal: int) -> None:
+        """Reset the ordinal counter (checkpoint-resume support).
+
+        After restoring tuner state from a checkpoint, the executor
+        must hand out ordinals continuing from the restored measurement
+        count so the noise and fault streams pick up exactly where the
+        crashed run left off.  Decorator executors forward the call.
+        """
+        raise NotImplementedError
+
+    def drain_fault_outcomes(self) -> List["FaultOutcome"]:
+        """Fault-injection outcomes accumulated since the last drain.
+
+        Non-injecting executors report none; decorators forward to the
+        wrapped executor so the tuning loop can call this on whatever
+        executor composition it was handed.
+        """
+        return []
+
     def close(self) -> None:
         """Release any worker resources (idempotent)."""
 
@@ -91,6 +121,10 @@ class SerialExecutor(MeasureExecutor):
     @property
     def num_measurements(self) -> int:
         return self._measurer.num_measurements
+
+    def sync_ordinal(self, ordinal: int) -> None:
+        """Continue ordinal assignment from ``ordinal``."""
+        self._measurer.num_measurements = int(ordinal)
 
     def measure_batch(
         self, config_indices: Sequence[int]
@@ -160,6 +194,11 @@ class ParallelExecutor(MeasureExecutor):
     @property
     def num_measurements(self) -> int:
         return self._count
+
+    def sync_ordinal(self, ordinal: int) -> None:
+        """Continue ordinal assignment from ``ordinal``."""
+        self._count = int(ordinal)
+        self._measurer.num_measurements = int(ordinal)
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
@@ -249,21 +288,11 @@ class MeasureCache:
         return len(entries)
 
     def save(self, path: Optional[str] = None) -> str:
-        """Write the store to disk atomically (temp file + rename)."""
+        """Write the store to disk atomically (write-tmp-fsync-rename)."""
         target = path if path is not None else self.path
         if target is None:
             raise ValueError("no path given and cache has no default path")
-        directory = os.path.dirname(os.path.abspath(target))
-        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".cache.tmp")
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                pickle.dump(self._data, handle)
-            os.replace(tmp, target)
-        except BaseException:
-            if os.path.exists(tmp):
-                os.unlink(tmp)
-            raise
-        return target
+        return atomic_write_bytes(target, pickle.dumps(self._data))
 
 
 class CachingExecutor(MeasureExecutor):
@@ -294,6 +323,14 @@ class CachingExecutor(MeasureExecutor):
     @property
     def num_measurements(self) -> int:
         return self.inner.num_measurements
+
+    def sync_ordinal(self, ordinal: int) -> None:
+        """Forward the checkpoint-resume ordinal to the wrapped executor."""
+        self.inner.sync_ordinal(ordinal)
+
+    def drain_fault_outcomes(self) -> List[FaultOutcome]:
+        """Forward to the wrapped executor."""
+        return self.inner.drain_fault_outcomes()
 
     def measure_batch(
         self, config_indices: Sequence[int]
@@ -327,6 +364,140 @@ class CachingExecutor(MeasureExecutor):
 
 
 # ----------------------------------------------------------------------
+# fault injection
+
+#: how an injected FaultKind is reported when retries run out
+_FAULT_ERROR_KINDS = {
+    FaultKind.BUILD_ERROR: MeasureErrorKind.BUILD_ERROR,
+    FaultKind.TIMEOUT: MeasureErrorKind.TIMEOUT,
+    FaultKind.DEVICE_LOST: MeasureErrorKind.DEVICE_LOST,
+}
+
+
+class FaultInjectingExecutor(MeasureExecutor):
+    """Decorator executor that subjects measurements to transient faults.
+
+    Wraps any executor composition (it should sit outermost).  Each
+    submitted configuration consumes one fault ordinal; the wrapped
+    :class:`~repro.hardware.faults.FaultModel` decides — purely from
+    that ordinal — how many consecutive attempts fault and with which
+    :class:`~repro.hardware.faults.FaultKind`.  Faults within the
+    :class:`~repro.hardware.faults.RetryPolicy` budget are retried
+    (with backoff) and the measurement succeeds with its original
+    result; when the budget runs out the configuration is *gracefully
+    degraded* to a ``MeasureErrorKind`` error record (0 GFLOPS) instead
+    of crashing the tuning loop, exactly as AutoTVM records
+    ``MeasureErrorNo`` failures.
+
+    Because the fault schedule is pure in the ordinal, a run with fault
+    injection is just as deterministic as one without: parallel equals
+    serial, and crash-plus-resume equals uninterrupted.
+    """
+
+    def __init__(
+        self,
+        inner: MeasureExecutor,
+        faults: FaultModel,
+        retry: RetryPolicy = RetryPolicy(),
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        self.inner = inner
+        self.faults = faults
+        self.retry = retry
+        self._sleep = sleep
+        self._count = 0
+        self._outcomes: List[FaultOutcome] = []
+        #: lifetime telemetry
+        self.retries = 0
+        self.failures = 0
+        self.total_backoff_s = 0.0
+
+    @property
+    def measurer(self) -> Measurer:
+        return self.inner.measurer
+
+    @property
+    def num_measurements(self) -> int:
+        return self._count
+
+    def sync_ordinal(self, ordinal: int) -> None:
+        """Continue both the fault and the inner ordinal streams."""
+        self._count = int(ordinal)
+        self.inner.sync_ordinal(ordinal)
+
+    def drain_fault_outcomes(self) -> List[FaultOutcome]:
+        """Outcomes since the last drain (the tuner turns these into events)."""
+        out = self._outcomes
+        self._outcomes = []
+        return out
+
+    def measure_batch(
+        self, config_indices: Sequence[int]
+    ) -> List[MeasureResult]:
+        """Deploy the batch, injecting faults per measurement ordinal."""
+        indices = [int(i) for i in config_indices]
+        start = self._count
+        self._count += len(indices)
+        results = self.inner.measure_batch(indices)
+        out: List[MeasureResult] = []
+        for offset, result in enumerate(results):
+            out.append(self._apply_faults(start + offset, result))
+        return out
+
+    def _apply_faults(
+        self, ordinal: int, result: MeasureResult
+    ) -> MeasureResult:
+        plan = self.faults.faults_at(ordinal)
+        if not plan:
+            return result
+        retries_used = min(len(plan), self.retry.max_retries)
+        exhausted = len(plan) > self.retry.max_retries
+        backoff = self.retry.total_backoff(retries_used)
+        if backoff > 0:
+            self._sleep(backoff)
+        self.retries += retries_used
+        self.total_backoff_s += backoff
+        experienced = plan[: retries_used + (1 if exhausted else 0)]
+        self._outcomes.append(
+            FaultOutcome(
+                ordinal=ordinal,
+                config_index=result.config_index,
+                faults=experienced,
+                exhausted=exhausted,
+                backoff_s=backoff,
+            )
+        )
+        if not exhausted:
+            # a retry re-deployed the same slot; the device is pure, so
+            # the surviving attempt returns the original result
+            return result
+        self.failures += 1
+        final = experienced[-1]
+        logger.info(
+            "measurement %d (config %d) failed after %d attempts: %s",
+            ordinal,
+            result.config_index,
+            len(experienced),
+            final.value,
+        )
+        return MeasureResult(
+            config_index=result.config_index,
+            gflops=0.0,
+            mean_time_s=float("inf"),
+            error_kind=_FAULT_ERROR_KINDS[final],
+            error_msg=(
+                f"injected {final.value} persisted through "
+                f"{len(experienced)} attempts "
+                f"(max_retries={self.retry.max_retries})"
+            ),
+        )
+
+    def close(self) -> None:
+        """Close the wrapped executor."""
+        self.inner.close()
+
+
+# ----------------------------------------------------------------------
 # spec resolution
 
 EXECUTOR_KINDS = ("serial", "parallel")
@@ -337,13 +508,17 @@ def build_executor(
     spec: ExecutorSpec = None,
     jobs: Optional[int] = None,
     cache: Optional[MeasureCache] = None,
+    faults: Optional[FaultModel] = None,
+    retry: Optional[RetryPolicy] = None,
 ) -> MeasureExecutor:
     """Resolve an executor spec against a measurer.
 
     ``spec`` may be ``None``/``"serial"``, ``"parallel"``, an existing
     :class:`MeasureExecutor` (returned as-is), or a factory callable
     ``measurer -> MeasureExecutor``.  ``cache`` wraps the result in a
-    :class:`CachingExecutor`.
+    :class:`CachingExecutor`; ``faults`` wraps it (outermost) in a
+    :class:`FaultInjectingExecutor` with ``retry`` (default policy when
+    omitted).
     """
     if isinstance(spec, MeasureExecutor):
         executor = spec
@@ -360,4 +535,10 @@ def build_executor(
         )
     if cache is not None and not isinstance(executor, CachingExecutor):
         executor = CachingExecutor(executor, cache=cache)
+    if faults is not None and not isinstance(
+        executor, FaultInjectingExecutor
+    ):
+        executor = FaultInjectingExecutor(
+            executor, faults, retry=retry if retry is not None else RetryPolicy()
+        )
     return executor

@@ -27,11 +27,19 @@ from repro.utils.rng import derive_seed
 
 
 class MeasureErrorKind(enum.Enum):
-    """Outcome categories of one on-chip measurement."""
+    """Outcome categories of one on-chip measurement.
+
+    The first three come from the simulated device itself; the last two
+    are injected by :class:`repro.hardware.faults.FaultModel` when a
+    transient fault exhausts its retry budget (AutoTVM's
+    ``MeasureErrorNo`` categories for flaky real hardware).
+    """
 
     NO_ERROR = 0
     RESOURCE_ERROR = 1
     TIMEOUT = 2
+    BUILD_ERROR = 3
+    DEVICE_LOST = 4
 
 
 @dataclass(frozen=True)

@@ -24,8 +24,10 @@ default-schedule time from a conservative roofline estimate.
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -37,10 +39,12 @@ from repro.hardware.executor import (
     MeasureCache,
     build_executor,
 )
+from repro.hardware.faults import FaultModel, RetryPolicy
 from repro.hardware.measure import SimulatedTask
 from repro.nn.graph import Graph
 from repro.pipeline.records import RecordStore, TuningRecord
 from repro.pipeline.tasks import TaskSpec, extract_tasks, untuned_ops
+from repro.utils.io import atomic_pickle_dump
 from repro.utils.log import get_logger
 from repro.utils.rng import derive_seed
 
@@ -153,6 +157,29 @@ class DeploymentCompiler:
 
     # ------------------------------------------------------------------
 
+    @staticmethod
+    def _executor_spec(
+        executor: ExecutorSpec,
+        jobs: Optional[int] = None,
+        measure_cache: Optional[MeasureCache] = None,
+        faults: Optional[FaultModel] = None,
+        retry: Optional[RetryPolicy] = None,
+    ) -> ExecutorSpec:
+        """Fold executor options into a single spec for :func:`make_tuner`."""
+        if (
+            measure_cache is None and jobs is None and faults is None
+            and retry is None and (executor is None or executor == "serial")
+        ):
+            return executor
+
+        def spec(measurer):
+            return build_executor(
+                measurer, executor, jobs=jobs, cache=measure_cache,
+                faults=faults, retry=retry,
+            )
+
+        return spec
+
     def tune(
         self,
         tuner_name: str,
@@ -165,6 +192,10 @@ class DeploymentCompiler:
         executor: ExecutorSpec = None,
         jobs: Optional[int] = None,
         measure_cache: Optional[MeasureCache] = None,
+        faults: Optional[FaultModel] = None,
+        retry: Optional[RetryPolicy] = None,
+        checkpoint_dir: Optional[Union[str, Path]] = None,
+        resume: bool = False,
     ) -> CompiledModel:
         """Tune every task with arm ``tuner_name`` and compile.
 
@@ -172,35 +203,72 @@ class DeploymentCompiler:
         trials while the environment stays fixed.  ``executor`` /
         ``jobs`` / ``measure_cache`` select the measurement backend the
         per-task tuners use; results are identical for every choice
-        (see ``docs/EXECUTION.md``).
+        (see ``docs/EXECUTION.md``).  ``faults``/``retry`` inject
+        deterministic measurement faults with retry/backoff.
+
+        With ``checkpoint_dir`` set, each task writes a resumable
+        checkpoint (``task-NNN.ckpt``) while tuning and a completed
+        result (``task-NNN.done``) afterwards; ``resume=True`` skips
+        completed tasks and continues interrupted ones so an
+        interrupted compile reproduces the uninterrupted run exactly.
         """
         kwargs = dict(tuner_kwargs or {})
-        executor_spec: ExecutorSpec = executor
-        if measure_cache is not None or jobs is not None or not (
-            executor is None or executor == "serial"
-        ):
-            def executor_spec(measurer):  # noqa: F811 - intentional rebind
-                return build_executor(
-                    measurer, executor, jobs=jobs, cache=measure_cache
-                )
+        executor_spec = self._executor_spec(
+            executor, jobs=jobs, measure_cache=measure_cache,
+            faults=faults, retry=retry,
+        )
+        ckpt_dir = Path(checkpoint_dir) if checkpoint_dir is not None else None
+        if ckpt_dir is not None:
+            ckpt_dir.mkdir(parents=True, exist_ok=True)
 
         results: Dict[int, TuningResult] = {}
         best_configs: Dict[int, Optional[int]] = {}
         for spec in self.tasks:
-            task = self.simulated_task(spec)
-            tuner_seed = derive_seed(
-                trial_seed, "tuner", tuner_name, spec.task_id
+            done_path = (
+                ckpt_dir / f"task-{spec.task_id:03d}.done"
+                if ckpt_dir is not None else None
             )
-            tuner = make_tuner(
-                tuner_name, task, seed=tuner_seed,
-                executor=executor_spec, **kwargs,
+            ckpt_path = (
+                ckpt_dir / f"task-{spec.task_id:03d}.ckpt"
+                if ckpt_dir is not None else None
             )
-            try:
-                result = tuner.tune(
-                    n_trial=n_trial, early_stopping=early_stopping
+            if resume and done_path is not None and done_path.exists():
+                with done_path.open("rb") as fh:
+                    result = pickle.load(fh)
+                logger.info(
+                    "%s T%d (%s): loaded completed result from %s",
+                    self.graph.name, spec.task_id + 1, tuner_name, done_path,
                 )
-            finally:
-                tuner.shutdown()
+            else:
+                task = self.simulated_task(spec)
+                tuner_seed = derive_seed(
+                    trial_seed, "tuner", tuner_name, spec.task_id
+                )
+                tuner = make_tuner(
+                    tuner_name, task, seed=tuner_seed,
+                    executor=executor_spec, **kwargs,
+                )
+                try:
+                    if (
+                        resume and ckpt_path is not None
+                        and ckpt_path.exists()
+                    ):
+                        logger.info(
+                            "%s T%d (%s): resuming from %s",
+                            self.graph.name, spec.task_id + 1, tuner_name,
+                            ckpt_path,
+                        )
+                        result = tuner.resume(ckpt_path)
+                    else:
+                        result = tuner.tune(
+                            n_trial=n_trial,
+                            early_stopping=early_stopping,
+                            checkpoint=ckpt_path,
+                        )
+                finally:
+                    tuner.shutdown()
+                if done_path is not None:
+                    atomic_pickle_dump(done_path, result)
             results[spec.task_id] = result
             best_configs[spec.task_id] = result.best_index
             if record_store is not None:

@@ -4,6 +4,14 @@ AutoTVM logs every measurement as a JSON line and replays logs to apply
 the best configuration per workload; :class:`RecordStore` reproduces
 that contract: append records during tuning, query the best record per
 workload, serialize to / load from JSON-lines files.
+
+Record files are also the crash-recovery surface of a tuning run, so
+loading is hardened: a malformed line raises a :class:`ValueError`
+naming the line — *except* a torn final line (the signature of a crash
+mid-append), which is dropped with a warning so the surviving prefix
+replays cleanly.  Nothing is ever silently coerced: an unknown workload
+kind, a missing field, or a record from a future format version all
+raise rather than corrupt the best-config query.
 """
 
 from __future__ import annotations
@@ -19,6 +27,12 @@ from repro.nn.workloads import (
     DepthwiseConv2DWorkload,
     Workload,
 )
+from repro.utils.log import get_logger
+
+logger = get_logger("pipeline.records")
+
+#: bump when the JSON record layout changes incompatibly
+RECORD_VERSION = 1
 
 _WORKLOAD_CLASSES = {
     "conv2d": Conv2DWorkload,
@@ -33,7 +47,12 @@ def workload_from_dict(data: Dict[str, object]) -> Workload:
     kind = data.pop("kind", None)
     if kind not in _WORKLOAD_CLASSES:
         raise ValueError(f"unknown workload kind {kind!r}")
-    return _WORKLOAD_CLASSES[kind](**data)  # type: ignore[arg-type]
+    try:
+        return _WORKLOAD_CLASSES[kind](**data)  # type: ignore[arg-type]
+    except TypeError as exc:
+        raise ValueError(
+            f"malformed {kind!r} workload fields: {exc}"
+        ) from exc
 
 
 @dataclass(frozen=True)
@@ -54,6 +73,7 @@ class TuningRecord:
     def to_json(self) -> str:
         return json.dumps(
             {
+                "v": RECORD_VERSION,
                 "workload": self.workload.to_dict(),
                 "config_index": self.config_index,
                 "gflops": self.gflops,
@@ -66,11 +86,33 @@ class TuningRecord:
 
     @staticmethod
     def from_json(line: str) -> "TuningRecord":
-        data = json.loads(line)
+        """Parse one JSON-line record.
+
+        Raises :class:`ValueError` (never a bare ``KeyError``/
+        ``TypeError``) for anything that is not a complete record this
+        version can read: truncated JSON, missing fields, an unknown
+        workload kind, or a future ``"v"``.  Records written before the
+        version field (``v`` absent) still load.
+        """
+        data = json.loads(line)  # JSONDecodeError is a ValueError
+        if not isinstance(data, dict):
+            raise ValueError(f"record line is not a JSON object: {line!r}")
+        version = data.get("v", 1)
+        if version != RECORD_VERSION:
+            raise ValueError(
+                f"record version {version!r} is not readable by this "
+                f"build (expected {RECORD_VERSION})"
+            )
+        try:
+            workload_data = data["workload"]
+            config_index = int(data["config_index"])
+            gflops = float(data["gflops"])
+        except (KeyError, TypeError) as exc:
+            raise ValueError(f"malformed record fields: {exc}") from exc
         return TuningRecord(
-            workload=workload_from_dict(data["workload"]),
-            config_index=int(data["config_index"]),
-            gflops=float(data["gflops"]),
+            workload=workload_from_dict(workload_data),
+            config_index=config_index,
+            gflops=gflops,
             tuner_name=data.get("tuner", ""),
             error=data.get("error", ""),
             template=data.get("template", "direct"),
@@ -129,12 +171,38 @@ class RecordStore:
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "RecordStore":
-        """Load a JSON-lines record file."""
+        """Load a JSON-lines record file.
+
+        A malformed line raises :class:`ValueError` naming the 1-based
+        line number — except a *final* line that fails to parse as JSON,
+        which is the signature of a crash mid-append and is dropped with
+        a warning so the surviving prefix replays cleanly.
+        """
         store = cls()
         path = Path(path)
         with path.open("r", encoding="utf-8") as fh:
-            for line in fh:
-                line = line.strip()
-                if line:
-                    store.add(TuningRecord.from_json(line))
+            lines = [
+                (number, line.strip())
+                for number, line in enumerate(fh, start=1)
+            ]
+        lines = [(number, line) for number, line in lines if line]
+        for position, (number, line) in enumerate(lines):
+            is_final = position == len(lines) - 1
+            try:
+                record = TuningRecord.from_json(line)
+            except json.JSONDecodeError:
+                if is_final:
+                    logger.warning(
+                        "%s:%d: dropping torn final record line "
+                        "(crash mid-append?)",
+                        path,
+                        number,
+                    )
+                    break
+                raise ValueError(
+                    f"{path}:{number}: malformed record line"
+                )
+            except ValueError as exc:
+                raise ValueError(f"{path}:{number}: {exc}") from exc
+            store.add(record)
         return store

@@ -1,0 +1,85 @@
+"""Crash-safe file writes.
+
+Checkpoints, caches, and record logs must survive a crash *during* the
+write: a torn write may lose the new state, but it must never destroy
+the previous good file.  The standard recipe — write to a temporary
+file in the target directory, flush, ``fsync``, then ``os.replace``
+onto the target — gives that guarantee on POSIX filesystems (rename is
+atomic within a filesystem), and every persistent artifact in this
+repository goes through it.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Union
+
+PathLike = Union[str, Path]
+
+
+def atomic_write_bytes(
+    path: PathLike, data: bytes, fsync: bool = True
+) -> str:
+    """Write ``data`` to ``path`` atomically (write-tmp-fsync-rename).
+
+    A crash at any point leaves either the previous file contents or
+    the complete new contents at ``path`` — never a partial write.
+    Returns the final path as a string.
+    """
+    target = os.path.abspath(os.fspath(path))
+    directory = os.path.dirname(target)
+    fd, tmp = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(target) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            if fsync:
+                handle.flush()
+                os.fsync(handle.fileno())
+        os.replace(tmp, target)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+    if fsync:
+        _fsync_directory(directory)
+    return target
+
+
+def atomic_write_text(
+    path: PathLike, text: str, fsync: bool = True, encoding: str = "utf-8"
+) -> str:
+    """Atomically write a text file (see :func:`atomic_write_bytes`)."""
+    return atomic_write_bytes(path, text.encode(encoding), fsync=fsync)
+
+
+def atomic_pickle_dump(
+    path: PathLike, obj: object, fsync: bool = True
+) -> str:
+    """Atomically pickle ``obj`` to ``path``."""
+    return atomic_write_bytes(
+        path, pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL), fsync=fsync
+    )
+
+
+def _fsync_directory(directory: str) -> None:
+    """Flush the directory entry so the rename itself is durable.
+
+    Best-effort: some platforms/filesystems refuse to open directories
+    (Windows); losing the rename durability there degrades to the
+    pre-fsync behaviour rather than failing the write.
+    """
+    try:
+        dir_fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform dependent
+        return
+    try:
+        os.fsync(dir_fd)
+    except OSError:  # pragma: no cover - platform dependent
+        pass
+    finally:
+        os.close(dir_fd)

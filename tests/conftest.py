@@ -10,6 +10,22 @@ from repro.nn.workloads import (
 )
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="regenerate the golden-trace fixtures under tests/golden/ "
+        "instead of comparing against them",
+    )
+
+
+@pytest.fixture
+def update_golden(request) -> bool:
+    """True when the run should rewrite golden fixtures."""
+    return request.config.getoption("--update-golden")
+
+
 @pytest.fixture
 def small_conv_workload() -> Conv2DWorkload:
     """A small conv2d whose space has a few hundred thousand points."""

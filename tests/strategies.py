@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from hypothesis import strategies as st
 
+from repro.hardware.faults import FaultKind, FaultModel, RetryPolicy
 from repro.nn.workloads import (
     Conv2DWorkload,
     DenseWorkload,
@@ -94,6 +95,36 @@ def knobs(draw, index: int):
     if kind == 2:
         return BoolKnob(name)
     return ReorderKnob(name, ["a", "b", "c"], max_candidates=6)
+
+
+@st.composite
+def fault_models(draw, max_rate: float = 0.5) -> FaultModel:
+    """A random deterministic fault schedule (rate 0 = fault-free)."""
+    kinds = tuple(
+        draw(
+            st.lists(
+                st.sampled_from(list(FaultKind)),
+                min_size=1,
+                max_size=len(FaultKind),
+                unique=True,
+            )
+        )
+    )
+    return FaultModel(
+        rate=draw(st.floats(0.0, max_rate, allow_nan=False)),
+        seed=draw(st.integers(0, 2**16)),
+        kinds=kinds,
+    )
+
+
+@st.composite
+def retry_policies(draw) -> RetryPolicy:
+    """A random retry policy (always with zero real sleeping)."""
+    return RetryPolicy(
+        max_retries=draw(st.integers(0, 5)),
+        backoff_s=0.0,
+        multiplier=draw(st.floats(1.0, 4.0, allow_nan=False)),
+    )
 
 
 @st.composite

@@ -1,0 +1,98 @@
+"""Crash-safe writes: torn writes must never destroy the previous file."""
+
+import os
+import pickle
+
+import pytest
+
+from repro.utils import io as io_mod
+from repro.utils.io import (
+    atomic_pickle_dump,
+    atomic_write_bytes,
+    atomic_write_text,
+)
+
+
+class TestAtomicWrite:
+    def test_writes_new_file(self, tmp_path):
+        path = tmp_path / "out.bin"
+        returned = atomic_write_bytes(path, b"payload")
+        assert path.read_bytes() == b"payload"
+        assert returned == str(path)
+
+    def test_replaces_existing_file(self, tmp_path):
+        path = tmp_path / "out.bin"
+        path.write_bytes(b"old")
+        atomic_write_bytes(path, b"new")
+        assert path.read_bytes() == b"new"
+
+    def test_text_and_pickle_variants(self, tmp_path):
+        text_path = tmp_path / "out.txt"
+        atomic_write_text(text_path, "héllo")
+        assert text_path.read_text(encoding="utf-8") == "héllo"
+        pkl_path = tmp_path / "out.pkl"
+        atomic_pickle_dump(pkl_path, {"a": [1, 2, 3]})
+        with pkl_path.open("rb") as fh:
+            assert pickle.load(fh) == {"a": [1, 2, 3]}
+
+    def test_no_temp_residue_after_success(self, tmp_path):
+        atomic_write_bytes(tmp_path / "out.bin", b"x" * 4096)
+        assert [p.name for p in tmp_path.iterdir()] == ["out.bin"]
+
+
+class TestTornWrite:
+    def test_failed_replace_preserves_previous_file(
+        self, tmp_path, monkeypatch
+    ):
+        path = tmp_path / "state.bin"
+        path.write_bytes(b"previous good state")
+
+        def exploding_replace(src, dst):
+            raise OSError("simulated crash during rename")
+
+        monkeypatch.setattr(io_mod.os, "replace", exploding_replace)
+        with pytest.raises(OSError, match="simulated crash"):
+            atomic_write_bytes(path, b"half-written new state")
+        assert path.read_bytes() == b"previous good state"
+
+    def test_failed_replace_leaves_no_temp_files(self, tmp_path, monkeypatch):
+        path = tmp_path / "state.bin"
+        path.write_bytes(b"previous")
+        monkeypatch.setattr(
+            io_mod.os, "replace",
+            lambda s, d: (_ for _ in ()).throw(OSError("boom")),
+        )
+        with pytest.raises(OSError):
+            atomic_write_bytes(path, b"new")
+        assert [p.name for p in tmp_path.iterdir()] == ["state.bin"]
+
+    def test_failed_write_preserves_previous_file(
+        self, tmp_path, monkeypatch
+    ):
+        path = tmp_path / "state.bin"
+        path.write_bytes(b"previous good state")
+        real_fdopen = os.fdopen
+
+        class _TornHandle:
+            def __init__(self, handle):
+                self._handle = handle
+
+            def __enter__(self):
+                self._handle.__enter__()
+                return self
+
+            def __exit__(self, *exc):
+                return self._handle.__exit__(*exc)
+
+            def write(self, data):
+                self._handle.write(data[: len(data) // 2])
+                raise OSError("disk full mid-write")
+
+        monkeypatch.setattr(
+            io_mod.os, "fdopen",
+            lambda fd, mode: _TornHandle(real_fdopen(fd, mode)),
+        )
+        with pytest.raises(OSError, match="disk full"):
+            atomic_write_bytes(path, b"new state")
+        assert path.read_bytes() == b"previous good state"
+        assert [p.name for p in tmp_path.iterdir()] == ["state.bin"]

@@ -53,6 +53,38 @@ class TestCommands:
         assert "latency" in out
         assert records.exists()
 
+    def test_tune_resume_requires_checkpoint_dir(self, capsys):
+        code = main([
+            "tune",
+            "--model", "squeezenet-v1.1",
+            "--arm", "random",
+            "--budget", "8",
+            "--resume",
+        ])
+        assert code == 2
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
+    def test_tune_checkpoint_resume_and_faults(self, capsys, tmp_path):
+        ckpt = tmp_path / "ckpt"
+        argv = [
+            "tune",
+            "--model", "squeezenet-v1.1",
+            "--arm", "random",
+            "--budget", "8",
+            "--runs", "50",
+            "--fault-rate", "0.3",
+            "--max-retries", "1",
+            "--checkpoint-dir", str(ckpt),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert list(ckpt.glob("task-*.done")), "per-task results persisted"
+        # the resumed run loads every completed task and reports the
+        # same deployment latency
+        assert main(argv + ["--resume"]) == 0
+        second = capsys.readouterr().out
+        assert first.splitlines()[-2:] == second.splitlines()[-2:]
+
     def test_experiment_fig4_smoke(self, capsys, monkeypatch):
         import repro.cli as cli
 

@@ -1,0 +1,107 @@
+"""Golden-trace regression tests for the main tuner arms.
+
+Each arm is run on a fixed, tiny task with a pinned seed and its full
+measurement trace (config indices, rounded GFLOPS, error flags) plus
+its structured event stream is compared against a committed fixture
+under ``tests/golden/``.  Any change to proposal order, RNG
+consumption, noise application, event emission, or record bookkeeping
+shows up here as a diff — deliberate behaviour changes regenerate the
+fixtures with::
+
+    pytest tests/test_golden_traces.py --update-golden
+
+GFLOPS are rounded to 6 decimals so the traces are robust to
+floating-point reassociation across library versions while still
+pinning any real numerical change.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core import make_tuner
+from repro.hardware.measure import SimulatedTask
+from repro.nn.workloads import DenseWorkload
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: fixed scenario per arm: one tiny dense task, pinned seeds, no
+#: early stopping, cheap policy parameters
+ARMS = {
+    "autotvm": dict(
+        batch_size=8, init_size=8, sa_chains=8, sa_steps=10
+    ),
+    "bted": dict(batch_size=8, init_size=8, batch_candidates=32),
+    "bted+bao": dict(init_size=8, batch_candidates=32, num_batches=2),
+}
+N_TRIAL = 24
+TUNER_SEED = 11
+ENV_SEED = 7
+
+
+def _task() -> SimulatedTask:
+    return SimulatedTask(
+        DenseWorkload(batch=1, in_features=64, out_features=48),
+        seed=ENV_SEED,
+    )
+
+
+def _run_trace(arm: str) -> dict:
+    events = []
+    tuner = make_tuner(arm, _task(), seed=TUNER_SEED, **ARMS[arm])
+    result = tuner.tune(
+        n_trial=N_TRIAL,
+        early_stopping=None,
+        on_event=[lambda t, e: events.append(e)],
+    )
+    return {
+        "arm": arm,
+        "task": result.task_name,
+        "tuner_seed": TUNER_SEED,
+        "env_seed": ENV_SEED,
+        "n_trial": N_TRIAL,
+        "records": [
+            {
+                "step": r.step,
+                "config_index": r.config_index,
+                "gflops": round(r.gflops, 6),
+                "error": bool(r.error),
+            }
+            for r in result.records
+        ],
+        "events": [
+            {"kind": e.kind, "step": e.step} for e in events
+        ],
+        "best_index": result.best_index,
+        "best_gflops": round(result.best_gflops, 6),
+    }
+
+
+def _golden_path(arm: str) -> Path:
+    return GOLDEN_DIR / f"trace-{arm.replace('+', '_')}.json"
+
+
+@pytest.mark.parametrize("arm", sorted(ARMS))
+def test_golden_trace(arm, update_golden):
+    trace = _run_trace(arm)
+    path = _golden_path(arm)
+    if update_golden:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(trace, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        pytest.skip(f"updated golden fixture {path.name}")
+    assert path.exists(), (
+        f"missing golden fixture {path}; generate it with "
+        "pytest tests/test_golden_traces.py --update-golden"
+    )
+    golden = json.loads(path.read_text(encoding="utf-8"))
+    assert trace == golden
+
+
+def test_golden_fixtures_complete():
+    """Every arm has a committed fixture (catches forgotten updates)."""
+    missing = [arm for arm in ARMS if not _golden_path(arm).exists()]
+    assert not missing, f"missing golden fixtures for {missing}"

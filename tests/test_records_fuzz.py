@@ -1,0 +1,172 @@
+"""Fuzz/robustness tests for record-log loading.
+
+The record file is the crash-recovery surface of a tuning run, so
+loading must never silently corrupt the best-config query: a torn final
+line (the crash signature) is dropped with a warning, while any other
+malformed input raises a clear :class:`ValueError` naming the line.
+"""
+
+import json
+import logging
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.pipeline.records import (
+    RECORD_VERSION,
+    RecordStore,
+    TuningRecord,
+    workload_from_dict,
+)
+from repro.nn.workloads import DenseWorkload
+
+from tests.strategies import workloads
+
+COMMON = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _record(workload=None, index=3, gflops=10.0, error=""):
+    return TuningRecord(
+        workload=workload
+        or DenseWorkload(batch=1, in_features=8, out_features=8),
+        config_index=index,
+        gflops=gflops,
+        tuner_name="bted",
+        error=error,
+    )
+
+
+def _write(path, lines):
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+class TestTornFinalLine:
+    def test_truncated_final_line_is_dropped_with_warning(
+        self, tmp_path, caplog
+    ):
+        path = tmp_path / "records.jsonl"
+        good = [_record(index=i, gflops=float(i + 1)) for i in range(3)]
+        lines = [r.to_json() for r in good]
+        lines.append(lines[-1][: len(lines[-1]) // 2])  # torn mid-append
+        _write(path, lines)
+        with caplog.at_level(logging.WARNING, logger="repro.pipeline.records"):
+            store = RecordStore.load(path)
+        assert len(store) == 3
+        assert any("torn" in r.message for r in caplog.records)
+        best = store.best_for(good[0].workload)
+        assert best is not None and best.gflops == 3.0
+
+    def test_torn_line_in_middle_raises_with_line_number(self, tmp_path):
+        path = tmp_path / "records.jsonl"
+        record = _record()
+        _write(path, [record.to_json(), '{"v": 1, "wor', record.to_json()])
+        with pytest.raises(ValueError, match=r"records\.jsonl:2"):
+            RecordStore.load(path)
+
+    def test_empty_and_whitespace_files_load_empty(self, tmp_path):
+        path = tmp_path / "records.jsonl"
+        path.write_text("", encoding="utf-8")
+        assert len(RecordStore.load(path)) == 0
+        path.write_text("\n\n   \n", encoding="utf-8")
+        assert len(RecordStore.load(path)) == 0
+
+    def test_single_torn_line_loads_empty(self, tmp_path):
+        path = tmp_path / "records.jsonl"
+        path.write_text('{"v": 1, "work', encoding="utf-8")
+        assert len(RecordStore.load(path)) == 0
+
+
+class TestMalformedRecords:
+    def test_unknown_workload_kind_raises(self, tmp_path):
+        data = json.loads(_record().to_json())
+        data["workload"]["kind"] = "conv5d_hologram"
+        path = tmp_path / "records.jsonl"
+        _write(path, [json.dumps(data), _record().to_json()])
+        with pytest.raises(ValueError, match="conv5d_hologram"):
+            RecordStore.load(path)
+
+    def test_missing_field_raises_value_error(self):
+        data = json.loads(_record().to_json())
+        del data["config_index"]
+        with pytest.raises(ValueError, match="malformed record"):
+            TuningRecord.from_json(json.dumps(data))
+
+    def test_malformed_workload_fields_raise_value_error(self):
+        data = json.loads(_record().to_json())
+        data["workload"]["no_such_field"] = 7
+        with pytest.raises(ValueError, match="workload fields"):
+            TuningRecord.from_json(json.dumps(data))
+
+    def test_non_object_line_raises_value_error(self):
+        with pytest.raises(ValueError, match="not a JSON object"):
+            TuningRecord.from_json("[1, 2, 3]")
+
+    def test_future_version_raises_value_error(self, tmp_path):
+        data = json.loads(_record().to_json())
+        data["v"] = RECORD_VERSION + 1
+        path = tmp_path / "records.jsonl"
+        _write(path, [json.dumps(data), _record().to_json()])
+        with pytest.raises(ValueError, match="version"):
+            RecordStore.load(path)
+
+    def test_pre_version_records_still_load(self):
+        data = json.loads(_record().to_json())
+        del data["v"]  # a record written before the version field
+        loaded = TuningRecord.from_json(json.dumps(data))
+        assert loaded == _record()
+
+    def test_workload_from_dict_rejects_missing_kind(self):
+        with pytest.raises(ValueError, match="unknown workload kind"):
+            workload_from_dict({"batch": 1})
+
+
+class TestDuplicatesAndQueries:
+    def test_duplicate_records_round_trip(self, tmp_path):
+        record = _record(gflops=5.0)
+        store = RecordStore()
+        store.extend([record, record, record])
+        path = tmp_path / "records.jsonl"
+        store.save(path)
+        loaded = RecordStore.load(path)
+        assert len(loaded) == 3
+        assert loaded.best_for(record.workload) == record
+
+    def test_errors_never_shadow_best(self, tmp_path):
+        workload = DenseWorkload(batch=1, in_features=8, out_features=8)
+        store = RecordStore()
+        store.add(_record(workload, index=1, gflops=4.0))
+        store.add(_record(workload, index=2, gflops=0.0,
+                          error="injected timeout"))
+        path = tmp_path / "records.jsonl"
+        store.save(path)
+        loaded = RecordStore.load(path)
+        assert loaded.best_for(workload).config_index == 1
+
+    @given(
+        workload=workloads(),
+        indices=st.lists(st.integers(0, 10_000), min_size=1, max_size=12),
+        seed=st.integers(0, 2**16),
+    )
+    @COMMON
+    def test_round_trip_property(self, tmp_path_factory, workload, indices,
+                                 seed):
+        store = RecordStore()
+        for k, idx in enumerate(indices):
+            store.add(
+                _record(
+                    workload,
+                    index=idx,
+                    gflops=float((seed + k) % 97) / 7.0,
+                    error="boom" if (seed + k) % 5 == 0 else "",
+                )
+            )
+        path = tmp_path_factory.mktemp("rt") / "records.jsonl"
+        store.save(path)
+        loaded = RecordStore.load(path)
+        assert list(loaded) == list(store)
+        assert loaded.best_for(workload) == store.best_for(workload)
