@@ -28,7 +28,7 @@ pseudo-code is ambiguous):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import AbstractSet, List, Optional, Union
 
 import numpy as np
 
@@ -36,6 +36,10 @@ from repro.core.bootstrap import BootstrapEnsemble, ModelFactory
 from repro.space.neighborhood import sample_neighborhood
 from repro.space.space import ConfigSpace
 from repro.utils.rng import RngPool
+
+#: accepted "already measured" collections: a sorted int64 array (the
+#: tuner-maintained fast path) or any set-like of config indices
+VisitedSet = Union[AbstractSet[int], np.ndarray]
 
 
 @dataclass(frozen=True)
@@ -149,12 +153,29 @@ class BaoOptimizer:
             return s.radius * (s.tau ** self._stagnation)
         return s.radius * s.tau
 
+    @staticmethod
+    def _filter_visited(
+        candidates: np.ndarray, visited: "VisitedSet"
+    ) -> np.ndarray:
+        """Drop visited candidates, preserving order.
+
+        ``visited`` may be a sorted int64 array (the tuner-maintained
+        fast path — one vectorized ``np.isin`` over the batch) or any
+        Python set-like (legacy callers).  Both produce the same
+        filtered sequence.
+        """
+        if isinstance(visited, np.ndarray):
+            return candidates[~np.isin(candidates, visited)]
+        return np.array(
+            [c for c in candidates if int(c) not in visited], dtype=np.int64
+        )
+
     def _candidate_scores(
         self,
         measured_features: np.ndarray,
         measured_scores: np.ndarray,
         best_index: int,
-        visited: Optional[set],
+        visited: "Optional[VisitedSet]",
     ) -> tuple[np.ndarray, np.ndarray]:
         """Build the neighborhood C_t and score it with the acquisition."""
         if len(measured_scores) == 0:
@@ -179,9 +200,7 @@ class BaoOptimizer:
             metric=settings.metric,
         )
         if visited is not None and len(candidates):
-            fresh = np.array(
-                [c for c in candidates if int(c) not in visited], dtype=np.int64
-            )
+            fresh = self._filter_visited(candidates, visited)
             if len(fresh):
                 candidates = fresh
         if len(candidates) == 0:
@@ -212,11 +231,12 @@ class BaoOptimizer:
         measured_features: np.ndarray,
         measured_scores: np.ndarray,
         best_index: int,
-        visited: Optional[set] = None,
+        visited: Optional[VisitedSet] = None,
     ) -> int:
         """Select x*_t: the acquisition argmax over the neighborhood.
 
-        ``best_index`` is the incumbent; ``visited`` configs are excluded
+        ``best_index`` is the incumbent; ``visited`` configs (a set, or
+        a sorted index array for the vectorized filter) are excluded
         from the candidate set when possible (the neighborhood may be
         fully explored, in which case revisits are allowed rather than
         stalling).
@@ -234,7 +254,7 @@ class BaoOptimizer:
         measured_scores: np.ndarray,
         best_index: int,
         k: int,
-        visited: Optional[set] = None,
+        visited: Optional[VisitedSet] = None,
     ) -> List[int]:
         """Batch extension: the top-``k`` acquisition candidates of C_t.
 

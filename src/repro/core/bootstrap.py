@@ -14,11 +14,13 @@ more robust acquisition score.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.learning.gbt import GradientBoostedTrees
+from repro.learning.tree import bin_features
 from repro.utils.rng import SeedLike, as_generator
 
 #: factory for one evaluation function: () -> model with fit/predict
@@ -50,12 +52,39 @@ def _default_model_factory(rng: np.random.Generator) -> ModelFactory:
     return _DefaultModelFactory(rng)
 
 
+def _fit_member(
+    payload: Tuple[
+        GradientBoostedTrees, int, np.ndarray, np.ndarray, Optional[list]
+    ],
+) -> GradientBoostedTrees:
+    """Worker-side fit of one ensemble member (parallel ``fit_jobs`` path)."""
+    model, seed, X, y, edges = payload
+    model.reseed(seed)
+    if edges is not None and getattr(model, "method", None) == "hist":
+        model.bin_edges = edges
+    model.fit(X, y)
+    return model
+
+
 class BootstrapEnsemble:
     """``Gamma`` evaluation functions fit on bootstrap resamples.
 
     The framework is "independent of the specific forms of evaluation
     functions" (Sec. IV); pass any ``model_factory`` returning an object
     with ``fit(X, y)`` and ``predict(X)`` to swap the learner.
+
+    Two opt-in hot-path accelerations (both default off because they
+    perturb either the arithmetic or the RNG stream relative to the
+    historical — golden-trace-pinned — behaviour):
+
+    * ``share_bin_edges`` — quantile-bin the *full* measured matrix once
+      per :meth:`fit` and hand the edges to every histogram-tree member,
+      instead of each member re-deriving quantiles from its resample.
+    * ``fit_jobs`` — fan the Gamma member fits out over a process pool
+      (the PR-1 executor-pool pattern).  Resample rows and per-member
+      seeds are drawn serially first, so the parallel fit is
+      deterministic in itself, but its RNG consumption differs from the
+      serial interleaving.
     """
 
     def __init__(
@@ -63,10 +92,16 @@ class BootstrapEnsemble:
         gamma: int = 2,
         model_factory: Optional[ModelFactory] = None,
         seed: SeedLike = None,
+        share_bin_edges: bool = False,
+        fit_jobs: Optional[int] = None,
     ):
         if gamma < 1:
             raise ValueError("gamma must be >= 1")
+        if fit_jobs is not None and fit_jobs < 1:
+            raise ValueError("fit_jobs must be >= 1")
         self.gamma = gamma
+        self.share_bin_edges = share_bin_edges
+        self.fit_jobs = fit_jobs
         self._rng = as_generator(seed)
         self._factory = (
             model_factory
@@ -79,6 +114,17 @@ class BootstrapEnsemble:
     def is_fitted(self) -> bool:
         return bool(self._models)
 
+    def _shared_edges(
+        self, model: GradientBoostedTrees, X: np.ndarray
+    ) -> Optional[list]:
+        """Bin edges of the full matrix, when sharing applies to ``model``."""
+        if not self.share_bin_edges:
+            return None
+        if getattr(model, "method", None) != "hist":
+            return None
+        _, edges = bin_features(X, n_bins=model.n_bins)
+        return edges
+
     def fit(self, X: np.ndarray, y: np.ndarray) -> "BootstrapEnsemble":
         """Resample ``(X, y)`` Gamma times and fit one model each."""
         X = np.asarray(X, dtype=np.float64)
@@ -88,12 +134,43 @@ class BootstrapEnsemble:
         n = len(y)
         if n == 0:
             raise ValueError("cannot fit on an empty measured set")
+        if self.fit_jobs is not None and self.fit_jobs > 1 and self.gamma > 1:
+            return self._fit_parallel(X, y)
         self._models = []
+        shared_edges: Optional[list] = None
         for _ in range(self.gamma):
             rows = self._rng.integers(0, n, size=n)
             model = self._factory()
+            if self.share_bin_edges:
+                if shared_edges is None:
+                    shared_edges = self._shared_edges(model, X)
+                if shared_edges is not None:
+                    model.bin_edges = shared_edges
             model.fit(X[rows], y[rows])
             self._models.append(model)
+        return self
+
+    def _fit_parallel(self, X: np.ndarray, y: np.ndarray) -> "BootstrapEnsemble":
+        """Fan the Gamma member fits out over a process pool.
+
+        Deterministic given the ensemble seed (resample rows and member
+        seeds are drawn serially up front), but *not* RNG-stream
+        identical to the serial path — opt-in only.
+        """
+        n = len(y)
+        rows_per_member = [
+            self._rng.integers(0, n, size=n) for _ in range(self.gamma)
+        ]
+        seeds = [int(self._rng.integers(0, 2**62)) for _ in range(self.gamma)]
+        models = [self._factory() for _ in range(self.gamma)]
+        shared_edges = self._shared_edges(models[0], X)
+        payloads = [
+            (model, seed, X[rows], y[rows], shared_edges)
+            for model, seed, rows in zip(models, seeds, rows_per_member)
+        ]
+        jobs = min(self.fit_jobs or 1, self.gamma)
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            self._models = list(pool.map(_fit_member, payloads))
         return self
 
     def predict_sum(self, X: np.ndarray) -> np.ndarray:

@@ -46,6 +46,9 @@ class BatchProposed(TuningEvent):
     """The search policy committed to measuring these configurations."""
 
     config_indices: Tuple[int, ...]
+    #: wall-clock seconds the policy spent generating this proposal
+    #: (BTED/TED selection, ensemble refit, neighborhood scoring)
+    proposal_s: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -53,6 +56,8 @@ class BatchMeasured(TuningEvent):
     """A proposed batch came back from the measurement executor."""
 
     results: Tuple[MeasureResult, ...]
+    #: wall-clock seconds the executor spent deploying the batch
+    measure_s: float = 0.0
 
     @property
     def num_ok(self) -> int:

@@ -52,6 +52,7 @@ from repro.hardware.executor import (
     build_executor,
 )
 from repro.hardware.measure import Measurer, MeasureResult, SimulatedTask
+from repro.space.space import FeatureCache
 from repro.utils.log import get_logger
 from repro.utils.rng import RngPool
 
@@ -190,7 +191,8 @@ class Tuner:
         self.visited: Set[int] = set()
         self.measured_indices: List[int] = []
         self.measured_scores: List[float] = []
-        self._features_cache: List[np.ndarray] = []
+        self._features = FeatureCache(task.space)
+        self._visited_sorted = np.empty(0, dtype=np.int64)
         self.best_index: Optional[int] = None
         self.best_gflops: float = 0.0
 
@@ -229,10 +231,21 @@ class Tuner:
 
     @property
     def measured_features(self) -> np.ndarray:
-        """Feature matrix of all measured configs, in measurement order."""
-        if not self._features_cache:
-            return np.empty((0, self.task.space.feature_dim))
-        return np.stack(self._features_cache)
+        """Feature matrix of all measured configs, in measurement order.
+
+        Served from an incrementally grown :class:`FeatureCache` — a
+        zero-copy read-only view, not a fresh ``np.stack`` per access.
+        """
+        return self._features.matrix
+
+    @property
+    def visited_sorted(self) -> np.ndarray:
+        """Measured config indices as a maintained sorted int64 array.
+
+        Lets hot paths (BAO's per-step candidate filtering) use
+        ``np.isin`` instead of Python set membership per candidate.
+        """
+        return self._visited_sorted
 
     @property
     def measured_scores_array(self) -> np.ndarray:
@@ -387,6 +400,7 @@ class Tuner:
                     initialized=False,
                 )
             while not stop and len(records) < n_trial:
+                proposal_start = time.perf_counter()
                 if not initialized:
                     batch = self._filter_unvisited(self._generate_initial())
                     initialized = True
@@ -407,14 +421,22 @@ class Tuner:
                 batch = batch[: n_trial - len(records)]
                 self._emit(
                     BatchProposed(
-                        step=len(records), config_indices=tuple(batch)
+                        step=len(records),
+                        config_indices=tuple(batch),
+                        proposal_s=time.perf_counter() - proposal_start,
                     )
                 )
+                measure_start = time.perf_counter()
                 results = executor.measure_batch(batch)
+                measure_s = time.perf_counter() - measure_start
                 new_records = self._absorb(results, records)
                 self._emit_fault_events(executor, step=len(records))
                 self._emit(
-                    BatchMeasured(step=len(records), results=tuple(results))
+                    BatchMeasured(
+                        step=len(records),
+                        results=tuple(results),
+                        measure_s=measure_s,
+                    )
                 )
                 for callback in callbacks:
                     callback(self, results)
@@ -602,13 +624,20 @@ class Tuner:
     ) -> List[TrialRecord]:
         """Fold measurement results into tuner state; returns new records."""
         new_records = []
-        space = self.task.space
+        batch_indices = np.fromiter(
+            (r.config_index for r in results),
+            dtype=np.int64,
+            count=len(results),
+        )
+        self._features.extend(batch_indices)
+        self._visited_sorted = np.union1d(
+            self._visited_sorted, batch_indices
+        )
         for result in results:
             idx = result.config_index
             self.visited.add(idx)
             self.measured_indices.append(idx)
             self.measured_scores.append(result.gflops)
-            self._features_cache.append(space.features_of(idx))
             if result.gflops > self.best_gflops:
                 self._emit(
                     IncumbentImproved(

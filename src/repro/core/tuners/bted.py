@@ -36,6 +36,7 @@ class BTEDTuner(AutoTVMTuner):
         sa_steps: int = 120,
         transfer: Optional[TransferHistory] = None,
         executor: ExecutorSpec = None,
+        ted_method: str = "exact",
     ):
         super().__init__(
             task,
@@ -51,6 +52,7 @@ class BTEDTuner(AutoTVMTuner):
         self.mu = mu
         self.batch_candidates = batch_candidates
         self.num_batches = num_batches
+        self.ted_method = ted_method
 
     def _generate_initial(self) -> List[int]:
         return bted_select(
@@ -60,4 +62,5 @@ class BTEDTuner(AutoTVMTuner):
             batch_candidates=self.batch_candidates,
             num_batches=self.num_batches,
             seed=self.rng_pool.seed_for("bted-init"),
+            ted_method=self.ted_method,
         )

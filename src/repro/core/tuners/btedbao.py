@@ -36,6 +36,7 @@ class BTEDBAOTuner(Tuner):
         model_factory: Optional[ModelFactory] = None,
         measure_batch_size: int = 1,
         executor: ExecutorSpec = None,
+        ted_method: str = "exact",
     ):
         # BAO deploys one configuration per iteration (Alg. 4 line 10-11);
         # measure_batch_size > 1 enables the parallel-measurement
@@ -51,6 +52,7 @@ class BTEDBAOTuner(Tuner):
         self.mu = mu
         self.batch_candidates = batch_candidates
         self.num_batches = num_batches
+        self.ted_method = ted_method
         self.bao = BaoOptimizer(
             task.space,
             settings=bao_settings,
@@ -66,6 +68,7 @@ class BTEDBAOTuner(Tuner):
             batch_candidates=self.batch_candidates,
             num_batches=self.num_batches,
             seed=self.rng_pool.seed_for("bted-init"),
+            ted_method=self.ted_method,
         )
 
     def _generate_next(self) -> List[int]:
@@ -79,7 +82,7 @@ class BTEDBAOTuner(Tuner):
                     self.measured_features,
                     self.measured_scores_array,
                     best_index=self.best_index,
-                    visited=self.visited,
+                    visited=self.visited_sorted,
                 )
             ]
         else:
@@ -88,7 +91,7 @@ class BTEDBAOTuner(Tuner):
                 self.measured_scores_array,
                 best_index=self.best_index,
                 k=self.batch_size,
-                visited=self.visited,
+                visited=self.visited_sorted,
             )
         # surface the r_t adaptation decision as a structured event
         if self.bao.last_radius > self.bao.settings.radius:

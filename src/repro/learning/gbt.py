@@ -49,6 +49,7 @@ class GradientBoostedTrees:
         method: str = "hist",
         n_bins: int = 16,
         seed: SeedLike = None,
+        bin_edges: Optional[list] = None,
     ):
         if n_estimators < 1:
             raise ValueError("n_estimators must be >= 1")
@@ -62,6 +63,8 @@ class GradientBoostedTrees:
             raise ValueError("method must be 'hist' or 'exact'")
         if method == "hist" and max_features is not None:
             raise ValueError("max_features requires method='exact'")
+        if bin_edges is not None and method != "hist":
+            raise ValueError("bin_edges requires method='hist'")
         self.n_estimators = n_estimators
         self.learning_rate = learning_rate
         self.max_depth = max_depth
@@ -72,11 +75,20 @@ class GradientBoostedTrees:
         self.validation_fraction = validation_fraction
         self.method = method
         self.n_bins = n_bins
+        #: optional precomputed quantile bin edges (from
+        #: :func:`~repro.learning.tree.bin_features`); lets a bootstrap
+        #: ensemble bin the shared design matrix once instead of
+        #: re-deriving quantiles per member fit
+        self.bin_edges = bin_edges
         self._rng = as_generator(seed)
         self._trees: List[_Tree] = []
         self._edges: Optional[list[np.ndarray]] = None
         self._base: float = 0.0
         self._fitted = False
+
+    def reseed(self, seed: SeedLike) -> None:
+        """Replace the internal RNG (used by parallel ensemble fits)."""
+        self._rng = as_generator(seed)
 
     # ------------------------------------------------------------------
 
@@ -116,7 +128,11 @@ class GradientBoostedTrees:
                 raise ValueError("sample_weight must match y")
 
         if self.method == "hist":
-            codes, self._edges = bin_features(X, n_bins=self.n_bins)
+            if self.bin_edges is not None:
+                self._edges = self.bin_edges
+                codes = apply_bins(X, self._edges)
+            else:
+                codes, self._edges = bin_features(X, n_bins=self.n_bins)
             data: np.ndarray = codes
         else:
             self._edges = None

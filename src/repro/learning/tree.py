@@ -30,7 +30,14 @@ class _TreeNode:
 
 
 class RegressionTree:
-    """A binary regression tree fit by exact greedy SSE minimization."""
+    """A binary regression tree fit by exact greedy SSE minimization.
+
+    After :meth:`fit` the node list is flattened into parallel NumPy
+    arrays (feature/threshold/left/right/value), so :meth:`predict`
+    routes all rows level by level with pure array ops instead of a
+    per-node Python loop.  :meth:`predict_reference` keeps the original
+    per-node traversal for equivalence tests and benchmarks.
+    """
 
     def __init__(
         self,
@@ -52,6 +59,12 @@ class RegressionTree:
         self.max_features = max_features
         self._rng = as_generator(seed)
         self._nodes: list[_TreeNode] = []
+        # flat node arrays (filled by _finalize after fit)
+        self._feature: Optional[np.ndarray] = None
+        self._threshold: Optional[np.ndarray] = None
+        self._left: Optional[np.ndarray] = None
+        self._right: Optional[np.ndarray] = None
+        self._value: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
 
@@ -79,7 +92,28 @@ class RegressionTree:
 
         self._nodes = []
         self._build(X, y, w, np.arange(X.shape[0]), depth=0)
+        self._finalize()
         return self
+
+    def _finalize(self) -> None:
+        """Flatten the node list into parallel arrays for fast predict."""
+        nodes = self._nodes
+        count = len(nodes)
+        self._feature = np.fromiter(
+            (n.feature for n in nodes), dtype=np.int64, count=count
+        )
+        self._threshold = np.fromiter(
+            (n.threshold for n in nodes), dtype=np.float64, count=count
+        )
+        self._left = np.fromiter(
+            (n.left for n in nodes), dtype=np.int64, count=count
+        )
+        self._right = np.fromiter(
+            (n.right for n in nodes), dtype=np.int64, count=count
+        )
+        self._value = np.fromiter(
+            (n.value for n in nodes), dtype=np.float64, count=count
+        )
 
     def _new_node(self) -> int:
         self._nodes.append(_TreeNode())
@@ -182,14 +216,46 @@ class RegressionTree:
     # ------------------------------------------------------------------
 
     def predict(self, X: np.ndarray) -> np.ndarray:
-        """Predict targets for rows of ``X``."""
+        """Predict targets for rows of ``X``.
+
+        Depth-bounded vectorized traversal over the flat node arrays:
+        each pass advances every not-yet-settled row one level, so the
+        cost is O(depth * n) array ops with no per-node Python loop.
+        Bit-identical to :meth:`predict_reference`.
+        """
+        if not self._nodes:
+            raise RuntimeError("tree is not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-D")
+        assert self._feature is not None
+        active = np.zeros(X.shape[0], dtype=np.int64)  # current node per row
+        rows = np.arange(X.shape[0])
+        for _ in range(self.max_depth + 1):
+            feats = self._feature[active]
+            internal = feats >= 0
+            if not internal.any():
+                break
+            sub = rows[internal]
+            act = active[internal]
+            go_left = X[sub, feats[internal]] <= self._threshold[act]
+            active[sub] = np.where(
+                go_left, self._left[act], self._right[act]
+            )
+        return self._value[active]
+
+    def predict_reference(self, X: np.ndarray) -> np.ndarray:
+        """Reference predict: the original per-node routing loop.
+
+        Preserved verbatim for property tests and the hot-path
+        benchmark suite; :meth:`predict` must match it element-wise.
+        """
         if not self._nodes:
             raise RuntimeError("tree is not fitted")
         X = np.asarray(X, dtype=np.float64)
         if X.ndim != 2:
             raise ValueError("X must be 2-D")
         out = np.empty(X.shape[0])
-        # iterative routing: vectorize over samples level by level
         active = np.zeros(X.shape[0], dtype=np.int64)  # current node per row
         done = np.zeros(X.shape[0], dtype=bool)
         while not done.all():
@@ -211,17 +277,24 @@ class RegressionTree:
 
     @property
     def depth(self) -> int:
-        """Actual depth of the fitted tree (0 for a stump leaf)."""
+        """Actual depth of the fitted tree (0 for a stump leaf).
+
+        Computed by an iterative frontier walk over the flat arrays, so
+        arbitrarily deep trees cannot hit the Python recursion limit.
+        """
         if not self._nodes:
             raise RuntimeError("tree is not fitted")
-
-        def walk(node_id: int) -> int:
-            node = self._nodes[node_id]
-            if node.is_leaf:
-                return 0
-            return 1 + max(walk(node.left), walk(node.right))
-
-        return walk(0)
+        assert self._feature is not None
+        depth = 0
+        frontier = np.zeros(1, dtype=np.int64)
+        while True:
+            internal = frontier[self._feature[frontier] >= 0]
+            if internal.size == 0:
+                return depth
+            frontier = np.concatenate(
+                (self._left[internal], self._right[internal])
+            )
+            depth += 1
 
 
 class BinnedRegressionTree:
@@ -426,7 +499,7 @@ class BinnedRegressionTree:
                 break
             sub = rows[internal]
             act = active[internal]
-            go_left = codes[sub, self._feature[act]] <= self._threshold[act]
+            go_left = codes[sub, feats[internal]] <= self._threshold[act]
             active[sub] = np.where(
                 go_left, self._left[act], self._right[act]
             )

@@ -9,7 +9,7 @@ the CUDA schedule templates that generate a space from a workload
 """
 
 from repro.space.knobs import Knob, SplitKnob, OtherKnob, BoolKnob, ReorderKnob
-from repro.space.space import ConfigSpace, ConfigEntity
+from repro.space.space import ConfigSpace, ConfigEntity, FeatureCache
 from repro.space.templates import build_space, TemplateError
 from repro.space.neighborhood import sample_neighborhood, neighbors_within
 
@@ -21,6 +21,7 @@ __all__ = [
     "ReorderKnob",
     "ConfigSpace",
     "ConfigEntity",
+    "FeatureCache",
     "build_space",
     "TemplateError",
     "sample_neighborhood",

@@ -267,3 +267,68 @@ class ConfigSpace:
     def __repr__(self) -> str:
         knobs = ", ".join(f"{k.name}({len(k)})" for k in self.knobs)
         return f"ConfigSpace({self.name!r}, size={len(self)}, knobs=[{knobs}])"
+
+
+class FeatureCache:
+    """Incrementally grown feature matrix for a measured config set.
+
+    The tuning loop's measured set only ever *appends*; rebuilding its
+    feature matrix from scratch on every BAO step (a ``np.stack`` over a
+    Python list, plus per-config ``features_of`` calls) is O(n·d) work
+    per access.  This cache keeps the rows in one preallocated buffer
+    with amortized-doubling growth: appends are a single batched
+    ``feature_matrix`` call, and :attr:`matrix` is a zero-copy
+    read-only view.
+
+    Row values are bit-identical to ``space.features_of`` (both read
+    from the same per-knob feature tables), so swapping the cache in
+    cannot perturb model fits or golden traces.
+    """
+
+    def __init__(self, space: ConfigSpace, capacity: int = 64):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.space = space
+        self._buf = np.empty((capacity, space.feature_dim))
+        self._count = 0
+        self._indices: List[int] = []
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def indices(self) -> List[int]:
+        """Config indices of the cached rows, in append order."""
+        return list(self._indices)
+
+    def _grow_to(self, needed: int) -> None:
+        capacity = len(self._buf)
+        if needed <= capacity:
+            return
+        while capacity < needed:
+            capacity *= 2
+        buf = np.empty((capacity, self._buf.shape[1]))
+        buf[: self._count] = self._buf[: self._count]
+        self._buf = buf
+
+    def extend(self, indices: Sequence[int]) -> None:
+        """Append the feature rows of ``indices`` (one batched decode)."""
+        indices = [int(i) for i in indices]
+        if not indices:
+            return
+        self._grow_to(self._count + len(indices))
+        rows = self.space.feature_matrix(indices)
+        self._buf[self._count: self._count + len(indices)] = rows
+        self._count += len(indices)
+        self._indices.extend(indices)
+
+    def append(self, index: int) -> None:
+        """Append one config's feature row."""
+        self.extend([index])
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """Read-only ``(len(self), feature_dim)`` view of the cached rows."""
+        view = self._buf[: self._count]
+        view.flags.writeable = False
+        return view
