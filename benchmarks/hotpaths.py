@@ -8,7 +8,7 @@ implementations (``RegressionTree.predict_reference``,
 ``ted_select(method="exact")``), and writes the numbers to a JSON
 artifact (``BENCH_hotpaths.json`` at the repo root by default).
 
-Two gates are built in:
+Three gates are built in:
 
 * **speedup floor** — the vectorized tree predict and the incremental
   TED path must each beat their reference by ``--min-speedup`` (3x by
@@ -16,6 +16,9 @@ Two gates are built in:
 * **regression check** — ``--check BASELINE.json`` compares each
   benchmark's ``wall_s`` against a committed baseline and fails when
   any hot path slowed down by more than ``--threshold`` (2x default).
+* **observability overhead** — ``--max-obs-overhead FRAC`` fails when
+  attaching a ``TuningObserver`` slows a full tuning run by more than
+  ``FRAC`` (CI passes 0.03); omitted, the overhead is report-only.
 
 Run:  PYTHONPATH=src python benchmarks/hotpaths.py --arm bted_bao
 """
@@ -195,6 +198,38 @@ def bench_arm(arm, repeats, scale):
     }
 
 
+def bench_obs_overhead(repeats, scale):
+    """Full-arm wall time with a TuningObserver attached vs without.
+
+    The observer drives metrics, spans, and the hook bus, so this is
+    the end-to-end cost of the observability layer on a real run.
+    ``obs_overhead`` is the fractional slowdown (0.02 = 2%).
+    """
+    from repro.obs import TuningObserver
+
+    def run(observe):
+        tuner = BTEDBAOTuner(
+            _task(),
+            seed=11,
+            init_size=16,
+            batch_candidates=max(int(100 * scale), 32),
+            num_batches=2,
+            bao_settings=BaoSettings(neighborhood_size=256),
+        )
+        sinks = [TuningObserver()] if observe else []
+        tuner.tune(n_trial=28, early_stopping=None, on_event=sinks)
+
+    reps = max(3, repeats)
+    base_s, _ = _best_of(lambda: run(False), reps)
+    obs_s, _ = _best_of(lambda: run(True), reps)
+    overhead = obs_s / base_s - 1.0 if base_s > 0 else 0.0
+    return {
+        "wall_s": obs_s,
+        "baseline_s": base_s,
+        "obs_overhead": overhead,
+    }
+
+
 def run_suite(arm, repeats, scale):
     """Run every benchmark; returns the result document."""
     benchmarks = {}
@@ -204,6 +239,7 @@ def run_suite(arm, repeats, scale):
         ("ted", bench_ted),
         ("bted", bench_bted),
         ("ensemble", bench_ensemble),
+        ("obs_overhead", bench_obs_overhead),
     ):
         benchmarks[name] = fn(repeats, scale)
         print(f"{name}: {json.dumps(benchmarks[name])}")
@@ -273,6 +309,12 @@ def main():
         "--no-assert", action="store_true",
         help="report speedups without enforcing --min-speedup",
     )
+    parser.add_argument(
+        "--max-obs-overhead", type=float, default=None, metavar="FRAC",
+        help="fail when the observability layer slows a full tuning "
+             "run by more than this fraction (e.g. 0.03 = 3%%); "
+             "default: report only",
+    )
     args = parser.parse_args()
 
     results = run_suite(args.arm, args.repeats, args.scale)
@@ -294,6 +336,17 @@ def main():
                 code = 1
             else:
                 print(f"PASS: {name} speedup {speedup:.2f}x")
+
+    if args.max_obs_overhead is not None:
+        overhead = results["benchmarks"]["obs_overhead"]["obs_overhead"]
+        if overhead > args.max_obs_overhead:
+            print(
+                f"FAIL: observability overhead {overhead:.2%} exceeds "
+                f"the {args.max_obs_overhead:.2%} bar"
+            )
+            code = 1
+        else:
+            print(f"PASS: observability overhead {overhead:.2%}")
 
     if args.check is not None:
         offenders = check_regression(results, args.check, args.threshold)

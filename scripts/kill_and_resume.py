@@ -37,7 +37,9 @@ ARM_KWARGS = {
 }
 
 # Child: tune with checkpointing, stalling after every batch so the
-# parent has time to deliver SIGKILL mid-run.
+# parent has time to deliver SIGKILL mid-run.  A TuningObserver rides
+# along as an event sink so its state is captured in every checkpoint
+# and the resumed run can prove observability is crash-safe too.
 _CHILD = """
 import sys, time
 sys.path.insert(0, {src!r})
@@ -45,6 +47,7 @@ from repro.core import make_tuner
 from repro.core.checkpoint import CheckpointPolicy
 from repro.hardware.measure import SimulatedTask
 from repro.nn.workloads import DenseWorkload
+from repro.obs import TuningObserver
 
 task = SimulatedTask(
     DenseWorkload(batch=1, in_features=64, out_features=48), seed=7
@@ -54,41 +57,53 @@ tuner.tune(
     n_trial={n_trial}, early_stopping=None,
     checkpoint=CheckpointPolicy(path={ckpt!r}, every=1),
     callbacks=[lambda t, results: time.sleep(0.2)],
+    on_event=[TuningObserver()],
 )
 print("CHILD-FINISHED")
 """
 
 # Fresh process: run uninterrupted OR resume, dump the trace as JSON.
+# The observer's deterministic summary and span skeletons join the
+# record log in the comparison payload; wall-clock fields are excluded
+# by construction so bit-equality is meaningful.
 _RUNNER = """
 import json, sys
 sys.path.insert(0, {src!r})
 from repro.core import make_tuner
 from repro.hardware.measure import SimulatedTask
 from repro.nn.workloads import DenseWorkload
+from repro.obs import TuningObserver
 
 task = SimulatedTask(
     DenseWorkload(batch=1, in_features=64, out_features=48), seed=7
 )
 tuner = make_tuner({arm!r}, task, seed=11, **{kwargs!r})
+observer = TuningObserver()
 if {resume!r}:
-    result = tuner.resume({ckpt!r})
+    result = tuner.resume({ckpt!r}, on_event=[observer])
 else:
-    result = tuner.tune(n_trial={n_trial}, early_stopping=None)
+    result = tuner.tune(
+        n_trial={n_trial}, early_stopping=None, on_event=[observer]
+    )
+if {trace_out!r}:
+    observer.trace.write_jsonl({trace_out!r})
 print(json.dumps({{
     "records": [
         [r.step, r.config_index, r.gflops, r.error] for r in result.records
     ],
     "best_index": result.best_index,
     "best_gflops": result.best_gflops,
+    "summary": observer.summary().deterministic_dict(),
+    "spans": observer.trace.span_skeletons(),
 }}))
 """
 
 
 def _run_trace(arm: str, kwargs: dict, n_trial: int, ckpt: str,
-               resume: bool) -> dict:
+               resume: bool, trace_out: str = "") -> dict:
     code = _RUNNER.format(
         src=str(SRC), arm=arm, kwargs=kwargs, n_trial=n_trial,
-        ckpt=ckpt, resume=resume,
+        ckpt=ckpt, resume=resume, trace_out=trace_out,
     )
     out = subprocess.run(
         [sys.executable, "-c", code], capture_output=True, text=True,
@@ -103,6 +118,9 @@ def main() -> int:
     parser.add_argument("--n-trial", type=int, default=32)
     parser.add_argument("--timeout", type=float, default=300.0,
                         help="seconds to wait for the mid-run checkpoint")
+    parser.add_argument("--trace-out", default=None,
+                        help="write the resumed run's JSONL span trace "
+                             "here (e.g. for a CI artifact)")
     args = parser.parse_args()
     kwargs = ARM_KWARGS[args.arm]
 
@@ -151,7 +169,7 @@ def main() -> int:
 
         print("[4/4] resuming in a fresh process and comparing")
         resumed = _run_trace(args.arm, kwargs, args.n_trial, ckpt,
-                             resume=True)
+                             resume=True, trace_out=args.trace_out or "")
 
         if resumed != baseline:
             print("MISMATCH: resumed run diverged from the baseline",
@@ -167,11 +185,18 @@ def main() -> int:
                     print(f"  first divergence at record {i}: {b} != {r}",
                           file=sys.stderr)
                     break
+            if resumed["summary"] != baseline["summary"]:
+                print("  run summaries differ", file=sys.stderr)
+            if resumed["spans"] != baseline["spans"]:
+                print("  trace skeletons differ", file=sys.stderr)
             return 1
 
+        if args.trace_out:
+            print(f"resumed trace written to {args.trace_out}")
         print(f"OK: SIGKILL + resume reproduced all "
-              f"{len(baseline['records'])} records and the incumbent "
-              f"(best config {baseline['best_index']})")
+              f"{len(baseline['records'])} records, the incumbent "
+              f"(best config {baseline['best_index']}), the run summary, "
+              f"and all {len(baseline['spans'])} trace span skeletons")
         return 0
 
 

@@ -87,6 +87,14 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     if args.resume and not args.checkpoint_dir:
         print("--resume requires --checkpoint-dir", file=sys.stderr)
         return 2
+    observation = None
+    if args.metrics_out or args.trace_out or args.summary:
+        from repro.obs import RunObservation
+
+        observation = RunObservation(
+            enable_metrics=bool(args.metrics_out),
+            enable_trace=bool(args.trace_out),
+        )
     compiled = compiler.tune(
         args.arm,
         n_trial=args.budget,
@@ -101,10 +109,21 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         retry=retry,
         checkpoint_dir=args.checkpoint_dir,
         resume=args.resume,
+        observation=observation,
     )
     if cache is not None:
         cache.save()
         print(f"  cache    : {len(cache)} entries -> {args.measure_cache}")
+    if observation is not None:
+        if args.metrics_out:
+            observation.write_metrics(args.metrics_out)
+            print(f"  metrics  : {args.metrics_out}")
+        if args.trace_out:
+            observation.write_trace_jsonl(args.trace_out)
+            print(f"  trace    : {args.trace_out}")
+        if args.summary:
+            observation.write_summary(args.summary)
+            print(f"  summary  : {args.summary}")
     sample = compiled.measure_latency(num_runs=args.runs, seed=args.seed)
     print()
     print(f"{args.model} via {args.arm}:")
@@ -129,6 +148,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             measure_cache=args.measure_cache,
             checkpoint_dir=args.checkpoint_dir,
+            summary_dir=args.summary,
         )
         print(result.report())
     elif args.which == "fig5":
@@ -140,13 +160,18 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             measure_cache=args.measure_cache,
             checkpoint_dir=args.checkpoint_dir,
+            summary_dir=args.summary,
         )
         print(result.report())
     else:
         from repro.experiments.table1 import run_table1
 
-        result = run_table1(settings=settings, jobs=args.jobs)
+        result = run_table1(
+            settings=settings, jobs=args.jobs, summary_dir=args.summary
+        )
         print(result.report())
+    if args.summary:
+        print(f"summaries written to {args.summary}/summary.json")
     return 0
 
 
@@ -219,6 +244,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_tune.add_argument("--max-retries", type=int, default=None,
                         help="retries per faulted measurement before it is "
                              "recorded as failed (default: 3)")
+    p_tune.add_argument("--metrics-out", default=None,
+                        help="write a Prometheus-style metrics snapshot of "
+                             "the tuning run to this file")
+    p_tune.add_argument("--trace-out", default=None,
+                        help="write a JSONL span trace "
+                             "(tune/step/propose/measure/refit) here")
+    p_tune.add_argument("--summary", default=None,
+                        help="write the per-run RunSummary JSON (best curve, "
+                             "time breakdown, fault counts) here")
     p_tune.set_defaults(func=_cmd_tune)
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper result")
@@ -236,6 +270,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--checkpoint-dir", default=None,
                        help="fig4/fig5: persist finished cells here; "
                             "rerunning skips them")
+    p_exp.add_argument("--summary", default=None,
+                       help="collect per-cell RunSummary files and an "
+                            "aggregated summary.json in this directory")
     p_exp.set_defaults(func=_cmd_experiment)
 
     p_report = sub.add_parser(

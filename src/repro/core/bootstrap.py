@@ -14,6 +14,7 @@ more robust acquisition score.
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, List, Optional, Sequence, Tuple
 
@@ -21,6 +22,7 @@ import numpy as np
 
 from repro.learning.gbt import GradientBoostedTrees
 from repro.learning.tree import bin_features
+from repro.obs.hooks import notify_refit, refit_hooks_active
 from repro.utils.rng import SeedLike, as_generator
 
 #: factory for one evaluation function: () -> model with fit/predict
@@ -134,8 +136,14 @@ class BootstrapEnsemble:
         n = len(y)
         if n == 0:
             raise ValueError("cannot fit on an empty measured set")
+        # observability hook: only pay for the clock when someone listens
+        timed = refit_hooks_active()
+        start = time.perf_counter() if timed else 0.0
         if self.fit_jobs is not None and self.fit_jobs > 1 and self.gamma > 1:
-            return self._fit_parallel(X, y)
+            self._fit_parallel(X, y)
+            if timed:
+                notify_refit(n, time.perf_counter() - start, "ensemble")
+            return self
         self._models = []
         shared_edges: Optional[list] = None
         for _ in range(self.gamma):
@@ -148,6 +156,8 @@ class BootstrapEnsemble:
                     model.bin_edges = shared_edges
             model.fit(X[rows], y[rows])
             self._models.append(model)
+        if timed:
+            notify_refit(n, time.perf_counter() - start, "ensemble")
         return self
 
     def _fit_parallel(self, X: np.ndarray, y: np.ndarray) -> "BootstrapEnsemble":

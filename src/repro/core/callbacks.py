@@ -4,6 +4,18 @@ Callbacks receive ``(tuner, new_measure_results)`` after every measured
 batch.  This module ships the three everyone needs: progress logging,
 record logging to a :class:`~repro.pipeline.records.RecordStore`, and a
 measurement-budget progress bar string for interactive use.
+
+Callbacks may additionally implement an optional *state protocol*:
+
+* ``state_dict() -> dict`` / ``load_state_dict(dict)`` — the callback's
+  resumable state.  :meth:`Tuner.snapshot` captures it into tuning
+  checkpoints and :meth:`Tuner.resume` restores it into the callbacks
+  of the resuming call, so counters and elapsed clocks continue instead
+  of restarting at zero.  Callbacks without the protocol get their
+  ``_count`` (when they have an integer one) seeded from the restored
+  measurement count.
+* ``close()`` — end-of-run cleanup, invoked by ``Tuner.tune``'s
+  ``finally`` block (e.g. the progress bar's terminal newline).
 """
 
 from __future__ import annotations
@@ -20,7 +32,13 @@ logger = get_logger("core.callbacks")
 
 
 class LogProgress:
-    """Log best-so-far GFLOPS every ``interval`` measurements."""
+    """Log best-so-far GFLOPS every ``interval`` measurements.
+
+    A batch may span several interval boundaries (large ``--jobs``-scaled
+    batches); one line is emitted per boundary crossed, so the total
+    number of lines after ``n`` measurements is always
+    ``n // interval`` regardless of batch sizing.
+    """
 
     def __init__(self, interval: int = 64):
         if interval <= 0:
@@ -30,16 +48,35 @@ class LogProgress:
         self._started = time.perf_counter()
 
     def __call__(self, tuner, results: List[MeasureResult]) -> None:
+        previous = self._count
         self._count += len(results)
-        if self._count % self.interval < len(results):
-            elapsed = time.perf_counter() - self._started
+        first = previous // self.interval + 1
+        last = self._count // self.interval
+        if last < first:
+            return
+        elapsed = time.perf_counter() - self._started
+        for boundary in range(first, last + 1):
             logger.info(
                 "[%s] %d measurements, best %.1f GFLOPS, %.1fs elapsed",
                 tuner.name,
-                self._count,
+                boundary * self.interval,
                 tuner.best_gflops,
                 elapsed,
             )
+
+    def state_dict(self) -> dict:
+        """Resumable state: the count and the elapsed wall clock."""
+        return {
+            "count": self._count,
+            "elapsed_s": time.perf_counter() - self._started,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Continue counting (and timing) from a checkpointed state."""
+        self._count = int(state["count"])
+        self._started = time.perf_counter() - float(
+            state.get("elapsed_s", 0.0)
+        )
 
 
 class RecordToStore:
@@ -62,7 +99,13 @@ class RecordToStore:
 
 
 class ProgressBar:
-    """Single-line text progress bar over the measurement budget."""
+    """Single-line text progress bar over the measurement budget.
+
+    The terminating newline is written when the budget fills *or* from
+    :meth:`close` (called by ``Tuner.tune``'s ``finally`` block), so an
+    early-stopped or space-exhausted run does not leave the shell
+    prompt glued to the bar.
+    """
 
     def __init__(
         self,
@@ -76,6 +119,7 @@ class ProgressBar:
         self.width = width
         self.stream = stream if stream is not None else sys.stderr
         self._count = 0
+        self._line_open = False
 
     def render(self) -> str:
         """The bar string for the current state."""
@@ -89,6 +133,23 @@ class ProgressBar:
         self.stream.write(
             f"\r{self.render()} best={tuner.best_gflops:.1f} GFLOPS"
         )
+        self._line_open = True
         if self._count >= self.total:
             self.stream.write("\n")
+            self._line_open = False
         self.stream.flush()
+
+    def close(self) -> None:
+        """Terminate the bar line if it is still open (idempotent)."""
+        if self._line_open:
+            self.stream.write("\n")
+            self.stream.flush()
+            self._line_open = False
+
+    def state_dict(self) -> dict:
+        """Resumable state: the measurement count."""
+        return {"count": self._count}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Continue the bar from a checkpointed count."""
+        self._count = int(state["count"])

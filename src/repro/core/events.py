@@ -15,10 +15,26 @@ the event fired, i.e. the x-coordinate on the paper's Fig. 4 axis.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
-from typing import Callable, List, Tuple, Type, TypeVar
+from typing import Callable, Dict, List, Tuple, Type, TypeVar
 
 from repro.hardware.measure import MeasureResult
+
+#: word boundaries of a CamelCase name: lower/digit->upper transitions
+#: plus the last capital of an acronym run (``BAOScope`` -> ``BAO|Scope``)
+_CAMEL_BOUNDARY = re.compile(
+    r"(?<=[a-z0-9])(?=[A-Z])|(?<=[A-Z])(?=[A-Z][a-z])"
+)
+
+#: per-class snake-case names; ``kind`` is read in every hot
+#: event-consumer loop, so it must not re-derive the name per access
+_KIND_CACHE: Dict[type, str] = {}
+
+
+def _snake_case(name: str) -> str:
+    """CamelCase -> snake_case, keeping acronym runs as one word."""
+    return _CAMEL_BOUNDARY.sub("_", name).lower()
 
 
 @dataclass(frozen=True)
@@ -29,16 +45,17 @@ class TuningEvent:
 
     @property
     def kind(self) -> str:
-        """Event type as a lowercase name (``"batch_proposed"`` etc.)."""
-        name = type(self).__name__
-        out = [name[0].lower()]
-        for ch in name[1:]:
-            if ch.isupper():
-                out.append("_")
-                out.append(ch.lower())
-            else:
-                out.append(ch)
-        return "".join(out)
+        """Event type as a lowercase name (``"batch_proposed"`` etc.).
+
+        Computed once per class and cached: acronym runs collapse to a
+        single word (``BAOScopeWidened`` -> ``bao_scope_widened``), not
+        one underscore per capital.
+        """
+        cls = type(self)
+        kind = _KIND_CACHE.get(cls)
+        if kind is None:
+            kind = _KIND_CACHE[cls] = _snake_case(cls.__name__)
+        return kind
 
 
 @dataclass(frozen=True)

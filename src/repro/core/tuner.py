@@ -75,6 +75,56 @@ _EPHEMERAL_STATE = (
 _UNSET = object()
 
 
+def _observer_states(observers: Sequence[object]) -> List[Optional[dict]]:
+    """Snapshot the optional state protocol of callbacks/event sinks.
+
+    One entry per observer, positionally: ``{"type": ..., "state": ...}``
+    for observers implementing ``state_dict()``, else ``None``.
+    """
+    states: List[Optional[dict]] = []
+    for obs in observers:
+        fn = getattr(obs, "state_dict", None)
+        if callable(fn):
+            states.append({"type": type(obs).__name__, "state": fn()})
+        else:
+            states.append(None)
+    return states
+
+
+def _restore_observer_states(
+    observers: Sequence[object],
+    states: Optional[Sequence[Optional[dict]]],
+    num_measured: int,
+    seed_counts: bool,
+) -> None:
+    """Restore checkpointed observer state positionally.
+
+    An observer only loads a state entry recorded by an observer of the
+    same type at the same position; otherwise (legacy checkpoint, or
+    the resume call passes different observers) the fallback for
+    ``seed_counts=True`` is to seed an integer ``_count`` attribute
+    from the restored measurement count, which keeps count-based
+    callbacks (progress logs/bars) correct even without the protocol.
+    """
+    saved = list(states or [])
+    for i, obs in enumerate(observers):
+        entry = saved[i] if i < len(saved) else None
+        loader = getattr(obs, "load_state_dict", None)
+        if entry is not None and callable(loader):
+            if entry.get("type") == type(obs).__name__:
+                loader(entry["state"])
+                continue
+            logger.warning(
+                "checkpointed state at position %d was written by %s, "
+                "not %s; falling back to count seeding",
+                i,
+                entry.get("type"),
+                type(obs).__name__,
+            )
+        if seed_counts and isinstance(getattr(obs, "_count", None), int):
+            obs._count = num_measured
+
+
 @dataclass(frozen=True)
 class TrialRecord:
     """One measured configuration, in measurement order."""
@@ -209,6 +259,11 @@ class Tuner:
         if self._executor is not None:
             return self._executor
         return SerialExecutor(self.measurer)
+
+    @property
+    def num_measured(self) -> int:
+        """Configurations measured so far (restored by :meth:`resume`)."""
+        return len(self.measured_indices)
 
     def shutdown(self) -> None:
         """Release executor worker resources (no-op for serial)."""
@@ -384,6 +439,10 @@ class Tuner:
         self._event_sinks = tuple(on_event)
         self._pending_events.clear()
         batches_since_checkpoint = 0
+        for sink in self._event_sinks:
+            begin = getattr(sink, "on_tune_begin", None)
+            if callable(begin):
+                begin(self, n_trial=n_trial, resumed=_resume is not None)
 
         try:
             if _resume is not None:
@@ -397,7 +456,7 @@ class Tuner:
                 # is resumable too (resuming it replays the whole run)
                 self._save_checkpoint(
                     policy, records, stopper, n_trial, early_stopping,
-                    initialized=False,
+                    initialized=False, callbacks=callbacks,
                 )
             while not stop and len(records) < n_trial:
                 proposal_start = time.perf_counter()
@@ -460,10 +519,30 @@ class Tuner:
                 ):
                     self._save_checkpoint(
                         policy, records, stopper, n_trial, early_stopping,
-                        initialized=True,
+                        initialized=True, callbacks=callbacks,
                     )
                     batches_since_checkpoint = 0
         finally:
+            # end-of-run notifications are best-effort: a broken sink or
+            # callback must not mask the result (or the real exception)
+            for sink in self._event_sinks:
+                end = getattr(sink, "on_tune_end", None)
+                if callable(end):
+                    try:
+                        end(self)
+                    except Exception:
+                        logger.exception(
+                            "%s: on_tune_end failed for %r", self.name, sink
+                        )
+            for callback in callbacks:
+                closer = getattr(callback, "close", None)
+                if callable(closer):
+                    try:
+                        closer()
+                    except Exception:
+                        logger.exception(
+                            "%s: close failed for %r", self.name, callback
+                        )
             self._event_sinks = ()
 
         wall = time.perf_counter() - start
@@ -486,6 +565,7 @@ class Tuner:
         n_trial: int = 0,
         early_stopping: Optional[int] = None,
         initialized: bool = True,
+        callbacks: Sequence[Callback] = (),
     ) -> TuningCheckpoint:
         """Capture the resumable state of this tuner as a checkpoint.
 
@@ -493,7 +573,9 @@ class Tuner:
         measured state, every RNG stream mid-position, subclass policy
         state (captured generically — all tuner attributes are plain
         picklable data), the trial records, the early-stopper counters,
-        and the measurement ordinal.  The task environment and the
+        the measurement ordinal, and the state of any callbacks/event
+        sinks implementing the optional ``state_dict`` protocol (see
+        :mod:`repro.core.callbacks`).  The task environment and the
         executor are *not* serialized: both are pure functions of
         constructor arguments, so :meth:`resume` rebuilds them from the
         resuming tuner and validates identity via the task fingerprint.
@@ -513,6 +595,8 @@ class Tuner:
                     if stopper is None
                     else (stopper._best, stopper._best_step, stopper._step)
                 ),
+                "callback_states": _observer_states(callbacks),
+                "sink_states": _observer_states(self._event_sinks),
             },
             protocol=pickle.HIGHEST_PROTOCOL,
         )
@@ -557,6 +641,18 @@ class Tuner:
             ckpt = TuningCheckpoint.load(source)
             default_spec = source
         payload = self._restore_checkpoint(ckpt)
+        _restore_observer_states(
+            callbacks,
+            payload.get("callback_states"),
+            self.num_measured,
+            seed_counts=True,
+        )
+        _restore_observer_states(
+            on_event,
+            payload.get("sink_states"),
+            self.num_measured,
+            seed_counts=False,
+        )
         spec = default_spec if checkpoint is _UNSET else checkpoint
         return self.tune(
             n_trial=ckpt.n_trial if n_trial is None else n_trial,
@@ -583,6 +679,7 @@ class Tuner:
         n_trial: int,
         early_stopping: Optional[int],
         initialized: bool,
+        callbacks: Sequence[Callback] = (),
     ) -> None:
         ckpt = self.snapshot(
             records=records,
@@ -590,6 +687,7 @@ class Tuner:
             n_trial=n_trial,
             early_stopping=early_stopping,
             initialized=initialized,
+            callbacks=callbacks,
         )
         path = ckpt.save(policy.path)
         self._emit(CheckpointSaved(step=len(records), path=path))

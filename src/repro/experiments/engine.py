@@ -31,6 +31,11 @@ from repro.experiments.runner import (
 from repro.experiments.settings import ExperimentSettings
 from repro.hardware.executor import MeasureCache
 from repro.hardware.measure import SimulatedTask
+from repro.obs import (
+    TuningObserver,
+    aggregate_summary_dir,
+    write_summary_json,
+)
 from repro.utils.io import atomic_pickle_dump
 from repro.utils.log import get_logger
 
@@ -57,23 +62,42 @@ class ExperimentCell:
     key: Tuple = field(default=())
 
 
-def _cell_checkpoint_name(cell: ExperimentCell) -> str:
-    """Stable, filesystem-safe completed-cell filename."""
-    slug = re.sub(
+def _cell_slug(cell: ExperimentCell) -> str:
+    """Stable, filesystem-safe identifier for one cell."""
+    return re.sub(
         r"[^A-Za-z0-9._+-]+", "_",
         f"{cell.arm}-{cell.task.name}-t{cell.trial}",
     )
-    return f"cell-{slug}.done"
 
 
-def _run_cell(
-    payload: Tuple[
-        ExperimentCell, ExperimentSettings, Optional[str], Optional[str]
-    ],
+def _cell_checkpoint_name(cell: ExperimentCell) -> str:
+    """Completed-cell filename under ``checkpoint_dir``."""
+    return f"cell-{_cell_slug(cell)}.done"
+
+
+def _cell_summary_name(cell: ExperimentCell) -> str:
+    """Per-cell RunSummary filename under ``summary_dir``."""
+    return f"cell-{_cell_slug(cell)}.summary.json"
+
+
+def _execute_cell(
+    cell: ExperimentCell,
+    settings: ExperimentSettings,
+    cache: Optional[MeasureCache],
+    done_path: Optional[str],
+    summary_path: Optional[str],
 ) -> TuningResult:
-    """Worker entry point: execute one cell (must stay module-level)."""
-    cell, settings, cache_path, done_path = payload
-    cache = MeasureCache(path=cache_path) if cache_path is not None else None
+    """Run one cell, persisting its summary (then its ``.done`` marker).
+
+    The summary is written *before* the done marker so a crash between
+    the two leaves a re-runnable cell, never a done cell with a missing
+    summary.
+    """
+    observer = (
+        TuningObserver(enable_metrics=False, enable_trace=False)
+        if summary_path is not None
+        else None
+    )
     result = run_arm_on_task(
         cell.arm,
         cell.task,
@@ -82,10 +106,30 @@ def _run_cell(
         n_trial=cell.n_trial,
         early_stopping=cell.early_stopping,
         measure_cache=cache,
+        on_event=(observer,) if observer is not None else (),
     )
+    if observer is not None and summary_path is not None:
+        summary = observer.summary()
+        summary.task = summary.task or cell.task.name
+        write_summary_json(summary_path, summary.to_dict())
     if done_path is not None:
         atomic_pickle_dump(done_path, result)
     return result
+
+
+def _run_cell(
+    payload: Tuple[
+        ExperimentCell,
+        ExperimentSettings,
+        Optional[str],
+        Optional[str],
+        Optional[str],
+    ],
+) -> TuningResult:
+    """Worker entry point: execute one cell (must stay module-level)."""
+    cell, settings, cache_path, done_path, summary_path = payload
+    cache = MeasureCache(path=cache_path) if cache_path is not None else None
+    return _execute_cell(cell, settings, cache, done_path, summary_path)
 
 
 class ExperimentEngine:
@@ -105,6 +149,14 @@ class ExperimentEngine:
     loads those results instead of recomputing them.  Because each cell
     is a pure function of its coordinates, a resumed grid is
     bit-identical to an uninterrupted one.
+
+    ``summary_dir`` attaches a :class:`~repro.obs.TuningObserver` to
+    every executed cell and collects per-cell
+    ``cell-<slug>.summary.json`` files plus an aggregated
+    ``summary.json`` in that directory (the fig4/fig5/table1 harnesses
+    point it at their output dirs).  Summaries survive grid restarts:
+    a cell loaded from its ``.done`` file keeps the summary written
+    when it originally ran.
     """
 
     def __init__(
@@ -113,6 +165,7 @@ class ExperimentEngine:
         jobs: int = 1,
         measure_cache: Optional[str] = None,
         checkpoint_dir: Optional[str] = None,
+        summary_dir: Optional[str] = None,
     ):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -124,6 +177,11 @@ class ExperimentEngine:
         )
         if self.checkpoint_dir is not None:
             self.checkpoint_dir.mkdir(parents=True, exist_ok=True)
+        self.summary_dir = (
+            Path(summary_dir) if summary_dir is not None else None
+        )
+        if self.summary_dir is not None:
+            self.summary_dir.mkdir(parents=True, exist_ok=True)
         self._shared_cache: Optional[MeasureCache] = None
         self._pool: Optional[ProcessPoolExecutor] = None
 
@@ -151,13 +209,26 @@ class ExperimentEngine:
             return None
         return self.checkpoint_dir / _cell_checkpoint_name(cell)
 
+    def _cell_summary_path(self, cell: ExperimentCell) -> Optional[Path]:
+        if self.summary_dir is None:
+            return None
+        return self.summary_dir / _cell_summary_name(cell)
+
+    def aggregate_summaries(self) -> Optional[dict]:
+        """Fold per-cell summary files into ``summary_dir/summary.json``."""
+        if self.summary_dir is None:
+            return None
+        return aggregate_summary_dir(str(self.summary_dir))
+
     def run_cells(
         self, cells: Sequence[ExperimentCell]
     ) -> List[TuningResult]:
         """Execute every cell; results in submission order.
 
         With ``checkpoint_dir`` set, cells whose ``.done`` file already
-        exists are loaded instead of recomputed.
+        exists are loaded instead of recomputed.  With ``summary_dir``
+        set, every executed cell leaves a RunSummary file and the
+        directory-level aggregate is refreshed before returning.
         """
         results: List[Optional[TuningResult]] = [None] * len(cells)
         pending: List[Tuple[int, ExperimentCell, Optional[Path]]] = []
@@ -179,32 +250,33 @@ class ExperimentEngine:
                     self._shared_cache = MeasureCache(path=self.measure_cache)
                 cache = self._shared_cache
             for i, cell, done_path in pending:
-                result = run_arm_on_task(
-                    cell.arm,
-                    cell.task,
+                summary_path = self._cell_summary_path(cell)
+                results[i] = _execute_cell(
+                    cell,
                     self.settings,
-                    trial=cell.trial,
-                    n_trial=cell.n_trial,
-                    early_stopping=cell.early_stopping,
-                    measure_cache=cache,
+                    cache,
+                    str(done_path) if done_path is not None else None,
+                    str(summary_path) if summary_path is not None else None,
                 )
-                if done_path is not None:
-                    atomic_pickle_dump(done_path, result)
-                results[i] = result
             if cache is not None:
                 cache.save()
+            self.aggregate_summaries()
             return list(results)  # type: ignore[arg-type]
-        payloads = [
-            (
-                cell,
-                self.settings,
-                self.measure_cache,
-                str(done_path) if done_path is not None else None,
+        payloads = []
+        for _, cell, done_path in pending:
+            summary_path = self._cell_summary_path(cell)
+            payloads.append(
+                (
+                    cell,
+                    self.settings,
+                    self.measure_cache,
+                    str(done_path) if done_path is not None else None,
+                    str(summary_path) if summary_path is not None else None,
+                )
             )
-            for _, cell, done_path in pending
-        ]
         for (i, _, _), result in zip(pending, self.map(_run_cell, payloads)):
             results[i] = result
+        self.aggregate_summaries()
         return list(results)  # type: ignore[arg-type]
 
     def close(self) -> None:

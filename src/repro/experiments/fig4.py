@@ -68,13 +68,16 @@ def run_fig4(
     jobs: int = 1,
     measure_cache: Optional[str] = None,
     checkpoint_dir: Optional[str] = None,
+    summary_dir: Optional[str] = None,
 ) -> Fig4Result:
     """Regenerate the Fig. 4 convergence study.
 
     ``jobs`` fans the (layer, arm, trial) cells over a process pool;
     results are identical to the serial run for any value.
     ``checkpoint_dir`` persists finished cells so an interrupted study
-    can be rerun without recomputing them.
+    can be rerun without recomputing them.  ``summary_dir`` collects
+    per-cell RunSummary files plus an aggregated ``summary.json``
+    (typically the figure's output directory).
     """
     graph = build_model(model_name)
     tasks = extract_tasks(graph)[:num_layers]
@@ -96,7 +99,7 @@ def run_fig4(
     ]
     with ExperimentEngine(
         settings, jobs=jobs, measure_cache=measure_cache,
-        checkpoint_dir=checkpoint_dir,
+        checkpoint_dir=checkpoint_dir, summary_dir=summary_dir,
     ) as engine:
         results = engine.run_cells(cells)
 

@@ -86,13 +86,15 @@ def run_fig5(
     jobs: int = 1,
     measure_cache: Optional[str] = None,
     checkpoint_dir: Optional[str] = None,
+    summary_dir: Optional[str] = None,
 ) -> Fig5Result:
     """Regenerate the Fig. 5 study (early stopping active, as in the paper).
 
     ``jobs`` fans the (task, arm, trial) cells over a process pool;
     results are identical to the serial run for any value.
     ``checkpoint_dir`` persists finished cells so an interrupted study
-    can be rerun without recomputing them.
+    can be rerun without recomputing them.  ``summary_dir`` collects
+    per-cell RunSummary files plus an aggregated ``summary.json``.
     """
     graph = build_model(model_name)
     tasks = extract_tasks(graph)
@@ -113,7 +115,7 @@ def run_fig5(
     ]
     with ExperimentEngine(
         settings, jobs=jobs, measure_cache=measure_cache,
-        checkpoint_dir=checkpoint_dir,
+        checkpoint_dir=checkpoint_dir, summary_dir=summary_dir,
     ) as engine:
         results = engine.run_cells(cells)
 

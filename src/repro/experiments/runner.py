@@ -55,6 +55,7 @@ def run_arm_on_task(
     retry: Optional[RetryPolicy] = None,
     checkpoint: CheckpointSpec = None,
     resume: bool = False,
+    on_event: Sequence = (),
 ) -> TuningResult:
     """Run one arm on one task for one trial.
 
@@ -70,6 +71,8 @@ def run_arm_on_task(
     ``checkpoint`` enables periodic tuning checkpoints; with
     ``resume=True`` and an existing checkpoint file the run continues
     from it, reproducing the uninterrupted measurement stream exactly.
+    ``on_event`` sinks (e.g. a :class:`repro.obs.TuningObserver`) are
+    forwarded to both the fresh-tune and the resume path.
     """
     seed = derive_seed(settings.env_seed, "trial", arm, task.name, trial)
     executor_spec: ExecutorSpec = executor
@@ -98,11 +101,12 @@ def run_arm_on_task(
                 checkpoint.path
             )
             if Path(path).exists():
-                return tuner.resume(path)
+                return tuner.resume(path, on_event=on_event)
         return tuner.tune(
             n_trial=n_trial if n_trial is not None else settings.n_trial,
             early_stopping=stop,
             checkpoint=checkpoint,
+            on_event=on_event,
         )
     finally:
         tuner.shutdown()

@@ -11,7 +11,9 @@ full framework).
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -21,6 +23,7 @@ from repro.experiments.runner import format_table
 from repro.experiments.settings import ARMS, ExperimentSettings, PAPER_SETTINGS
 from repro.hardware.device import GTX_1080_TI, GpuDevice
 from repro.nn.zoo import PAPER_MODELS, build_model
+from repro.obs import RunObservation, aggregate_summary_dir, write_summary_json
 from repro.pipeline.compiler import DeploymentCompiler
 from repro.utils.log import get_logger
 from repro.utils.rng import derive_seed
@@ -100,17 +103,27 @@ class Table1Result:
 
 
 def _table1_cell(
-    payload: Tuple[str, str, int, ExperimentSettings, GpuDevice],
+    payload: Tuple[
+        str, str, int, ExperimentSettings, GpuDevice, Optional[str]
+    ],
 ) -> Tuple[float, float]:
     """Worker entry point: tune + deploy one (model, arm, trial) cell.
 
     Returns ``(mean latency ms, variance)``.  All randomness derives
-    from the cell coordinates, so execution order is irrelevant.
+    from the cell coordinates, so execution order is irrelevant.  With
+    a summary path, per-task RunSummaries of the deployment's tuning
+    runs are written as one ``{"model", "arm", "trial", "tasks"}`` cell
+    file.
     """
-    model_name, arm, trial, settings, device = payload
+    model_name, arm, trial, settings, device, summary_path = payload
     graph = build_model(model_name)
     compiler = DeploymentCompiler(
         graph, device=device, env_seed=settings.env_seed
+    )
+    observation = (
+        RunObservation(enable_metrics=False, enable_trace=False)
+        if summary_path is not None
+        else None
     )
     compiled = compiler.tune(
         arm,
@@ -118,7 +131,18 @@ def _table1_cell(
         early_stopping=settings.early_stopping,
         trial_seed=derive_seed(settings.env_seed, "t1", arm, trial),
         tuner_kwargs=settings.tuner_kwargs(arm),
+        observation=observation,
     )
+    if observation is not None and summary_path is not None:
+        write_summary_json(
+            summary_path,
+            {
+                "model": model_name,
+                "arm": arm,
+                "trial": trial,
+                "tasks": [s.to_dict() for s in observation.summaries()],
+            },
+        )
     sample = compiled.measure_latency(
         num_runs=settings.num_runs,
         seed=derive_seed(settings.env_seed, "runs", trial),
@@ -141,11 +165,14 @@ def run_table1(
     device: GpuDevice = GTX_1080_TI,
     num_trials: Optional[int] = None,
     jobs: int = 1,
+    summary_dir: Optional[str] = None,
 ) -> Table1Result:
     """Regenerate Table I (the full five-model end-to-end comparison).
 
     ``jobs`` fans the (model, arm, trial) cells over a process pool;
     results are identical to the serial run for any value.
+    ``summary_dir`` collects one RunSummary cell file per (model, arm,
+    trial) plus the aggregated ``summary.json``.
     """
     trials = num_trials if num_trials is not None else settings.num_trials
     grid = [
@@ -154,12 +181,29 @@ def run_table1(
         for arm in arms
         for trial in range(trials)
     ]
+    summary_root = Path(summary_dir) if summary_dir is not None else None
+    if summary_root is not None:
+        summary_root.mkdir(parents=True, exist_ok=True)
+
+    def cell_summary_path(model_name: str, arm: str, trial: int):
+        if summary_root is None:
+            return None
+        slug = re.sub(
+            r"[^A-Za-z0-9._+-]+", "_", f"{model_name}-{arm}-t{trial}"
+        )
+        return str(summary_root / f"cell-{slug}.summary.json")
+
     payloads = [
-        (model_name, arm, trial, settings, device)
+        (
+            model_name, arm, trial, settings, device,
+            cell_summary_path(model_name, arm, trial),
+        )
         for model_name, arm, trial in grid
     ]
     with ExperimentEngine(settings, jobs=jobs) as engine:
         samples = engine.map(_table1_cell, payloads)
+    if summary_root is not None:
+        aggregate_summary_dir(str(summary_root))
 
     lat: Dict[Tuple[str, str], List[float]] = {}
     var: Dict[Tuple[str, str], List[float]] = {}

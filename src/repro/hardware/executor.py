@@ -42,6 +42,11 @@ from repro.hardware.measure import (
     Measurer,
     MeasureResult,
 )
+from repro.obs.hooks import (
+    measure_hooks_active,
+    notify_cache,
+    notify_measure,
+)
 from repro.utils.io import atomic_write_bytes
 from repro.utils.log import get_logger
 
@@ -130,7 +135,12 @@ class SerialExecutor(MeasureExecutor):
         self, config_indices: Sequence[int]
     ) -> List[MeasureResult]:
         """Deploy the batch sequentially via the wrapped measurer."""
-        return self._measurer.measure_batch(config_indices)
+        if not measure_hooks_active():
+            return self._measurer.measure_batch(config_indices)
+        start = time.perf_counter()
+        results = self._measurer.measure_batch(config_indices)
+        notify_measure("serial", len(results), time.perf_counter() - start)
+        return results
 
 
 # ----------------------------------------------------------------------
@@ -213,6 +223,18 @@ class ParallelExecutor(MeasureExecutor):
         self, config_indices: Sequence[int]
     ) -> List[MeasureResult]:
         """Deploy the batch across workers (results in submission order)."""
+        timed = measure_hooks_active()
+        t0 = time.perf_counter() if timed else 0.0
+        results = self._measure_batch_inner(config_indices)
+        if timed:
+            notify_measure(
+                "parallel", len(results), time.perf_counter() - t0
+            )
+        return results
+
+    def _measure_batch_inner(
+        self, config_indices: Sequence[int]
+    ) -> List[MeasureResult]:
         indices = [int(i) for i in config_indices]
         start = self._count
         self._count += len(indices)
@@ -339,13 +361,15 @@ class CachingExecutor(MeasureExecutor):
         indices = [int(i) for i in config_indices]
         out: List[Optional[MeasureResult]] = [None] * len(indices)
         miss_positions: List[int] = []
+        batch_hits = 0
         for pos, idx in enumerate(indices):
             cached = self.cache.get((self._fingerprint, idx))
             if cached is not None:
                 out[pos] = cached
-                self.hits += 1
+                batch_hits += 1
             else:
                 miss_positions.append(pos)
+        self.hits += batch_hits
         if miss_positions:
             self.misses += len(miss_positions)
             fresh = self.inner.measure_batch(
@@ -354,6 +378,8 @@ class CachingExecutor(MeasureExecutor):
             for pos, result in zip(miss_positions, fresh):
                 self.cache.put((self._fingerprint, indices[pos]), result)
                 out[pos] = result
+        if indices:
+            notify_cache(batch_hits, len(miss_positions))
         return [r for r in out if r is not None]
 
     def close(self) -> None:

@@ -1,0 +1,100 @@
+"""Process-local observability hook bus.
+
+Deep subsystems (the bootstrap ensemble's refit, the measurement
+executors, the measurement cache) have timing and counters worth
+exporting, but they sit far below the tuning loop and must not import
+the observer — and the observer must not import them.  This module is
+the seam: it holds lists of registered hook callables and a
+``notify_*`` function per instrumentation point.  Call sites pay one
+truthiness check when nothing is registered, so observability off is
+effectively free on the hot paths.
+
+:class:`~repro.obs.observer.TuningObserver` registers its hooks in
+``on_tune_begin`` and removes them in ``on_tune_end``; nothing else in
+the repository mutates this registry.  The registry is process-local:
+parallel experiment cells each observe their own process, which is
+exactly the cell-granular scoping the summaries want.
+
+This module intentionally imports nothing from :mod:`repro` so that any
+layer may depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+#: ``(rows, duration_s, kind)`` — a surrogate-model refit completed
+RefitHook = Callable[[int, float, str], None]
+#: ``(backend, n_configs, duration_s)`` — an executor deployed a batch
+MeasureHook = Callable[[str, int, float], None]
+#: ``(hits, misses)`` — a caching executor resolved a batch
+CacheHook = Callable[[int, int], None]
+
+_REFIT_HOOKS: List[RefitHook] = []
+_MEASURE_HOOKS: List[MeasureHook] = []
+_CACHE_HOOKS: List[CacheHook] = []
+
+
+def add_refit_hook(hook: RefitHook) -> None:
+    """Subscribe to surrogate-model refit completions."""
+    _REFIT_HOOKS.append(hook)
+
+
+def remove_refit_hook(hook: RefitHook) -> None:
+    """Unsubscribe a refit hook (no-op when absent)."""
+    if hook in _REFIT_HOOKS:
+        _REFIT_HOOKS.remove(hook)
+
+
+def notify_refit(rows: int, duration_s: float, kind: str = "ensemble") -> None:
+    """Report one completed refit of ``rows`` training rows."""
+    for hook in tuple(_REFIT_HOOKS):
+        hook(rows, duration_s, kind)
+
+
+def refit_hooks_active() -> bool:
+    """True when at least one refit hook is registered.
+
+    Lets instrumented call sites skip even the ``perf_counter`` pair
+    when nobody is listening.
+    """
+    return bool(_REFIT_HOOKS)
+
+
+def add_measure_hook(hook: MeasureHook) -> None:
+    """Subscribe to executor batch deployments."""
+    _MEASURE_HOOKS.append(hook)
+
+
+def remove_measure_hook(hook: MeasureHook) -> None:
+    """Unsubscribe a measure hook (no-op when absent)."""
+    if hook in _MEASURE_HOOKS:
+        _MEASURE_HOOKS.remove(hook)
+
+
+def notify_measure(backend: str, n_configs: int, duration_s: float) -> None:
+    """Report one deployed batch from executor ``backend``."""
+    for hook in tuple(_MEASURE_HOOKS):
+        hook(backend, n_configs, duration_s)
+
+
+def measure_hooks_active() -> bool:
+    """True when at least one measure hook is registered."""
+    return bool(_MEASURE_HOOKS)
+
+
+def add_cache_hook(hook: CacheHook) -> None:
+    """Subscribe to measurement-cache batch resolutions."""
+    _CACHE_HOOKS.append(hook)
+
+
+def remove_cache_hook(hook: CacheHook) -> None:
+    """Unsubscribe a cache hook (no-op when absent)."""
+    if hook in _CACHE_HOOKS:
+        _CACHE_HOOKS.remove(hook)
+
+
+def notify_cache(hits: int, misses: int) -> None:
+    """Report one cache-resolved batch (hit/miss split)."""
+    for hook in tuple(_CACHE_HOOKS):
+        hook(hits, misses)

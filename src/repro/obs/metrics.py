@@ -1,0 +1,313 @@
+"""Deterministic in-process metrics: counters, gauges, histograms.
+
+The registry is intentionally tiny and dependency-free — a service
+deployment would swap in a real client, but the *shape* of what gets
+recorded (names, labels-as-name-suffixes, fixed histogram bucket
+edges) is the contract this module pins down.  Fixed edges matter for
+reproducibility: two runs of the same seed produce the same bucket
+layout, so Prometheus snapshots diff cleanly even when the observed
+latencies differ.
+
+Everything here is JSON-serializable through ``state_dict`` /
+``load_state_dict`` so metric state rides inside tuning checkpoints
+and cell summaries, and :meth:`MetricsRegistry.merge` folds per-cell
+registries into an experiment-level one.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+#: default latency bucket edges, in seconds (upper bounds, +Inf implied)
+DEFAULT_SECONDS_BUCKETS: Tuple[float, ...] = (
+    0.001,
+    0.005,
+    0.01,
+    0.05,
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+    10.0,
+    60.0,
+)
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    metric_type = "counter"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self.value = 0.0
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        self.value += amount
+
+    def state_dict(self) -> dict:
+        return {"value": self.value}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.value = float(state["value"])
+
+    def merge(self, other: "Counter") -> None:
+        self.value += other.value
+
+
+class Gauge:
+    """Last-set value (may go up or down)."""
+
+    metric_type = "gauge"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self.value = 0.0
+
+    def set(self, value: Union[int, float]) -> None:
+        self.value = float(value)
+
+    def state_dict(self) -> dict:
+        return {"value": self.value}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.value = float(state["value"])
+
+    def merge(self, other: "Gauge") -> None:
+        # last-writer-wins has no meaning across cells; keep the max,
+        # which is the useful aggregate for high-water gauges
+        self.value = max(self.value, other.value)
+
+
+class Histogram:
+    """Cumulative histogram over fixed, immutable bucket edges.
+
+    ``edges`` are upper bounds; an implicit +Inf bucket catches the
+    rest.  ``bucket_counts[i]`` is the number of observations ``<=
+    edges[i]`` exclusive of earlier buckets (i.e. plain per-bucket
+    counts; the Prometheus renderer cumulates them).
+    """
+
+    metric_type = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        edges: Sequence[float] = DEFAULT_SECONDS_BUCKETS,
+    ):
+        if not edges or list(edges) != sorted(edges):
+            raise ValueError("histogram edges must be sorted and non-empty")
+        self.name = name
+        self.help = help
+        self.edges: Tuple[float, ...] = tuple(float(e) for e in edges)
+        self.bucket_counts: List[int] = [0] * (len(self.edges) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: Union[int, float]) -> None:
+        value = float(value)
+        self.bucket_counts[bisect.bisect_left(self.edges, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def state_dict(self) -> dict:
+        return {
+            "edges": list(self.edges),
+            "bucket_counts": list(self.bucket_counts),
+            "sum": self.sum,
+            "count": self.count,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        edges = tuple(float(e) for e in state["edges"])
+        if edges != self.edges:
+            raise ValueError(
+                f"histogram {self.name}: checkpointed edges {edges} do not "
+                f"match declared edges {self.edges}"
+            )
+        self.bucket_counts = [int(c) for c in state["bucket_counts"]]
+        self.sum = float(state["sum"])
+        self.count = int(state["count"])
+
+    def merge(self, other: "Histogram") -> None:
+        if other.edges != self.edges:
+            raise ValueError(
+                f"cannot merge histogram {self.name}: bucket edges differ"
+            )
+        for i, c in enumerate(other.bucket_counts):
+            self.bucket_counts[i] += c
+        self.sum += other.sum
+        self.count += other.count
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Name-keyed collection of metrics with get-or-create semantics."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+
+    def _get_or_create(self, name, factory, metric_type):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = factory()
+        elif metric.metric_type != metric_type:
+            raise ValueError(
+                f"metric {name!r} already registered as "
+                f"{metric.metric_type}, not {metric_type}"
+            )
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(
+            name, lambda: Counter(name, help), "counter"
+        )
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(name, lambda: Gauge(name, help), "gauge")
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        edges: Sequence[float] = DEFAULT_SECONDS_BUCKETS,
+    ) -> Histogram:
+        metric = self._get_or_create(
+            name, lambda: Histogram(name, help, edges), "histogram"
+        )
+        if tuple(float(e) for e in edges) != metric.edges:
+            raise ValueError(
+                f"histogram {name!r} already registered with different edges"
+            )
+        return metric
+
+    def get(self, name: str) -> Optional[Metric]:
+        return self._metrics.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __iter__(self):
+        return iter(sorted(self._metrics.values(), key=lambda m: m.name))
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat name -> value mapping (histograms expose sum + count)."""
+        out: Dict[str, float] = {}
+        for metric in self:
+            if isinstance(metric, Histogram):
+                out[f"{metric.name}_sum"] = metric.sum
+                out[f"{metric.name}_count"] = float(metric.count)
+            else:
+                out[metric.name] = metric.value
+        return out
+
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot of every registered metric."""
+        return {
+            name: {
+                "type": metric.metric_type,
+                "help": metric.help,
+                "state": metric.state_dict(),
+            }
+            for name, metric in sorted(self._metrics.items())
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore metrics from :meth:`state_dict` output.
+
+        Metrics absent from the registry are created; declared metrics
+        keep their instances so references held by observers stay live.
+        """
+        for name, entry in state.items():
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = self._make(name, entry)
+                self._metrics[name] = metric
+            elif metric.metric_type != entry["type"]:
+                raise ValueError(
+                    f"metric {name!r} type changed across checkpoint: "
+                    f"{metric.metric_type} != {entry['type']}"
+                )
+            metric.load_state_dict(entry["state"])
+
+    @staticmethod
+    def _make(name: str, entry: dict) -> Metric:
+        kind = entry["type"]
+        if kind == "counter":
+            return Counter(name, entry.get("help", ""))
+        if kind == "gauge":
+            return Gauge(name, entry.get("help", ""))
+        if kind == "histogram":
+            edges = entry["state"]["edges"]
+            return Histogram(name, entry.get("help", ""), edges)
+        raise ValueError(f"unknown metric type {kind!r}")
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry into this one (counters/histograms add)."""
+        for name, metric in other._metrics.items():
+            mine = self._metrics.get(name)
+            if mine is None:
+                mine = self._make(
+                    name,
+                    {
+                        "type": metric.metric_type,
+                        "help": metric.help,
+                        "state": metric.state_dict(),
+                    },
+                )
+                # _make copies state for histograms via edges only; start
+                # from a zeroed metric then merge for uniform semantics
+                if isinstance(mine, Histogram):
+                    mine.bucket_counts = [0] * len(mine.bucket_counts)
+                    mine.sum = 0.0
+                    mine.count = 0
+                else:
+                    mine.value = 0.0
+                self._metrics[name] = mine
+            elif mine.metric_type != metric.metric_type:
+                raise ValueError(
+                    f"cannot merge metric {name!r}: type mismatch"
+                )
+            mine.merge(metric)  # type: ignore[arg-type]
+
+    def render_prometheus(self, prefix: str = "repro_") -> str:
+        """Prometheus text exposition format, deterministically ordered."""
+        lines: List[str] = []
+        for metric in self:
+            full = prefix + metric.name
+            if metric.help:
+                lines.append(f"# HELP {full} {metric.help}")
+            lines.append(f"# TYPE {full} {metric.metric_type}")
+            if isinstance(metric, Histogram):
+                cumulative = 0
+                for edge, count in zip(metric.edges, metric.bucket_counts):
+                    cumulative += count
+                    lines.append(
+                        f'{full}_bucket{{le="{_fmt(edge)}"}} {cumulative}'
+                    )
+                cumulative += metric.bucket_counts[-1]
+                lines.append(f'{full}_bucket{{le="+Inf"}} {cumulative}')
+                lines.append(f"{full}_sum {_fmt(metric.sum)}")
+                lines.append(f"{full}_count {metric.count}")
+            else:
+                lines.append(f"{full} {_fmt(metric.value)}")
+        return "\n".join(lines) + "\n"
+
+
+def _fmt(value: float) -> str:
+    """Render numbers without a trailing ``.0`` on integral values."""
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))

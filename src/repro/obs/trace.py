@@ -1,0 +1,178 @@
+"""Span-tree trace recording for tuning runs.
+
+A *span* is one timed region of a run — the whole ``tune`` call, one
+``step`` of the loop, the ``propose``/``measure`` halves of a step, or
+an ensemble ``refit``.  Spans nest via ``parent_id`` and carry a small
+``attrs`` dict of deterministic facts (config counts, GFLOPS, fault
+kinds).
+
+Determinism contract: span ids are sequential integers in creation
+order, and every field *except* ``start_s``/``duration_s`` is a pure
+function of the tuning run's seeded decisions.  That is what makes the
+golden-trace fixtures and the crash/resume bit-identity tests possible:
+:meth:`TraceRecorder.span_skeletons` drops the two wall-clock fields,
+and the remainder must match exactly between a resumed and an
+uninterrupted run.
+
+State rides through checkpoints via ``state_dict``/``load_state_dict``;
+the elapsed-time origin is re-anchored on load so post-resume
+``start_s`` values continue from the checkpointed offset instead of
+resetting to zero.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.utils.io import atomic_write_text
+
+#: span fields excluded from determinism comparisons (wall-clock)
+WALL_CLOCK_FIELDS = ("start_s", "duration_s")
+
+
+class TraceRecorder:
+    """Append-only span store with sequential ids and JSONL export."""
+
+    def __init__(self) -> None:
+        self.spans: List[Dict[str, Any]] = []
+        self._next_id = 0
+        self._t0 = time.perf_counter()
+
+    def now(self) -> float:
+        """Seconds since the recorder's (possibly resumed) origin."""
+        return time.perf_counter() - self._t0
+
+    def open_span(
+        self,
+        name: str,
+        step: int,
+        parent_id: Optional[int] = None,
+        start_s: Optional[float] = None,
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> int:
+        """Start a span and return its id; close with :meth:`close_span`.
+
+        A span left unclosed (e.g. the run crashed mid-step) keeps
+        ``duration_s = None``, which is itself a deterministic fact.
+        """
+        span_id = self._next_id
+        self._next_id += 1
+        self.spans.append(
+            {
+                "span_id": span_id,
+                "parent_id": parent_id,
+                "name": name,
+                "step": step,
+                "start_s": self.now() if start_s is None else start_s,
+                "duration_s": None,
+                "attrs": dict(attrs) if attrs else {},
+            }
+        )
+        return span_id
+
+    def close_span(
+        self,
+        span_id: int,
+        attrs: Optional[Dict[str, Any]] = None,
+        duration_s: Optional[float] = None,
+    ) -> None:
+        """Finish a span, optionally attaching attrs / an explicit duration."""
+        span = self._find(span_id)
+        if duration_s is None:
+            duration_s = self.now() - span["start_s"]
+        span["duration_s"] = duration_s
+        if attrs:
+            span["attrs"].update(attrs)
+
+    def record(
+        self,
+        name: str,
+        step: int,
+        parent_id: Optional[int] = None,
+        duration_s: float = 0.0,
+        start_s: Optional[float] = None,
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> int:
+        """Open and immediately close a span (known-duration regions)."""
+        span_id = self.open_span(
+            name, step, parent_id=parent_id, start_s=start_s, attrs=attrs
+        )
+        self.close_span(span_id, duration_s=duration_s)
+        return span_id
+
+    def annotate(self, span_id: int, attrs: Dict[str, Any]) -> None:
+        """Merge attrs into an existing (open or closed) span."""
+        self._find(span_id)["attrs"].update(attrs)
+
+    def _find(self, span_id: int) -> Dict[str, Any]:
+        # ids are sequential creation indices, so lookup is O(1)
+        if 0 <= span_id < len(self.spans):
+            span = self.spans[span_id]
+            if span["span_id"] == span_id:
+                return span
+        raise KeyError(f"unknown span id {span_id}")
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def by_name(self, name: str) -> List[Dict[str, Any]]:
+        """All spans with the given name, in creation order."""
+        return [s for s in self.spans if s["name"] == name]
+
+    def span_skeletons(self) -> List[Dict[str, Any]]:
+        """Spans with wall-clock fields dropped — the deterministic part."""
+        out = []
+        for span in self.spans:
+            skeleton = {
+                k: v for k, v in span.items() if k not in WALL_CLOCK_FIELDS
+            }
+            # an unclosed span is structural, not a timing detail
+            skeleton["closed"] = span["duration_s"] is not None
+            out.append(skeleton)
+        return out
+
+    def write_jsonl(self, path: str) -> None:
+        """Write one sorted-keys JSON object per span, atomically."""
+        lines = [json.dumps(span, sort_keys=True) for span in self.spans]
+        atomic_write_text(path, "\n".join(lines) + "\n" if lines else "")
+
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot (spans + id counter + clock offset)."""
+        return {
+            "spans": [dict(s, attrs=dict(s["attrs"])) for s in self.spans],
+            "next_id": self._next_id,
+            "elapsed_s": self.now(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore spans and re-anchor the clock at the saved offset."""
+        self.spans = [
+            dict(s, attrs=dict(s.get("attrs", {}))) for s in state["spans"]
+        ]
+        self._next_id = int(state["next_id"])
+        self._t0 = time.perf_counter() - float(state.get("elapsed_s", 0.0))
+
+
+def read_jsonl(path: str) -> List[Dict[str, Any]]:
+    """Load a JSONL trace file back into a list of span dicts."""
+    spans = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                spans.append(json.loads(line))
+    return spans
+
+
+def skeletons_of(spans: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Drop wall-clock fields from already-exported span dicts."""
+    out = []
+    for span in spans:
+        skeleton = {
+            k: v for k, v in span.items() if k not in WALL_CLOCK_FIELDS
+        }
+        skeleton["closed"] = span.get("duration_s") is not None
+        out.append(skeleton)
+    return out

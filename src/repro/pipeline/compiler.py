@@ -24,6 +24,7 @@ default-schedule time from a conservative roofline estimate.
 
 from __future__ import annotations
 
+import json
 import pickle
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -32,6 +33,7 @@ from typing import Callable, Dict, List, Optional, Tuple, Union
 import numpy as np
 
 from repro.core import make_tuner
+from repro.obs import RunObservation
 from repro.core.tuner import TuningResult
 from repro.hardware.device import GTX_1080_TI, GpuDevice
 from repro.hardware.executor import (
@@ -44,7 +46,7 @@ from repro.hardware.measure import SimulatedTask
 from repro.nn.graph import Graph
 from repro.pipeline.records import RecordStore, TuningRecord
 from repro.pipeline.tasks import TaskSpec, extract_tasks, untuned_ops
-from repro.utils.io import atomic_pickle_dump
+from repro.utils.io import atomic_pickle_dump, atomic_write_text
 from repro.utils.log import get_logger
 from repro.utils.rng import derive_seed
 
@@ -196,6 +198,7 @@ class DeploymentCompiler:
         retry: Optional[RetryPolicy] = None,
         checkpoint_dir: Optional[Union[str, Path]] = None,
         resume: bool = False,
+        observation: Optional[RunObservation] = None,
     ) -> CompiledModel:
         """Tune every task with arm ``tuner_name`` and compile.
 
@@ -211,6 +214,14 @@ class DeploymentCompiler:
         result (``task-NNN.done``) afterwards; ``resume=True`` skips
         completed tasks and continues interrupted ones so an
         interrupted compile reproduces the uninterrupted run exactly.
+
+        ``observation`` (a :class:`repro.obs.RunObservation`) attaches
+        one :class:`~repro.obs.TuningObserver` per task, keyed
+        ``task-NNN``.  Observer state is persisted per task
+        (``task-NNN.obs.json`` next to the ``.done`` file) and restored
+        on resume — including for already-completed tasks — so the
+        run-level metrics/trace/summary exports of a resumed compile
+        match an uninterrupted one (modulo wall-clock durations).
         """
         kwargs = dict(tuner_kwargs or {})
         executor_spec = self._executor_spec(
@@ -224,17 +235,33 @@ class DeploymentCompiler:
         results: Dict[int, TuningResult] = {}
         best_configs: Dict[int, Optional[int]] = {}
         for spec in self.tasks:
+            task_key = f"task-{spec.task_id:03d}"
             done_path = (
-                ckpt_dir / f"task-{spec.task_id:03d}.done"
+                ckpt_dir / f"{task_key}.done"
                 if ckpt_dir is not None else None
             )
             ckpt_path = (
-                ckpt_dir / f"task-{spec.task_id:03d}.ckpt"
+                ckpt_dir / f"{task_key}.ckpt"
                 if ckpt_dir is not None else None
+            )
+            obs_path = (
+                ckpt_dir / f"{task_key}.obs.json"
+                if ckpt_dir is not None else None
+            )
+            observer = (
+                observation.observer(task_key)
+                if observation is not None else None
             )
             if resume and done_path is not None and done_path.exists():
                 with done_path.open("rb") as fh:
                     result = pickle.load(fh)
+                if (
+                    observer is not None
+                    and obs_path is not None
+                    and obs_path.exists()
+                ):
+                    with obs_path.open("r", encoding="utf-8") as fh:
+                        observer.load_state_dict(json.load(fh))
                 logger.info(
                     "%s T%d (%s): loaded completed result from %s",
                     self.graph.name, spec.task_id + 1, tuner_name, done_path,
@@ -248,6 +275,7 @@ class DeploymentCompiler:
                     tuner_name, task, seed=tuner_seed,
                     executor=executor_spec, **kwargs,
                 )
+                sinks = (observer,) if observer is not None else ()
                 try:
                     if (
                         resume and ckpt_path is not None
@@ -258,15 +286,21 @@ class DeploymentCompiler:
                             self.graph.name, spec.task_id + 1, tuner_name,
                             ckpt_path,
                         )
-                        result = tuner.resume(ckpt_path)
+                        result = tuner.resume(ckpt_path, on_event=sinks)
                     else:
                         result = tuner.tune(
                             n_trial=n_trial,
                             early_stopping=early_stopping,
                             checkpoint=ckpt_path,
+                            on_event=sinks,
                         )
                 finally:
                     tuner.shutdown()
+                if observer is not None and obs_path is not None:
+                    atomic_write_text(
+                        str(obs_path),
+                        json.dumps(observer.state_dict(), sort_keys=True),
+                    )
                 if done_path is not None:
                     atomic_pickle_dump(done_path, result)
             results[spec.task_id] = result

@@ -85,6 +85,75 @@ class TestCommands:
         second = capsys.readouterr().out
         assert first.splitlines()[-2:] == second.splitlines()[-2:]
 
+    def test_tune_observability_outputs(self, capsys, tmp_path):
+        import json
+
+        metrics = tmp_path / "metrics.prom"
+        trace = tmp_path / "trace.jsonl"
+        summary = tmp_path / "summary.json"
+        code = main([
+            "tune",
+            "--model", "squeezenet-v1.1",
+            "--arm", "random",
+            "--budget", "8",
+            "--runs", "50",
+            "--metrics-out", str(metrics),
+            "--trace-out", str(trace),
+            "--summary", str(summary),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "metrics" in out and "trace" in out and "summary" in out
+        assert "repro_measurements_total" in metrics.read_text()
+        spans = [
+            json.loads(line) for line in trace.read_text().splitlines()
+        ]
+        assert {s["name"] for s in spans} >= {"tune", "step", "measure"}
+        payload = json.loads(summary.read_text())
+        assert payload["runs"] == len(payload["tasks"]) >= 1
+        assert payload["num_measurements"] > 0
+
+    def test_tune_resumed_observability_matches(self, capsys, tmp_path):
+        import json
+
+        from repro.obs.summary import DURATION_FIELDS
+        from repro.obs.trace import read_jsonl, skeletons_of
+
+        ckpt = tmp_path / "ckpt"
+
+        def run(tag, extra=()):
+            trace = tmp_path / f"{tag}.jsonl"
+            summary = tmp_path / f"{tag}.json"
+            assert main([
+                "tune",
+                "--model", "squeezenet-v1.1",
+                "--arm", "random",
+                "--budget", "8",
+                "--runs", "50",
+                "--checkpoint-dir", str(ckpt),
+                "--trace-out", str(trace),
+                "--summary", str(summary),
+                *extra,
+            ]) == 0
+            capsys.readouterr()
+            skels = skeletons_of(read_jsonl(str(trace)))
+            tasks = [
+                {
+                    k: v
+                    for k, v in t.items()
+                    if k not in DURATION_FIELDS and k != "resumed"
+                }
+                for t in json.loads(summary.read_text())["tasks"]
+            ]
+            return skels, tasks
+
+        first = run("fresh")
+        # every task is checkpointed .done; --resume reloads results
+        # AND per-task observer state, so the observability outputs of
+        # the resumed run match the original run exactly
+        resumed = run("resumed", extra=["--resume"])
+        assert resumed == first
+
     def test_experiment_fig4_smoke(self, capsys, monkeypatch):
         import repro.cli as cli
 

@@ -92,6 +92,33 @@ class TestEventStream:
             == "incumbent_improved"
         )
 
+    def test_kind_keeps_acronym_runs_as_one_word(self):
+        from dataclasses import dataclass
+
+        from repro.core.events import TuningEvent, _snake_case
+
+        @dataclass(frozen=True)
+        class BAOScopeWidened(TuningEvent):
+            pass
+
+        @dataclass(frozen=True)
+        class HTTPServerStarted(TuningEvent):
+            pass
+
+        assert BAOScopeWidened(step=0).kind == "bao_scope_widened"
+        assert HTTPServerStarted(step=0).kind == "http_server_started"
+        assert _snake_case("TED") == "ted"
+        assert _snake_case("BatchTEDSelect") == "batch_ted_select"
+
+    def test_kind_is_cached_per_class(self):
+        from repro.core.events import _KIND_CACHE
+
+        event = SpaceExhausted(step=0)
+        first = event.kind
+        assert _KIND_CACHE[SpaceExhausted] == "space_exhausted"
+        # repeated access returns the cached string, not a new one
+        assert SpaceExhausted(step=9).kind is first
+
     def test_no_events_escape_outside_tune(self, dense_task):
         log = EventLog()
         tuner = make_tuner("random", dense_task, seed=11)

@@ -1,0 +1,89 @@
+"""Golden trace-skeleton fixture for the observability layer.
+
+Pins the *structure* of the span trace (ids, parents, names, steps,
+deterministic attrs — everything except wall-clock timings) and the
+deterministic RunSummary of a small BTED+BAO run.  Any change to span
+emission, event ordering, or summary bookkeeping shows up as a diff;
+deliberate changes regenerate the fixture with::
+
+    pytest tests/test_obs_golden.py --update-golden
+
+A second test pins the non-interference contract: attaching the
+observer must not change the tuning trajectory itself.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core import make_tuner
+from repro.hardware.measure import SimulatedTask
+from repro.nn.workloads import DenseWorkload
+from repro.obs import TuningObserver
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "obs-skeleton-bted_bao.json"
+
+ARM = "bted+bao"
+ARM_KWARGS = dict(init_size=8, batch_candidates=32, num_batches=2)
+N_TRIAL = 24
+TUNER_SEED = 11
+ENV_SEED = 7
+
+
+def _task() -> SimulatedTask:
+    return SimulatedTask(
+        DenseWorkload(batch=1, in_features=64, out_features=48),
+        seed=ENV_SEED,
+    )
+
+
+def _run(observe: bool):
+    observer = TuningObserver() if observe else None
+    tuner = make_tuner(ARM, _task(), seed=TUNER_SEED, **ARM_KWARGS)
+    result = tuner.tune(
+        n_trial=N_TRIAL,
+        early_stopping=None,
+        on_event=[observer] if observer else [],
+    )
+    return result, observer
+
+
+def test_golden_obs_skeleton(update_golden):
+    _, observer = _run(observe=True)
+    document = {
+        "arm": ARM,
+        "tuner_seed": TUNER_SEED,
+        "env_seed": ENV_SEED,
+        "n_trial": N_TRIAL,
+        "summary": observer.summary().deterministic_dict(),
+        "spans": observer.trace.span_skeletons(),
+    }
+    # normalize through JSON so the comparison sees what is on disk
+    document = json.loads(json.dumps(document))
+    if update_golden:
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(
+            json.dumps(document, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        pytest.skip(f"updated golden fixture {GOLDEN_PATH.name}")
+    assert GOLDEN_PATH.exists(), (
+        f"missing golden fixture {GOLDEN_PATH}; generate it with "
+        "pytest tests/test_obs_golden.py --update-golden"
+    )
+    golden = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+    assert document == golden
+
+
+def test_observer_does_not_perturb_the_run():
+    bare, _ = _run(observe=False)
+    observed, _ = _run(observe=True)
+    assert [
+        (r.step, r.config_index, r.gflops, r.error) for r in bare.records
+    ] == [
+        (r.step, r.config_index, r.gflops, r.error)
+        for r in observed.records
+    ]
+    assert bare.best_index == observed.best_index
+    assert bare.best_gflops == observed.best_gflops

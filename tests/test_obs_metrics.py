@@ -1,0 +1,177 @@
+"""Tests for repro.obs.metrics: counters, gauges, histograms, registry."""
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_SECONDS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        c = Counter("n")
+        c.inc()
+        c.inc(3)
+        c.inc(0.5)
+        assert c.value == pytest.approx(4.5)
+
+    def test_rejects_decrease(self):
+        c = Counter("n")
+        with pytest.raises(ValueError, match="cannot decrease"):
+            c.inc(-1)
+
+    def test_merge_adds(self):
+        a, b = Counter("n"), Counter("n")
+        a.inc(2)
+        b.inc(5)
+        a.merge(b)
+        assert a.value == 7
+
+    def test_state_roundtrip(self):
+        a = Counter("n")
+        a.inc(9)
+        b = Counter("n")
+        b.load_state_dict(a.state_dict())
+        assert b.value == 9
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        g = Gauge("g")
+        g.set(3)
+        g.set(1.5)
+        assert g.value == 1.5
+
+    def test_merge_keeps_max(self):
+        a, b = Gauge("g"), Gauge("g")
+        a.set(2.0)
+        b.set(7.0)
+        a.merge(b)
+        assert a.value == 7.0
+        b.merge(a)
+        assert b.value == 7.0
+
+
+class TestHistogram:
+    def test_edges_must_be_sorted_nonempty(self):
+        with pytest.raises(ValueError):
+            Histogram("h", edges=())
+        with pytest.raises(ValueError):
+            Histogram("h", edges=(2.0, 1.0))
+
+    def test_observe_bucket_placement(self):
+        h = Histogram("h", edges=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.0, 1.5, 4.0, 100.0):
+            h.observe(v)
+        # le semantics: a value equal to an edge lands in that bucket
+        assert h.bucket_counts == [2, 1, 1, 1]
+        assert h.count == 5
+        assert h.sum == pytest.approx(107.0)
+
+    def test_state_roundtrip_and_edge_mismatch(self):
+        a = Histogram("h", edges=(1.0, 2.0))
+        a.observe(1.5)
+        b = Histogram("h", edges=(1.0, 2.0))
+        b.load_state_dict(a.state_dict())
+        assert b.bucket_counts == a.bucket_counts
+        c = Histogram("h", edges=(1.0, 3.0))
+        with pytest.raises(ValueError, match="edges"):
+            c.load_state_dict(a.state_dict())
+
+    def test_merge_requires_same_edges(self):
+        a = Histogram("h", edges=(1.0,))
+        b = Histogram("h", edges=(2.0,))
+        with pytest.raises(ValueError, match="edges differ"):
+            a.merge(b)
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        reg = MetricsRegistry()
+        assert reg.counter("n") is reg.counter("n")
+        assert reg.get("n") is not None
+        assert "n" in reg and "m" not in reg
+
+    def test_type_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("x")
+
+    def test_histogram_edge_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", edges=(1.0, 2.0))
+        with pytest.raises(ValueError, match="different edges"):
+            reg.histogram("h", edges=(1.0, 3.0))
+
+    def test_iteration_sorted_by_name(self):
+        reg = MetricsRegistry()
+        reg.counter("b")
+        reg.gauge("a")
+        assert [m.name for m in reg] == ["a", "b"]
+
+    def test_as_dict_flattens_histograms(self):
+        reg = MetricsRegistry()
+        reg.counter("n").inc(2)
+        reg.histogram("h", edges=(1.0,)).observe(0.5)
+        flat = reg.as_dict()
+        assert flat == {"n": 2.0, "h_sum": 0.5, "h_count": 1.0}
+
+    def test_state_roundtrip_creates_missing_metrics(self):
+        reg = MetricsRegistry()
+        reg.counter("n", "help text").inc(4)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h", edges=(1.0, 2.0)).observe(1.2)
+        fresh = MetricsRegistry()
+        fresh.load_state_dict(reg.state_dict())
+        assert fresh.as_dict() == reg.as_dict()
+        assert fresh.get("n").help == "help text"
+        assert fresh.get("h").edges == (1.0, 2.0)
+
+    def test_load_rejects_type_change(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        state = reg.state_dict()
+        other = MetricsRegistry()
+        other.gauge("x")
+        with pytest.raises(ValueError, match="type changed"):
+            other.load_state_dict(state)
+
+    def test_merge_into_empty_copies(self):
+        reg = MetricsRegistry()
+        reg.counter("n").inc(3)
+        reg.gauge("g").set(2.0)
+        reg.histogram("h", edges=(1.0,)).observe(0.5)
+        merged = MetricsRegistry()
+        merged.merge(reg)
+        merged.merge(reg)
+        assert merged.get("n").value == 6
+        assert merged.get("g").value == 2.0
+        assert merged.get("h").count == 2
+
+    def test_render_prometheus_format(self):
+        reg = MetricsRegistry()
+        reg.counter("batches_total", "measured batches").inc(3)
+        reg.histogram("lat", edges=(1.0, 2.0)).observe(1.5)
+        reg.get("lat").observe(10.0)
+        text = reg.render_prometheus()
+        lines = text.splitlines()
+        assert "# HELP repro_batches_total measured batches" in lines
+        assert "# TYPE repro_batches_total counter" in lines
+        # integral values render without a trailing .0
+        assert "repro_batches_total 3" in lines
+        # buckets are cumulative and end with +Inf
+        assert 'repro_lat_bucket{le="1"} 0' in lines
+        assert 'repro_lat_bucket{le="2"} 1' in lines
+        assert 'repro_lat_bucket{le="+Inf"} 2' in lines
+        assert "repro_lat_count 2" in lines
+        assert text.endswith("\n")
+
+    def test_default_buckets_are_sorted(self):
+        assert list(DEFAULT_SECONDS_BUCKETS) == sorted(
+            DEFAULT_SECONDS_BUCKETS
+        )

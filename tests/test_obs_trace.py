@@ -1,0 +1,96 @@
+"""Tests for repro.obs.trace: span recording, skeletons, JSONL export."""
+
+import pytest
+
+from repro.obs.trace import (
+    TraceRecorder,
+    read_jsonl,
+    skeletons_of,
+)
+
+
+class TestTraceRecorder:
+    def test_sequential_ids_and_nesting(self):
+        tr = TraceRecorder()
+        root = tr.open_span("tune", step=0)
+        child = tr.open_span("step", step=0, parent_id=root)
+        assert (root, child) == (0, 1)
+        assert tr.spans[child]["parent_id"] == root
+        assert len(tr) == 2
+
+    def test_close_computes_duration_and_merges_attrs(self):
+        tr = TraceRecorder()
+        sid = tr.open_span("step", step=0, attrs={"a": 1})
+        tr.close_span(sid, attrs={"b": 2})
+        span = tr.spans[sid]
+        assert span["duration_s"] is not None and span["duration_s"] >= 0
+        assert span["attrs"] == {"a": 1, "b": 2}
+
+    def test_record_is_open_plus_close(self):
+        tr = TraceRecorder()
+        sid = tr.record("propose", step=4, duration_s=0.25, attrs={"n": 8})
+        span = tr.spans[sid]
+        assert span["duration_s"] == 0.25
+        assert span["step"] == 4
+
+    def test_annotate_and_by_name(self):
+        tr = TraceRecorder()
+        a = tr.record("refit", step=0)
+        tr.record("measure", step=0)
+        tr.annotate(a, {"rows": 12})
+        assert tr.spans[a]["attrs"]["rows"] == 12
+        assert [s["span_id"] for s in tr.by_name("refit")] == [a]
+
+    def test_unknown_span_id_raises(self):
+        tr = TraceRecorder()
+        with pytest.raises(KeyError):
+            tr.close_span(3)
+
+    def test_skeletons_drop_wall_clock_and_flag_unclosed(self):
+        tr = TraceRecorder()
+        closed = tr.record("measure", step=1, duration_s=0.5)
+        opened = tr.open_span("step", step=1)
+        skels = tr.span_skeletons()
+        for skel in skels:
+            assert "start_s" not in skel and "duration_s" not in skel
+        assert skels[closed]["closed"] is True
+        assert skels[opened]["closed"] is False
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        tr = TraceRecorder()
+        root = tr.open_span("tune", step=0, attrs={"arm": "bted"})
+        tr.record("step", step=0, parent_id=root, duration_s=0.1)
+        tr.close_span(root)
+        path = tmp_path / "trace.jsonl"
+        tr.write_jsonl(str(path))
+        spans = read_jsonl(str(path))
+        assert spans == tr.spans
+        assert skeletons_of(spans) == tr.span_skeletons()
+
+    def test_empty_trace_writes_empty_file(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        TraceRecorder().write_jsonl(str(path))
+        assert path.read_text() == ""
+        assert read_jsonl(str(path)) == []
+
+    def test_state_roundtrip_reanchors_clock(self):
+        tr = TraceRecorder()
+        tr.record("step", step=0, duration_s=0.1)
+        state = tr.state_dict()
+        state["elapsed_s"] = 100.0
+        fresh = TraceRecorder()
+        fresh.load_state_dict(state)
+        assert fresh.spans == tr.spans
+        assert fresh._next_id == tr._next_id
+        # post-resume timestamps continue from the checkpointed offset
+        assert fresh.now() >= 100.0
+        nxt = fresh.open_span("step", step=1)
+        assert nxt == tr._next_id
+
+    def test_loaded_spans_are_copies(self):
+        tr = TraceRecorder()
+        sid = tr.record("step", step=0, attrs={"x": 1})
+        fresh = TraceRecorder()
+        fresh.load_state_dict(tr.state_dict())
+        fresh.annotate(sid, {"x": 2})
+        assert tr.spans[sid]["attrs"]["x"] == 1

@@ -49,6 +49,7 @@ class TestPublicApi:
             "repro.nn",
             "repro.space",
             "repro.hardware",
+            "repro.obs",
             "repro.pipeline",
             "repro.utils",
         ):
