@@ -99,6 +99,86 @@ print(json.dumps({{
 """
 
 
+# Fleet child: shard a two-task compile over a two-device pool with
+# per-device checkpointing.  Fault injection with a real retry backoff
+# paces the workers so the parent can SIGKILL one mid-batch.
+_FLEET_CHILD = """
+import sys
+sys.path.insert(0, {src!r})
+from repro.hardware.faults import FaultModel, RetryPolicy
+from repro.nn.graph import GraphBuilder
+from repro.obs import RunObservation
+from repro.pipeline.compiler import DeploymentCompiler
+
+b = GraphBuilder("fleet-smoke")
+b.input((1, 3, 16, 16))
+b.conv2d("c1", 8, padding=(1, 1))
+b.relu("r1")
+b.conv2d("c2", 12, padding=(1, 1))
+b.relu("r2")
+b.flatten("f")
+b.dense("fc", 10)
+
+DeploymentCompiler(b.graph, env_seed=123).tune(
+    {arm!r}, n_trial={n_trial}, early_stopping=None,
+    tuner_kwargs={kwargs!r},
+    faults=FaultModel(rate=0.3, seed=13),
+    retry=RetryPolicy(max_retries=4, backoff_s=0.05),
+    observation=RunObservation(enable_metrics=False, enable_trace=False),
+    checkpoint_dir={ckpt_dir!r},
+    fleet="gtx1080ti,titanv", fleet_jobs=2,
+)
+print("CHILD-FINISHED")
+"""
+
+# Fresh process: the serial baseline (fleet=None) or the resumed fleet
+# run; either way, dump the record stream and the per-task
+# deterministic summaries.  Bit-equality across the two closes the
+# loop: SIGKILL one fleet worker mid-batch, resume the fleet, and you
+# still reproduce the serial single-device run exactly.
+_FLEET_RUNNER = """
+import json, sys
+sys.path.insert(0, {src!r})
+from repro.hardware.faults import FaultModel, RetryPolicy
+from repro.nn.graph import GraphBuilder
+from repro.obs import RunObservation
+from repro.pipeline.compiler import DeploymentCompiler
+from repro.pipeline.records import RecordStore
+
+b = GraphBuilder("fleet-smoke")
+b.input((1, 3, 16, 16))
+b.conv2d("c1", 8, padding=(1, 1))
+b.relu("r1")
+b.conv2d("c2", 12, padding=(1, 1))
+b.relu("r2")
+b.flatten("f")
+b.dense("fc", 10)
+
+store = RecordStore()
+observation = RunObservation(enable_metrics=False, enable_trace=False)
+fleet = "gtx1080ti,titanv" if {fleet!r} else None
+DeploymentCompiler(b.graph, env_seed=123).tune(
+    {arm!r}, n_trial={n_trial}, early_stopping=None,
+    tuner_kwargs={kwargs!r},
+    faults=FaultModel(rate=0.3, seed=13),
+    retry=RetryPolicy(max_retries=4),
+    record_store=store, observation=observation,
+    checkpoint_dir={ckpt_dir!r} if fleet else None,
+    resume={resume!r},
+    fleet=fleet, fleet_jobs=2 if fleet else None,
+)
+print(json.dumps({{
+    "records": [
+        [r.config_index, r.gflops, r.error] for r in store
+    ],
+    "summaries": {{
+        key: observation.observer(key).summary().deterministic_dict()
+        for key in observation.keys()
+    }},
+}}))
+"""
+
+
 def _run_trace(arm: str, kwargs: dict, n_trial: int, ckpt: str,
                resume: bool, trace_out: str = "") -> dict:
     code = _RUNNER.format(
@@ -112,6 +192,96 @@ def _run_trace(arm: str, kwargs: dict, n_trial: int, ckpt: str,
     return json.loads(out.stdout.strip().splitlines()[-1])
 
 
+def _run_fleet(arm: str, kwargs: dict, n_trial: int, ckpt_dir: str,
+               fleet: bool, resume: bool) -> dict:
+    code = _FLEET_RUNNER.format(
+        src=str(SRC), arm=arm, kwargs=kwargs, n_trial=n_trial,
+        ckpt_dir=ckpt_dir, fleet=fleet, resume=resume,
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", code], capture_output=True, text=True,
+        check=True,
+    )
+    return json.loads(out.stdout.strip().splitlines()[-1])
+
+
+def _fleet_main(args) -> int:
+    """SIGKILL a fleet worker mid-batch, resume the pool, compare.
+
+    The baseline is the *serial* single-device run: fleet sharding with
+    work stealing must reproduce it bit-for-bit even across a kill and
+    a whole-fleet resume from the per-device checkpoints.
+    """
+    kwargs = ARM_KWARGS[args.arm]
+    with tempfile.TemporaryDirectory() as tmp:
+        ckpt_dir = os.path.join(tmp, "fleet-ckpt")
+
+        print(f"[1/4] serial {args.arm} baseline ({args.n_trial} trials "
+              f"per task, no fleet)")
+        baseline = _run_fleet(args.arm, kwargs, args.n_trial, ckpt_dir,
+                              fleet=False, resume=False)
+
+        print("[2/4] starting 2-device fleet child (2 workers, "
+              "fault injection with real retry backoff)")
+        child = subprocess.Popen(
+            [sys.executable, "-c", _FLEET_CHILD.format(
+                src=str(SRC), arm=args.arm, kwargs=kwargs,
+                n_trial=args.n_trial, ckpt_dir=ckpt_dir,
+            )],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        )
+        # wait until some per-device task checkpoint has been rewritten
+        # after its step-0 snapshot — i.e. a worker is mid-batch
+        deadline = time.monotonic() + args.timeout
+        first_mtimes: dict = {}
+        killed_mid_run = False
+        while time.monotonic() < deadline:
+            for path in Path(ckpt_dir).glob("device-*/task-*.ckpt"):
+                mtime = path.stat().st_mtime_ns
+                seen = first_mtimes.setdefault(path, mtime)
+                if mtime != seen:
+                    killed_mid_run = True
+            if killed_mid_run or child.poll() is not None:
+                break
+            time.sleep(0.02)
+        if child.poll() is not None:
+            print("fleet child finished before it could be killed; "
+                  "increase --n-trial", file=sys.stderr)
+            return 1
+
+        print("[3/4] delivering SIGKILL to the fleet mid-batch")
+        child.send_signal(signal.SIGKILL)
+        child.wait()
+        if not list(Path(ckpt_dir).glob("device-*/task-*")):
+            print("no per-device checkpoints survived the kill",
+                  file=sys.stderr)
+            return 1
+
+        print("[4/4] resuming the whole fleet and comparing to serial")
+        resumed = _run_fleet(args.arm, kwargs, args.n_trial, ckpt_dir,
+                             fleet=True, resume=True)
+
+        if resumed != baseline:
+            print("MISMATCH: resumed fleet diverged from the serial "
+                  "baseline", file=sys.stderr)
+            for i, (b, r) in enumerate(
+                zip(baseline["records"], resumed["records"])
+            ):
+                if b != r:
+                    print(f"  first divergence at record {i}: {b} != {r}",
+                          file=sys.stderr)
+                    break
+            if resumed["summaries"] != baseline["summaries"]:
+                print("  per-task summaries differ", file=sys.stderr)
+            return 1
+
+        print(f"OK: SIGKILL + whole-fleet resume reproduced all "
+              f"{len(baseline['records'])} records and "
+              f"{len(baseline['summaries'])} per-task summaries of the "
+              f"serial run")
+        return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--arm", default="bted", choices=sorted(ARM_KWARGS))
@@ -121,7 +291,13 @@ def main() -> int:
     parser.add_argument("--trace-out", default=None,
                         help="write the resumed run's JSONL span trace "
                              "here (e.g. for a CI artifact)")
+    parser.add_argument("--fleet", action="store_true",
+                        help="kill one worker of a 2-device fleet "
+                             "mid-batch, resume the fleet, and compare "
+                             "against the serial single-device run")
     args = parser.parse_args()
+    if args.fleet:
+        return _fleet_main(args)
     kwargs = ARM_KWARGS[args.arm]
 
     with tempfile.TemporaryDirectory() as tmp:

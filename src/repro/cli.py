@@ -7,6 +7,8 @@ Exposes the main workflows without writing Python::
     python -m repro tune --model squeezenet-v1.1 --arm bted+bao \
         --budget 256 --records out.jsonl           # tune + deploy
     python -m repro experiment fig4 --scale 0.1    # regenerate a figure
+    python -m repro fleet --model squeezenet-v1.1 \
+        --devices gtx1080ti,gtx1080ti,titanv       # multi-device tuning
 """
 
 from __future__ import annotations
@@ -135,6 +137,103 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    enable_console_logging()
+    from repro.fleet import (
+        FleetError,
+        parse_fleet,
+        write_device_summaries,
+        write_fleet_report,
+    )
+
+    fleet = parse_fleet(args.devices)
+    if args.resume and not args.checkpoint_dir:
+        print("--resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
+    graph = build_model(args.model)
+    compiler = DeploymentCompiler(graph, env_seed=args.env_seed)
+    store = RecordStore() if args.records else None
+    faults = None
+    if args.fault_rate > 0:
+        faults = FaultModel(rate=args.fault_rate, seed=args.fault_seed)
+    retry = (
+        RetryPolicy(max_retries=args.max_retries)
+        if args.max_retries is not None
+        else None
+    )
+    observation = None
+    if args.summary_dir:
+        from repro.obs import RunObservation
+
+        observation = RunObservation(
+            enable_metrics=False, enable_trace=False
+        )
+
+    print(f"{args.model} via {args.arm} on a fleet of {len(fleet)}:")
+    for line in fleet.describe():
+        print(f"  {line}")
+    try:
+        compiled = compiler.tune(
+            args.arm,
+            n_trial=args.budget,
+            early_stopping=args.early_stop,
+            trial_seed=args.seed,
+            record_store=store,
+            faults=faults,
+            retry=retry,
+            checkpoint_dir=args.checkpoint_dir,
+            resume=args.resume,
+            observation=observation,
+            fleet=fleet,
+            fleet_jobs=args.jobs,
+        )
+    except FleetError as exc:
+        print(f"fleet aborted: {exc}", file=sys.stderr)
+        if args.checkpoint_dir:
+            print(
+                "rerun with --resume and the same --devices / "
+                "--checkpoint-dir to finish the survivors",
+                file=sys.stderr,
+            )
+        return 1
+
+    result = compiled.fleet
+    print()
+    print(f"{'device':<12} {'homed':>6} {'executed':>9} "
+          f"{'stolen in/out':>14} {'measurements':>13}")
+    for report in result.reports:
+        print(
+            f"{report.index:02d} {report.name:<12.12s} "
+            f"{len(report.homed):>3d} {len(report.executed):>9d} "
+            f"{report.stolen_in:>6d}/{report.stolen_out:<4d} "
+            f"{report.measurements:>13d}"
+        )
+    if result.steals:
+        print(f"  steals   : {len(result.steals)}")
+    if args.report:
+        measurements = {
+            key: res.num_measurements
+            for key, res in result.results.items()
+        }
+        write_fleet_report(args.report, result, measurements)
+        print(f"  report   : {args.report}")
+    if observation is not None and args.summary_dir:
+        summaries = {}
+        for key in observation.keys():
+            summary = observation.observer(key).summary()
+            summary.task = summary.task or key
+            summaries[key] = summary
+        write_device_summaries(args.summary_dir, result, summaries)
+        print(f"  summaries: {args.summary_dir}/summary.json")
+    sample = compiled.measure_latency(num_runs=args.runs, seed=args.seed)
+    print(f"  latency  : {sample.mean_ms:.4f} ms (mean of {args.runs} runs)")
+    print(f"  variance : {sample.variance:.6f}")
+    if store is not None:
+        store.save(args.records)
+        print(f"  records  : {len(store)} -> {args.records}")
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     enable_console_logging()
     settings = ExperimentSettings().scaled(args.scale)
@@ -149,6 +248,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             measure_cache=args.measure_cache,
             checkpoint_dir=args.checkpoint_dir,
             summary_dir=args.summary,
+            fleet=args.fleet,
         )
         print(result.report())
     elif args.which == "fig5":
@@ -161,13 +261,15 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             measure_cache=args.measure_cache,
             checkpoint_dir=args.checkpoint_dir,
             summary_dir=args.summary,
+            fleet=args.fleet,
         )
         print(result.report())
     else:
         from repro.experiments.table1 import run_table1
 
         result = run_table1(
-            settings=settings, jobs=args.jobs, summary_dir=args.summary
+            settings=settings, jobs=args.jobs, summary_dir=args.summary,
+            fleet=args.fleet,
         )
         print(result.report())
     if args.summary:
@@ -255,6 +357,54 @@ def build_parser() -> argparse.ArgumentParser:
                              "time breakdown, fault counts) here")
     p_tune.set_defaults(func=_cmd_tune)
 
+    p_fleet = sub.add_parser(
+        "fleet",
+        help="tune a model on a simulated multi-device fleet "
+             "(bit-identical to a serial run)",
+    )
+    p_fleet.add_argument("--model", required=True,
+                         choices=sorted(MODEL_BUILDERS))
+    p_fleet.add_argument(
+        "--arm", default="bted+bao", choices=sorted(TUNER_REGISTRY)
+    )
+    p_fleet.add_argument("--devices", default="gtx1080ti,gtx1080ti",
+                         help="comma-separated device presets, each "
+                              "optionally suffixed :fault_rate "
+                              "(e.g. gtx1080ti,gtx1080ti:0.1,titanv)")
+    p_fleet.add_argument("--jobs", type=int, default=None,
+                         help="worker threads draining the fleet "
+                              "(default: one per device)")
+    p_fleet.add_argument("--budget", type=int, default=256,
+                         help="measurements per task")
+    p_fleet.add_argument("--early-stop", type=int, default=None)
+    p_fleet.add_argument("--runs", type=int, default=600,
+                         help="timed end-to-end runs")
+    p_fleet.add_argument("--seed", type=int, default=0)
+    p_fleet.add_argument("--env-seed", type=int, default=2021)
+    p_fleet.add_argument("--records", default=None,
+                         help="save tuning records to this JSON-lines file")
+    p_fleet.add_argument("--checkpoint-dir", default=None,
+                         help="write per-device task checkpoints here "
+                              "(device-NN/task-MMM.ckpt)")
+    p_fleet.add_argument("--resume", action="store_true",
+                         help="continue an interrupted fleet run from "
+                              "--checkpoint-dir with the same --devices "
+                              "(bit-identical to an uninterrupted run)")
+    p_fleet.add_argument("--fault-rate", type=float, default=0.0,
+                         help="fleet-level deterministic fault rate; "
+                              "per-device :rate suffixes override it")
+    p_fleet.add_argument("--fault-seed", type=int, default=0)
+    p_fleet.add_argument("--max-retries", type=int, default=None,
+                         help="retries per faulted measurement")
+    p_fleet.add_argument("--report", default=None,
+                         help="write the fleet scheduling report "
+                              "(assignments, steals, ordinal spans) to "
+                              "this JSON file")
+    p_fleet.add_argument("--summary-dir", default=None,
+                         help="write one RunSummary file per device plus "
+                              "the fleet-aggregated summary.json here")
+    p_fleet.set_defaults(func=_cmd_fleet)
+
     p_exp = sub.add_parser("experiment", help="regenerate a paper result")
     p_exp.add_argument("which", choices=["fig4", "fig5", "table1"])
     p_exp.add_argument("--scale", type=float, default=0.1,
@@ -273,6 +423,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--summary", default=None,
                        help="collect per-cell RunSummary files and an "
                             "aggregated summary.json in this directory")
+    p_exp.add_argument("--fleet", default=None,
+                       help="shard cells across a simulated device fleet "
+                            "(comma-separated presets; results identical "
+                            "to the serial run)")
     p_exp.set_defaults(func=_cmd_experiment)
 
     p_report = sub.add_parser(

@@ -29,6 +29,9 @@ from repro.experiments.runner import (
     run_arm_on_task,
 )
 from repro.experiments.settings import ExperimentSettings
+from repro.fleet.devices import Fleet, FleetSpec
+from repro.fleet.reporting import write_fleet_report
+from repro.fleet.scheduler import FleetRunResult, FleetScheduler, FleetTask
 from repro.hardware.executor import MeasureCache
 from repro.hardware.measure import SimulatedTask
 from repro.obs import (
@@ -157,6 +160,16 @@ class ExperimentEngine:
     point it at their output dirs).  Summaries survive grid restarts:
     a cell loaded from its ``.done`` file keeps the summary written
     when it originally ran.
+
+    ``fleet`` (any :data:`~repro.fleet.FleetSpec`) switches the engine
+    from the process pool to the work-stealing
+    :class:`~repro.fleet.FleetScheduler`: cells home on device
+    ``seq % len(fleet)``, checkpoints land under per-device
+    subdirectories, and ``jobs`` becomes the worker-thread count (one
+    per device when left at 1).  Cells stay pure functions of their
+    coordinates, so fleet results are bit-identical to serial for any
+    pool size; the scheduling report lands in
+    ``summary_dir/fleet.json`` and on :attr:`fleet_result`.
     """
 
     def __init__(
@@ -166,12 +179,15 @@ class ExperimentEngine:
         measure_cache: Optional[str] = None,
         checkpoint_dir: Optional[str] = None,
         summary_dir: Optional[str] = None,
+        fleet: Optional[FleetSpec] = None,
     ):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         self.settings = settings
         self.jobs = jobs
         self.measure_cache = measure_cache
+        self.fleet = Fleet.from_spec(fleet) if fleet is not None else None
+        self.fleet_result: Optional[FleetRunResult] = None
         self.checkpoint_dir = (
             Path(checkpoint_dir) if checkpoint_dir is not None else None
         )
@@ -196,18 +212,44 @@ class ExperimentEngine:
         """Ordered map of ``fn`` over payloads, inline or on the pool.
 
         ``fn`` must be a module-level (picklable) callable when
-        ``jobs > 1``.
+        ``jobs > 1``.  In fleet mode the payloads are sharded across
+        the device pool instead (worker threads, no pickling), so
+        ``fn`` only needs to be thread-safe.
         """
         payloads = list(payloads)
+        if self.fleet is not None and len(payloads) > 1:
+            scheduler = FleetScheduler(
+                self.fleet,
+                lambda task, _device: fn(task.payload),
+                jobs=self.jobs if self.jobs > 1 else None,
+            )
+            fleet_result = scheduler.run(
+                [
+                    FleetTask(key=f"item-{i:04d}", seq=i, payload=p)
+                    for i, p in enumerate(payloads)
+                ]
+            )
+            self.fleet_result = fleet_result
+            return [
+                fleet_result.results[f"item-{i:04d}"]
+                for i in range(len(payloads))
+            ]
         if self.jobs == 1 or len(payloads) <= 1:
             return [fn(p) for p in payloads]
         pool = self._ensure_pool()
         return list(pool.map(fn, payloads, chunksize=1))
 
-    def _cell_done_path(self, cell: ExperimentCell) -> Optional[Path]:
+    def _cell_done_path(
+        self, cell: ExperimentCell, seq: Optional[int] = None
+    ) -> Optional[Path]:
         if self.checkpoint_dir is None:
             return None
-        return self.checkpoint_dir / _cell_checkpoint_name(cell)
+        base = self.checkpoint_dir
+        if self.fleet is not None and seq is not None:
+            # fleet mode: checkpoints live under the cell's home device
+            base = base / self.fleet.home_of(seq).dirname
+            base.mkdir(parents=True, exist_ok=True)
+        return base / _cell_checkpoint_name(cell)
 
     def _cell_summary_path(self, cell: ExperimentCell) -> Optional[Path]:
         if self.summary_dir is None:
@@ -233,7 +275,7 @@ class ExperimentEngine:
         results: List[Optional[TuningResult]] = [None] * len(cells)
         pending: List[Tuple[int, ExperimentCell, Optional[Path]]] = []
         for i, cell in enumerate(cells):
-            done_path = self._cell_done_path(cell)
+            done_path = self._cell_done_path(cell, seq=i)
             if done_path is not None and done_path.exists():
                 with done_path.open("rb") as fh:
                     results[i] = pickle.load(fh)
@@ -243,6 +285,10 @@ class ExperimentEngine:
             "engine: %d cells (%d cached) on %d worker(s)",
             len(cells), len(cells) - len(pending), self.jobs,
         )
+        if self.fleet is not None:
+            self._run_cells_fleet(pending, results)
+            self.aggregate_summaries()
+            return list(results)  # type: ignore[arg-type]
         if self.jobs == 1:
             cache: Optional[MeasureCache] = None
             if self.measure_cache is not None and pending:
@@ -278,6 +324,59 @@ class ExperimentEngine:
             results[i] = result
         self.aggregate_summaries()
         return list(results)  # type: ignore[arg-type]
+
+    def _run_cells_fleet(
+        self,
+        pending: Sequence[Tuple[int, ExperimentCell, Optional[Path]]],
+        results: List[Optional[TuningResult]],
+    ) -> FleetRunResult:
+        """Drain pending cells through the work-stealing fleet scheduler.
+
+        Each worker thread opens the measurement cache read-only per
+        cell (the process-pool semantics), and a cell failure raises
+        :class:`~repro.fleet.FleetError` after in-flight cells finish —
+        their ``.done`` files make the grid resumable.
+        """
+        by_key = {
+            f"cell-{i:04d}-{_cell_slug(cell)}": (i, cell, done_path)
+            for i, cell, done_path in pending
+        }
+
+        def run(ftask: FleetTask, _executing_device) -> TuningResult:
+            _, cell, done_path = by_key[ftask.key]
+            summary_path = self._cell_summary_path(cell)
+            cache = (
+                MeasureCache(path=self.measure_cache)
+                if self.measure_cache is not None
+                else None
+            )
+            return _execute_cell(
+                cell,
+                self.settings,
+                cache,
+                str(done_path) if done_path is not None else None,
+                str(summary_path) if summary_path is not None else None,
+            )
+
+        scheduler = FleetScheduler(
+            self.fleet, run, jobs=self.jobs if self.jobs > 1 else None
+        )
+        fleet_result = scheduler.run(
+            [FleetTask(key=key, seq=i) for key, (i, _, _) in by_key.items()]
+        )
+        for key, result in fleet_result.results.items():
+            results[by_key[key][0]] = result
+        measurements = {
+            key: result.num_measurements
+            for key, result in fleet_result.results.items()
+        }
+        report_dir = self.summary_dir or self.checkpoint_dir
+        if report_dir is not None:
+            write_fleet_report(
+                report_dir / "fleet.json", fleet_result, measurements
+            )
+        self.fleet_result = fleet_result
+        return fleet_result
 
     def close(self) -> None:
         """Shut the worker pool down (idempotent)."""

@@ -69,6 +69,7 @@ def run_fig4(
     measure_cache: Optional[str] = None,
     checkpoint_dir: Optional[str] = None,
     summary_dir: Optional[str] = None,
+    fleet: Optional[str] = None,
 ) -> Fig4Result:
     """Regenerate the Fig. 4 convergence study.
 
@@ -77,7 +78,9 @@ def run_fig4(
     ``checkpoint_dir`` persists finished cells so an interrupted study
     can be rerun without recomputing them.  ``summary_dir`` collects
     per-cell RunSummary files plus an aggregated ``summary.json``
-    (typically the figure's output directory).
+    (typically the figure's output directory).  ``fleet`` (a device
+    spec like ``gtx1080ti,titanv``) shards the cells across a
+    simulated device pool instead — see :mod:`repro.fleet`.
     """
     graph = build_model(model_name)
     tasks = extract_tasks(graph)[:num_layers]
@@ -100,6 +103,7 @@ def run_fig4(
     with ExperimentEngine(
         settings, jobs=jobs, measure_cache=measure_cache,
         checkpoint_dir=checkpoint_dir, summary_dir=summary_dir,
+        fleet=fleet,
     ) as engine:
         results = engine.run_cells(cells)
 

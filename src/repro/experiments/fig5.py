@@ -87,6 +87,7 @@ def run_fig5(
     measure_cache: Optional[str] = None,
     checkpoint_dir: Optional[str] = None,
     summary_dir: Optional[str] = None,
+    fleet: Optional[str] = None,
 ) -> Fig5Result:
     """Regenerate the Fig. 5 study (early stopping active, as in the paper).
 
@@ -95,6 +96,9 @@ def run_fig5(
     ``checkpoint_dir`` persists finished cells so an interrupted study
     can be rerun without recomputing them.  ``summary_dir`` collects
     per-cell RunSummary files plus an aggregated ``summary.json``.
+    ``fleet`` (a device spec like ``gtx1080ti,titanv``) shards the
+    cells across a simulated device pool instead — see
+    :mod:`repro.fleet`.
     """
     graph = build_model(model_name)
     tasks = extract_tasks(graph)
@@ -116,6 +120,7 @@ def run_fig5(
     with ExperimentEngine(
         settings, jobs=jobs, measure_cache=measure_cache,
         checkpoint_dir=checkpoint_dir, summary_dir=summary_dir,
+        fleet=fleet,
     ) as engine:
         results = engine.run_cells(cells)
 

@@ -1,0 +1,212 @@
+"""Simulated measurement fleet: named devices, queues' identities, faults.
+
+A fleet models the measurement farm that distributed auto-tuners
+assume (AutoTVM's RPC tracker, Ansor's measurement servers): a pool of
+execution hosts that deploy tuning tasks concurrently.  Each
+:class:`FleetDevice` pairs one :class:`~repro.hardware.device.GpuDevice`
+preset (optionally re-fitted against observed timings via
+:meth:`FleetDevice.calibrated`) with its own fault characteristics.
+
+Determinism contract (see ``docs/EXECUTION.md``):
+
+* Every task has a deterministic **home device** — position ``seq`` in
+  the submission order homes on device ``seq % len(fleet)`` — and the
+  home device, never the executing worker, supplies the task's fault
+  model and checkpoint directory.  Work stealing moves *execution*,
+  not identity.
+* Measurement noise and fault schedules are pure functions of
+  task-local ordinals (each task's measurer counts from 0), so a
+  device's measurement-ordinal stream is the concatenation of its
+  homed tasks' streams — independent of pool size, steal order, and
+  interleaving.
+* When every device inherits the fleet-level fault model (no
+  per-device override), task records are additionally bit-identical to
+  a serial single-device run for **any** pool size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence, Union
+
+from repro.hardware.device import (
+    GTX_1080_TI,
+    GpuDevice,
+    _normalize_device_name,
+    device_preset,
+)
+from repro.hardware.faults import FaultModel
+
+
+@dataclass(frozen=True)
+class FleetDevice:
+    """One execution slot of the fleet: a device plus its fault profile.
+
+    ``fault_rate``/``fault_seed`` override the fleet-level fault model
+    for tasks homed on this device (``None`` inherits the fleet
+    default; an explicit ``0.0`` disables injection on this device).
+    """
+
+    index: int
+    device: GpuDevice = GTX_1080_TI
+    fault_rate: Optional[float] = None
+    fault_seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError("device index must be non-negative")
+        if self.fault_rate is not None and not 0.0 <= self.fault_rate < 1.0:
+            raise ValueError("fault_rate must be in [0, 1)")
+
+    @property
+    def label(self) -> str:
+        """Short handle, e.g. ``gtx1080ti`` (used in reports)."""
+        return _normalize_device_name(self.device.name)
+
+    @property
+    def dirname(self) -> str:
+        """Per-device checkpoint subdirectory name (stable, index-keyed)."""
+        return f"device-{self.index:02d}"
+
+    def fault_model(
+        self, default: Optional[FaultModel] = None
+    ) -> Optional[FaultModel]:
+        """The fault model applied to tasks homed on this device.
+
+        With no per-device override this is exactly the fleet default,
+        which is what makes a uniform fleet bit-identical to a serial
+        run; an override keeps the default's seed unless the device
+        pins its own.
+        """
+        if self.fault_rate is None:
+            return default
+        if self.fault_rate == 0.0:
+            return None
+        seed = self.fault_seed
+        if seed is None:
+            seed = default.seed if default is not None else 0
+        return FaultModel(rate=self.fault_rate, seed=seed)
+
+    def calibrated(self, observations: Sequence) -> "FleetDevice":
+        """Re-fit this slot's device model against observed timings.
+
+        Wraps :func:`repro.hardware.calibration.calibrate_device`
+        (peak throughput, bandwidth, cache factor) — how a fleet of
+        real boards would anchor each simulator before tuning on it.
+        """
+        from repro.hardware.calibration import calibrate_device
+
+        result = calibrate_device(self.device, observations)
+        return replace(self, device=result.device)
+
+
+@dataclass(frozen=True)
+class Fleet:
+    """An ordered, immutable pool of :class:`FleetDevice` slots."""
+
+    devices: tuple = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.devices:
+            raise ValueError("a fleet needs at least one device")
+        for pos, dev in enumerate(self.devices):
+            if not isinstance(dev, FleetDevice):
+                raise TypeError(f"fleet slot {pos} is not a FleetDevice")
+            if dev.index != pos:
+                raise ValueError(
+                    f"fleet slot {pos} carries index {dev.index}; "
+                    "indices must match positions"
+                )
+
+    def __len__(self) -> int:
+        return len(self.devices)
+
+    def __iter__(self):
+        return iter(self.devices)
+
+    def __getitem__(self, index: int) -> FleetDevice:
+        return self.devices[index]
+
+    def home_of(self, seq: int) -> FleetDevice:
+        """Deterministic home device of submission position ``seq``."""
+        if seq < 0:
+            raise ValueError("seq must be non-negative")
+        return self.devices[seq % len(self.devices)]
+
+    def describe(self) -> List[str]:
+        """One short line per device (CLI report rows)."""
+        out = []
+        for dev in self.devices:
+            line = f"{dev.dirname}  {dev.device.name}"
+            if dev.fault_rate is not None:
+                line += f"  fault_rate={dev.fault_rate}"
+            out.append(line)
+        return out
+
+    @classmethod
+    def build(
+        cls,
+        names: Sequence[Union[str, GpuDevice, FleetDevice]],
+    ) -> "Fleet":
+        """Assemble a fleet from handles, devices, or prepared slots."""
+        slots: List[FleetDevice] = []
+        for pos, item in enumerate(names):
+            if isinstance(item, FleetDevice):
+                slots.append(replace(item, index=pos))
+            elif isinstance(item, GpuDevice):
+                slots.append(FleetDevice(index=pos, device=item))
+            else:
+                slots.append(parse_device(str(item), pos))
+        return cls(devices=tuple(slots))
+
+    @classmethod
+    def from_spec(cls, spec: "FleetSpec") -> "Fleet":
+        """Coerce any accepted fleet spec into a :class:`Fleet`."""
+        if isinstance(spec, Fleet):
+            return spec
+        if isinstance(spec, str):
+            return parse_fleet(spec)
+        if isinstance(spec, Sequence):
+            return cls.build(spec)
+        raise TypeError(
+            f"cannot build a fleet from {type(spec).__name__!r}; expected "
+            "a Fleet, a comma-separated device string, or a sequence"
+        )
+
+
+#: what fleet-aware entry points accept as their ``fleet=`` argument
+FleetSpec = Union[str, Fleet, Sequence[Union[str, GpuDevice, FleetDevice]]]
+
+
+def parse_device(token: str, index: int) -> FleetDevice:
+    """Parse one fleet-spec token: ``handle`` or ``handle:fault_rate``."""
+    token = token.strip()
+    if not token:
+        raise ValueError("empty device token in fleet spec")
+    name, sep, rate_text = token.partition(":")
+    fault_rate: Optional[float] = None
+    if sep:
+        try:
+            fault_rate = float(rate_text)
+        except ValueError as exc:
+            raise ValueError(
+                f"bad per-device fault rate {rate_text!r} in {token!r}"
+            ) from exc
+    return FleetDevice(
+        index=index, device=device_preset(name), fault_rate=fault_rate
+    )
+
+
+def parse_fleet(spec: str) -> Fleet:
+    """Parse ``gtx1080ti,gtx1080ti:0.1,titanv`` into a :class:`Fleet`.
+
+    Tokens are preset handles (see
+    :data:`repro.hardware.device.DEVICE_PRESETS`), each optionally
+    suffixed ``:rate`` to give that device its own fault rate.
+    """
+    tokens = [t for t in (p.strip() for p in spec.split(",")) if t]
+    if not tokens:
+        raise ValueError(f"fleet spec {spec!r} names no devices")
+    return Fleet(
+        devices=tuple(parse_device(t, i) for i, t in enumerate(tokens))
+    )

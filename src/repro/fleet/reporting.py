@@ -1,0 +1,136 @@
+"""Fleet-level reporting: device summaries, ordinal streams, aggregates.
+
+Each device of a fleet run emits its own observability artifacts: the
+:class:`~repro.obs.RunSummary` list of the tasks homed on it (written
+as one ``cell-device-NN.summary.json`` per device so the existing
+:func:`repro.obs.aggregate_summary_dir` flow folds them into the
+fleet-level ``summary.json``), and its measurement-ordinal stream —
+the concatenation of its homed tasks' ordinal ranges, which is
+deterministic by construction because noise and fault schedules are
+keyed by task-local ordinals.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.fleet.scheduler import FleetRunResult
+from repro.obs import aggregate_summary_dir, write_summary_json
+from repro.utils.io import atomic_write_text
+
+
+def device_ordinal_spans(
+    result: FleetRunResult,
+    measurements: Mapping[str, int],
+) -> Dict[int, List[Tuple[str, int, int]]]:
+    """Per-device measurement-ordinal stream as ``(key, start, stop)``.
+
+    ``measurements`` maps each task key to its measurement count; a
+    device's stream concatenates its homed tasks in home (submission)
+    order.  Pure in the deterministic sharding, so the spans are
+    identical for every ``jobs`` value and steal schedule.
+    """
+    spans: Dict[int, List[Tuple[str, int, int]]] = {}
+    for report in result.reports:
+        cursor = 0
+        rows: List[Tuple[str, int, int]] = []
+        for key in report.homed:
+            count = int(measurements.get(key, 0))
+            rows.append((key, cursor, cursor + count))
+            cursor += count
+        spans[report.index] = rows
+        report.measurements = cursor
+    return spans
+
+
+def fleet_report_dict(
+    result: FleetRunResult,
+    measurements: Optional[Mapping[str, int]] = None,
+) -> Dict[str, Any]:
+    """JSON-ready digest of one fleet run (the ``fleet.json`` artifact).
+
+    Home assignments and ordinal spans are deterministic; ``executed``
+    and steal counts describe the actual (jobs-dependent) schedule.
+    """
+    spans = (
+        device_ordinal_spans(result, measurements)
+        if measurements is not None
+        else {}
+    )
+    return {
+        "devices": [
+            {
+                "index": report.index,
+                "name": report.name,
+                "homed": list(report.homed),
+                "executed": list(report.executed),
+                "stolen_in": report.stolen_in,
+                "stolen_out": report.stolen_out,
+                "measurements": report.measurements,
+                "ordinal_spans": [
+                    list(span) for span in spans.get(report.index, [])
+                ],
+            }
+            for report in result.reports
+        ],
+        "assignments": dict(sorted(result.assignments.items())),
+        "steals": [
+            {"key": s.key, "victim": s.victim, "thief": s.thief}
+            for s in result.steals
+        ],
+        "tasks": len(result.results),
+    }
+
+
+def write_fleet_report(
+    path: Union[str, Path],
+    result: FleetRunResult,
+    measurements: Optional[Mapping[str, int]] = None,
+) -> None:
+    """Atomically write :func:`fleet_report_dict` as sorted JSON."""
+    atomic_write_text(
+        str(path),
+        json.dumps(
+            fleet_report_dict(result, measurements),
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n",
+    )
+
+
+def write_device_summaries(
+    summary_dir: Union[str, Path],
+    result: FleetRunResult,
+    summaries: Mapping[str, Any],
+) -> Dict[str, Any]:
+    """Write one summary file per device, then the fleet aggregate.
+
+    ``summaries`` maps task keys to :class:`~repro.obs.RunSummary`
+    instances (or their dicts); each device's file wraps its homed
+    tasks' summaries in the ``{"tasks": [...]}`` cell shape the
+    aggregator already understands.  Returns the fleet aggregate that
+    :func:`repro.obs.aggregate_summary_dir` wrote to ``summary.json``.
+    """
+    summary_dir = Path(summary_dir)
+    summary_dir.mkdir(parents=True, exist_ok=True)
+    for report in result.reports:
+        rows = []
+        for key in report.homed:
+            summary = summaries.get(key)
+            if summary is None:
+                continue
+            rows.append(
+                summary if isinstance(summary, dict) else summary.to_dict()
+            )
+        write_summary_json(
+            str(summary_dir / f"cell-{report.index:02d}-device.summary.json"),
+            {
+                "device": report.name,
+                "index": report.index,
+                "tasks": rows,
+            },
+        )
+    return aggregate_summary_dir(str(summary_dir))

@@ -3,13 +3,20 @@
 A :class:`GpuDevice` captures the architectural parameters the cost
 model needs: compute throughput, memory bandwidth, and the per-SM
 resource limits that determine occupancy.  The default device is the
-Nvidia GeForce GTX 1080 Ti used in the paper's evaluation; two more
+Nvidia GeForce GTX 1080 Ti used in the paper's evaluation; further
 presets demonstrate portability of the framework across targets.
+
+:data:`DEVICE_PRESETS` names every preset with a short, normalized
+handle (``gtx1080ti``, ``titanv``, ...) so CLI flags and fleet specs
+can refer to devices without importing this module; resolve handles
+with :func:`device_preset`.
 """
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
+from typing import Dict
 
 
 @dataclass(frozen=True)
@@ -104,3 +111,42 @@ JETSON_TX2 = GpuDevice(
     max_threads_per_sm=2048,
     shared_mem_per_sm=64 * 1024,
 )
+
+#: a Volta workstation target, for heterogeneous-fleet experiments
+TITAN_V = GpuDevice(
+    name="Titan V",
+    num_sms=80,
+    peak_gflops=14900.0,
+    mem_bandwidth_gbs=652.8,
+)
+
+
+def _normalize_device_name(name: str) -> str:
+    """Lower-case alphanumeric handle of a device name."""
+    return re.sub(r"[^a-z0-9]+", "", name.lower())
+
+
+#: preset handle -> device; keys are normalized (:func:`device_preset`
+#: also accepts raw marketing names like "GeForce GTX 1080 Ti")
+DEVICE_PRESETS: Dict[str, GpuDevice] = {
+    "gtx1080ti": GTX_1080_TI,
+    "teslav100": TESLA_V100,
+    "v100": TESLA_V100,
+    "jetsontx2": JETSON_TX2,
+    "tx2": JETSON_TX2,
+    "titanv": TITAN_V,
+}
+
+
+def device_preset(name: str) -> GpuDevice:
+    """Resolve a device handle or full name against the preset table."""
+    key = _normalize_device_name(name)
+    if key in DEVICE_PRESETS:
+        return DEVICE_PRESETS[key]
+    for device in DEVICE_PRESETS.values():
+        if _normalize_device_name(device.name) == key:
+            return device
+    raise ValueError(
+        f"unknown device {name!r}; known presets: "
+        f"{sorted(set(DEVICE_PRESETS))}"
+    )

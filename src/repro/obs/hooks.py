@@ -1,4 +1,4 @@
-"""Process-local observability hook bus.
+"""Thread-local observability hook bus.
 
 Deep subsystems (the bootstrap ensemble's refit, the measurement
 executors, the measurement cache) have timing and counters worth
@@ -11,9 +11,13 @@ effectively free on the hot paths.
 
 :class:`~repro.obs.observer.TuningObserver` registers its hooks in
 ``on_tune_begin`` and removes them in ``on_tune_end``; nothing else in
-the repository mutates this registry.  The registry is process-local:
-parallel experiment cells each observe their own process, which is
-exactly the cell-granular scoping the summaries want.
+the repository mutates this registry.  The registry is **thread-local**
+(and therefore also process-local): a tuning run registers and fires
+its hooks on the thread that drives it, so concurrent runs — parallel
+experiment cells in separate processes, or fleet workers tuning
+different tasks on threads of one process — each observe exactly their
+own run, which is the per-run scoping the summaries want and what
+keeps fleet-mode summaries bit-identical to serial ones.
 
 This module intentionally imports nothing from :mod:`repro` so that any
 layer may depend on it without cycles.
@@ -21,6 +25,7 @@ layer may depend on it without cycles.
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, List
 
 #: ``(rows, duration_s, kind)`` — a surrogate-model refit completed
@@ -30,71 +35,81 @@ MeasureHook = Callable[[str, int, float], None]
 #: ``(hits, misses)`` — a caching executor resolved a batch
 CacheHook = Callable[[int, int], None]
 
-_REFIT_HOOKS: List[RefitHook] = []
-_MEASURE_HOOKS: List[MeasureHook] = []
-_CACHE_HOOKS: List[CacheHook] = []
+_LOCAL = threading.local()
+
+
+def _hooks(name: str) -> List[Callable]:
+    """This thread's hook list for one instrumentation point."""
+    hooks = getattr(_LOCAL, name, None)
+    if hooks is None:
+        hooks = []
+        setattr(_LOCAL, name, hooks)
+    return hooks
 
 
 def add_refit_hook(hook: RefitHook) -> None:
     """Subscribe to surrogate-model refit completions."""
-    _REFIT_HOOKS.append(hook)
+    _hooks("refit").append(hook)
 
 
 def remove_refit_hook(hook: RefitHook) -> None:
     """Unsubscribe a refit hook (no-op when absent)."""
-    if hook in _REFIT_HOOKS:
-        _REFIT_HOOKS.remove(hook)
+    hooks = _hooks("refit")
+    if hook in hooks:
+        hooks.remove(hook)
 
 
 def notify_refit(rows: int, duration_s: float, kind: str = "ensemble") -> None:
     """Report one completed refit of ``rows`` training rows."""
-    for hook in tuple(_REFIT_HOOKS):
+    for hook in tuple(_hooks("refit")):
         hook(rows, duration_s, kind)
 
 
 def refit_hooks_active() -> bool:
-    """True when at least one refit hook is registered.
+    """True when at least one refit hook is registered on this thread.
 
     Lets instrumented call sites skip even the ``perf_counter`` pair
     when nobody is listening.
     """
-    return bool(_REFIT_HOOKS)
+    return bool(_hooks("refit"))
 
 
 def add_measure_hook(hook: MeasureHook) -> None:
     """Subscribe to executor batch deployments."""
-    _MEASURE_HOOKS.append(hook)
+    _hooks("measure").append(hook)
 
 
 def remove_measure_hook(hook: MeasureHook) -> None:
     """Unsubscribe a measure hook (no-op when absent)."""
-    if hook in _MEASURE_HOOKS:
-        _MEASURE_HOOKS.remove(hook)
+    hooks = _hooks("measure")
+    if hook in hooks:
+        hooks.remove(hook)
 
 
 def notify_measure(backend: str, n_configs: int, duration_s: float) -> None:
     """Report one deployed batch from executor ``backend``."""
-    for hook in tuple(_MEASURE_HOOKS):
+    for hook in tuple(_hooks("measure")):
         hook(backend, n_configs, duration_s)
 
 
 def measure_hooks_active() -> bool:
-    """True when at least one measure hook is registered."""
-    return bool(_MEASURE_HOOKS)
+    """True when at least one measure hook is registered on this thread."""
+    return bool(_hooks("measure"))
 
 
 def add_cache_hook(hook: CacheHook) -> None:
     """Subscribe to measurement-cache batch resolutions."""
-    _CACHE_HOOKS.append(hook)
+    _hooks("cache").append(hook)
 
 
 def remove_cache_hook(hook: CacheHook) -> None:
     """Unsubscribe a cache hook (no-op when absent)."""
-    if hook in _CACHE_HOOKS:
-        _CACHE_HOOKS.remove(hook)
+    hooks = _hooks("cache")
+    if hook in hooks:
+        hooks.remove(hook)
 
 
 def notify_cache(hits: int, misses: int) -> None:
     """Report one cache-resolved batch (hit/miss split)."""
-    for hook in tuple(_CACHE_HOOKS):
+    for hook in tuple(_hooks("cache")):
         hook(hits, misses)

@@ -35,6 +35,8 @@ import numpy as np
 from repro.core import make_tuner
 from repro.obs import RunObservation
 from repro.core.tuner import TuningResult
+from repro.fleet.devices import Fleet, FleetSpec
+from repro.fleet.scheduler import FleetRunResult, FleetScheduler, FleetTask
 from repro.hardware.device import GTX_1080_TI, GpuDevice
 from repro.hardware.executor import (
     ExecutorSpec,
@@ -101,6 +103,8 @@ class CompiledModel:
     kernels: List[KernelTiming]
     #: per-task tuning results (empty when built from a record store)
     tuning_results: Dict[int, TuningResult] = field(default_factory=dict)
+    #: scheduling report of a fleet-mode compile (None for serial runs)
+    fleet: Optional[FleetRunResult] = None
 
     @property
     def base_latency_ms(self) -> float:
@@ -182,6 +186,134 @@ class DeploymentCompiler:
 
         return spec
 
+    @staticmethod
+    def _task_key(spec: TaskSpec) -> str:
+        return f"task-{spec.task_id:03d}"
+
+    @staticmethod
+    def _task_paths(
+        ckpt_dir: Optional[Path], task_key: str, subdir: Optional[str] = None
+    ) -> Tuple[Optional[Path], Optional[Path], Optional[Path]]:
+        """(done, ckpt, obs) paths for one task, under a device subdir
+        in fleet mode."""
+        if ckpt_dir is None:
+            return None, None, None
+        base = ckpt_dir if subdir is None else ckpt_dir / subdir
+        base.mkdir(parents=True, exist_ok=True)
+        return (
+            base / f"{task_key}.done",
+            base / f"{task_key}.ckpt",
+            base / f"{task_key}.obs.json",
+        )
+
+    def _tune_one(
+        self,
+        spec: TaskSpec,
+        tuner_name: str,
+        n_trial: int,
+        early_stopping: Optional[int],
+        trial_seed: int,
+        kwargs: dict,
+        executor_spec: ExecutorSpec,
+        done_path: Optional[Path],
+        ckpt_path: Optional[Path],
+        obs_path: Optional[Path],
+        observer,
+        resume: bool,
+    ) -> TuningResult:
+        """Tune (or restore) one task — the unit both the serial loop
+        and the fleet workers execute.
+
+        Pure in its arguments: every seeded decision derives from the
+        task spec and ``trial_seed``, so calls may run in any order, on
+        any worker thread, and still reproduce the serial stream.
+        """
+        if resume and done_path is not None and done_path.exists():
+            with done_path.open("rb") as fh:
+                result = pickle.load(fh)
+            if (
+                observer is not None
+                and obs_path is not None
+                and obs_path.exists()
+            ):
+                with obs_path.open("r", encoding="utf-8") as fh:
+                    observer.load_state_dict(json.load(fh))
+            logger.info(
+                "%s T%d (%s): loaded completed result from %s",
+                self.graph.name, spec.task_id + 1, tuner_name, done_path,
+            )
+            return result
+        task = self.simulated_task(spec)
+        tuner_seed = derive_seed(
+            trial_seed, "tuner", tuner_name, spec.task_id
+        )
+        tuner = make_tuner(
+            tuner_name, task, seed=tuner_seed,
+            executor=executor_spec, **kwargs,
+        )
+        sinks = (observer,) if observer is not None else ()
+        try:
+            if resume and ckpt_path is not None and ckpt_path.exists():
+                logger.info(
+                    "%s T%d (%s): resuming from %s",
+                    self.graph.name, spec.task_id + 1, tuner_name,
+                    ckpt_path,
+                )
+                result = tuner.resume(ckpt_path, on_event=sinks)
+            else:
+                result = tuner.tune(
+                    n_trial=n_trial,
+                    early_stopping=early_stopping,
+                    checkpoint=ckpt_path,
+                    on_event=sinks,
+                )
+        finally:
+            tuner.shutdown()
+        if observer is not None and obs_path is not None:
+            atomic_write_text(
+                str(obs_path),
+                json.dumps(observer.state_dict(), sort_keys=True),
+            )
+        if done_path is not None:
+            atomic_pickle_dump(done_path, result)
+        return result
+
+    def _collect(
+        self,
+        spec: TaskSpec,
+        result: TuningResult,
+        tuner_name: str,
+        record_store: Optional[RecordStore],
+        progress: Optional[Callable[[TaskSpec, TuningResult], None]],
+    ) -> None:
+        """Fold one finished task into the run-level outputs.
+
+        Called in task order for both serial and fleet compiles, so the
+        record store's line order is identical either way.
+        """
+        if record_store is not None:
+            for record in result.records:
+                record_store.add(
+                    TuningRecord(
+                        workload=spec.workload,
+                        config_index=record.config_index,
+                        gflops=record.gflops,
+                        tuner_name=tuner_name,
+                        error=record.error,
+                        template=spec.template,
+                    )
+                )
+        if progress is not None:
+            progress(spec, result)
+        logger.info(
+            "%s T%d (%s): best %.1f GFLOPS in %d measurements",
+            self.graph.name,
+            spec.task_id + 1,
+            tuner_name,
+            result.best_gflops,
+            result.num_measurements,
+        )
+
     def tune(
         self,
         tuner_name: str,
@@ -199,6 +331,8 @@ class DeploymentCompiler:
         checkpoint_dir: Optional[Union[str, Path]] = None,
         resume: bool = False,
         observation: Optional[RunObservation] = None,
+        fleet: Optional[FleetSpec] = None,
+        fleet_jobs: Optional[int] = None,
     ) -> CompiledModel:
         """Tune every task with arm ``tuner_name`` and compile.
 
@@ -222,113 +356,148 @@ class DeploymentCompiler:
         on resume — including for already-completed tasks — so the
         run-level metrics/trace/summary exports of a resumed compile
         match an uninterrupted one (modulo wall-clock durations).
+
+        ``fleet`` (a :class:`~repro.fleet.Fleet`, spec string, or
+        device-name sequence) shards the per-task tuning runs across a
+        simulated device pool with ``fleet_jobs`` worker threads (one
+        per device by default); per-task records, summaries, and the
+        record store are bit-identical to the serial run for any pool
+        size and steal schedule as long as no device overrides the
+        fleet-level fault model.  Checkpoints land under a per-device
+        subdirectory (``device-NN/task-NNN.ckpt``), keyed by each
+        task's deterministic home device, so an interrupted fleet run
+        resumes with the same fleet spec.  The scheduling report is
+        returned as ``CompiledModel.fleet``.
         """
         kwargs = dict(tuner_kwargs or {})
+        ckpt_dir = Path(checkpoint_dir) if checkpoint_dir is not None else None
+        if ckpt_dir is not None:
+            ckpt_dir.mkdir(parents=True, exist_ok=True)
+        if fleet is not None:
+            return self._tune_fleet(
+                tuner_name,
+                fleet=fleet,
+                fleet_jobs=fleet_jobs,
+                n_trial=n_trial,
+                early_stopping=early_stopping,
+                trial_seed=trial_seed,
+                kwargs=kwargs,
+                record_store=record_store,
+                progress=progress,
+                executor=executor,
+                jobs=jobs,
+                measure_cache=measure_cache,
+                faults=faults,
+                retry=retry,
+                ckpt_dir=ckpt_dir,
+                resume=resume,
+                observation=observation,
+            )
         executor_spec = self._executor_spec(
             executor, jobs=jobs, measure_cache=measure_cache,
             faults=faults, retry=retry,
         )
-        ckpt_dir = Path(checkpoint_dir) if checkpoint_dir is not None else None
-        if ckpt_dir is not None:
-            ckpt_dir.mkdir(parents=True, exist_ok=True)
 
         results: Dict[int, TuningResult] = {}
         best_configs: Dict[int, Optional[int]] = {}
         for spec in self.tasks:
-            task_key = f"task-{spec.task_id:03d}"
-            done_path = (
-                ckpt_dir / f"{task_key}.done"
-                if ckpt_dir is not None else None
-            )
-            ckpt_path = (
-                ckpt_dir / f"{task_key}.ckpt"
-                if ckpt_dir is not None else None
-            )
-            obs_path = (
-                ckpt_dir / f"{task_key}.obs.json"
-                if ckpt_dir is not None else None
+            task_key = self._task_key(spec)
+            done_path, ckpt_path, obs_path = self._task_paths(
+                ckpt_dir, task_key
             )
             observer = (
                 observation.observer(task_key)
                 if observation is not None else None
             )
-            if resume and done_path is not None and done_path.exists():
-                with done_path.open("rb") as fh:
-                    result = pickle.load(fh)
-                if (
-                    observer is not None
-                    and obs_path is not None
-                    and obs_path.exists()
-                ):
-                    with obs_path.open("r", encoding="utf-8") as fh:
-                        observer.load_state_dict(json.load(fh))
-                logger.info(
-                    "%s T%d (%s): loaded completed result from %s",
-                    self.graph.name, spec.task_id + 1, tuner_name, done_path,
-                )
-            else:
-                task = self.simulated_task(spec)
-                tuner_seed = derive_seed(
-                    trial_seed, "tuner", tuner_name, spec.task_id
-                )
-                tuner = make_tuner(
-                    tuner_name, task, seed=tuner_seed,
-                    executor=executor_spec, **kwargs,
-                )
-                sinks = (observer,) if observer is not None else ()
-                try:
-                    if (
-                        resume and ckpt_path is not None
-                        and ckpt_path.exists()
-                    ):
-                        logger.info(
-                            "%s T%d (%s): resuming from %s",
-                            self.graph.name, spec.task_id + 1, tuner_name,
-                            ckpt_path,
-                        )
-                        result = tuner.resume(ckpt_path, on_event=sinks)
-                    else:
-                        result = tuner.tune(
-                            n_trial=n_trial,
-                            early_stopping=early_stopping,
-                            checkpoint=ckpt_path,
-                            on_event=sinks,
-                        )
-                finally:
-                    tuner.shutdown()
-                if observer is not None and obs_path is not None:
-                    atomic_write_text(
-                        str(obs_path),
-                        json.dumps(observer.state_dict(), sort_keys=True),
-                    )
-                if done_path is not None:
-                    atomic_pickle_dump(done_path, result)
+            result = self._tune_one(
+                spec, tuner_name, n_trial, early_stopping, trial_seed,
+                kwargs, executor_spec, done_path, ckpt_path, obs_path,
+                observer, resume,
+            )
             results[spec.task_id] = result
             best_configs[spec.task_id] = result.best_index
-            if record_store is not None:
-                for record in result.records:
-                    record_store.add(
-                        TuningRecord(
-                            workload=spec.workload,
-                            config_index=record.config_index,
-                            gflops=record.gflops,
-                            tuner_name=tuner_name,
-                            error=record.error,
-                            template=spec.template,
-                        )
-                    )
-            if progress is not None:
-                progress(spec, result)
-            logger.info(
-                "%s T%d (%s): best %.1f GFLOPS in %d measurements",
-                self.graph.name,
-                spec.task_id + 1,
-                tuner_name,
-                result.best_gflops,
-                result.num_measurements,
+            self._collect(spec, result, tuner_name, record_store, progress)
+        compiled = self._compile(best_configs)
+        compiled.tuning_results = results
+        return compiled
+
+    def _tune_fleet(
+        self,
+        tuner_name: str,
+        fleet: FleetSpec,
+        fleet_jobs: Optional[int],
+        n_trial: int,
+        early_stopping: Optional[int],
+        trial_seed: int,
+        kwargs: dict,
+        record_store: Optional[RecordStore],
+        progress: Optional[Callable[[TaskSpec, TuningResult], None]],
+        executor: ExecutorSpec,
+        jobs: Optional[int],
+        measure_cache: Optional[MeasureCache],
+        faults: Optional[FaultModel],
+        retry: Optional[RetryPolicy],
+        ckpt_dir: Optional[Path],
+        resume: bool,
+        observation: Optional[RunObservation],
+    ) -> CompiledModel:
+        """Fleet-mode compile: shard tasks over a simulated device pool.
+
+        A :class:`~repro.fleet.FleetError` mid-run leaves per-task
+        ``.done``/``.ckpt`` files behind; re-running with
+        ``resume=True`` and the same fleet spec completes the survivors
+        bit-identically to an uninterrupted run.
+        """
+        pool = Fleet.from_spec(fleet)
+        by_key = {self._task_key(spec): spec for spec in self.tasks}
+        # pre-create observers on the caller's thread: workers only
+        # ever *use* their own task's observer
+        if observation is not None:
+            for key in by_key:
+                observation.observer(key)
+
+        def run_task(ftask: FleetTask, _executing_device) -> TuningResult:
+            spec = by_key[ftask.key]
+            home = pool.home_of(ftask.seq)
+            executor_spec = self._executor_spec(
+                executor, jobs=jobs, measure_cache=measure_cache,
+                faults=home.fault_model(faults), retry=retry,
+            )
+            done_path, ckpt_path, obs_path = self._task_paths(
+                ckpt_dir, ftask.key, subdir=home.dirname
+            )
+            observer = (
+                observation.observer(ftask.key)
+                if observation is not None else None
+            )
+            return self._tune_one(
+                spec, tuner_name, n_trial, early_stopping, trial_seed,
+                kwargs, executor_spec, done_path, ckpt_path, obs_path,
+                observer, resume,
+            )
+
+        scheduler = FleetScheduler(pool, run_task, jobs=fleet_jobs)
+        fleet_result = scheduler.run(
+            [
+                FleetTask(key=self._task_key(spec), seq=i)
+                for i, spec in enumerate(self.tasks)
+            ]
+        )
+        results: Dict[int, TuningResult] = {}
+        best_configs: Dict[int, Optional[int]] = {}
+        for spec in self.tasks:
+            result = fleet_result.results[self._task_key(spec)]
+            results[spec.task_id] = result
+            best_configs[spec.task_id] = result.best_index
+            self._collect(spec, result, tuner_name, record_store, progress)
+        for report in fleet_result.reports:
+            report.measurements = sum(
+                fleet_result.results[key].num_measurements
+                for key in report.homed
             )
         compiled = self._compile(best_configs)
         compiled.tuning_results = results
+        compiled.fleet = fleet_result
         return compiled
 
     def compile_from_records(self, store: RecordStore) -> CompiledModel:

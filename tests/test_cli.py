@@ -169,3 +169,54 @@ class TestCommands:
         monkeypatch.setattr(fig4, "run_fig4", fake_run_fig4)
         assert main(["experiment", "fig4", "--scale", "0.05"]) == 0
         assert "Fig. 4" in capsys.readouterr().out
+
+
+class TestFleetCommand:
+    def test_fleet_defaults(self):
+        args = build_parser().parse_args(
+            ["fleet", "--model", "squeezenet-v1.1"]
+        )
+        assert args.devices == "gtx1080ti,gtx1080ti"
+        assert args.jobs is None
+
+    def test_fleet_resume_requires_checkpoint_dir(self, capsys):
+        code = main([
+            "fleet", "--model", "squeezenet-v1.1", "--resume",
+        ])
+        assert code == 2
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
+    def test_fleet_bad_device_spec(self, capsys):
+        with pytest.raises(ValueError):
+            main([
+                "fleet", "--model", "squeezenet-v1.1",
+                "--devices", "gtx9999",
+            ])
+
+    def test_fleet_small_run_matches_serial_tune(self, capsys, tmp_path):
+        fleet_records = tmp_path / "fleet.jsonl"
+        serial_records = tmp_path / "serial.jsonl"
+        argv = [
+            "--model", "squeezenet-v1.1", "--arm", "random",
+            "--budget", "8", "--runs", "50", "--seed", "3",
+        ]
+        code = main([
+            "fleet", *argv,
+            "--devices", "gtx1080ti,titanv,gtx1080ti",
+            "--checkpoint-dir", str(tmp_path / "ckpt"),
+            "--report", str(tmp_path / "fleet.json"),
+            "--summary-dir", str(tmp_path / "summaries"),
+            "--records", str(fleet_records),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fleet of 3" in out
+        assert "device" in out
+        assert main(["tune", *argv, "--records", str(serial_records)]) == 0
+        # the tuning record stream is bit-identical to the serial run
+        assert fleet_records.read_text() == serial_records.read_text()
+        assert (tmp_path / "fleet.json").exists()
+        assert (tmp_path / "summaries" / "summary.json").exists()
+        assert sorted(
+            p.name for p in (tmp_path / "ckpt").iterdir()
+        ) == ["device-00", "device-01", "device-02"]

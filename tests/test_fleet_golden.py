@@ -1,0 +1,123 @@
+"""Golden fixture for a small fleet run.
+
+One pinned scenario — the bted arm on a two-task model, sharded over a
+two-device fleet with fault injection, drained by a single worker so
+even the steal schedule is deterministic — and its complete observable
+output: the scheduling report (assignments, steals, per-device ordinal
+spans), the per-task deterministic summaries, the fleet-level summary
+aggregate, and the per-task span-trace skeletons.  Any change to
+sharding, ordinal bookkeeping, fault scheduling, or summary merging
+shows up as a diff; deliberate changes regenerate the fixture with::
+
+    pytest tests/test_fleet_golden.py --update-golden
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.fleet import (
+    device_ordinal_spans,
+    fleet_report_dict,
+    write_device_summaries,
+)
+from repro.hardware.faults import FaultModel
+from repro.nn.graph import GraphBuilder
+from repro.obs import RunObservation
+from repro.obs.summary import DURATION_FIELDS
+from repro.pipeline.compiler import DeploymentCompiler
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "fleet-bted.json"
+
+ARM = "bted"
+ARM_KWARGS = dict(batch_size=8, init_size=6, batch_candidates=24)
+N_TRIAL = 16
+FLEET = "gtx1080ti,titanv"
+
+
+def _model():
+    b = GraphBuilder("fleet-golden")
+    b.input((1, 3, 16, 16))
+    b.conv2d("c1", 8, padding=(1, 1))
+    b.relu("r1")
+    b.conv2d("c2", 12, padding=(1, 1))
+    b.relu("r2")
+    b.flatten("f")
+    b.dense("fc", 10)
+    return b.graph
+
+
+def _strip_durations(aggregate):
+    out = {
+        k: v for k, v in aggregate.items() if k not in DURATION_FIELDS
+    }
+    out["by_arm"] = {
+        arm: {k: v for k, v in row.items() if k not in DURATION_FIELDS}
+        for arm, row in aggregate["by_arm"].items()
+    }
+    return out
+
+
+def _run_fleet(tmp_path):
+    compiler = DeploymentCompiler(_model(), env_seed=123)
+    observation = RunObservation(enable_metrics=False, enable_trace=True)
+    compiled = compiler.tune(
+        ARM,
+        n_trial=N_TRIAL,
+        early_stopping=None,
+        trial_seed=0,
+        tuner_kwargs=ARM_KWARGS,
+        faults=FaultModel(rate=0.25, seed=13),
+        observation=observation,
+        fleet=FLEET,
+        fleet_jobs=1,  # single worker: the steal schedule is golden too
+    )
+    result = compiled.fleet
+    measurements = {
+        key: res.num_measurements for key, res in result.results.items()
+    }
+    device_ordinal_spans(result, measurements)
+    summaries = {}
+    for key in observation.keys():
+        summary = observation.observer(key).summary()
+        summary.task = summary.task or key
+        summaries[key] = summary
+    aggregate = write_device_summaries(tmp_path, result, summaries)
+    return {
+        "arm": ARM,
+        "fleet": FLEET,
+        "n_trial": N_TRIAL,
+        "report": fleet_report_dict(result, measurements),
+        "summaries": {
+            key: summary.deterministic_dict()
+            for key, summary in summaries.items()
+        },
+        "aggregate": _strip_durations(aggregate),
+        "trace_skeletons": {
+            key: observation.observer(key).trace.span_skeletons()
+            for key in observation.keys()
+        },
+    }
+
+
+def test_golden_fleet_run(tmp_path, update_golden):
+    snapshot = json.loads(json.dumps(_run_fleet(tmp_path)))
+    if update_golden:
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(
+            json.dumps(snapshot, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        pytest.skip(f"updated golden fixture {GOLDEN_PATH.name}")
+    assert GOLDEN_PATH.exists(), (
+        f"missing golden fixture {GOLDEN_PATH}; generate it with "
+        "pytest tests/test_fleet_golden.py --update-golden"
+    )
+    golden = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+    assert snapshot == golden
+
+
+def test_golden_fleet_fixture_exists():
+    """The fixture is committed (catches a forgotten --update-golden)."""
+    assert GOLDEN_PATH.exists()

@@ -1,0 +1,241 @@
+"""Property-based pins on the fleet scheduling contract.
+
+Checked over random pool shapes, worker counts, fault schedules, and
+crash points rather than hand-picked cases:
+
+* sharding partitions the task list — every task executes exactly
+  once, on some worker, for any (tasks, devices, jobs);
+* killing a worker mid-run and resuming from the completed set yields
+  the uninterrupted result, with no task lost and none run twice;
+* a fleet compile that crashes mid-task resumes from its per-device
+  checkpoints bit-identical to an uninterrupted fleet run, for any
+  crash point and fault rate.
+"""
+
+import json
+from collections import Counter
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.fleet import Fleet, FleetError, FleetScheduler, FleetTask
+from repro.hardware.faults import FaultModel
+from repro.nn.graph import GraphBuilder
+from repro.obs import RunObservation, TuningObserver
+from repro.pipeline.compiler import DeploymentCompiler
+from repro.pipeline.records import RecordStore
+
+PROPERTY = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+#: compiles are much more expensive than bare scheduler runs
+COMPILE_PROPERTY = settings(
+    max_examples=6,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _tasks(n):
+    return [FleetTask(key=f"t{i:03d}", seq=i) for i in range(n)]
+
+
+class TestSchedulerProperties:
+    @PROPERTY
+    @given(
+        n_tasks=st.integers(min_value=0, max_value=40),
+        n_devices=st.integers(min_value=1, max_value=5),
+        jobs=st.integers(min_value=1, max_value=8),
+    )
+    def test_partition_no_task_lost_none_run_twice(
+        self, n_tasks, n_devices, jobs
+    ):
+        fleet = Fleet.build(
+            (["gtx1080ti", "titanv", "gtx1080ti", "teslav100", "titanv"])[
+                :n_devices
+            ]
+        )
+        executions = Counter()
+
+        def run_task(task, _device):
+            executions[task.key] += 1
+            return task.seq * 7
+
+        result = FleetScheduler(fleet, run_task, jobs=jobs).run(
+            _tasks(n_tasks)
+        )
+        # no task lost, none run twice
+        assert result.results == {
+            f"t{i:03d}": i * 7 for i in range(n_tasks)
+        }
+        assert all(count == 1 for count in executions.values())
+        assert len(executions) == n_tasks
+        # the home partition is pure round-robin, whatever the schedule
+        for report in result.reports:
+            assert report.homed == [
+                f"t{i:03d}"
+                for i in range(n_tasks)
+                if i % n_devices == report.index
+            ]
+        executed = [k for r in result.reports for k in r.executed]
+        assert sorted(executed) == sorted(result.results)
+        assert sum(r.stolen_in for r in result.reports) == len(result.steals)
+        assert sum(r.stolen_out for r in result.reports) == len(result.steals)
+
+    @PROPERTY
+    @given(
+        n_tasks=st.integers(min_value=1, max_value=30),
+        n_devices=st.integers(min_value=1, max_value=4),
+        jobs=st.integers(min_value=1, max_value=4),
+        crash=st.integers(min_value=0, max_value=999),
+    )
+    def test_crash_then_resume_equals_uninterrupted(
+        self, n_tasks, n_devices, jobs, crash
+    ):
+        crash_key = f"t{crash % n_tasks:03d}"
+        fleet = Fleet.build(["gtx1080ti"] * n_devices)
+        tasks = _tasks(n_tasks)
+        uninterrupted = {t.key: t.seq * 3 for t in tasks}
+
+        done = {}  # stands in for the on-disk .done files
+        executions = Counter()
+
+        def crashing(task, _device):
+            if task.key == crash_key:
+                raise RuntimeError("worker killed")
+            executions[task.key] += 1
+            done[task.key] = task.seq * 3
+            return task.seq * 3
+
+        with pytest.raises(FleetError) as excinfo:
+            FleetScheduler(fleet, crashing, jobs=jobs).run(tasks)
+        assert set(excinfo.value.failures) == {crash_key}
+        partial = excinfo.value.partial.results
+        assert partial == {k: uninterrupted[k] for k in partial}
+
+        def resuming(task, _device):
+            if task.key in done:
+                return done[task.key]
+            executions[task.key] += 1
+            done[task.key] = task.seq * 3
+            return task.seq * 3
+
+        result = FleetScheduler(fleet, resuming, jobs=jobs).run(tasks)
+        assert result.results == uninterrupted
+        # across crash + resume, every task ran exactly once
+        assert all(count == 1 for count in executions.values())
+        assert len(executions) == n_tasks
+
+
+class _CrashingObserver(TuningObserver):
+    """An observer sink that kills its worker after N events."""
+
+    def __init__(self, after: int):
+        super().__init__(enable_metrics=False, enable_trace=False)
+        self.after = after
+        self.seen = 0
+
+    def __call__(self, tuner, event) -> None:
+        super().__call__(tuner, event)
+        self.seen += 1
+        if self.seen >= self.after:
+            raise RuntimeError("simulated worker crash")
+
+
+# checkpointed sink state is keyed by class name; a real SIGKILL leaves
+# ordinary observer state behind, so the crash shim must too
+_CrashingObserver.__name__ = "TuningObserver"
+
+
+class _CrashingObservation(RunObservation):
+    def __init__(self, crash_key: str, after: int):
+        super().__init__(enable_metrics=False, enable_trace=False)
+        self.crash_key = crash_key
+        self.after = after
+
+    def observer(self, key: str) -> TuningObserver:
+        if key == self.crash_key and key not in self._observers:
+            self._observers[key] = _CrashingObserver(self.after)
+        return super().observer(key)
+
+
+def _model():
+    b = GraphBuilder("fleet-prop")
+    b.input((1, 3, 16, 16))
+    b.conv2d("c1", 8, padding=(1, 1))
+    b.relu("r1")
+    b.conv2d("c2", 12, padding=(1, 1))
+    b.relu("r2")
+    b.flatten("f")
+    b.dense("fc", 10)
+    return b.graph
+
+
+def _compile(ckpt_dir, fault_rate, observation=None, resume=False):
+    compiler = DeploymentCompiler(_model(), env_seed=123)
+    store = RecordStore()
+    faults = (
+        FaultModel(rate=fault_rate, seed=5) if fault_rate > 0 else None
+    )
+    compiler.tune(
+        "random",
+        n_trial=12,
+        early_stopping=None,
+        tuner_kwargs=dict(batch_size=4),
+        record_store=store,
+        faults=faults,
+        checkpoint_dir=ckpt_dir,
+        resume=resume,
+        observation=observation,
+        fleet="gtx1080ti,titanv",
+        fleet_jobs=2,
+    )
+    summaries = None
+    if observation is not None:
+        summaries = {
+            key: observation.observer(key).summary().deterministic_dict()
+            for key in observation.keys()
+        }
+    return [json.loads(r.to_json()) for r in store], summaries
+
+
+class TestCompilerCrashResume:
+    @COMPILE_PROPERTY
+    @given(
+        crash_task=st.integers(min_value=0, max_value=1),
+        # a 12-trial run emits comfortably more than 10 events, so the
+        # crash always fires, anywhere from the step-0 checkpoint on
+        after=st.integers(min_value=1, max_value=10),
+        fault_rate=st.sampled_from([0.0, 0.3]),
+    )
+    def test_fleet_resume_bit_identical(
+        self, tmp_path_factory, crash_task, after, fault_rate
+    ):
+        tmp = tmp_path_factory.mktemp("fleet-crash")
+        baseline = _compile(
+            tmp / "base", fault_rate,
+            observation=RunObservation(
+                enable_metrics=False, enable_trace=False
+            ),
+        )
+        crash_key = f"task-{crash_task:03d}"
+        crashing = _CrashingObservation(crash_key, after)
+        with pytest.raises(FleetError) as excinfo:
+            _compile(tmp / "run", fault_rate, observation=crashing)
+        assert crash_key in excinfo.value.failures
+        # the interrupted run left per-device checkpoint files behind
+        assert list((tmp / "run").glob("device-*/task-*")), (
+            "no checkpoint files survived the crash"
+        )
+        resumed = _compile(
+            tmp / "run", fault_rate,
+            observation=RunObservation(
+                enable_metrics=False, enable_trace=False
+            ),
+            resume=True,
+        )
+        assert resumed == baseline

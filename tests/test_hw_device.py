@@ -4,7 +4,32 @@ import dataclasses
 
 import pytest
 
-from repro.hardware.device import GTX_1080_TI, JETSON_TX2, TESLA_V100, GpuDevice
+from repro.hardware.cost_model import AnalyticalGpuModel
+from repro.hardware.device import (
+    DEVICE_PRESETS,
+    GTX_1080_TI,
+    JETSON_TX2,
+    TESLA_V100,
+    TITAN_V,
+    GpuDevice,
+    device_preset,
+)
+from repro.nn.workloads import Conv2DWorkload
+
+#: every strictly-positive numeric field of the device model
+NUMERIC_FIELDS = (
+    "num_sms",
+    "peak_gflops",
+    "mem_bandwidth_gbs",
+    "max_threads_per_sm",
+    "max_threads_per_block",
+    "max_blocks_per_sm",
+    "shared_mem_per_sm",
+    "shared_mem_per_block",
+    "registers_per_sm",
+    "max_registers_per_thread",
+    "warp_size",
+)
 
 
 class TestPresets:
@@ -34,6 +59,14 @@ class TestValidation:
             GpuDevice(name="bad", num_sms=0, peak_gflops=1.0,
                       mem_bandwidth_gbs=1.0)
 
+    @pytest.mark.parametrize("field", NUMERIC_FIELDS)
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_rejects_each_nonpositive_field(self, field, bad):
+        kwargs = {f: getattr(GTX_1080_TI, f) for f in NUMERIC_FIELDS}
+        kwargs[field] = bad
+        with pytest.raises(ValueError, match=field):
+            GpuDevice(name="bad", **kwargs)
+
     def test_rejects_bad_cache_factor(self):
         with pytest.raises(ValueError):
             GpuDevice(
@@ -43,3 +76,79 @@ class TestValidation:
                 mem_bandwidth_gbs=1.0,
                 cache_factor=1.5,
             )
+
+    def test_rejects_zero_cache_factor(self):
+        with pytest.raises(ValueError):
+            GpuDevice(name="bad", num_sms=1, peak_gflops=1.0,
+                      mem_bandwidth_gbs=1.0, cache_factor=0.0)
+
+
+class TestTitanV:
+    def test_spec(self):
+        assert TITAN_V.num_sms == 80
+        assert TITAN_V.peak_gflops == pytest.approx(14900.0)
+        assert TITAN_V.mem_bandwidth_gbs == pytest.approx(652.8)
+
+    def test_sits_between_1080ti_and_nothing(self):
+        assert TITAN_V.peak_gflops > GTX_1080_TI.peak_gflops
+        assert TITAN_V.mem_bandwidth_gbs > GTX_1080_TI.mem_bandwidth_gbs
+
+
+class TestPresetRegistry:
+    def test_known_handles(self):
+        assert device_preset("gtx1080ti") is GTX_1080_TI
+        assert device_preset("titanv") is TITAN_V
+        assert device_preset("v100") is TESLA_V100
+        assert device_preset("tx2") is JETSON_TX2
+
+    def test_normalization(self):
+        assert device_preset("GTX-1080-Ti") is GTX_1080_TI
+        assert device_preset("Titan V") is TITAN_V
+
+    def test_full_name_lookup(self):
+        assert device_preset("GeForce GTX 1080 Ti") is GTX_1080_TI
+        assert device_preset("Tesla V100") is TESLA_V100
+
+    def test_unknown_raises_with_known_list(self):
+        with pytest.raises(ValueError, match="gtx1080ti"):
+            device_preset("gtx9999")
+
+    def test_registry_values_are_valid_devices(self):
+        for handle, dev in DEVICE_PRESETS.items():
+            assert isinstance(dev, GpuDevice), handle
+
+
+class TestHeterogeneousCostModelPinning:
+    """Pin the analytical model's throughput on each preset.
+
+    A fleet mixes presets, so drift in any preset's simulated
+    throughput silently changes heterogeneous experiments; these values
+    were recorded from the released model (6 decimals) and must only
+    change with a deliberate model revision.
+    """
+
+    WORKLOAD = Conv2DWorkload(1, 64, 64, 56, 56, 3, 3, pad_h=1, pad_w=1)
+    CONFIG = {
+        "tile_f": (2, 2, 16, 1),
+        "tile_y": (4, 1, 7, 2),
+        "tile_x": (7, 1, 8, 1),
+        "tile_rc": (8, 8),
+        "tile_ry": (1, 3),
+        "tile_rx": (1, 3),
+        "auto_unroll_max_step": 512,
+        "unroll_explicit": 1,
+    }
+    PINNED_GFLOPS = {
+        "gtx1080ti": 7676.98779,
+        "teslav100": 5084.082529,
+        "jetsontx2": 526.907898,
+        "titanv": 5302.121958,
+    }
+
+    @pytest.mark.parametrize("handle", sorted(PINNED_GFLOPS))
+    def test_pinned_throughput(self, handle):
+        model = AnalyticalGpuModel(device_preset(handle))
+        profile = model.profile(self.WORKLOAD, self.CONFIG)
+        assert profile.gflops == pytest.approx(
+            self.PINNED_GFLOPS[handle], abs=1e-6
+        )
