@@ -24,13 +24,14 @@ MODULES = [
     "repro.core.ted", "repro.core.bted", "repro.core.bootstrap",
     "repro.core.bao", "repro.core.tuner", "repro.core.tuners",
     "repro.core.callbacks", "repro.core.events",
+    "repro.tlog.signature", "repro.tlog.db", "repro.tlog.warm",
     "repro.pipeline.tasks", "repro.pipeline.records",
     "repro.pipeline.compiler",
     "repro.experiments.settings", "repro.experiments.runner",
     "repro.experiments.engine", "repro.experiments.fig4",
     "repro.experiments.fig5", "repro.experiments.table1",
     "repro.experiments.ablation", "repro.experiments.analysis",
-    "repro.experiments.report",
+    "repro.experiments.report", "repro.experiments.transfer",
     "repro.utils.rng", "repro.utils.mathx", "repro.utils.plot",
 ]
 

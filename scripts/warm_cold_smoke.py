@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""Warm-vs-cold smoke test: tune sibling tasks twice, assert transfer.
+
+The unit tests pin the tuning-log contracts piecewise; this script
+exercises the whole loop the way a user would.  It runs the three-pass
+warm-vs-cold study (:func:`repro.experiments.transfer.run_warm_cold`)
+on the first few tasks of a zoo model with a persistent
+:class:`~repro.tlog.TuningLogDB`:
+
+1. **cold** — tune from scratch, recording into the log;
+2. **warm** — tune again with ``--warm-start`` (hit-serving disabled)
+   so each task seeds from its own cold history;
+3. **hits** — tune once more normally: every task must resolve to an
+   exact signature hit and finish with zero measurements.
+
+It then asserts the transfer actually paid off: at least one exact hit
+(expected: all tasks), zero measurements spent by the hit pass, no
+task slower warm than cold, and at least one task reaching 95% of the
+cold best in strictly fewer measurements.  The tuning-log directory is
+left behind (``--tlog-dir``) so CI can upload the index as an
+artifact.
+
+Run directly (used by CI)::
+
+    python scripts/warm_cold_smoke.py [--model alexnet] [--n-trial 64]
+
+Exit code 0 means the warm-start contract held.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.experiments.transfer import run_warm_cold  # noqa: E402
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--model", default="alexnet")
+    parser.add_argument("--arm", default="bted")
+    parser.add_argument("--n-trial", type=int, default=64)
+    parser.add_argument("--max-tasks", type=int, default=2,
+                        help="number of sibling tasks to tune")
+    parser.add_argument("--tlog-dir", default="warm-cold-tlog",
+                        help="tuning-log directory, kept after the run "
+                             "(its index.json is a CI artifact)")
+    args = parser.parse_args()
+
+    print(f"[1/2] three-pass warm-vs-cold study: {args.model} / "
+          f"{args.arm}, first {args.max_tasks} tasks, "
+          f"{args.n_trial} trials each")
+    result = run_warm_cold(
+        model_name=args.model,
+        tuner_name=args.arm,
+        n_trial=args.n_trial,
+        max_tasks=args.max_tasks,
+        tlog_dir=args.tlog_dir,
+    )
+    print(result.report())
+
+    print("[2/2] checking the warm-start contract")
+    failures = []
+    if result.num_hits < 1:
+        failures.append(
+            f"expected >=1 exact hit on the replay pass, got "
+            f"{result.num_hits} (statuses: {result.hit_status})"
+        )
+    if result.hit_measurements != 0:
+        failures.append(
+            f"hit-serving pass spent {result.hit_measurements} "
+            f"measurements; exact hits must cost zero"
+        )
+    for task_id in result.task_ids:
+        cold, warm = result.cold_to95[task_id], result.warm_to95[task_id]
+        if warm is None or (cold is not None and warm > cold):
+            failures.append(
+                f"task {task_id}: warm pass needed {warm} measurements "
+                f"to reach 95% of the cold best vs {cold} cold"
+            )
+    if not result.warm_faster_tasks():
+        failures.append(
+            "no task reached 95% of the cold best in strictly fewer "
+            "measurements when warm-started"
+        )
+
+    index = Path(args.tlog_dir) / "index.json"
+    if not index.exists():
+        failures.append(f"tuning-log index missing at {index}")
+    else:
+        doc = json.loads(index.read_text())
+        print(f"tuning log: version {doc.get('version')}, "
+              f"{len(doc.get('segments', {}))} task segments at "
+              f"{args.tlog_dir}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+
+    reduction = result.mean_reduction_pct()
+    print(f"OK: {result.num_hits}/{len(result.task_ids)} exact hits at "
+          f"zero measurement cost; "
+          f"{len(result.warm_faster_tasks())}/{len(result.task_ids)} "
+          f"tasks strictly faster warm "
+          f"(avg -{reduction:.1f}% measurements to 95%)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

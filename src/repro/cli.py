@@ -9,6 +9,10 @@ Exposes the main workflows without writing Python::
     python -m repro experiment fig4 --scale 0.1    # regenerate a figure
     python -m repro fleet --model squeezenet-v1.1 \
         --devices gtx1080ti,gtx1080ti,titanv       # multi-device tuning
+    python -m repro tune --model squeezenet-v1.1 \
+        --tlog-dir tlog --warm-start               # cross-run transfer
+    python -m repro compile --model squeezenet-v1.1 \
+        --tlog-dir tlog                            # deploy from the log
 """
 
 from __future__ import annotations
@@ -112,6 +116,9 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         checkpoint_dir=args.checkpoint_dir,
         resume=args.resume,
         observation=observation,
+        tlog=args.tlog_dir,
+        warm_start=args.warm_start,
+        warm_k=args.warm_k,
     )
     if cache is not None:
         cache.save()
@@ -131,9 +138,32 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     print(f"{args.model} via {args.arm}:")
     print(f"  latency  : {sample.mean_ms:.4f} ms (mean of {args.runs} runs)")
     print(f"  variance : {sample.variance:.6f}")
+    if args.tlog_dir:
+        counts = compiled.tlog_counts()
+        print(
+            f"  tlog     : {counts['hit']} hits / {counts['warm']} warm / "
+            f"{counts['cold']} cold -> {args.tlog_dir}"
+        )
     if store is not None:
         store.save(args.records)
         print(f"  records  : {len(store)} -> {args.records}")
+    return 0
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    enable_console_logging()
+    graph = build_model(args.model)
+    compiler = DeploymentCompiler(graph, env_seed=args.env_seed)
+    compiled = compiler.compile_from_tlog(args.tlog_dir)
+    counts = compiled.tlog_counts()
+    sample = compiled.measure_latency(num_runs=args.runs, seed=args.seed)
+    print(f"{args.model} from tuning log {args.tlog_dir}:")
+    print(
+        f"  tasks    : {counts['hit']} from log, "
+        f"{counts['cold']} default schedule"
+    )
+    print(f"  latency  : {sample.mean_ms:.4f} ms (mean of {args.runs} runs)")
+    print(f"  variance : {sample.variance:.6f}")
     return 0
 
 
@@ -186,6 +216,9 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             observation=observation,
             fleet=fleet,
             fleet_jobs=args.jobs,
+            tlog=args.tlog_dir,
+            warm_start=args.warm_start,
+            warm_k=args.warm_k,
         )
     except FleetError as exc:
         print(f"fleet aborted: {exc}", file=sys.stderr)
@@ -228,6 +261,12 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     sample = compiled.measure_latency(num_runs=args.runs, seed=args.seed)
     print(f"  latency  : {sample.mean_ms:.4f} ms (mean of {args.runs} runs)")
     print(f"  variance : {sample.variance:.6f}")
+    if args.tlog_dir:
+        counts = compiled.tlog_counts()
+        print(
+            f"  tlog     : {counts['hit']} hits / {counts['warm']} warm / "
+            f"{counts['cold']} cold -> {args.tlog_dir}"
+        )
     if store is not None:
         store.save(args.records)
         print(f"  records  : {len(store)} -> {args.records}")
@@ -264,6 +303,19 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             fleet=args.fleet,
         )
         print(result.report())
+    elif args.which == "warmcold":
+        from repro.experiments.transfer import run_warm_cold
+
+        result = run_warm_cold(
+            model_name=args.model,
+            tuner_name=args.arm,
+            n_trial=max(64, settings.n_trial),
+            env_seed=settings.env_seed,
+            max_tasks=args.max_tasks,
+            tlog_dir=args.tlog_dir,
+            warm_k=args.warm_k,
+        )
+        print(result.report())
     else:
         from repro.experiments.table1 import run_table1
 
@@ -286,6 +338,22 @@ def _cmd_report(args: argparse.Namespace) -> int:
     else:
         print(build_report(args.results))
     return 0
+
+
+def _add_tlog_args(parser: argparse.ArgumentParser) -> None:
+    """The cross-run tuning-log flags shared by tuning subcommands."""
+    parser.add_argument("--tlog-dir", default=None,
+                        help="consult and grow a cross-run tuning-log "
+                             "database in this directory: exact-signature "
+                             "tasks are served with zero measurements and "
+                             "finished tasks are recorded for later runs")
+    parser.add_argument("--warm-start", action="store_true",
+                        help="seed each task's search from the nearest "
+                             "transferable tasks in --tlog-dir "
+                             "(no effect without --tlog-dir)")
+    parser.add_argument("--warm-k", type=int, default=16,
+                        help="prior configurations injected per "
+                             "warm-started task (default: 16)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -355,7 +423,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_tune.add_argument("--summary", default=None,
                         help="write the per-run RunSummary JSON (best curve, "
                              "time breakdown, fault counts) here")
+    _add_tlog_args(p_tune)
     p_tune.set_defaults(func=_cmd_tune)
+
+    p_compile = sub.add_parser(
+        "compile",
+        help="deploy a model straight from a tuning-log database "
+             "(no tuning, no measurements)",
+    )
+    p_compile.add_argument("--model", required=True,
+                           choices=sorted(MODEL_BUILDERS))
+    p_compile.add_argument("--tlog-dir", required=True,
+                           help="tuning-log database to deploy from")
+    p_compile.add_argument("--runs", type=int, default=600,
+                           help="timed end-to-end runs")
+    p_compile.add_argument("--seed", type=int, default=0)
+    p_compile.add_argument("--env-seed", type=int, default=2021)
+    p_compile.set_defaults(func=_cmd_compile)
 
     p_fleet = sub.add_parser(
         "fleet",
@@ -403,10 +487,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_fleet.add_argument("--summary-dir", default=None,
                          help="write one RunSummary file per device plus "
                               "the fleet-aggregated summary.json here")
+    _add_tlog_args(p_fleet)
     p_fleet.set_defaults(func=_cmd_fleet)
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper result")
-    p_exp.add_argument("which", choices=["fig4", "fig5", "table1"])
+    p_exp.add_argument(
+        "which", choices=["fig4", "fig5", "table1", "warmcold"]
+    )
     p_exp.add_argument("--scale", type=float, default=0.1,
                        help="budget scale in (0, 1]; 1.0 = paper protocol")
     p_exp.add_argument("--max-tasks", type=int, default=None,
@@ -427,6 +514,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="shard cells across a simulated device fleet "
                             "(comma-separated presets; results identical "
                             "to the serial run)")
+    p_exp.add_argument("--model", default="mobilenet-v1",
+                       choices=sorted(MODEL_BUILDERS),
+                       help="warmcold only: model to study")
+    p_exp.add_argument("--arm", default="bted",
+                       choices=sorted(TUNER_REGISTRY),
+                       help="warmcold only: tuning arm")
+    p_exp.add_argument("--tlog-dir", default=None,
+                       help="warmcold only: persist the study's tuning log "
+                            "here (default: temporary)")
+    p_exp.add_argument("--warm-k", type=int, default=16,
+                       help="warmcold only: prior configurations injected "
+                            "per warm-started task")
     p_exp.set_defaults(func=_cmd_experiment)
 
     p_report = sub.add_parser(

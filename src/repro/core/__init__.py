@@ -29,8 +29,10 @@ from repro.core.events import (
     MeasurementRetried,
     ScopeWidened,
     SpaceExhausted,
+    TlogExactHit,
     TuningEvent,
     TuningResumed,
+    WarmStarted,
 )
 from repro.core.tuner import Tuner, TrialRecord, TuningResult, EarlyStopper
 from repro.core.tuners.random import RandomTuner
@@ -81,6 +83,8 @@ __all__ = [
     "MeasurementFailed",
     "CheckpointSaved",
     "TuningResumed",
+    "WarmStarted",
+    "TlogExactHit",
     "EventLog",
     "TuningCheckpoint",
     "CheckpointPolicy",

@@ -33,6 +33,7 @@ from typing import AbstractSet, List, Optional, Union
 import numpy as np
 
 from repro.core.bootstrap import BootstrapEnsemble, ModelFactory
+from repro.learning.transfer import TransferHistory
 from repro.space.neighborhood import sample_neighborhood
 from repro.space.space import ConfigSpace
 from repro.utils.rng import RngPool
@@ -111,9 +112,13 @@ class BaoOptimizer:
         settings: BaoSettings = BaoSettings(),
         seed: int = 0,
         model_factory: Optional[ModelFactory] = None,
+        transfer: Optional[TransferHistory] = None,
     ):
         self.space = space
         self.settings = settings
+        #: discounted prior measurements mixed into every ensemble refit
+        #: (``None`` — the default — keeps the historical cold-fit path)
+        self.transfer = transfer
         self._pool = RngPool(seed).child("bao")
         self._ensemble = BootstrapEnsemble(
             gamma=settings.gamma,
@@ -214,7 +219,7 @@ class BaoOptimizer:
             not self._ensemble.is_fitted
             or (self._step - 1) % settings.refit_interval == 0
         ):
-            self._ensemble.fit(measured_features, measured_scores)
+            self._fit_ensemble(measured_features, measured_scores)
 
         feats = self.space.feature_matrix(candidates)
         scores = self._ensemble.predict_sum(feats)
@@ -225,6 +230,27 @@ class BaoOptimizer:
                 * self._ensemble.predict_std(feats)
             )
         return candidates, scores
+
+    def _fit_ensemble(
+        self, measured_features: np.ndarray, measured_scores: np.ndarray
+    ) -> None:
+        """Refit the bootstrap ensemble on the measured set.
+
+        With a :class:`TransferHistory` attached, prior-task rows (same
+        feature dimension, normalized targets, discounted weight) are
+        mixed in, so the acquisition starts informed instead of cold.
+        Without one, this is exactly the historical unweighted fit.
+        """
+        if self.transfer is not None and len(self.transfer):
+            Xm, ym, wm = self.transfer.training_data(
+                self.space.feature_dim,
+                current_features=measured_features,
+                current_targets=measured_scores,
+            )
+            if len(ym) > len(measured_scores):
+                self._ensemble.fit(Xm, ym, sample_weight=wm)
+                return
+        self._ensemble.fit(measured_features, measured_scores)
 
     def propose(
         self,

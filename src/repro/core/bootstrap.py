@@ -127,12 +127,28 @@ class BootstrapEnsemble:
         _, edges = bin_features(X, n_bins=model.n_bins)
         return edges
 
-    def fit(self, X: np.ndarray, y: np.ndarray) -> "BootstrapEnsemble":
-        """Resample ``(X, y)`` Gamma times and fit one model each."""
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        sample_weight: Optional[np.ndarray] = None,
+    ) -> "BootstrapEnsemble":
+        """Resample ``(X, y)`` Gamma times and fit one model each.
+
+        ``sample_weight`` (optional, same length as ``y``) is carried
+        through each bootstrap resample to the member fits — the
+        transfer-learning path discounts history rows this way.  With
+        ``sample_weight=None`` the fit is bit-identical to the
+        historical unweighted behaviour.
+        """
         X = np.asarray(X, dtype=np.float64)
         y = np.asarray(y, dtype=np.float64)
         if X.ndim != 2 or y.shape != (X.shape[0],):
             raise ValueError("X must be (n, d) and y (n,)")
+        if sample_weight is not None:
+            sample_weight = np.asarray(sample_weight, dtype=np.float64)
+            if sample_weight.shape != y.shape:
+                raise ValueError("sample_weight must match y in length")
         n = len(y)
         if n == 0:
             raise ValueError("cannot fit on an empty measured set")
@@ -140,6 +156,10 @@ class BootstrapEnsemble:
         timed = refit_hooks_active()
         start = time.perf_counter() if timed else 0.0
         if self.fit_jobs is not None and self.fit_jobs > 1 and self.gamma > 1:
+            if sample_weight is not None:
+                raise ValueError(
+                    "sample_weight is not supported with parallel fit_jobs"
+                )
             self._fit_parallel(X, y)
             if timed:
                 notify_refit(n, time.perf_counter() - start, "ensemble")
@@ -154,7 +174,10 @@ class BootstrapEnsemble:
                     shared_edges = self._shared_edges(model, X)
                 if shared_edges is not None:
                     model.bin_edges = shared_edges
-            model.fit(X[rows], y[rows])
+            if sample_weight is None:
+                model.fit(X[rows], y[rows])
+            else:
+                model.fit(X[rows], y[rows], sample_weight=sample_weight[rows])
             self._models.append(model)
         if timed:
             notify_refit(n, time.perf_counter() - start, "ensemble")

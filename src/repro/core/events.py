@@ -152,6 +152,29 @@ class TuningResumed(TuningEvent):
     restored_records: int
 
 
+@dataclass(frozen=True)
+class WarmStarted(TuningEvent):
+    """Prior tuning-log configs were injected into the initial batch."""
+
+    #: configs from the warm-start plan that made it into the batch
+    injected: int
+    #: ``"exact"`` or ``"similar"`` — provenance of the top source
+    source: str
+    #: prior samples available for cost-model pretraining
+    history_samples: int = 0
+
+
+@dataclass(frozen=True)
+class TlogExactHit(TuningEvent):
+    """The tuning log served this task without a single measurement."""
+
+    #: signature key of the matching segment
+    signature_key: str
+    #: records replayed from the log
+    records: int
+    best_gflops: float = 0.0
+
+
 #: the ``on_event`` callback signature
 EventCallback = Callable[[object, TuningEvent], None]
 

@@ -21,7 +21,19 @@ import pickle
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Set, Union
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Union,
+)
+
+if TYPE_CHECKING:  # structural only; core never imports repro.tlog at runtime
+    from repro.tlog.warm import WarmStartPlan
 
 import numpy as np
 
@@ -44,6 +56,7 @@ from repro.core.events import (
     SpaceExhausted,
     TuningEvent,
     TuningResumed,
+    WarmStarted,
 )
 from repro.hardware.executor import (
     ExecutorSpec,
@@ -211,6 +224,16 @@ class Tuner:
     factory, or a ready executor instance.  The default is resolved
     lazily against :attr:`measurer` at each :meth:`tune` call, so tests
     that swap the measurer keep working.
+
+    ``warm_start`` (a :class:`~repro.tlog.WarmStartPlan`, default off)
+    injects prior tuning-log configurations at the head of the
+    initialization batch; subclasses with cost models additionally
+    pretrain from the plan's :class:`~repro.learning.transfer.\
+TransferHistory`.  The injection happens once, inside the
+    initialization step, so it is checkpoint/resume-safe by
+    construction (a resumed run never regenerates the initial batch).
+    With ``warm_start=None`` the tuner is bit-identical to a build
+    without warm-start support.
     """
 
     name = "base"
@@ -222,12 +245,14 @@ class Tuner:
         batch_size: int = 64,
         measure_repeats: int = 3,
         executor: ExecutorSpec = None,
+        warm_start: Optional["WarmStartPlan"] = None,
     ):
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
         self.task = task
         self.seed = int(seed)
         self.batch_size = batch_size
+        self.warm_start = warm_start
         self.rng_pool = RngPool(self.seed).child(f"tuner-{self.name}")
         self.measurer = Measurer(
             task, seed=self.rng_pool.seed_for("measure"), repeats=measure_repeats
@@ -317,6 +342,53 @@ class Tuner:
             seen.add(idx)
             out.append(idx)
         return out
+
+    def _inject_warm_start(self, initial: Sequence[int]) -> List[int]:
+        """Put warm-start plan configs at the head of the initial batch.
+
+        The batch size stays what the arm proposed: ``k`` seeded configs
+        displace the last ``k`` arm proposals, so a warm run spends the
+        same initialization budget as a cold one (HW-aware-init style).
+        A ``None`` plan returns the batch untouched — the cold path is
+        byte-for-byte the pre-warm-start behaviour.
+        """
+        plan = self.warm_start
+        if plan is None:
+            return list(initial)
+        space_size = len(self.task.space)
+        seeds: List[int] = []
+        seen: Set[int] = set()
+        for idx in plan.configs:
+            idx = int(idx)
+            if not 0 <= idx < space_size:
+                raise ValueError(
+                    f"warm-start config {idx} out of range for a space of "
+                    f"size {space_size}; was the plan built for a "
+                    "different task?"
+                )
+            if idx not in seen:
+                seen.add(idx)
+                seeds.append(idx)
+        if not seeds:
+            return list(initial)
+        budget = max(len(initial), len(seeds))
+        batch = list(seeds)
+        for idx in initial:
+            if len(batch) >= budget:
+                break
+            idx = int(idx)
+            if idx not in seen:
+                seen.add(idx)
+                batch.append(idx)
+        self._queue_event(
+            WarmStarted(
+                step=0,
+                injected=len(seeds),
+                source=getattr(plan, "source", "similar"),
+                history_samples=getattr(plan, "history_samples", 0),
+            )
+        )
+        return batch
 
     def _random_unvisited(self, n: int) -> List[int]:
         """Fallback proposals: random configs not measured yet."""
@@ -461,7 +533,9 @@ class Tuner:
             while not stop and len(records) < n_trial:
                 proposal_start = time.perf_counter()
                 if not initialized:
-                    batch = self._filter_unvisited(self._generate_initial())
+                    batch = self._filter_unvisited(
+                        self._inject_warm_start(self._generate_initial())
+                    )
                     initialized = True
                     self._flush_policy_events()
                     if not batch:

@@ -38,9 +38,11 @@ class AutoTVMTuner(Tuner):
         sa_steps: int = 120,
         transfer: Optional[TransferHistory] = None,
         executor: ExecutorSpec = None,
+        warm_start=None,
     ):
         super().__init__(
-            task, seed=seed, batch_size=batch_size, executor=executor
+            task, seed=seed, batch_size=batch_size, executor=executor,
+            warm_start=warm_start,
         )
         if init_size <= 0:
             raise ValueError("init_size must be positive")
@@ -50,6 +52,10 @@ class AutoTVMTuner(Tuner):
         self.epsilon_greedy = epsilon_greedy
         self.sa_chains = sa_chains
         self.sa_steps = sa_steps
+        # a warm-start plan's discounted history pretrains the cost
+        # model unless the caller wired an explicit TransferHistory
+        if transfer is None and warm_start is not None:
+            transfer = getattr(warm_start, "history", None)
         self.transfer = transfer
         self._round = 0
 

@@ -37,6 +37,7 @@ class BTEDTuner(AutoTVMTuner):
         transfer: Optional[TransferHistory] = None,
         executor: ExecutorSpec = None,
         ted_method: str = "exact",
+        warm_start=None,
     ):
         super().__init__(
             task,
@@ -48,6 +49,7 @@ class BTEDTuner(AutoTVMTuner):
             sa_steps=sa_steps,
             transfer=transfer,
             executor=executor,
+            warm_start=warm_start,
         )
         self.mu = mu
         self.batch_candidates = batch_candidates

@@ -37,6 +37,7 @@ class BTEDBAOTuner(Tuner):
         measure_batch_size: int = 1,
         executor: ExecutorSpec = None,
         ted_method: str = "exact",
+        warm_start=None,
     ):
         # BAO deploys one configuration per iteration (Alg. 4 line 10-11);
         # measure_batch_size > 1 enables the parallel-measurement
@@ -44,7 +45,8 @@ class BTEDBAOTuner(Tuner):
         if measure_batch_size < 1:
             raise ValueError("measure_batch_size must be >= 1")
         super().__init__(
-            task, seed=seed, batch_size=measure_batch_size, executor=executor
+            task, seed=seed, batch_size=measure_batch_size,
+            executor=executor, warm_start=warm_start,
         )
         if init_size <= 0:
             raise ValueError("init_size must be positive")
@@ -58,6 +60,10 @@ class BTEDBAOTuner(Tuner):
             settings=bao_settings,
             seed=self.rng_pool.seed_for("bao"),
             model_factory=model_factory,
+            transfer=(
+                getattr(warm_start, "history", None)
+                if warm_start is not None else None
+            ),
         )
 
     def _generate_initial(self) -> List[int]:

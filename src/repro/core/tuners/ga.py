@@ -31,9 +31,11 @@ class GATuner(Tuner):
         elite_fraction: float = 0.25,
         mutation_prob: float = 0.1,
         executor: ExecutorSpec = None,
+        warm_start=None,
     ):
         super().__init__(
-            task, seed=seed, batch_size=population_size, executor=executor
+            task, seed=seed, batch_size=population_size, executor=executor,
+            warm_start=warm_start,
         )
         if population_size < 4:
             raise ValueError("population_size must be >= 4")

@@ -26,9 +26,11 @@ class GridTuner(Tuner):
         batch_size: int = 64,
         planned_trials: int = 2048,
         executor: ExecutorSpec = None,
+        warm_start=None,
     ):
         super().__init__(
-            task, seed=seed, batch_size=batch_size, executor=executor
+            task, seed=seed, batch_size=batch_size, executor=executor,
+            warm_start=warm_start,
         )
         if planned_trials <= 0:
             raise ValueError("planned_trials must be positive")

@@ -20,9 +20,11 @@ class RandomTuner(Tuner):
         seed: int = 0,
         batch_size: int = 64,
         executor: ExecutorSpec = None,
+        warm_start=None,
     ):
         super().__init__(
-            task, seed=seed, batch_size=batch_size, executor=executor
+            task, seed=seed, batch_size=batch_size, executor=executor,
+            warm_start=warm_start,
         )
 
     def _generate_initial(self) -> List[int]:

@@ -9,6 +9,8 @@
   the five models (Table I).
 * :mod:`repro.experiments.ablation` — design-choice ablations (batch
   count B, ensemble size Gamma, adaptive radius, TED vs random init).
+* :mod:`repro.experiments.transfer` — warm-vs-cold study over the
+  cross-run tuning log (:mod:`repro.tlog`).
 """
 
 from repro.experiments.settings import ExperimentSettings, PAPER_SETTINGS, ARMS
@@ -28,6 +30,11 @@ from repro.experiments.analysis import (
     time_to_fraction,
 )
 from repro.experiments.report import build_report, summarize_results_dir
+from repro.experiments.transfer import (
+    WarmColdResult,
+    measurements_to_target,
+    run_warm_cold,
+)
 
 __all__ = [
     "ExperimentSettings",
@@ -50,4 +57,7 @@ __all__ = [
     "time_to_fraction",
     "build_report",
     "summarize_results_dir",
+    "WarmColdResult",
+    "measurements_to_target",
+    "run_warm_cold",
 ]

@@ -1,0 +1,203 @@
+"""Warm-vs-cold transfer study over the cross-run tuning log.
+
+Quantifies what :mod:`repro.tlog` buys on a model zoo member with three
+passes over the *same* tasks (same ``env_seed``, so the optimization
+problems are identical):
+
+1. **cold** — tune from scratch while recording every measurement into
+   a fresh :class:`~repro.tlog.TuningLogDB`.
+2. **warm** — tune again with ``warm_start=True`` but hit-serving
+   disabled, so every task seeds its initial batch (and its cost
+   model's :class:`~repro.learning.transfer.TransferHistory`) from the
+   database instead of replaying it.
+3. **hits** — tune once more with hit-serving enabled: every task now
+   resolves to an exact signature hit and finishes with zero
+   measurements.
+
+The headline metric is measurements-to-95%: how many measurements each
+pass needs before reaching 95% of the *cold* pass's best GFLOPS.  The
+warm pass injects the cold incumbent among its seed configurations, so
+it reaches the target within its first batch — strictly fewer
+measurements than the cold search on any task the cold pass did not
+solve immediately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from tempfile import TemporaryDirectory
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.experiments.runner import format_table
+from repro.hardware.device import GTX_1080_TI, GpuDevice
+from repro.nn.zoo import build_model
+from repro.pipeline.compiler import DeploymentCompiler
+from repro.tlog import TuningLogDB
+from repro.utils.log import get_logger
+
+logger = get_logger("experiments.transfer")
+
+
+def measurements_to_target(
+    curve: np.ndarray, target: float
+) -> Optional[int]:
+    """First measurement count whose best-so-far reaches ``target``."""
+    curve = np.asarray(curve, dtype=np.float64)
+    if len(curve) == 0:
+        return None
+    hits = np.nonzero(curve >= target)[0]
+    if len(hits) == 0:
+        return None
+    return int(hits[0]) + 1
+
+
+@dataclass
+class WarmColdResult:
+    """Per-task warm-vs-cold outcomes of :func:`run_warm_cold`."""
+
+    model_name: str
+    tuner_name: str
+    task_ids: List[int]
+    cold_best: Dict[int, float]
+    warm_best: Dict[int, float]
+    #: measurements until 95% of the cold best (None = never reached)
+    cold_to95: Dict[int, Optional[int]]
+    warm_to95: Dict[int, Optional[int]]
+    #: third-pass tuning-log statuses (expected: all ``"hit"``)
+    hit_status: Dict[int, str] = field(default_factory=dict)
+    #: measurements spent by the third (hit-serving) pass
+    hit_measurements: int = 0
+
+    @property
+    def num_hits(self) -> int:
+        return sum(1 for s in self.hit_status.values() if s == "hit")
+
+    def warm_faster_tasks(self) -> List[int]:
+        """Tasks where warm start strictly reduced measurements-to-95%."""
+        out = []
+        for task_id in self.task_ids:
+            cold, warm = self.cold_to95[task_id], self.warm_to95[task_id]
+            if warm is not None and (cold is None or warm < cold):
+                out.append(task_id)
+        return out
+
+    def mean_reduction_pct(self) -> float:
+        """Average % reduction in measurements-to-95% (warm vs cold)."""
+        ratios = []
+        for task_id in self.task_ids:
+            cold, warm = self.cold_to95[task_id], self.warm_to95[task_id]
+            if cold is None or warm is None or cold == 0:
+                continue
+            ratios.append(100.0 * (cold - warm) / cold)
+        return float(np.mean(ratios)) if ratios else 0.0
+
+    def report(self) -> str:
+        headers = [
+            "task", "cold best", "warm best", "cold→95%", "warm→95%",
+            "pass3",
+        ]
+        rows: List[List[object]] = []
+        for task_id in self.task_ids:
+            rows.append([
+                f"T{task_id + 1}",
+                f"{self.cold_best[task_id]:.1f}",
+                f"{self.warm_best[task_id]:.1f}",
+                str(self.cold_to95[task_id]),
+                str(self.warm_to95[task_id]),
+                self.hit_status.get(task_id, "-"),
+            ])
+        title = (
+            f"Warm-vs-cold transfer — {self.model_name} / "
+            f"{self.tuner_name}: {len(self.warm_faster_tasks())}/"
+            f"{len(self.task_ids)} tasks faster warm "
+            f"(avg -{self.mean_reduction_pct():.1f}% measurements), "
+            f"{self.num_hits} exact hits in pass 3 "
+            f"({self.hit_measurements} measurements)\n"
+        )
+        return title + format_table(headers, rows)
+
+
+def run_warm_cold(
+    model_name: str = "mobilenet-v1",
+    tuner_name: str = "bted",
+    n_trial: int = 256,
+    early_stopping: Optional[int] = None,
+    trial_seed: int = 0,
+    env_seed: int = 0,
+    device: GpuDevice = GTX_1080_TI,
+    max_tasks: Optional[int] = None,
+    tlog_dir: Optional[Union[str, Path]] = None,
+    warm_k: int = 16,
+) -> WarmColdResult:
+    """Run the three-pass warm-vs-cold study on one model.
+
+    ``tlog_dir`` persists the tuning log between passes (and after the
+    study — useful for inspecting the index); by default a temporary
+    directory is used and discarded.  ``max_tasks`` truncates the task
+    list for CI-speed runs.
+    """
+    graph = build_model(model_name)
+    compiler = DeploymentCompiler(graph, device=device, env_seed=env_seed)
+    if max_tasks is not None:
+        compiler.tasks = compiler.tasks[:max_tasks]
+    task_ids = [spec.task_id for spec in compiler.tasks]
+
+    tmp: Optional[TemporaryDirectory] = None
+    if tlog_dir is None:
+        tmp = TemporaryDirectory(prefix="repro-tlog-")
+        tlog_dir = tmp.name
+    try:
+        db = TuningLogDB(tlog_dir)
+
+        logger.info("pass 1/3 (cold): %s via %s", model_name, tuner_name)
+        cold = compiler.tune(
+            tuner_name, n_trial=n_trial, early_stopping=early_stopping,
+            trial_seed=trial_seed, tlog=db,
+        )
+        logger.info("pass 2/3 (warm): seeding from %d tasks", len(db))
+        warm = compiler.tune(
+            tuner_name, n_trial=n_trial, early_stopping=early_stopping,
+            trial_seed=trial_seed + 1, tlog=db,
+            warm_start=True, serve_hits=False, warm_k=warm_k,
+        )
+        logger.info("pass 3/3 (hits): replaying exact signatures")
+        hits = compiler.tune(
+            tuner_name, n_trial=n_trial, early_stopping=early_stopping,
+            trial_seed=trial_seed + 2, tlog=db,
+        )
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
+
+    cold_best: Dict[int, float] = {}
+    warm_best: Dict[int, float] = {}
+    cold_to95: Dict[int, Optional[int]] = {}
+    warm_to95: Dict[int, Optional[int]] = {}
+    for task_id in task_ids:
+        c = cold.tuning_results[task_id]
+        w = warm.tuning_results[task_id]
+        cold_best[task_id] = c.best_gflops
+        warm_best[task_id] = w.best_gflops
+        target = 0.95 * c.best_gflops
+        cold_to95[task_id] = measurements_to_target(c.best_curve(), target)
+        warm_to95[task_id] = measurements_to_target(w.best_curve(), target)
+
+    return WarmColdResult(
+        model_name=model_name,
+        tuner_name=tuner_name,
+        task_ids=task_ids,
+        cold_best=cold_best,
+        warm_best=warm_best,
+        cold_to95=cold_to95,
+        warm_to95=warm_to95,
+        hit_status={
+            task_id: hits.tlog_status.get(task_id, "-")
+            for task_id in task_ids
+        },
+        hit_measurements=sum(
+            hits.tuning_results[t].num_measurements for t in task_ids
+        ),
+    )

@@ -84,6 +84,9 @@ class TuningObserver:
         self._failures = 0
         self._cache_hits = 0
         self._cache_misses = 0
+        self._tlog_hits = 0
+        self._warm_starts = 0
+        self._warm_injected = 0
         self._best = 0.0
         self._best_index = -1
         self._curve: List[float] = []
@@ -112,6 +115,8 @@ class TuningObserver:
             "measurement_failed": self._on_failed,
             "checkpoint_saved": self._on_checkpoint_saved,
             "tuning_resumed": self._on_tuning_resumed,
+            "warm_started": self._on_warm_started,
+            "tlog_exact_hit": self._on_tlog_exact_hit,
         }
 
     @staticmethod
@@ -130,6 +135,11 @@ class TuningObserver:
         m.counter("space_exhausted_total", "search-space exhaustions")
         m.counter("cache_hits_total", "measurement cache hits")
         m.counter("cache_misses_total", "measurement cache misses")
+        m.counter("tlog_exact_hits_total", "tasks served from the tuning log")
+        m.counter("tlog_warm_starts_total", "tasks warm-started from the log")
+        m.counter(
+            "tlog_warm_configs_total", "seed configs injected by warm starts"
+        )
         m.gauge("best_gflops", "best throughput so far")
         m.gauge("measured", "configurations measured so far")
         m.histogram("proposal_seconds", "proposal wall time per batch")
@@ -299,6 +309,19 @@ class TuningObserver:
         if self.metrics is not None:
             self.metrics.get("resumes_total").inc()
 
+    def _on_warm_started(self, event) -> None:
+        self._warm_starts += 1
+        injected = int(getattr(event, "injected", 0))
+        self._warm_injected += injected
+        if self.metrics is not None:
+            self.metrics.get("tlog_warm_starts_total").inc()
+            self.metrics.get("tlog_warm_configs_total").inc(injected)
+
+    def _on_tlog_exact_hit(self, event) -> None:
+        self._tlog_hits += 1
+        if self.metrics is not None:
+            self.metrics.get("tlog_exact_hits_total").inc()
+
     # ---- hook-bus callbacks ------------------------------------------
 
     def _on_refit(self, rows: int, duration_s: float, kind: str) -> None:
@@ -383,6 +406,9 @@ class TuningObserver:
             "failures": self._failures,
             "cache_hits": self._cache_hits,
             "cache_misses": self._cache_misses,
+            "tlog_hits": self._tlog_hits,
+            "warm_starts": self._warm_starts,
+            "warm_injected": self._warm_injected,
             "best": self._best,
             "best_index": self._best_index,
             "curve": list(self._curve),
@@ -419,6 +445,9 @@ class TuningObserver:
         self._failures = int(state.get("failures", 0))
         self._cache_hits = int(state.get("cache_hits", 0))
         self._cache_misses = int(state.get("cache_misses", 0))
+        self._tlog_hits = int(state.get("tlog_hits", 0))
+        self._warm_starts = int(state.get("warm_starts", 0))
+        self._warm_injected = int(state.get("warm_injected", 0))
         self._best = float(state.get("best", 0.0))
         self._best_index = int(state.get("best_index", -1))
         self._curve = [float(v) for v in state.get("curve", [])]

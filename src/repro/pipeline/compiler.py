@@ -33,6 +33,7 @@ from typing import Callable, Dict, List, Optional, Tuple, Union
 import numpy as np
 
 from repro.core import make_tuner
+from repro.core.events import TlogExactHit
 from repro.obs import RunObservation
 from repro.core.tuner import TuningResult
 from repro.fleet.devices import Fleet, FleetSpec
@@ -48,6 +49,12 @@ from repro.hardware.measure import SimulatedTask
 from repro.nn.graph import Graph
 from repro.pipeline.records import RecordStore, TuningRecord
 from repro.pipeline.tasks import TaskSpec, extract_tasks, untuned_ops
+from repro.tlog import (
+    TaskSignature,
+    TlogRecord,
+    TuningLogDB,
+    build_warm_start,
+)
 from repro.utils.io import atomic_pickle_dump, atomic_write_text
 from repro.utils.log import get_logger
 from repro.utils.rng import derive_seed
@@ -105,6 +112,16 @@ class CompiledModel:
     tuning_results: Dict[int, TuningResult] = field(default_factory=dict)
     #: scheduling report of a fleet-mode compile (None for serial runs)
     fleet: Optional[FleetRunResult] = None
+    #: per-task tuning-log outcome (``"hit"``/``"warm"``/``"cold"``),
+    #: empty when the compile ran without a tuning log
+    tlog_status: Dict[int, str] = field(default_factory=dict)
+
+    def tlog_counts(self) -> Dict[str, int]:
+        """Aggregate hit/warm/cold counts of this compile."""
+        counts = {"hit": 0, "warm": 0, "cold": 0}
+        for status in self.tlog_status.values():
+            counts[status] = counts.get(status, 0) + 1
+        return counts
 
     @property
     def base_latency_ms(self) -> float:
@@ -204,6 +221,138 @@ class DeploymentCompiler:
             base / f"{task_key}.done",
             base / f"{task_key}.ckpt",
             base / f"{task_key}.obs.json",
+        )
+
+    # ------------------------------------------------------------------
+    # tuning-log integration
+
+    @staticmethod
+    def _open_tlog(
+        tlog: Optional[Union["TuningLogDB", str, Path]]
+    ) -> Optional[TuningLogDB]:
+        """Coerce the ``tlog=`` argument into an open database."""
+        if tlog is None or isinstance(tlog, TuningLogDB):
+            return tlog
+        return TuningLogDB(tlog)
+
+    def _tlog_run_key(
+        self, tuner_name: str, trial_seed: int, n_trial: int
+    ) -> str:
+        """Identity of this logical compile for idempotent contribution.
+
+        A crash/resume cycle re-runs :meth:`tune` with identical
+        arguments and therefore the same run key, so the database skips
+        the duplicate contribution instead of double-appending.
+        """
+        return (
+            f"{self.graph.name}:{tuner_name}:trial={trial_seed}"
+            f":env={self.env_seed}:n={n_trial}"
+        )
+
+    def _serve_or_plan(
+        self,
+        tlog_db: TuningLogDB,
+        spec: TaskSpec,
+        device: GpuDevice,
+        serve_hits: bool,
+        warm_start: bool,
+        warm_k: int,
+        observer,
+    ) -> Tuple[Optional[TuningResult], Optional[object], TaskSignature, str]:
+        """Consult the tuning log for one task before tuning it.
+
+        Returns ``(served_result, warm_plan, signature, status)``: an
+        exact hit yields a replayed result and zero measurements; a
+        transferable neighbor (with ``warm_start``) yields a plan for
+        the tuner; otherwise the task runs cold.
+        """
+        task = spec.to_simulated(device=device, seed=self.env_seed)
+        sig = TaskSignature.of(
+            spec.workload, task.space, device, template=spec.template
+        )
+        if serve_hits:
+            records = tlog_db.lookup_exact(sig)
+            best = max(
+                (r.gflops for r in records or () if r.ok), default=0.0
+            )
+            if best > 0:
+                result = self._result_from_tlog(task.name, records)
+                if observer is not None:
+                    observer(
+                        None,
+                        TlogExactHit(
+                            step=0,
+                            signature_key=sig.key,
+                            records=len(records),
+                            best_gflops=best,
+                        ),
+                    )
+                logger.info(
+                    "%s T%d: tuning-log exact hit (%d records, "
+                    "best %.1f GFLOPS, zero measurements)",
+                    self.graph.name, spec.task_id + 1,
+                    len(records), best,
+                )
+                return result, None, sig, "hit"
+        if warm_start:
+            plan = build_warm_start(tlog_db, sig, task.space, k=warm_k)
+            if plan is not None:
+                return None, plan, sig, "warm"
+        return None, None, sig, "cold"
+
+    @staticmethod
+    def _result_from_tlog(
+        task_name: str, records: List[TlogRecord]
+    ) -> TuningResult:
+        """Summarize stored records as a finished result.
+
+        The served result carries only the best configuration — its
+        ``records`` stay empty so ``num_measurements`` is honestly zero
+        and record stores never double-log replayed history.
+        """
+        best_index: Optional[int] = None
+        best_gflops = 0.0
+        for rec in records:
+            if rec.ok and rec.gflops > best_gflops:
+                best_gflops = rec.gflops
+                best_index = rec.config_index
+        return TuningResult(
+            task_name=task_name,
+            tuner_name="tlog",
+            records=[],
+            best_index=best_index,
+            best_gflops=best_gflops,
+        )
+
+    def _contribute(
+        self,
+        tlog_db: TuningLogDB,
+        sig: TaskSignature,
+        spec: TaskSpec,
+        result: TuningResult,
+        run_key: str,
+    ) -> None:
+        """Append one tuned task's measurements to the database."""
+        if not result.records:
+            return
+        from repro.space.templates import build_space
+
+        space = build_space(spec.workload, spec.template)
+        indices = [r.config_index for r in result.records]
+        digits = space.decode_batch(indices)
+        tlog_db.record_task(
+            sig,
+            [
+                TlogRecord(
+                    config_index=rec.config_index,
+                    knob_indices=tuple(int(d) for d in row),
+                    gflops=rec.gflops,
+                    tuner=result.tuner_name,
+                    error=rec.error,
+                )
+                for rec, row in zip(result.records, digits)
+            ],
+            run_key=run_key,
         )
 
     def _tune_one(
@@ -333,6 +482,10 @@ class DeploymentCompiler:
         observation: Optional[RunObservation] = None,
         fleet: Optional[FleetSpec] = None,
         fleet_jobs: Optional[int] = None,
+        tlog: Optional[Union[TuningLogDB, str, Path]] = None,
+        warm_start: bool = False,
+        warm_k: int = 16,
+        serve_hits: bool = True,
     ) -> CompiledModel:
         """Tune every task with arm ``tuner_name`` and compile.
 
@@ -368,11 +521,26 @@ class DeploymentCompiler:
         task's deterministic home device, so an interrupted fleet run
         resumes with the same fleet spec.  The scheduling report is
         returned as ``CompiledModel.fleet``.
+
+        ``tlog`` (a :class:`~repro.tlog.TuningLogDB` or its directory)
+        consults the cross-run tuning log before every task: an exact
+        signature hit is served instantly with zero measurements
+        (disable with ``serve_hits=False``); with ``warm_start=True``,
+        tasks without a hit seed their initialization from the top
+        ``warm_k`` prior configurations of the nearest transferable
+        tasks and pretrain their cost models from the discounted
+        history.  Finished tasks contribute back to the database after
+        the run (idempotently — resuming never double-appends); fleet
+        mode keys records by each task's home device class.  Per-task
+        outcomes land in ``CompiledModel.tlog_status``.  All of it is
+        off by default: ``tlog=None`` compiles are bit-identical to
+        builds without tuning-log support.
         """
         kwargs = dict(tuner_kwargs or {})
         ckpt_dir = Path(checkpoint_dir) if checkpoint_dir is not None else None
         if ckpt_dir is not None:
             ckpt_dir.mkdir(parents=True, exist_ok=True)
+        tlog_db = self._open_tlog(tlog)
         if fleet is not None:
             return self._tune_fleet(
                 tuner_name,
@@ -392,14 +560,24 @@ class DeploymentCompiler:
                 ckpt_dir=ckpt_dir,
                 resume=resume,
                 observation=observation,
+                tlog_db=tlog_db,
+                warm_start=warm_start,
+                warm_k=warm_k,
+                serve_hits=serve_hits,
             )
         executor_spec = self._executor_spec(
             executor, jobs=jobs, measure_cache=measure_cache,
             faults=faults, retry=retry,
         )
 
+        run_key = (
+            self._tlog_run_key(tuner_name, trial_seed, n_trial)
+            if tlog_db is not None else ""
+        )
         results: Dict[int, TuningResult] = {}
         best_configs: Dict[int, Optional[int]] = {}
+        tlog_status: Dict[int, str] = {}
+        contributions: List[Tuple[TaskSignature, TaskSpec, TuningResult]] = []
         for spec in self.tasks:
             task_key = self._task_key(spec)
             done_path, ckpt_path, obs_path = self._task_paths(
@@ -409,16 +587,39 @@ class DeploymentCompiler:
                 observation.observer(task_key)
                 if observation is not None else None
             )
-            result = self._tune_one(
-                spec, tuner_name, n_trial, early_stopping, trial_seed,
-                kwargs, executor_spec, done_path, ckpt_path, obs_path,
-                observer, resume,
-            )
+            served: Optional[TuningResult] = None
+            task_kwargs = kwargs
+            collect_name = tuner_name
+            if tlog_db is not None:
+                served, plan, sig, status = self._serve_or_plan(
+                    tlog_db, spec, self.device, serve_hits,
+                    warm_start, warm_k, observer,
+                )
+                tlog_status[spec.task_id] = status
+                if plan is not None:
+                    task_kwargs = dict(kwargs, warm_start=plan)
+            if served is not None:
+                result = served
+                collect_name = "tlog"
+            else:
+                result = self._tune_one(
+                    spec, tuner_name, n_trial, early_stopping, trial_seed,
+                    task_kwargs, executor_spec, done_path, ckpt_path,
+                    obs_path, observer, resume,
+                )
+                if tlog_db is not None:
+                    contributions.append((sig, spec, result))
             results[spec.task_id] = result
             best_configs[spec.task_id] = result.best_index
-            self._collect(spec, result, tuner_name, record_store, progress)
+            self._collect(spec, result, collect_name, record_store, progress)
+        # contributions are deferred to the end of the run (in task
+        # order) so serial and fleet compiles observe the same database
+        # state while tuning — lookups never see same-run records
+        for sig, spec, result in contributions:
+            self._contribute(tlog_db, sig, spec, result, run_key)
         compiled = self._compile(best_configs)
         compiled.tuning_results = results
+        compiled.tlog_status = tlog_status
         return compiled
 
     def _tune_fleet(
@@ -440,6 +641,10 @@ class DeploymentCompiler:
         ckpt_dir: Optional[Path],
         resume: bool,
         observation: Optional[RunObservation],
+        tlog_db: Optional[TuningLogDB] = None,
+        warm_start: bool = False,
+        warm_k: int = 16,
+        serve_hits: bool = True,
     ) -> CompiledModel:
         """Fleet-mode compile: shard tasks over a simulated device pool.
 
@@ -456,7 +661,37 @@ class DeploymentCompiler:
             for key in by_key:
                 observation.observer(key)
 
+        # consult the tuning log up front on the caller thread, in task
+        # order and keyed by each task's home device class, so workers
+        # never touch the database concurrently and lookups match what
+        # a later resume of the same run would see
+        served_by_key: Dict[str, TuningResult] = {}
+        plan_by_key: Dict[str, object] = {}
+        sig_by_key: Dict[str, TaskSignature] = {}
+        tlog_status: Dict[int, str] = {}
+        if tlog_db is not None:
+            for i, spec in enumerate(self.tasks):
+                key = self._task_key(spec)
+                home = pool.home_of(i)
+                observer = (
+                    observation.observer(key)
+                    if observation is not None else None
+                )
+                served, plan, sig, status = self._serve_or_plan(
+                    tlog_db, spec, home.device, serve_hits,
+                    warm_start, warm_k, observer,
+                )
+                tlog_status[spec.task_id] = status
+                sig_by_key[key] = sig
+                if served is not None:
+                    served_by_key[key] = served
+                elif plan is not None:
+                    plan_by_key[key] = plan
+
         def run_task(ftask: FleetTask, _executing_device) -> TuningResult:
+            served = served_by_key.get(ftask.key)
+            if served is not None:
+                return served
             spec = by_key[ftask.key]
             home = pool.home_of(ftask.seq)
             executor_spec = self._executor_spec(
@@ -470,9 +705,13 @@ class DeploymentCompiler:
                 observation.observer(ftask.key)
                 if observation is not None else None
             )
+            plan = plan_by_key.get(ftask.key)
+            task_kwargs = (
+                dict(kwargs, warm_start=plan) if plan is not None else kwargs
+            )
             return self._tune_one(
                 spec, tuner_name, n_trial, early_stopping, trial_seed,
-                kwargs, executor_spec, done_path, ckpt_path, obs_path,
+                task_kwargs, executor_spec, done_path, ckpt_path, obs_path,
                 observer, resume,
             )
 
@@ -486,10 +725,22 @@ class DeploymentCompiler:
         results: Dict[int, TuningResult] = {}
         best_configs: Dict[int, Optional[int]] = {}
         for spec in self.tasks:
-            result = fleet_result.results[self._task_key(spec)]
+            key = self._task_key(spec)
+            result = fleet_result.results[key]
             results[spec.task_id] = result
             best_configs[spec.task_id] = result.best_index
-            self._collect(spec, result, tuner_name, record_store, progress)
+            collect_name = "tlog" if key in served_by_key else tuner_name
+            self._collect(spec, result, collect_name, record_store, progress)
+        if tlog_db is not None:
+            run_key = self._tlog_run_key(tuner_name, trial_seed, n_trial)
+            for spec in self.tasks:
+                key = self._task_key(spec)
+                if key in served_by_key:
+                    continue
+                self._contribute(
+                    tlog_db, sig_by_key[key], spec,
+                    fleet_result.results[key], run_key,
+                )
         for report in fleet_result.reports:
             report.measurements = sum(
                 fleet_result.results[key].num_measurements
@@ -498,6 +749,7 @@ class DeploymentCompiler:
         compiled = self._compile(best_configs)
         compiled.tuning_results = results
         compiled.fleet = fleet_result
+        compiled.tlog_status = tlog_status
         return compiled
 
     def compile_from_records(self, store: RecordStore) -> CompiledModel:
@@ -509,6 +761,31 @@ class DeploymentCompiler:
                 record.config_index if record is not None else None
             )
         return self._compile(best_configs)
+
+    def compile_from_tlog(
+        self, db: Union[TuningLogDB, str, Path]
+    ) -> CompiledModel:
+        """Deploy using the best tuning-log configuration per task.
+
+        The cross-run counterpart of :meth:`compile_from_records`:
+        every task resolves its exact signature against this compiler's
+        device and deploys the best stored configuration; tasks without
+        history fall back to the default schedule (and are marked
+        ``"cold"`` in ``tlog_status``).
+        """
+        tlog_db = self._open_tlog(db)
+        best_configs: Dict[int, Optional[int]] = {}
+        tlog_status: Dict[int, str] = {}
+        for spec in self.tasks:
+            sig = spec.signature(self.device)
+            best = tlog_db.best_exact(sig)
+            best_configs[spec.task_id] = (
+                best.config_index if best is not None else None
+            )
+            tlog_status[spec.task_id] = "hit" if best is not None else "cold"
+        compiled = self._compile(best_configs)
+        compiled.tlog_status = tlog_status
+        return compiled
 
     # ------------------------------------------------------------------
 

@@ -51,6 +51,21 @@ class TaskSpec:
             self.workload, device=device, seed=seed, template=self.template
         )
 
+    def signature(self, device: GpuDevice = GTX_1080_TI) -> "TaskSignature":
+        """Canonical content-addressed identity of this task on ``device``.
+
+        Pure function of (workload, template, device class): two
+        processes extracting the same model derive byte-identical
+        signatures, which is what keys the cross-run tuning log.
+        """
+        from repro.space.templates import build_space
+        from repro.tlog.signature import TaskSignature
+
+        space = build_space(self.workload, self.template)
+        return TaskSignature.of(
+            self.workload, space, device, template=self.template
+        )
+
     def __repr__(self) -> str:
         return (
             f"TaskSpec(T{self.task_id + 1}, {self.workload.kind}"

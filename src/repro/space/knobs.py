@@ -13,6 +13,13 @@ Knob types mirror AutoTVM's ``define_split`` / ``define_knob`` /
 Every knob exposes ``features(i)``: a fixed-width numeric embedding of
 its ``i``-th candidate used for distance computations (TED, BAO
 neighborhoods) and as cost-model input.
+
+Knobs also expose ``signature()``: a canonical, JSON-serializable
+description of the knob *definition* (not any chosen value).  Signatures
+feed the content hash of a :class:`~repro.space.space.ConfigSpace`,
+which in turn keys the cross-run tuning-log database — so they must be
+stable across processes, Python versions, and insertion order of
+unrelated knobs.
 """
 
 from __future__ import annotations
@@ -48,6 +55,10 @@ class Knob:
 
     def features(self, index: int) -> np.ndarray:
         """Feature embedding of candidate ``index`` (length feature_dim)."""
+        raise NotImplementedError
+
+    def signature(self) -> dict:
+        """Canonical JSON-serializable description of this knob."""
         raise NotImplementedError
 
     def _check_index(self, index: int) -> int:
@@ -97,6 +108,14 @@ class SplitKnob(Knob):
     def features(self, index: int) -> np.ndarray:
         return self._features[self._check_index(index)]
 
+    def signature(self) -> dict:
+        return {
+            "type": "split",
+            "name": self.name,
+            "extent": self.extent,
+            "num_outputs": self.num_outputs,
+        }
+
 
 class OtherKnob(Knob):
     """An explicit list of numeric candidate values."""
@@ -123,6 +142,13 @@ class OtherKnob(Knob):
 
     def features(self, index: int) -> np.ndarray:
         return self._features[self._check_index(index)]
+
+    def signature(self) -> dict:
+        return {
+            "type": "other",
+            "name": self.name,
+            "candidates": list(self._candidates),
+        }
 
 
 class BoolKnob(OtherKnob):
@@ -176,3 +202,11 @@ class ReorderKnob(Knob):
 
     def features(self, index: int) -> np.ndarray:
         return self._features[self._check_index(index)]
+
+    def signature(self) -> dict:
+        return {
+            "type": "reorder",
+            "name": self.name,
+            "axes": list(self.axes),
+            "num_candidates": len(self._perms),
+        }

@@ -12,6 +12,8 @@ initializer, the cost models, and the BAO neighborhood metric.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -61,14 +63,21 @@ class ConfigEntity:
         return self.space.features_of(self.index)
 
     def __eq__(self, other: object) -> bool:
-        return (
-            isinstance(other, ConfigEntity)
-            and other.space is self.space
-            and other.index == self.index
-        )
+        """Equal when the flat index matches and the spaces have equal
+        *content* (same knob definitions) — two ConfigSpace instances
+        built from the same workload/template compare equal points even
+        across processes."""
+        if not isinstance(other, ConfigEntity):
+            return NotImplemented
+        if other.index != self.index:
+            return False
+        if other.space is self.space:
+            return True
+        return other.space.content_hash() == self.space.content_hash()
 
     def __hash__(self) -> int:
-        return hash((id(self.space), self.index))
+        # content-based, stable across processes (was: id(self.space))
+        return hash((self.space.content_hash(), self.index))
 
     def __repr__(self) -> str:
         parts = ", ".join(f"{k}={v}" for k, v in self.values.items())
@@ -84,6 +93,7 @@ class ConfigSpace:
         self._knob_by_name: Dict[str, Knob] = {}
         self._radix: List[int] = []
         self._feature_tables: List[np.ndarray] = []
+        self._content_hash: Optional[str] = None
 
     # ------------------------------------------------------------------
     # construction
@@ -99,7 +109,33 @@ class ConfigSpace:
         self._radix.append(len(knob))
         table = np.stack([knob.features(i) for i in range(len(knob))])
         self._feature_tables.append(table)
+        self._content_hash = None
         return knob
+
+    def signature_dict(self) -> dict:
+        """Canonical description of the knob definitions (order matters).
+
+        Deliberately excludes :attr:`name` — the space name encodes the
+        workload, which the tuning-log signature tracks separately.
+        """
+        return {"knobs": [knob.signature() for knob in self.knobs]}
+
+    def content_hash(self) -> str:
+        """Stable SHA-256 hex digest of the knob definitions.
+
+        Two spaces built from the same workload/template hash equal in
+        any process; the digest keys cross-run artifacts (the tuning-log
+        database) and the content-based :class:`ConfigEntity` hash.
+        Cached; invalidated by :meth:`add_knob`.
+        """
+        if self._content_hash is None:
+            payload = json.dumps(
+                self.signature_dict(), sort_keys=True, separators=(",", ":")
+            )
+            self._content_hash = hashlib.sha256(
+                payload.encode("utf-8")
+            ).hexdigest()
+        return self._content_hash
 
     def knob(self, name: str) -> Knob:
         """Look a knob up by name."""

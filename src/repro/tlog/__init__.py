@@ -1,0 +1,41 @@
+"""Cross-task transfer: the content-addressed tuning-log database.
+
+Every tuning run in the model zoo repeatedly solves tasks that an
+earlier run — or an earlier task of the *same* run — already solved,
+exactly or nearly.  This package gives those measurements a persistent,
+content-addressed home:
+
+* :class:`TaskSignature` — the canonical identity of a tuning task:
+  template name, workload shape tuple, knob-space content hash, device
+  class.  Signatures are pure functions of the task definition (SHA-256
+  over canonical JSON), so two processes extracting the same model on
+  the same device class produce byte-identical keys.
+* :class:`TuningLogDB` — append-only JSONL segments per signature plus
+  a versioned index, written atomically via :mod:`repro.utils.io`.
+  Supports exact-hit lookup (serve a previously tuned task without a
+  single measurement) and top-k-similar queries (same template and
+  feature dimension, nearest shapes) for warm starts.
+* :class:`WarmStartPlan` / :func:`build_warm_start` — turn prior
+  records into a tuner warm start: top-k prior configurations injected
+  into the initialization set (HW-aware-init style) plus a discounted
+  :class:`~repro.learning.transfer.TransferHistory` that pretrains the
+  cost models.
+
+Everything here is off by default: without an explicit ``tlog=`` /
+``warm_start=`` opt-in, tuning behaves bit-identically to a build
+without this package (the goldens contract, see ``docs/TRANSFER.md``).
+"""
+
+from repro.tlog.db import TLOG_VERSION, TlogRecord, TuningLogDB
+from repro.tlog.signature import TaskSignature, shape_distance
+from repro.tlog.warm import WarmStartPlan, build_warm_start
+
+__all__ = [
+    "TLOG_VERSION",
+    "TaskSignature",
+    "TlogRecord",
+    "TuningLogDB",
+    "WarmStartPlan",
+    "build_warm_start",
+    "shape_distance",
+]

@@ -1,0 +1,137 @@
+"""Canonical task identity for the tuning-log database.
+
+A :class:`TaskSignature` names a tuning task by *what it is*, not by
+which Python objects happen to represent it: the operator kind and
+schedule template, the workload's shape tuple, the SHA-256 content hash
+of its knob space, and the normalized device class.  Two processes that
+extract the same model for the same device class derive byte-identical
+signatures, which is what lets a tuning log written yesterday serve an
+exact cache hit today.
+
+Similarity between signatures — used for warm starts when no exact hit
+exists — means: same operator kind, same template, same knob-space
+*feature dimension* (so cost-model features transfer), ranked by
+:func:`shape_distance` in log2 space (a 2x-larger convolution is one
+unit away in every doubled dimension, matching how split-knob features
+embed factors).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.hardware.device import GpuDevice, _normalize_device_name
+from repro.nn.workloads import Workload
+from repro.space.space import ConfigSpace
+
+
+def _workload_shape(workload: Workload) -> Tuple[Tuple[str, int], ...]:
+    """The workload's integer fields as a canonically ordered tuple."""
+    data = workload.to_dict()
+    return tuple(
+        (str(key), int(data[key])) for key in sorted(data) if key != "kind"
+    )
+
+
+@dataclass(frozen=True)
+class TaskSignature:
+    """Content-addressed identity of one tuning task."""
+
+    #: operator kind (``"conv2d"``, ``"depthwise_conv2d"``, ``"dense"``)
+    kind: str
+    #: schedule template family (``"direct"`` or ``"winograd"``)
+    template: str
+    #: canonically ordered (field, value) pairs of the workload shape
+    shape: Tuple[Tuple[str, int], ...]
+    #: SHA-256 content hash of the knob space definitions
+    space_hash: str
+    #: normalized device class (e.g. ``"gtx1080ti"``)
+    device_class: str
+    #: knob-space feature width — the transferability gate
+    feature_dim: int
+
+    @classmethod
+    def of(
+        cls,
+        workload: Workload,
+        space: ConfigSpace,
+        device: GpuDevice,
+        template: str = "direct",
+    ) -> "TaskSignature":
+        return cls(
+            kind=workload.kind,
+            template=template,
+            shape=_workload_shape(workload),
+            space_hash=space.content_hash(),
+            device_class=_normalize_device_name(device.name),
+            feature_dim=space.feature_dim,
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "template": self.template,
+            "shape": [[k, v] for k, v in self.shape],
+            "space_hash": self.space_hash,
+            "device_class": self.device_class,
+            "feature_dim": self.feature_dim,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "TaskSignature":
+        try:
+            return cls(
+                kind=str(data["kind"]),
+                template=str(data["template"]),
+                shape=tuple(
+                    (str(k), int(v)) for k, v in data["shape"]  # type: ignore[union-attr]
+                ),
+                space_hash=str(data["space_hash"]),
+                device_class=str(data["device_class"]),
+                feature_dim=int(data["feature_dim"]),  # type: ignore[arg-type]
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(f"malformed task signature: {exc}") from exc
+
+    @property
+    def key(self) -> str:
+        """Stable content key: readable prefix + SHA-256 digest prefix.
+
+        Used as the segment filename stem and the index key, so it must
+        stay filesystem-safe and collision-resistant.
+        """
+        payload = json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+        digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+        return f"{self.kind}-{self.template}-{self.device_class}-{digest}"
+
+    def transferable_to(self, other: "TaskSignature") -> bool:
+        """Whether records under ``self`` can warm-start ``other``."""
+        return (
+            self.kind == other.kind
+            and self.template == other.template
+            and self.feature_dim == other.feature_dim
+        )
+
+
+def shape_distance(a: TaskSignature, b: TaskSignature) -> float:
+    """Log2-space Euclidean distance between two workload shapes.
+
+    Signatures with different field sets (different operator kinds)
+    are infinitely far apart.  A workload twice as large in one
+    dimension is exactly 1.0 away.
+    """
+    da, db = dict(a.shape), dict(b.shape)
+    if set(da) != set(db):
+        return math.inf
+    total = 0.0
+    for key, va in da.items():
+        vb = db[key]
+        diff = math.log2(1.0 + abs(va)) - math.log2(1.0 + abs(vb))
+        total += diff * diff
+    return math.sqrt(total)

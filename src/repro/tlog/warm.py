@@ -1,0 +1,146 @@
+"""Turn prior tuning-log records into a tuner warm start.
+
+Two transfer mechanisms, both drawn from the related work (PAPERS.md):
+
+* **Configuration seeding** (HW-aware init): the top-k configurations
+  of the nearest prior tasks are projected into the new task's space
+  and injected at the head of the initialization batch.  Projection
+  uses the stored per-knob digits — each digit is clamped to the target
+  knob's candidate range and re-encoded — so a tiling that worked for a
+  sibling shape lands on the nearest expressible tiling here.
+* **Cost-model pretraining** (learning to optimize tensor programs):
+  prior (features, normalized score) pairs populate a
+  :class:`~repro.learning.transfer.TransferHistory` with a discounted
+  history weight, so the GBT / bootstrap ensembles start from an
+  informed prior instead of a cold fit.  Features are computed in the
+  *target* space from the projected digits — an approximation that is
+  exact for exact-signature hits and degrades gracefully with shape
+  distance.
+
+Everything is deterministic: given the same database state, signature,
+and parameters, the plan (and therefore the whole warm-started run) is
+bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.learning.transfer import TransferHistory
+from repro.space.space import ConfigSpace
+from repro.tlog.db import TlogRecord, TuningLogDB
+from repro.tlog.signature import TaskSignature
+
+
+@dataclass(frozen=True)
+class WarmStartPlan:
+    """What a tuner needs to start warm: seed configs + model history.
+
+    Plain picklable data, so it checkpoints with the rest of the tuner
+    state and a crash/resume cycle replays the identical warm start.
+    """
+
+    #: config indices (valid in the target space), best sources first
+    configs: Tuple[int, ...]
+    #: discounted prior measurements for cost-model pretraining
+    history: Optional[TransferHistory] = None
+    #: ``"exact"`` when the top source segment is an exact hit
+    source: str = "similar"
+    #: how many prior task segments contributed
+    num_sources: int = 0
+
+    @property
+    def history_samples(self) -> int:
+        return 0 if self.history is None else self.history.num_samples
+
+
+def project_records(
+    records: List[TlogRecord], space: ConfigSpace
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Project records into ``space``: (config indices, scores).
+
+    Each record's stored knob digits are clamped per knob to the target
+    candidate range and re-encoded; records whose digit count does not
+    match the target knob count are dropped (a template mismatch that
+    :meth:`TaskSignature.transferable_to` should already exclude).
+    """
+    radix = np.asarray(space.knob_sizes, dtype=np.int64)
+    digits = []
+    scores = []
+    for record in records:
+        if not record.ok or len(record.knob_indices) != len(radix):
+            continue
+        digits.append(record.knob_indices)
+        scores.append(record.gflops)
+    if not digits:
+        return np.empty(0, dtype=np.int64), np.empty(0)
+    clamped = np.minimum(
+        np.asarray(digits, dtype=np.int64), radix[None, :] - 1
+    )
+    np.maximum(clamped, 0, out=clamped)
+    return space.encode_batch(clamped), np.asarray(scores)
+
+
+def build_warm_start(
+    db: TuningLogDB,
+    signature: TaskSignature,
+    space: ConfigSpace,
+    k: int = 16,
+    history_weight: float = 0.25,
+    max_sources: int = 4,
+    max_history: int = 512,
+) -> Optional[WarmStartPlan]:
+    """Assemble a :class:`WarmStartPlan` for ``signature`` from ``db``.
+
+    ``k`` bounds the seeded configs; ``max_sources`` bounds how many
+    prior task segments contribute (nearest shapes first, the exact
+    signature — if present — always first).  Returns ``None`` when the
+    database holds nothing transferable, so callers fall back to a cold
+    start without special-casing.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    segments = db.top_k_similar(
+        signature, k=max_sources, include_exact=True
+    )
+    if not segments:
+        return None
+    history = TransferHistory(
+        history_weight=history_weight, max_per_task=max_history
+    )
+    seed_configs: List[int] = []
+    seen = set()
+    source = "similar"
+    for order, (src_signature, records) in enumerate(segments):
+        indices, scores = project_records(records, space)
+        if not len(indices):
+            continue
+        if order == 0 and src_signature.key == signature.key:
+            source = "exact"
+        history.add_task(
+            src_signature.key,
+            space.feature_matrix(indices),
+            scores,
+        )
+        # best projected configs of this source, deduplicated globally;
+        # nearest sources fill the k slots first
+        ranked = np.argsort(-scores, kind="stable")
+        for i in ranked:
+            if len(seed_configs) >= k:
+                break
+            idx = int(indices[i])
+            if idx in seen:
+                continue
+            seen.add(idx)
+            seed_configs.append(idx)
+    if not seed_configs:
+        return None
+    return WarmStartPlan(
+        configs=tuple(seed_configs[:k]),
+        history=history if len(history) else None,
+        source=source,
+        num_sources=len(segments),
+    )

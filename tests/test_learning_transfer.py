@@ -37,6 +37,24 @@ class TestAddTask:
         assert len(targets) == 10
         assert targets.min() >= np.sort(y / y.max())[-10] - 1e-12
 
+    def test_truncation_keeps_descending_order(self):
+        history = TransferHistory(max_per_task=5)
+        X, y = fake_task_data(n=40, seed=4)
+        history.add_task("t1", X, y)
+        _, targets, _ = history.training_data(4)
+        assert (np.diff(targets) <= 0).all()
+        assert targets[0] == pytest.approx(1.0)
+
+    def test_truncation_keeps_matching_features(self):
+        history = TransferHistory(max_per_task=3)
+        X = np.arange(20, dtype=float).reshape(20, 1) * np.ones((20, 4))
+        y = np.arange(20, dtype=float) + 1.0
+        history.add_task("t1", X, y)
+        feats, targets, _ = history.training_data(4)
+        # rows 19, 18, 17 survive, features still paired with targets
+        assert list(feats[:, 0]) == [19.0, 18.0, 17.0]
+        assert list(targets * 20.0) == [20.0, 19.0, 18.0]
+
     def test_all_zero_scores_ignored(self):
         history = TransferHistory()
         history.add_task("dead", np.ones((5, 4)), np.zeros(5))
@@ -85,6 +103,23 @@ class TestTrainingData:
                 current_features=np.ones((3, 5)),
                 current_targets=np.ones(3),
             )
+
+    def test_history_weight_discounts_history_rows_only(self):
+        history = TransferHistory(history_weight=0.25)
+        history.add_task("t1", *fake_task_data(n=30, seed=1))
+        history.add_task("t2", *fake_task_data(n=10, seed=2))
+        Xc, yc = fake_task_data(n=5, seed=3)
+        _, _, weights = history.training_data(
+            4, current_features=Xc, current_targets=yc
+        )
+        assert (weights[:40] == 0.25).all()
+        assert (weights[40:] == 1.0).all()
+
+    def test_history_only_weights(self):
+        history = TransferHistory(history_weight=0.5)
+        history.add_task("t1", *fake_task_data(n=8))
+        _, _, weights = history.training_data(4)
+        assert (weights == 0.5).all()
 
     def test_bad_constructor(self):
         with pytest.raises(ValueError):

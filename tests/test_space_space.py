@@ -80,6 +80,50 @@ class TestEntities:
         space = make_space()
         assert len(list(space)) == len(space)
 
+    def test_equality_and_hash_across_space_instances(self):
+        # content-based identity: equal knob definitions, equal entities
+        a, b = make_space(), make_space()
+        assert a.get(3) == b.get(3)
+        assert hash(a.get(3)) == hash(b.get(3))
+        assert len({a.get(3), b.get(3), a.get(4)}) == 2
+
+    def test_inequality_across_different_spaces(self):
+        other = ConfigSpace("test")
+        other.add_knob(SplitKnob("tile_a", 16, 2))
+        other.add_knob(OtherKnob("unroll", [0, 512, 1500]))
+        other.add_knob(BoolKnob("flag"))
+        assert make_space().get(3) != other.get(3)
+
+    def test_non_entity_comparison(self):
+        assert make_space().get(0) != "config-0"
+
+
+class TestContentHash:
+    def test_stable_across_instances(self):
+        assert make_space().content_hash() == make_space().content_hash()
+
+    def test_name_excluded(self):
+        renamed = ConfigSpace("other-name")
+        renamed.add_knob(SplitKnob("tile_a", 8, 2))
+        renamed.add_knob(OtherKnob("unroll", [0, 512, 1500]))
+        renamed.add_knob(BoolKnob("flag"))
+        assert renamed.content_hash() == make_space().content_hash()
+
+    def test_knob_change_invalidates(self):
+        space = make_space()
+        before = space.content_hash()
+        space.add_knob(BoolKnob("late"))
+        assert space.content_hash() != before
+
+    def test_knob_order_matters(self):
+        a = ConfigSpace("a")
+        a.add_knob(BoolKnob("x"))
+        a.add_knob(OtherKnob("y", [0, 1, 2]))
+        b = ConfigSpace("b")
+        b.add_knob(OtherKnob("y", [0, 1, 2]))
+        b.add_knob(BoolKnob("x"))
+        assert a.content_hash() != b.content_hash()
+
 
 class TestFeatures:
     def test_feature_dim(self):

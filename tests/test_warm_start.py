@@ -1,0 +1,270 @@
+"""Warm-start determinism across arms, resume, and compiler passes."""
+
+import pytest
+
+from repro.core import TUNER_REGISTRY, make_tuner
+from repro.core.checkpoint import CheckpointPolicy
+from repro.core.events import CheckpointSaved, WarmStarted
+from repro.nn.zoo import build_model
+from repro.pipeline.compiler import DeploymentCompiler
+from repro.tlog import TlogRecord, TuningLogDB, build_warm_start
+from repro.tlog.signature import TaskSignature
+from repro.tlog.warm import WarmStartPlan
+
+ARM_KWARGS = {
+    "random": dict(batch_size=8),
+    "grid": dict(batch_size=8),
+    "ga": dict(population_size=8),
+    "autotvm": dict(batch_size=8, init_size=8, sa_chains=8, sa_steps=10),
+    "bted": dict(batch_size=8, init_size=8, batch_candidates=24),
+    "bted+bao": dict(init_size=8, batch_candidates=24, num_batches=2),
+}
+
+
+def _trace(result):
+    return [
+        (r.step, r.config_index, r.gflops, r.error) for r in result.records
+    ]
+
+
+def _seed_db(task, tmp_path, n=24):
+    """A database holding one tuned segment for ``task``'s signature."""
+    db = TuningLogDB(tmp_path / "db")
+    sig = TaskSignature.of(task.workload, task.space, task.device)
+    digits = task.space.decode_batch(range(n))
+    db.record_task(
+        sig,
+        [
+            TlogRecord(
+                config_index=i,
+                knob_indices=tuple(int(d) for d in digits[i]),
+                gflops=float(task.true_gflops(i)),
+                tuner="seed",
+            )
+            for i in range(n)
+        ],
+    )
+    return db, sig
+
+
+@pytest.mark.parametrize("arm", sorted(TUNER_REGISTRY))
+class TestAllArms:
+    def test_warm_runs_bit_identical(self, arm, tmp_path, dense_task):
+        db, sig = _seed_db(dense_task, tmp_path)
+        plan = build_warm_start(db, sig, dense_task.space, k=6)
+        results = []
+        for _ in range(2):
+            tuner = make_tuner(
+                arm, dense_task, seed=5, warm_start=plan,
+                **ARM_KWARGS[arm],
+            )
+            results.append(tuner.tune(n_trial=24, early_stopping=None))
+        assert _trace(results[0]) == _trace(results[1])
+
+    def test_warm_seeds_lead_the_run(self, arm, tmp_path, dense_task):
+        db, sig = _seed_db(dense_task, tmp_path)
+        plan = build_warm_start(db, sig, dense_task.space, k=6)
+        events = []
+        tuner = make_tuner(
+            arm, dense_task, seed=5, warm_start=plan, **ARM_KWARGS[arm],
+        )
+        result = tuner.tune(
+            n_trial=24, early_stopping=None,
+            on_event=[lambda t, e: events.append(e)],
+        )
+        warm = [e for e in events if isinstance(e, WarmStarted)]
+        assert len(warm) == 1 and warm[0].injected == len(plan.configs)
+        head = [r.config_index for r in result.records[: len(plan.configs)]]
+        assert head == list(plan.configs)
+
+    def test_cold_unchanged_by_warm_support(self, arm, dense_task):
+        """warm_start=None runs are byte-identical to pre-tlog behavior
+        (the golden-trace suite pins the absolute streams; here we pin
+        None == omitted)."""
+        a = make_tuner(arm, dense_task, seed=5, **ARM_KWARGS[arm]).tune(
+            n_trial=24, early_stopping=None
+        )
+        b = make_tuner(
+            arm, dense_task, seed=5, warm_start=None, **ARM_KWARGS[arm]
+        ).tune(n_trial=24, early_stopping=None)
+        assert _trace(a) == _trace(b)
+
+    def test_crash_resume_matches_uninterrupted(
+        self, arm, tmp_path, dense_task
+    ):
+        db, sig = _seed_db(dense_task, tmp_path)
+        plan = build_warm_start(db, sig, dense_task.space, k=6)
+
+        straight = make_tuner(
+            arm, dense_task, seed=5, warm_start=plan, **ARM_KWARGS[arm]
+        ).tune(n_trial=24, early_stopping=None)
+
+        class _Crash(Exception):
+            pass
+
+        def bomb(tuner_, event):
+            if isinstance(event, CheckpointSaved) and event.step >= 16:
+                raise _Crash()
+
+        path = tmp_path / "t.ckpt"
+        crashed = make_tuner(
+            arm, dense_task, seed=5, warm_start=plan, **ARM_KWARGS[arm]
+        )
+        with pytest.raises(_Crash):
+            crashed.tune(
+                n_trial=24, early_stopping=None,
+                checkpoint=CheckpointPolicy(path=path, every=1),
+                on_event=[bomb],
+            )
+        resumed = make_tuner(
+            arm, dense_task, seed=5, warm_start=plan, **ARM_KWARGS[arm]
+        ).resume(path)
+        assert _trace(resumed) == _trace(straight)
+
+
+class TestWarmStartValidation:
+    def test_rejects_out_of_range_configs(self, dense_task):
+        plan = WarmStartPlan(configs=(len(dense_task.space) + 7,))
+        tuner = make_tuner("random", dense_task, seed=0, warm_start=plan)
+        with pytest.raises(ValueError, match="out of range"):
+            tuner.tune(n_trial=8, early_stopping=None)
+
+
+class TestCompilerPasses:
+    @pytest.fixture(scope="class")
+    def compiler(self):
+        compiler = DeploymentCompiler(build_model("alexnet"))
+        compiler.tasks = compiler.tasks[:3]
+        return compiler
+
+    def test_second_pass_serves_exact_hits(self, compiler, tmp_path):
+        first = compiler.tune(
+            "bted", n_trial=32, early_stopping=None, tlog=tmp_path / "db"
+        )
+        assert first.tlog_counts() == {"hit": 0, "warm": 0, "cold": 3}
+        second = compiler.tune(
+            "bted", n_trial=32, early_stopping=None, tlog=tmp_path / "db"
+        )
+        assert second.tlog_counts() == {"hit": 3, "warm": 0, "cold": 0}
+        assert all(
+            r.num_measurements == 0
+            for r in second.tuning_results.values()
+        )
+        assert all(
+            second.tuning_results[t].best_gflops
+            == first.tuning_results[t].best_gflops
+            for t in second.tuning_results
+        )
+
+    def test_warm_pass_uses_fewer_measurements_to_95(
+        self, compiler, tmp_path
+    ):
+        from repro.experiments.transfer import measurements_to_target
+
+        cold = compiler.tune(
+            "bted", n_trial=64, early_stopping=None, tlog=tmp_path / "db"
+        )
+        warm = compiler.tune(
+            "bted", n_trial=64, early_stopping=None, tlog=tmp_path / "db",
+            warm_start=True, serve_hits=False, trial_seed=1,
+        )
+        assert warm.tlog_counts() == {"hit": 0, "warm": 3, "cold": 0}
+        for task_id, cold_result in cold.tuning_results.items():
+            target = 0.95 * cold_result.best_gflops
+            c95 = measurements_to_target(cold_result.best_curve(), target)
+            w95 = measurements_to_target(
+                warm.tuning_results[task_id].best_curve(), target
+            )
+            assert w95 is not None and w95 <= c95
+
+    def test_tlog_off_is_bit_identical(self, compiler, tmp_path):
+        with_log = compiler.tune(
+            "bted", n_trial=32, early_stopping=None, tlog=tmp_path / "db"
+        )
+        without = compiler.tune("bted", n_trial=32, early_stopping=None)
+        assert without.tlog_status == {}
+        for task_id, result in without.tuning_results.items():
+            assert _trace(result) == _trace(with_log.tuning_results[task_id])
+
+    def test_observer_counts_hits_and_warm_starts(self, compiler, tmp_path):
+        from repro.obs import RunObservation
+
+        compiler.tune(
+            "bted", n_trial=32, early_stopping=None, tlog=tmp_path / "db"
+        )
+        obs = RunObservation(enable_trace=False)
+        compiler.tune(
+            "bted", n_trial=32, early_stopping=None, tlog=tmp_path / "db",
+            observation=obs,
+        )
+        metrics = obs.merged_metrics()
+        assert metrics.get("tlog_exact_hits_total").value == 3
+        assert metrics.get("tlog_warm_starts_total").value == 0
+        obs2 = RunObservation(enable_trace=False)
+        compiler.tune(
+            "bted", n_trial=32, early_stopping=None, tlog=tmp_path / "db",
+            warm_start=True, serve_hits=False, observation=obs2,
+        )
+        merged = obs2.merged_metrics()
+        assert merged.get("tlog_warm_starts_total").value == 3
+        assert merged.get("tlog_warm_configs_total").value > 0
+
+    def test_compile_from_tlog_matches_tuned_deploy(
+        self, compiler, tmp_path
+    ):
+        tuned = compiler.tune(
+            "bted", n_trial=32, early_stopping=None, tlog=tmp_path / "db"
+        )
+        replayed = compiler.compile_from_tlog(tmp_path / "db")
+        assert replayed.tlog_counts()["hit"] == 3
+        a = tuned.measure_latency(num_runs=16, seed=3)
+        b = replayed.measure_latency(num_runs=16, seed=3)
+        assert a.mean_ms == b.mean_ms
+
+    def test_fleet_two_pass_hits(self, compiler, tmp_path):
+        first = compiler.tune(
+            "bted", n_trial=32, early_stopping=None,
+            fleet="gtx1080ti,gtx1080ti", tlog=tmp_path / "db",
+        )
+        assert first.tlog_counts() == {"hit": 0, "warm": 0, "cold": 3}
+        second = compiler.tune(
+            "bted", n_trial=32, early_stopping=None,
+            fleet="gtx1080ti,gtx1080ti", tlog=tmp_path / "db",
+        )
+        assert second.tlog_counts() == {"hit": 3, "warm": 0, "cold": 0}
+        assert all(
+            r.num_measurements == 0
+            for r in second.tuning_results.values()
+        )
+
+    def test_fleet_cold_matches_serial_cold(self, compiler, tmp_path):
+        serial = compiler.tune(
+            "bted", n_trial=32, early_stopping=None, tlog=tmp_path / "s"
+        )
+        fleet = compiler.tune(
+            "bted", n_trial=32, early_stopping=None,
+            fleet="gtx1080ti,gtx1080ti", tlog=tmp_path / "f",
+        )
+        for task_id, result in serial.tuning_results.items():
+            assert _trace(result) == _trace(fleet.tuning_results[task_id])
+
+    def test_resume_does_not_double_contribute(self, compiler, tmp_path):
+        db_dir = tmp_path / "db"
+        compiler.tune(
+            "bted", n_trial=32, early_stopping=None, tlog=db_dir,
+            checkpoint_dir=tmp_path / "ckpt",
+        )
+        counts = {
+            s.key: len(TuningLogDB.load(db_dir).lookup_exact(s) or [])
+            for s in TuningLogDB.load(db_dir).signatures()
+        }
+        # rerun with resume + serving disabled: tasks reload from .done
+        # files and re-offer the same contribution under the same run key
+        compiler.tune(
+            "bted", n_trial=32, early_stopping=None, tlog=db_dir,
+            checkpoint_dir=tmp_path / "ckpt", resume=True,
+            serve_hits=False,
+        )
+        after = TuningLogDB.load(db_dir)
+        for sig in after.signatures():
+            assert len(after.lookup_exact(sig)) == counts[sig.key]
