@@ -13,7 +13,7 @@ MODULES = [
     "repro.nn.workloads", "repro.nn.layers", "repro.nn.graph",
     "repro.nn.fusion", "repro.nn.zoo",
     "repro.space.knobs", "repro.space.space", "repro.space.templates",
-    "repro.space.neighborhood",
+    "repro.space.neighborhood", "repro.space.sampling",
     "repro.hardware.device", "repro.hardware.resources",
     "repro.hardware.cost_model", "repro.hardware.noise",
     "repro.hardware.measure", "repro.hardware.executor",
@@ -22,7 +22,8 @@ MODULES = [
     "repro.learning.rank", "repro.learning.metrics", "repro.learning.sa",
     "repro.learning.transfer",
     "repro.core.ted", "repro.core.bted", "repro.core.bootstrap",
-    "repro.core.bao", "repro.core.tuner", "repro.core.tuners",
+    "repro.core.bao", "repro.core.droplet", "repro.core.adaptive",
+    "repro.core.tuner", "repro.core.tuners",
     "repro.core.callbacks", "repro.core.events",
     "repro.tlog.signature", "repro.tlog.db", "repro.tlog.warm",
     "repro.pipeline.tasks", "repro.pipeline.records",
@@ -32,6 +33,7 @@ MODULES = [
     "repro.experiments.fig5", "repro.experiments.table1",
     "repro.experiments.ablation", "repro.experiments.analysis",
     "repro.experiments.report", "repro.experiments.transfer",
+    "repro.experiments.adaptive",
     "repro.utils.rng", "repro.utils.mathx", "repro.utils.plot",
 ]
 

@@ -33,7 +33,13 @@ SRC = REPO_ROOT / "src"
 ARM_KWARGS = {
     "random": {"batch_size": 8},
     "bted": {"batch_size": 8, "init_size": 8, "batch_candidates": 32},
+    "bted+as": {"batch_size": 8, "init_size": 8, "batch_candidates": 32},
     "bted+bao": {"init_size": 8, "batch_candidates": 32, "num_batches": 2},
+    "bted+bao+droplet": {
+        "init_size": 8, "batch_candidates": 32, "num_batches": 2,
+        "finish_after": 12,
+    },
+    "droplet": {"batch_size": 8, "init_size": 8},
 }
 
 # Child: tune with checkpointing, stalling after every batch so the

@@ -26,6 +26,7 @@ from repro.core import (
     BTEDBAOTuner,
     BTEDTuner,
     BaoSettings,
+    DropletTuner,
     EventLog,
     GridTuner,
     RandomTuner,
@@ -57,6 +58,7 @@ __all__ = [
     "BTEDBAOTuner",
     "BTEDTuner",
     "BaoSettings",
+    "DropletTuner",
     "GridTuner",
     "RandomTuner",
     "TUNER_REGISTRY",

@@ -273,9 +273,24 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_arms(spec: Optional[str]) -> Optional[tuple]:
+    """Validate a comma-separated ``--arms`` list against the registry."""
+    if not spec:
+        return None
+    arms = tuple(a.strip() for a in spec.split(",") if a.strip())
+    unknown = [a for a in arms if a.lower() not in TUNER_REGISTRY]
+    if unknown:
+        raise SystemExit(
+            f"unknown arm(s) {unknown}; available: {sorted(TUNER_REGISTRY)}"
+        )
+    return arms
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     enable_console_logging()
     settings = ExperimentSettings().scaled(args.scale)
+    arms = _parse_arms(args.arms)
+    arms_kwargs = {} if arms is None else {"arms": arms}
     if args.which == "fig4":
         from repro.experiments.fig4 import run_fig4
 
@@ -288,6 +303,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             checkpoint_dir=args.checkpoint_dir,
             summary_dir=args.summary,
             fleet=args.fleet,
+            **arms_kwargs,
         )
         print(result.report())
     elif args.which == "fig5":
@@ -296,6 +312,28 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         result = run_fig5(
             settings=settings,
             max_tasks=args.max_tasks,
+            jobs=args.jobs,
+            measure_cache=args.measure_cache,
+            checkpoint_dir=args.checkpoint_dir,
+            summary_dir=args.summary,
+            fleet=args.fleet,
+            **arms_kwargs,
+        )
+        print(result.report())
+    elif args.which == "adaptive":
+        from repro.experiments.adaptive import run_adaptive_study
+
+        if arms is not None and len(arms) != 2:
+            raise SystemExit(
+                "experiment adaptive takes --arms baseline,adaptive"
+            )
+        baseline, adaptive = arms if arms is not None else ("bted", "bted+as")
+        result = run_adaptive_study(
+            model_name=args.model,
+            baseline_arm=baseline,
+            adaptive_arm=adaptive,
+            settings=settings,
+            num_trials=settings.num_trials,
             jobs=args.jobs,
             measure_cache=args.measure_cache,
             checkpoint_dir=args.checkpoint_dir,
@@ -321,7 +359,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
         result = run_table1(
             settings=settings, jobs=args.jobs, summary_dir=args.summary,
-            fleet=args.fleet,
+            fleet=args.fleet, **arms_kwargs,
         )
         print(result.report())
     if args.summary:
@@ -492,10 +530,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper result")
     p_exp.add_argument(
-        "which", choices=["fig4", "fig5", "table1", "warmcold"]
+        "which", choices=["fig4", "fig5", "table1", "warmcold", "adaptive"]
     )
     p_exp.add_argument("--scale", type=float, default=0.1,
                        help="budget scale in (0, 1]; 1.0 = paper protocol")
+    p_exp.add_argument("--arms", default=None,
+                       help="fig4/fig5/table1: comma-separated arm list "
+                            "to compare (default: the paper arms; see "
+                            "docs/ARMS.md for the full registry); "
+                            "adaptive: baseline,adaptive arm pair")
     p_exp.add_argument("--max-tasks", type=int, default=None,
                        help="fig5 only: limit the number of tasks")
     p_exp.add_argument("--jobs", type=int, default=1,
@@ -516,7 +559,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "to the serial run)")
     p_exp.add_argument("--model", default="mobilenet-v1",
                        choices=sorted(MODEL_BUILDERS),
-                       help="warmcold only: model to study")
+                       help="warmcold/adaptive only: model to study")
     p_exp.add_argument("--arm", default="bted",
                        choices=sorted(TUNER_REGISTRY),
                        help="warmcold only: tuning arm")

@@ -4,9 +4,12 @@
 * :mod:`repro.core.bted` — batch TED initialization (Alg. 2).
 * :mod:`repro.core.bootstrap` — Bootstrap-guided sampling (Alg. 3).
 * :mod:`repro.core.bao` — Bootstrap-guided adaptive optimization (Alg. 4).
+* :mod:`repro.core.droplet` — coordinate-descent exploitation policy.
+* :mod:`repro.core.adaptive` — k-center adaptive-sampling proposal stage.
 * :mod:`repro.core.tuner` — tuner base class, records, early stopping.
 * :mod:`repro.core.tuners` — the experimental arms: random, grid,
-  AutoTVM (XGB+SA baseline), BTED, BTED+BAO.
+  AutoTVM (XGB+SA baseline), BTED, BTED+BAO, Droplet, and the
+  adaptive-sampling / finishing-phase variants (see ``docs/ARMS.md``).
 """
 
 from repro.core.ted import ted_select, rbf_kernel
@@ -18,12 +21,16 @@ from repro.core.checkpoint import (
     CheckpointPolicy,
     TuningCheckpoint,
 )
+from repro.core.droplet import CoordinateDescent, DropletSettings
 from repro.core.events import (
     BatchMeasured,
     BatchProposed,
+    CandidatesPruned,
     CheckpointSaved,
     EarlyStopped,
     EventLog,
+    ExploitStepped,
+    FinishPhaseStarted,
     IncumbentImproved,
     MeasurementFailed,
     MeasurementRetried,
@@ -39,8 +46,13 @@ from repro.core.tuners.random import RandomTuner
 from repro.core.tuners.grid import GridTuner
 from repro.core.tuners.ga import GATuner
 from repro.core.tuners.autotvm import AutoTVMTuner
-from repro.core.tuners.bted import BTEDTuner
-from repro.core.tuners.btedbao import BTEDBAOTuner
+from repro.core.tuners.bted import BTEDAdaptiveTuner, BTEDTuner
+from repro.core.tuners.btedbao import (
+    BTEDBAOAdaptiveTuner,
+    BTEDBAODropletTuner,
+    BTEDBAOTuner,
+)
+from repro.core.tuners.droplet import DropletTuner
 
 TUNER_REGISTRY = {
     "random": RandomTuner,
@@ -48,7 +60,11 @@ TUNER_REGISTRY = {
     "ga": GATuner,
     "autotvm": AutoTVMTuner,
     "bted": BTEDTuner,
+    "bted+as": BTEDAdaptiveTuner,
     "bted+bao": BTEDBAOTuner,
+    "bted+bao+as": BTEDBAOAdaptiveTuner,
+    "bted+bao+droplet": BTEDBAODropletTuner,
+    "droplet": DropletTuner,
 }
 
 
@@ -68,6 +84,8 @@ __all__ = [
     "BootstrapEnsemble",
     "BaoOptimizer",
     "BaoSettings",
+    "CoordinateDescent",
+    "DropletSettings",
     "Tuner",
     "TrialRecord",
     "TuningResult",
@@ -85,6 +103,9 @@ __all__ = [
     "TuningResumed",
     "WarmStarted",
     "TlogExactHit",
+    "ExploitStepped",
+    "CandidatesPruned",
+    "FinishPhaseStarted",
     "EventLog",
     "TuningCheckpoint",
     "CheckpointPolicy",
@@ -94,7 +115,11 @@ __all__ = [
     "GATuner",
     "AutoTVMTuner",
     "BTEDTuner",
+    "BTEDAdaptiveTuner",
     "BTEDBAOTuner",
+    "BTEDBAOAdaptiveTuner",
+    "BTEDBAODropletTuner",
+    "DropletTuner",
     "TUNER_REGISTRY",
     "make_tuner",
 ]

@@ -1,0 +1,49 @@
+"""Adaptive-sampling proposal stage: prune a plan before measuring it.
+
+Chameleon-style (PAPERS.md): the surrogate's proposed batch is
+clustered in config-feature space and only ``keep_fraction`` diverse
+representatives are deployed, with the already-measured feature matrix
+acting as anchors so re-probes of measured territory are dropped
+first.  Opt-in per arm (``adaptive_sampling=True``); with it off, the
+arm is byte-for-byte its pre-pruning self.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.events import CandidatesPruned
+from repro.space.sampling import k_center_prune
+
+
+def validate_adaptive(adaptive_keep: float) -> None:
+    """Shared constructor validation for the ``adaptive_keep`` fraction."""
+    if not 0.0 < adaptive_keep <= 1.0:
+        raise ValueError("adaptive_keep must be in (0, 1]")
+
+
+def prune_plan(tuner, plan: Sequence[int], keep_fraction: float) -> List[int]:
+    """Keep a diverse ``keep_fraction`` of ``plan``, preserving its order.
+
+    ``plan`` must be ranked best-first: position 0 always survives (the
+    k-center seed), and the surviving positions are re-sorted so the
+    measurement order stays a subsequence of the original plan.  Queues
+    a :class:`CandidatesPruned` event when anything was dropped.
+    """
+    plan = [int(i) for i in plan]
+    keep = max(1, int(round(keep_fraction * len(plan))))
+    if keep >= len(plan):
+        return plan
+    features = tuner.task.space.feature_matrix(np.asarray(plan, dtype=np.int64))
+    selected = k_center_prune(
+        features, keep, anchors=tuner.measured_features
+    )
+    pruned = [plan[i] for i in np.sort(selected)]
+    tuner._queue_event(
+        CandidatesPruned(
+            step=tuner.num_measured, proposed=len(plan), kept=len(pruned)
+        )
+    )
+    return pruned

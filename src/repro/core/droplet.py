@@ -1,0 +1,162 @@
+"""Coordinate-descent exploitation around the incumbent (Droplet-style).
+
+"Explore as a Storm, Exploit as a Raindrop" (PAPERS.md) closes most of
+the remaining gap after a model-based explorer by *line-searching the
+knob axes* of the best configuration found so far: probe every axis at
+the current step length, re-center whenever a probe beats the
+incumbent, and double the step when a whole sweep at the current
+length is already measured.  When the line search dries up around a
+center, the policy random-restarts from a fresh unvisited point.
+
+:class:`CoordinateDescent` is the policy object; it is deliberately a
+plain bag of picklable state (ints, floats, a seeded
+``numpy.random.Generator``), so tuners that embed it inherit the
+repo's checkpoint crash-at-any-batch bit-identity contract for free —
+:meth:`Tuner.snapshot` pickles it generically with the rest of the
+tuner ``__dict__``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.events import ExploitStepped
+from repro.space.neighborhood import axis_steps
+from repro.space.space import ConfigSpace
+from repro.utils.rng import SeedLike, as_generator
+
+
+@dataclass(frozen=True)
+class DropletSettings:
+    """Knobs of the coordinate-descent line search."""
+
+    #: step length a fresh sweep starts from
+    initial_step: int = 1
+    #: step-length cap; ``None`` means the largest knob cardinality
+    #: (doubling past it cannot reach anything new)
+    max_step: Optional[int] = None
+    #: random-restart when the sweep around a center is exhausted
+    #: (without it the policy reports exhaustion instead)
+    restart: bool = True
+    #: rejection-sampling budget for one unvisited restart draw
+    max_restart_draws: int = 200
+
+    def __post_init__(self) -> None:
+        if self.initial_step <= 0:
+            raise ValueError("initial_step must be positive")
+        if self.max_step is not None and self.max_step < self.initial_step:
+            raise ValueError("max_step must be >= initial_step")
+        if self.max_restart_draws <= 0:
+            raise ValueError("max_restart_draws must be positive")
+
+
+class CoordinateDescent:
+    """Greedy axis sweep with doubling step and random restarts.
+
+    :meth:`propose` is a pure function of the policy state plus the
+    caller-supplied incumbent and visited set: it never measures, so
+    one policy instance can serve both the standalone
+    :class:`~repro.core.tuners.droplet.DropletTuner` and the
+    ``finish="droplet"`` phase of the BTED+BAO arm.
+    """
+
+    def __init__(
+        self,
+        space: ConfigSpace,
+        settings: DropletSettings = DropletSettings(),
+        seed: SeedLike = 0,
+    ):
+        self.space = space
+        self.settings = settings
+        self._rng = as_generator(seed)
+        #: config index the current sweep is centered on
+        self.center: Optional[int] = None
+        #: incumbent score when the center was adopted — a new global
+        #: best above it re-centers the sweep
+        self.center_score: float = -np.inf
+        #: current line-search step length
+        self.step: int = settings.initial_step
+        #: random restarts taken so far
+        self.restarts: int = 0
+        #: set when neither the sweep nor a restart can find anything new
+        self.exhausted: bool = False
+
+    @property
+    def max_step(self) -> int:
+        if self.settings.max_step is not None:
+            return self.settings.max_step
+        return max(int(s) for s in self.space.knob_sizes)
+
+    def propose(
+        self,
+        best_index: Optional[int],
+        best_gflops: float,
+        visited: np.ndarray,
+    ) -> List[int]:
+        """Next batch of unvisited axis probes (possibly a restart point).
+
+        ``visited`` is the tuner's sorted measured-index array
+        (:attr:`Tuner.visited_sorted`); revisits are filtered with a
+        vectorized ``np.isin``.  Returns ``[]`` only when the policy is
+        exhausted (restarts disabled or no unvisited draw found).
+        """
+        if best_index is None:
+            return []
+        if self.center is None or best_gflops > self.center_score:
+            self.center = int(best_index)
+            self.center_score = float(best_gflops)
+            self.step = self.settings.initial_step
+        while self.step <= self.max_step:
+            candidates = axis_steps(self.space, self.center, self.step)
+            if len(candidates):
+                fresh = candidates[~np.isin(candidates, visited)]
+                if len(fresh):
+                    return [int(c) for c in fresh]
+            self.step *= 2
+        if not self.settings.restart:
+            self.exhausted = True
+            return []
+        restart = self._draw_unvisited(visited)
+        if restart is None:
+            self.exhausted = True
+            return []
+        self.restarts += 1
+        self.center = restart
+        # only a strict global improvement may pull the sweep back off
+        # the restart point, so anchor at the current incumbent score
+        self.center_score = float(best_gflops)
+        self.step = self.settings.initial_step
+        return [restart]
+
+    def _draw_unvisited(self, visited: np.ndarray) -> Optional[int]:
+        size = len(self.space)
+        for _ in range(self.settings.max_restart_draws):
+            idx = int(self._rng.integers(0, size))
+            if not np.isin(idx, visited):
+                return idx
+        return None
+
+
+def droplet_propose(tuner, policy: CoordinateDescent) -> List[int]:
+    """Run one policy step for a tuner and surface it as an event.
+
+    Shared by the standalone arm and the BTED+BAO finishing phase:
+    proposes from the tuner's incumbent/visited state and queues an
+    :class:`ExploitStepped` event describing the sweep.
+    """
+    batch = policy.propose(
+        tuner.best_index, tuner.best_gflops, tuner.visited_sorted
+    )
+    if batch:
+        tuner._queue_event(
+            ExploitStepped(
+                step=tuner.num_measured,
+                center=int(policy.center),
+                step_size=int(policy.step),
+                restarts=int(policy.restarts),
+            )
+        )
+    return batch

@@ -165,6 +165,42 @@ class WarmStarted(TuningEvent):
 
 
 @dataclass(frozen=True)
+class ExploitStepped(TuningEvent):
+    """The coordinate-descent exploit policy swept the incumbent's axes."""
+
+    #: config index the sweep is centered on
+    center: int
+    #: current line-search step length (doubles when an axis dries up)
+    step_size: int
+    #: random restarts taken so far (sweep exhausted around a center)
+    restarts: int
+
+
+@dataclass(frozen=True)
+class CandidatesPruned(TuningEvent):
+    """Adaptive sampling dropped near-duplicate proposals before measuring."""
+
+    #: configs the search policy originally proposed
+    proposed: int
+    #: configs that survived the k-center pruning
+    kept: int
+
+    @property
+    def dropped(self) -> int:
+        return self.proposed - self.kept
+
+
+@dataclass(frozen=True)
+class FinishPhaseStarted(TuningEvent):
+    """A two-phase arm handed the search over to its finishing policy."""
+
+    #: registry-style name of the finishing policy (``"droplet"``)
+    policy: str
+    #: exploration-policy stagnation count when the handoff fired
+    stagnation: int = 0
+
+
+@dataclass(frozen=True)
 class TlogExactHit(TuningEvent):
     """The tuning log served this task without a single measurement."""
 

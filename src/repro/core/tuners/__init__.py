@@ -4,8 +4,13 @@ from repro.core.tuners.random import RandomTuner
 from repro.core.tuners.grid import GridTuner
 from repro.core.tuners.ga import GATuner
 from repro.core.tuners.autotvm import AutoTVMTuner
-from repro.core.tuners.bted import BTEDTuner
-from repro.core.tuners.btedbao import BTEDBAOTuner
+from repro.core.tuners.bted import BTEDAdaptiveTuner, BTEDTuner
+from repro.core.tuners.btedbao import (
+    BTEDBAOAdaptiveTuner,
+    BTEDBAODropletTuner,
+    BTEDBAOTuner,
+)
+from repro.core.tuners.droplet import DropletTuner
 
 __all__ = [
     "RandomTuner",
@@ -13,5 +18,9 @@ __all__ = [
     "GATuner",
     "AutoTVMTuner",
     "BTEDTuner",
+    "BTEDAdaptiveTuner",
     "BTEDBAOTuner",
+    "BTEDBAOAdaptiveTuner",
+    "BTEDBAODropletTuner",
+    "DropletTuner",
 ]

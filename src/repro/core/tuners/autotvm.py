@@ -14,6 +14,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.core.adaptive import prune_plan, validate_adaptive
 from repro.core.tuner import Tuner
 from repro.hardware.executor import ExecutorSpec
 from repro.hardware.measure import SimulatedTask
@@ -39,6 +40,8 @@ class AutoTVMTuner(Tuner):
         transfer: Optional[TransferHistory] = None,
         executor: ExecutorSpec = None,
         warm_start=None,
+        adaptive_sampling: bool = False,
+        adaptive_keep: float = 0.5,
     ):
         super().__init__(
             task, seed=seed, batch_size=batch_size, executor=executor,
@@ -48,10 +51,15 @@ class AutoTVMTuner(Tuner):
             raise ValueError("init_size must be positive")
         if not 0.0 <= epsilon_greedy < 1.0:
             raise ValueError("epsilon_greedy must be in [0, 1)")
+        validate_adaptive(adaptive_keep)
         self.init_size = init_size
         self.epsilon_greedy = epsilon_greedy
         self.sa_chains = sa_chains
         self.sa_steps = sa_steps
+        # Chameleon-style adaptive sampling: k-center prune each plan
+        # before measuring (off by default — the cold path is untouched)
+        self.adaptive_sampling = adaptive_sampling
+        self.adaptive_keep = adaptive_keep
         # a warm-start plan's discounted history pretrains the cost
         # model unless the caller wired an explicit TransferHistory
         if transfer is None and warm_start is not None:
@@ -109,10 +117,18 @@ class AutoTVMTuner(Tuner):
             n_steps=self.sa_steps,
             exclude=self.visited,
         )
+        # adaptive sampling prunes the (best-first) SA plan *before*
+        # the epsilon-greedy tail, so exploration survives the pruning;
+        # the tail share scales with the surviving plan so the measured
+        # batch actually shrinks
+        target = self.batch_size
+        if self.adaptive_sampling and len(plan) > 1:
+            plan = prune_plan(self, plan, self.adaptive_keep)
+            target = len(plan)
         # epsilon-greedy exploration: replace a tail share of the plan
-        n_random = int(round(self.epsilon_greedy * self.batch_size))
+        n_random = int(round(self.epsilon_greedy * target))
         if n_random > 0:
-            plan = plan[: self.batch_size - n_random]
+            plan = plan[: target - n_random]
             plan.extend(self._random_unvisited(n_random))
         return plan
 

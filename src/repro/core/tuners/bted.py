@@ -38,6 +38,8 @@ class BTEDTuner(AutoTVMTuner):
         executor: ExecutorSpec = None,
         ted_method: str = "exact",
         warm_start=None,
+        adaptive_sampling: bool = False,
+        adaptive_keep: float = 0.5,
     ):
         super().__init__(
             task,
@@ -50,6 +52,8 @@ class BTEDTuner(AutoTVMTuner):
             transfer=transfer,
             executor=executor,
             warm_start=warm_start,
+            adaptive_sampling=adaptive_sampling,
+            adaptive_keep=adaptive_keep,
         )
         self.mu = mu
         self.batch_candidates = batch_candidates
@@ -65,4 +69,20 @@ class BTEDTuner(AutoTVMTuner):
             num_batches=self.num_batches,
             seed=self.rng_pool.seed_for("bted-init"),
             ted_method=self.ted_method,
+        )
+
+
+class BTEDAdaptiveTuner(BTEDTuner):
+    """BTED with the adaptive-sampling proposal stage on (the "bted+as" arm).
+
+    A distinct registry arm rather than a flag spelling, so the pruned
+    variant gets its own RNG streams, golden traces, checkpoints and
+    experiment-grid column.
+    """
+
+    name = "bted+as"
+
+    def __init__(self, *args, adaptive_sampling: bool = True, **kwargs):
+        super().__init__(
+            *args, adaptive_sampling=adaptive_sampling, **kwargs
         )

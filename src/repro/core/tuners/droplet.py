@@ -1,0 +1,62 @@
+"""The Droplet arm: coordinate-descent exploitation of the incumbent.
+
+A small random initialization batch seeds the search; every iterative
+step then line-searches the knob axes around the best configuration so
+far (greedy axis sweep, doubling step, random restarts — see
+:mod:`repro.core.droplet`).  The arm is a pure exploiter: it spends
+almost its whole budget in the incumbent's basin, which is exactly the
+behaviour the explore-heavy paper arms lack ("Explore as a Storm,
+Exploit as a Raindrop", PAPERS.md).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.droplet import (
+    CoordinateDescent,
+    DropletSettings,
+    droplet_propose,
+)
+from repro.core.tuner import Tuner
+from repro.hardware.executor import ExecutorSpec
+from repro.hardware.measure import SimulatedTask
+
+
+class DropletTuner(Tuner):
+    """Coordinate-descent line search around the incumbent."""
+
+    name = "droplet"
+
+    def __init__(
+        self,
+        task: SimulatedTask,
+        seed: int = 0,
+        batch_size: int = 64,
+        init_size: int = 16,
+        settings: DropletSettings = DropletSettings(),
+        executor: ExecutorSpec = None,
+        warm_start=None,
+    ):
+        super().__init__(
+            task, seed=seed, batch_size=batch_size, executor=executor,
+            warm_start=warm_start,
+        )
+        if init_size <= 0:
+            raise ValueError("init_size must be positive")
+        self.init_size = init_size
+        self.droplet = CoordinateDescent(
+            task.space, settings=settings,
+            seed=self.rng_pool.seed_for("droplet"),
+        )
+
+    def _generate_initial(self) -> List[int]:
+        indices = self.task.space.sample(
+            self.init_size, seed=self.rng_pool.seed_for("init")
+        )
+        return [int(i) for i in indices]
+
+    def _generate_next(self) -> List[int]:
+        # an exhausted policy returns [] and the base loop's random
+        # fallback / SpaceExhausted handling takes over
+        return droplet_propose(self, self.droplet)

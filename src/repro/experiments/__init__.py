@@ -11,9 +11,16 @@
   count B, ensemble size Gamma, adaptive radius, TED vs random init).
 * :mod:`repro.experiments.transfer` — warm-vs-cold study over the
   cross-run tuning log (:mod:`repro.tlog`).
+* :mod:`repro.experiments.adaptive` — measurements saved by the
+  adaptive-sampling proposal stage (Chameleon-style).
 """
 
-from repro.experiments.settings import ExperimentSettings, PAPER_SETTINGS, ARMS
+from repro.experiments.settings import (
+    ARMS,
+    EXTENDED_ARMS,
+    ExperimentSettings,
+    PAPER_SETTINGS,
+)
 from repro.experiments.runner import (
     DEFAULT_EARLY_STOPPING,
     run_arm_on_task,
@@ -35,11 +42,13 @@ from repro.experiments.transfer import (
     measurements_to_target,
     run_warm_cold,
 )
+from repro.experiments.adaptive import AdaptiveStudyResult, run_adaptive_study
 
 __all__ = [
     "ExperimentSettings",
     "PAPER_SETTINGS",
     "ARMS",
+    "EXTENDED_ARMS",
     "DEFAULT_EARLY_STOPPING",
     "run_arm_on_task",
     "average_curves",
@@ -60,4 +69,6 @@ __all__ = [
     "WarmColdResult",
     "measurements_to_target",
     "run_warm_cold",
+    "AdaptiveStudyResult",
+    "run_adaptive_study",
 ]

@@ -23,6 +23,14 @@ from repro.core.bao import BaoSettings
 #: the three experimental arms, in the paper's order
 ARMS: Tuple[str, ...] = ("autotvm", "bted", "bted+bao")
 
+#: the paper arms plus the post-paper search arms (coordinate-descent
+#: exploitation and adaptive sampling — see ``docs/ARMS.md``)
+EXTENDED_ARMS: Tuple[str, ...] = ARMS + (
+    "droplet",
+    "bted+as",
+    "bted+bao+droplet",
+)
+
 
 @dataclass(frozen=True)
 class ExperimentSettings:
@@ -41,6 +49,11 @@ class ExperimentSettings:
 
     # BAO (Alg. 4) settings
     bao: BaoSettings = field(default_factory=BaoSettings)
+
+    # adaptive sampling (the "+as" arms): plan share kept per batch
+    adaptive_keep: float = 0.5
+    # batched proposals for the pruned BTED+BAO variant
+    adaptive_batch_size: int = 8
 
     # evaluation protocol
     num_runs: int = 600
@@ -84,21 +97,33 @@ class ExperimentSettings:
                 "batch_size": self.batch_size,
                 "init_size": self.init_size,
             }
-        if arm == "bted":
-            return {
+        if arm in ("bted", "bted+as"):
+            kwargs: Dict[str, object] = {
                 "batch_size": self.batch_size,
                 "init_size": self.init_size,
                 "mu": self.mu,
                 "batch_candidates": self.batch_candidates,
                 "num_batches": self.num_batches,
             }
-        if arm == "bted+bao":
-            return {
+            if arm == "bted+as":
+                kwargs["adaptive_keep"] = self.adaptive_keep
+            return kwargs
+        if arm in ("bted+bao", "bted+bao+droplet", "bted+bao+as"):
+            kwargs = {
                 "init_size": self.init_size,
                 "mu": self.mu,
                 "batch_candidates": self.batch_candidates,
                 "num_batches": self.num_batches,
                 "bao_settings": self.bao,
+            }
+            if arm == "bted+bao+as":
+                kwargs["measure_batch_size"] = self.adaptive_batch_size
+                kwargs["adaptive_keep"] = self.adaptive_keep
+            return kwargs
+        if arm == "droplet":
+            return {
+                "batch_size": self.batch_size,
+                "init_size": self.init_size,
             }
         if arm == "ga":
             return {"population_size": self.batch_size}

@@ -87,6 +87,9 @@ class TuningObserver:
         self._tlog_hits = 0
         self._warm_starts = 0
         self._warm_injected = 0
+        self._exploit_steps = 0
+        self._pruned_candidates = 0
+        self._finish_phase = ""
         self._best = 0.0
         self._best_index = -1
         self._curve: List[float] = []
@@ -117,6 +120,9 @@ class TuningObserver:
             "tuning_resumed": self._on_tuning_resumed,
             "warm_started": self._on_warm_started,
             "tlog_exact_hit": self._on_tlog_exact_hit,
+            "exploit_stepped": self._on_exploit_stepped,
+            "candidates_pruned": self._on_candidates_pruned,
+            "finish_phase_started": self._on_finish_phase_started,
         }
 
     @staticmethod
@@ -139,6 +145,16 @@ class TuningObserver:
         m.counter("tlog_warm_starts_total", "tasks warm-started from the log")
         m.counter(
             "tlog_warm_configs_total", "seed configs injected by warm starts"
+        )
+        m.counter(
+            "exploit_steps_total", "coordinate-descent axis sweeps proposed"
+        )
+        m.counter(
+            "pruned_candidates_total",
+            "proposals dropped by adaptive sampling",
+        )
+        m.counter(
+            "finish_phases_total", "handoffs to a finishing search policy"
         )
         m.gauge("best_gflops", "best throughput so far")
         m.gauge("measured", "configurations measured so far")
@@ -322,6 +338,25 @@ class TuningObserver:
         if self.metrics is not None:
             self.metrics.get("tlog_exact_hits_total").inc()
 
+    def _on_exploit_stepped(self, event) -> None:
+        self._exploit_steps += 1
+        if self.metrics is not None:
+            self.metrics.get("exploit_steps_total").inc()
+
+    def _on_candidates_pruned(self, event) -> None:
+        proposed = int(getattr(event, "proposed", 0))
+        kept = int(getattr(event, "kept", 0))
+        self._pruned_candidates += max(0, proposed - kept)
+        if self.metrics is not None:
+            self.metrics.get("pruned_candidates_total").inc(
+                max(0, proposed - kept)
+            )
+
+    def _on_finish_phase_started(self, event) -> None:
+        self._finish_phase = str(getattr(event, "policy", "") or "")
+        if self.metrics is not None:
+            self.metrics.get("finish_phases_total").inc()
+
     # ---- hook-bus callbacks ------------------------------------------
 
     def _on_refit(self, rows: int, duration_s: float, kind: str) -> None:
@@ -379,6 +414,9 @@ class TuningObserver:
             failures=self._failures,
             cache_hits=self._cache_hits,
             cache_misses=self._cache_misses,
+            exploit_steps=self._exploit_steps,
+            pruned_candidates=self._pruned_candidates,
+            finish_phase=self._finish_phase,
             early_stopped=self._early_stopped,
             space_exhausted=self._space_exhausted,
             resumed=self._resumed,
@@ -409,6 +447,9 @@ class TuningObserver:
             "tlog_hits": self._tlog_hits,
             "warm_starts": self._warm_starts,
             "warm_injected": self._warm_injected,
+            "exploit_steps": self._exploit_steps,
+            "pruned_candidates": self._pruned_candidates,
+            "finish_phase": self._finish_phase,
             "best": self._best,
             "best_index": self._best_index,
             "curve": list(self._curve),
@@ -448,6 +489,9 @@ class TuningObserver:
         self._tlog_hits = int(state.get("tlog_hits", 0))
         self._warm_starts = int(state.get("warm_starts", 0))
         self._warm_injected = int(state.get("warm_injected", 0))
+        self._exploit_steps = int(state.get("exploit_steps", 0))
+        self._pruned_candidates = int(state.get("pruned_candidates", 0))
+        self._finish_phase = str(state.get("finish_phase", ""))
         self._best = float(state.get("best", 0.0))
         self._best_index = int(state.get("best_index", -1))
         self._curve = [float(v) for v in state.get("curve", [])]

@@ -50,6 +50,12 @@ class RunSummary:
     failures: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    #: coordinate-descent axis sweeps proposed (Droplet-style arms)
+    exploit_steps: int = 0
+    #: proposals dropped by the adaptive-sampling stage before measuring
+    pruned_candidates: int = 0
+    #: finishing policy the run handed over to ("" = single-phase run)
+    finish_phase: str = ""
     early_stopped: bool = False
     space_exhausted: bool = False
     resumed: bool = False
@@ -96,6 +102,9 @@ def aggregate_summaries(summaries: Iterable[RunSummary]) -> Dict[str, Any]:
         "failures": sum(s.failures for s in rows),
         "cache_hits": sum(s.cache_hits for s in rows),
         "cache_misses": sum(s.cache_misses for s in rows),
+        "exploit_steps": sum(s.exploit_steps for s in rows),
+        "pruned_candidates": sum(s.pruned_candidates for s in rows),
+        "finish_phases": sum(1 for s in rows if s.finish_phase),
         "early_stopped": sum(1 for s in rows if s.early_stopped),
         "space_exhausted": sum(1 for s in rows if s.space_exhausted),
         "resumed": sum(1 for s in rows if s.resumed),

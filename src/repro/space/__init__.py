@@ -11,7 +11,12 @@ the CUDA schedule templates that generate a space from a workload
 from repro.space.knobs import Knob, SplitKnob, OtherKnob, BoolKnob, ReorderKnob
 from repro.space.space import ConfigSpace, ConfigEntity, FeatureCache
 from repro.space.templates import build_space, TemplateError
-from repro.space.neighborhood import sample_neighborhood, neighbors_within
+from repro.space.neighborhood import (
+    axis_steps,
+    neighbors_within,
+    sample_neighborhood,
+)
+from repro.space.sampling import k_center_prune, min_sq_dists
 
 __all__ = [
     "Knob",
@@ -26,4 +31,7 @@ __all__ = [
     "TemplateError",
     "sample_neighborhood",
     "neighbors_within",
+    "axis_steps",
+    "k_center_prune",
+    "min_sq_dists",
 ]

@@ -69,6 +69,44 @@ def neighbors_within(
     return sorted(found)
 
 
+def axis_steps(
+    space: ConfigSpace, center: int, step: int
+) -> np.ndarray:
+    """All single-knob moves of ``±step`` from ``center``, clamped.
+
+    The coordinate-descent exploit arm (Droplet-style line search)
+    probes each knob axis independently: for every knob the candidate
+    digit is ``center ± step`` clamped into ``[0, size)``, so a step
+    that overshoots a boundary still probes the boundary value itself.
+    Moves that collapse back onto the center digit (already at a
+    boundary) are dropped, as are duplicate configs produced by two
+    clamped moves landing on the same point.
+
+    Deterministic order: knob 0 ``-step``, knob 0 ``+step``, knob 1
+    ``-step``, ... — no RNG involved.  The center is never returned.
+    """
+    if step <= 0:
+        raise ValueError("step must be positive")
+    center_digits = np.asarray(space.decode(center), dtype=np.int64)
+    sizes = np.asarray(space.knob_sizes, dtype=np.int64)
+    n_knobs = len(sizes)
+
+    deltas = np.zeros((2 * n_knobs, n_knobs), dtype=np.int64)
+    rows = np.arange(n_knobs)
+    deltas[2 * rows, rows] = -step
+    deltas[2 * rows + 1, rows] = step
+    candidates = np.clip(
+        center_digits[None, :] + deltas, 0, (sizes - 1)[None, :]
+    )
+    moved = np.any(candidates != center_digits[None, :], axis=1)
+    if not moved.any():
+        return np.empty(0, dtype=np.int64)
+    chosen: dict[int, None] = {}
+    for idx in space.encode_batch(candidates[moved]):
+        chosen.setdefault(int(idx), None)
+    return np.fromiter(chosen, dtype=np.int64, count=len(chosen))
+
+
 def sample_neighborhood(
     space: ConfigSpace,
     center: int,

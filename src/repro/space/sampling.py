@@ -1,0 +1,73 @@
+"""Adaptive candidate sampling: k-center pruning in feature space.
+
+Model-based tuners routinely propose batches whose members are
+near-duplicates of each other (or of configurations already measured):
+the surrogate ranks a whole basin highly and the plan piles up inside
+it.  Chameleon (PAPERS.md) shows that clustering a proposed batch and
+measuring only representatives cuts the measurement bill with almost no
+loss in best-found performance.
+
+:func:`k_center_prune` implements the greedy k-center (farthest-point)
+rule over config *feature* vectors — the metric in which kernel
+performance is locally smooth, so two configs close in feature space
+are redundant measurements.  Already-measured features act as anchors:
+a candidate near a measured point is as redundant as a candidate near
+another candidate.  Fully deterministic (no RNG; ties break to the
+lowest row index), which keeps the pruned arms inside the repo's
+bit-identity contracts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def min_sq_dists(points: np.ndarray, refs: np.ndarray) -> np.ndarray:
+    """Per-row min squared Euclidean distance from ``points`` to ``refs``.
+
+    Uses the ``|a-b|^2 = |a|^2 + |b|^2 - 2ab`` expansion (one matmul,
+    no ``(n, m, d)`` broadcast), clipped at zero against rounding.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    refs = np.asarray(refs, dtype=np.float64)
+    pp = np.einsum("ij,ij->i", points, points)
+    rr = np.einsum("ij,ij->i", refs, refs)
+    d2 = pp[:, None] + rr[None, :] - 2.0 * (points @ refs.T)
+    return np.maximum(d2.min(axis=1), 0.0)
+
+
+def k_center_prune(
+    features: np.ndarray,
+    keep: int,
+    anchors: np.ndarray = None,
+) -> np.ndarray:
+    """Pick ``keep`` mutually-distant rows of ``features`` (greedy k-center).
+
+    Row 0 is always kept — callers put their top-ranked candidate
+    first, and pruning must never drop the acquisition argmax.  Each
+    subsequent pick maximizes the min distance to everything selected
+    so far *plus* the ``anchors`` (typically the measured feature
+    matrix), so candidates that merely re-probe measured territory are
+    the first to go.
+
+    Returns the selected row positions in selection order; sort them to
+    preserve the caller's ranking order.  With ``keep >= len(features)``
+    every row survives.
+    """
+    features = np.asarray(features, dtype=np.float64)
+    n = len(features)
+    if keep <= 0:
+        raise ValueError("keep must be positive")
+    if keep >= n:
+        return np.arange(n, dtype=np.int64)
+    mind = min_sq_dists(features, features[:1])
+    if anchors is not None and len(anchors):
+        mind = np.minimum(mind, min_sq_dists(features, anchors))
+    mind[0] = -1.0
+    selected = [0]
+    for _ in range(keep - 1):
+        pick = int(np.argmax(mind))
+        selected.append(pick)
+        mind = np.minimum(mind, min_sq_dists(features, features[pick : pick + 1]))
+        mind[pick] = -1.0
+    return np.asarray(selected, dtype=np.int64)

@@ -20,7 +20,16 @@ from repro.nn.workloads import DenseWorkload
 ARM_KWARGS = {
     "random": dict(batch_size=8),
     "bted": dict(batch_size=8, init_size=6, batch_candidates=24),
+    "bted+as": dict(batch_size=8, init_size=6, batch_candidates=24),
     "bted+bao": dict(init_size=6, batch_candidates=24, num_batches=2),
+    "bted+bao+as": dict(
+        init_size=6, batch_candidates=24, num_batches=2,
+        measure_batch_size=4,
+    ),
+    "bted+bao+droplet": dict(
+        init_size=6, batch_candidates=24, num_batches=2, finish_after=10
+    ),
+    "droplet": dict(batch_size=8, init_size=6),
 }
 
 

@@ -154,6 +154,80 @@ class TestCommands:
         resumed = run("resumed", extra=["--resume"])
         assert resumed == first
 
+    def test_tune_droplet_arm(self, capsys):
+        code = main([
+            "tune",
+            "--model", "squeezenet-v1.1",
+            "--arm", "droplet",
+            "--budget", "24",
+            "--runs", "50",
+        ])
+        assert code == 0
+        assert "via droplet" in capsys.readouterr().out
+
+    def test_compile_round_trips_a_tuned_tlog(self, capsys, tmp_path):
+        tlog = tmp_path / "tlog"
+        assert main([
+            "tune",
+            "--model", "squeezenet-v1.1",
+            "--arm", "random",
+            "--budget", "8",
+            "--runs", "50",
+            "--seed", "0",
+            "--tlog-dir", str(tlog),
+        ]) == 0
+        tuned = capsys.readouterr().out
+        assert main([
+            "compile",
+            "--model", "squeezenet-v1.1",
+            "--tlog-dir", str(tlog),
+            "--runs", "50",
+            "--seed", "0",
+        ]) == 0
+        compiled = capsys.readouterr().out
+        # every task replays from the log with its tuned schedule, so
+        # the deployed latency matches the tuning run exactly
+        assert "0 default schedule" in compiled
+
+        def latency(out):
+            return next(
+                line for line in out.splitlines() if "latency" in line
+            )
+
+        assert latency(compiled) == latency(tuned)
+
+    def test_experiment_arms_flag_rejects_unknown(self):
+        with pytest.raises(SystemExit, match="unknown arm"):
+            main(["experiment", "fig4", "--arms", "bted,warp-drive"])
+
+    def test_experiment_adaptive_needs_arm_pair(self):
+        with pytest.raises(SystemExit, match="baseline,adaptive"):
+            main([
+                "experiment", "adaptive", "--arms", "bted",
+                "--scale", "0.05",
+            ])
+
+    def test_experiment_fig4_arms_passthrough(self, capsys, monkeypatch):
+        import repro.experiments.fig4 as fig4
+
+        captured = {}
+
+        def fake_run_fig4(**kwargs):
+            captured.update(kwargs)
+
+            class Fake:
+                def report(self, checkpoints=None):
+                    return "Fig. 4 — fake"
+
+            return Fake()
+
+        monkeypatch.setattr(fig4, "run_fig4", fake_run_fig4)
+        assert main([
+            "experiment", "fig4", "--scale", "0.05",
+            "--arms", "bted,droplet,bted+as",
+        ]) == 0
+        assert captured["arms"] == ("bted", "droplet", "bted+as")
+
     def test_experiment_fig4_smoke(self, capsys, monkeypatch):
         import repro.cli as cli
 

@@ -1,0 +1,313 @@
+"""Tests for the coordinate-descent exploit arm and adaptive sampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import make_tuner
+from repro.core.droplet import CoordinateDescent, DropletSettings
+from repro.core.events import (
+    CandidatesPruned,
+    EventLog,
+    ExploitStepped,
+    FinishPhaseStarted,
+    IncumbentImproved,
+)
+from repro.core.tuners.bted import BTEDTuner
+from repro.core.tuners.btedbao import BTEDBAOTuner
+from repro.core.tuners.droplet import DropletTuner
+from repro.space.knobs import OtherKnob
+from repro.space.space import ConfigSpace
+
+
+def lattice_space(sizes=(6, 6, 6)) -> ConfigSpace:
+    space = ConfigSpace("lattice")
+    for i, size in enumerate(sizes):
+        space.add_knob(OtherKnob(f"k{i}", list(range(size))))
+    return space
+
+
+class TestDropletSettings:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DropletSettings(initial_step=0)
+        with pytest.raises(ValueError):
+            DropletSettings(initial_step=4, max_step=2)
+        with pytest.raises(ValueError):
+            DropletSettings(max_restart_draws=0)
+
+
+class TestCoordinateDescent:
+    def test_no_incumbent_proposes_nothing(self):
+        policy = CoordinateDescent(lattice_space())
+        assert policy.propose(None, 0.0, np.empty(0, np.int64)) == []
+
+    def test_sweeps_axes_of_the_incumbent(self):
+        space = lattice_space()
+        policy = CoordinateDescent(space)
+        center = space.encode([3, 3, 3])
+        batch = policy.propose(center, 1.0, np.empty(0, np.int64))
+        assert len(batch) == 6
+        for idx in batch:
+            digits = np.array(space.decode(idx))
+            assert np.abs(digits - 3).sum() == 1
+
+    def test_improvement_recenter_resets_step(self):
+        space = lattice_space()
+        policy = CoordinateDescent(space)
+        a = space.encode([3, 3, 3])
+        visited = np.array(sorted([a]), dtype=np.int64)
+        policy.propose(a, 1.0, visited)
+        policy.step = 4  # pretend the sweep escalated
+        b = space.encode([0, 0, 0])
+        policy.propose(b, 2.0, visited)
+        assert policy.center == b
+        # re-centering restarted the line search at the initial step;
+        # the post-propose step may have doubled past visited shells
+        # but never reflects the stale escalation
+        assert policy.center_score == 2.0
+
+    def test_doubles_step_when_shell_visited(self):
+        space = lattice_space((9,))
+        policy = CoordinateDescent(space, DropletSettings(restart=False))
+        center = space.encode([4])
+        # mark the +-1 shell visited; only +-2 remains fresh
+        visited = np.array(
+            sorted([space.encode([3]), space.encode([5])]), dtype=np.int64
+        )
+        batch = policy.propose(center, 1.0, visited)
+        assert sorted(space.decode(i)[0] for i in batch) == [2, 6]
+        assert policy.step == 2
+
+    def test_fully_visited_space_reports_exhaustion(self):
+        space = lattice_space((3,))
+        policy = CoordinateDescent(space, seed=5)
+        center = space.encode([1])
+        visited = np.array(
+            sorted([space.encode([0]), space.encode([1]), space.encode([2])]),
+            dtype=np.int64,
+        )
+        # every point measured: restarts cannot draw anything fresh
+        assert policy.propose(center, 1.0, visited) == []
+        assert policy.exhausted
+
+    def test_restart_finds_fresh_point(self):
+        space = lattice_space((3, 3))
+        policy = CoordinateDescent(space, seed=5)
+        center = space.encode([1, 1])
+        # measure the full axis cross around the center: every sweep at
+        # any step clamps onto a visited point, forcing a restart
+        cross = [[1, 1], [0, 1], [2, 1], [1, 0], [1, 2]]
+        visited = np.array(
+            sorted(space.encode(d) for d in cross), dtype=np.int64
+        )
+        batch = policy.propose(center, 1.0, visited)
+        assert len(batch) == 1
+        assert batch[0] not in visited.tolist()
+        assert policy.restarts == 1
+        assert policy.center == batch[0]
+        assert policy.step == 1
+
+    def test_no_restart_reports_exhaustion(self):
+        space = lattice_space((5,))
+        policy = CoordinateDescent(space, DropletSettings(restart=False))
+        center = space.encode([2])
+        visited = np.array(
+            sorted(space.encode([d]) for d in range(5)), dtype=np.int64
+        )
+        assert policy.propose(center, 1.0, visited) == []
+        assert policy.exhausted
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(st.integers(2, 7), min_size=1, max_size=3),
+        st.integers(0, 2**31 - 1),
+        st.integers(0, 2**31 - 1),
+    )
+    def test_property_never_revisits(self, sizes, center_seed, visited_seed):
+        """Proposals are always in range and never in ``visited``."""
+        space = lattice_space(tuple(sizes))
+        rng = np.random.default_rng(visited_seed)
+        n = len(space)
+        center = int(np.random.default_rng(center_seed).integers(0, n))
+        visited_set = set(
+            rng.choice(n, size=rng.integers(0, n), replace=False).tolist()
+        )
+        visited_set.add(center)
+        visited = np.array(sorted(visited_set), dtype=np.int64)
+        policy = CoordinateDescent(space, seed=visited_seed)
+        batch = policy.propose(center, 1.0, visited)
+        assert len(set(batch)) == len(batch)
+        for idx in batch:
+            assert 0 <= idx < n
+            assert idx not in visited_set
+
+
+class TestDropletTuner:
+    def test_exploits_past_the_random_baseline(self, dense_task):
+        random_best = make_tuner("random", dense_task, seed=11).tune(
+            n_trial=96, early_stopping=None
+        ).best_gflops
+        droplet_best = DropletTuner(
+            dense_task, seed=11, init_size=16
+        ).tune(n_trial=96, early_stopping=None).best_gflops
+        assert droplet_best > random_best
+
+    def test_emits_exploit_events(self, dense_task):
+        log = EventLog()
+        DropletTuner(dense_task, seed=3, init_size=8).tune(
+            n_trial=48, early_stopping=None, on_event=[log]
+        )
+        sweeps = log.of_type(ExploitStepped)
+        assert sweeps
+        assert all(e.step_size >= 1 for e in sweeps)
+
+    def test_deterministic(self, dense_task):
+        runs = [
+            DropletTuner(dense_task, seed=7, init_size=8).tune(
+                n_trial=64, early_stopping=None
+            )
+            for _ in range(2)
+        ]
+        assert [r.config_index for r in runs[0].records] == [
+            r.config_index for r in runs[1].records
+        ]
+
+    def test_no_duplicate_measurements(self, dense_task):
+        result = DropletTuner(dense_task, seed=1, init_size=8).tune(
+            n_trial=96, early_stopping=None
+        )
+        indices = [r.config_index for r in result.records]
+        assert len(set(indices)) == len(indices)
+
+    def test_sweep_centers_on_measured_configs(self, dense_task):
+        log = EventLog()
+        result = DropletTuner(dense_task, seed=5, init_size=8).tune(
+            n_trial=64, early_stopping=None, on_event=[log]
+        )
+        sweeps = log.of_type(ExploitStepped)
+        assert log.of_type(IncumbentImproved) and sweeps
+        measured = {r.config_index for r in result.records}
+        restarts = [e.restarts for e in sweeps]
+        assert restarts == sorted(restarts)  # restarts only accumulate
+        for event in sweeps:
+            # centers are incumbents or restart draws — either way they
+            # end up measured (a restart point is proposed immediately)
+            assert event.center in measured
+            assert event.step_size >= 1
+
+    def test_init_size_validation(self, dense_task):
+        with pytest.raises(ValueError):
+            DropletTuner(dense_task, init_size=0)
+
+
+class TestAdaptiveSampling:
+    def test_bted_as_prunes_batches(self, dense_task):
+        log = EventLog()
+        tuner = make_tuner(
+            "bted+as", dense_task, seed=9, batch_size=16, init_size=16,
+            batch_candidates=32, adaptive_keep=0.5,
+        )
+        tuner.tune(n_trial=64, early_stopping=None, on_event=[log])
+        pruned = log.of_type(CandidatesPruned)
+        assert pruned
+        for event in pruned:
+            assert event.kept < event.proposed
+            assert event.dropped == event.proposed - event.kept
+
+    def test_adaptive_batches_are_smaller(self, dense_task):
+        def batch_sizes(arm, **kwargs):
+            log = EventLog()
+            make_tuner(
+                arm, dense_task, seed=9, batch_size=16, init_size=16,
+                batch_candidates=32, **kwargs,
+            ).tune(n_trial=80, early_stopping=None, on_event=[log])
+            sizes = [
+                len(e.results)
+                for e in log.events
+                if e.kind == "batch_measured"
+            ]
+            return sizes[1:]  # drop the (identical) init batch
+
+        # iterative batches shrink to ~keep fraction of the plan
+        plain = batch_sizes("bted")
+        adaptive = batch_sizes("bted+as", adaptive_keep=0.5)
+        assert max(adaptive) < max(plain)
+
+    def test_adaptive_keep_validation(self, dense_task):
+        with pytest.raises(ValueError):
+            BTEDTuner(dense_task, adaptive_keep=0.0)
+        with pytest.raises(ValueError):
+            BTEDBAOTuner(dense_task, adaptive_keep=1.5)
+
+    def test_keep_one_still_measures(self, dense_task):
+        result = make_tuner(
+            "bted+as", dense_task, seed=2, batch_size=8, init_size=8,
+            batch_candidates=24, adaptive_keep=0.01, epsilon_greedy=0.0,
+        ).tune(n_trial=24, early_stopping=None)
+        assert result.num_measurements == 24
+
+    def test_off_by_default_is_identical(self, dense_task):
+        base = make_tuner(
+            "bted", dense_task, seed=4, batch_size=8, init_size=8,
+            batch_candidates=24,
+        ).tune(n_trial=32, early_stopping=None)
+        flagged = BTEDTuner(
+            dense_task, seed=4, batch_size=8, init_size=8,
+            batch_candidates=24, adaptive_sampling=False,
+        ).tune(n_trial=32, early_stopping=None)
+        assert [r.config_index for r in base.records] == [
+            r.config_index for r in flagged.records
+        ]
+
+
+class TestFinishPhase:
+    def test_finish_after_hands_over(self, dense_task):
+        log = EventLog()
+        tuner = BTEDBAOTuner(
+            dense_task, seed=6, init_size=8, batch_candidates=24,
+            num_batches=2, finish="droplet", finish_after=16,
+        )
+        tuner.tune(n_trial=48, early_stopping=None, on_event=[log])
+        handoffs = log.of_type(FinishPhaseStarted)
+        assert len(handoffs) == 1
+        assert handoffs[0].policy == "droplet"
+        assert handoffs[0].step >= 16
+        sweeps = log.of_type(ExploitStepped)
+        assert sweeps
+        assert all(e.step >= handoffs[0].step for e in sweeps)
+
+    def test_stagnation_handoff(self, dense_task):
+        log = EventLog()
+        tuner = BTEDBAOTuner(
+            dense_task, seed=6, init_size=8, batch_candidates=24,
+            num_batches=2, finish="droplet", finish_stagnation=1,
+        )
+        tuner.tune(n_trial=48, early_stopping=None, on_event=[log])
+        assert len(log.of_type(FinishPhaseStarted)) == 1
+
+    def test_registry_variant_defaults_to_droplet_finish(self, dense_task):
+        tuner = make_tuner(
+            "bted+bao+droplet", dense_task, seed=1, init_size=8,
+            batch_candidates=24, num_batches=2,
+        )
+        assert tuner.finish == "droplet"
+        assert tuner.droplet is not None
+
+    def test_no_finish_by_default(self, dense_task):
+        tuner = BTEDBAOTuner(
+            dense_task, seed=1, init_size=8, batch_candidates=24,
+            num_batches=2,
+        )
+        assert tuner.finish is None and tuner.droplet is None
+
+    def test_unknown_finish_rejected(self, dense_task):
+        with pytest.raises(ValueError):
+            BTEDBAOTuner(dense_task, finish="anneal")
+        with pytest.raises(ValueError):
+            BTEDBAOTuner(dense_task, finish="droplet", finish_after=0)
+        with pytest.raises(ValueError):
+            BTEDBAOTuner(
+                dense_task, finish="droplet", finish_stagnation=0
+            )

@@ -20,7 +20,11 @@ class TestRegistry:
             "ga",
             "autotvm",
             "bted",
+            "bted+as",
             "bted+bao",
+            "bted+bao+as",
+            "bted+bao+droplet",
+            "droplet",
         }
 
     def test_make_tuner(self, small_task):

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.experiments.adaptive import run_adaptive_study
 from repro.experiments.fig4 import run_fig4
 from repro.experiments.fig5 import run_fig5
 from repro.experiments.runner import average_curves, format_table, run_arm_on_task
@@ -139,6 +140,48 @@ class TestFig5:
             arms=("random",), settings=TINY, num_trials=1, max_tasks=1
         )
         assert result.gflops_ratio(0, "random") == pytest.approx(100.0)
+
+
+class TestAdaptiveStudy:
+    def test_fewer_measurements_without_losing_gflops(self):
+        result = run_adaptive_study(
+            model_name="mobilenet-v1",
+            num_layers=2,
+            settings=TINY,
+            n_trial=96,
+            early_stopping=32,
+            num_trials=3,
+        )
+        # the acceptance bar for the bted+as arm: pruned batches fill
+        # the early stopper's window with fewer measurements while the
+        # best-found configuration stays within noise of the baseline
+        assert result.measurement_reduction_pct() > 0.0
+        assert result.gflops_ratio() >= 0.95
+        report = result.report()
+        assert "fewer measurements" in report
+        assert "T1" in report and "T2" in report
+
+    def test_new_arms_compare_on_the_fig4_grid(self):
+        result = run_fig4(
+            num_layers=1,
+            arms=("bted", "droplet", "bted+bao+droplet"),
+            settings=TINY,
+            num_measurements=48,
+            num_trials=1,
+        )
+        assert set(result.curves) == {
+            (0, "bted"), (0, "droplet"), (0, "bted+bao+droplet")
+        }
+        for curve in result.curves.values():
+            assert len(curve) == 48
+            assert (np.diff(curve) >= 0).all()
+
+    def test_too_few_tasks_rejected(self):
+        with pytest.raises(ValueError):
+            run_adaptive_study(
+                model_name="squeezenet-v1.1", num_layers=99, settings=TINY,
+                n_trial=8, num_trials=1,
+            )
 
 
 class TestTable1:

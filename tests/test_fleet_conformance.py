@@ -30,7 +30,16 @@ ARM_KWARGS = {
     "ga": dict(population_size=8),
     "autotvm": dict(batch_size=8, init_size=8, sa_chains=8, sa_steps=10),
     "bted": dict(batch_size=8, init_size=6, batch_candidates=24),
+    "bted+as": dict(batch_size=8, init_size=6, batch_candidates=24),
     "bted+bao": dict(init_size=6, batch_candidates=24, num_batches=2),
+    "bted+bao+as": dict(
+        init_size=6, batch_candidates=24, num_batches=2,
+        measure_batch_size=4,
+    ),
+    "bted+bao+droplet": dict(
+        init_size=6, batch_candidates=24, num_batches=2, finish_after=10
+    ),
+    "droplet": dict(batch_size=8, init_size=6),
 }
 N_TRIAL = 16
 FAULT_SEED = 13
@@ -44,8 +53,8 @@ FLEETS = {
 }
 
 #: cheap arms cover the full matrix; the rest run one fleet each
-MATRIX_ARMS = ("random", "bted", "bted+bao")
-SPOT_ARMS = ("grid", "ga", "autotvm")
+MATRIX_ARMS = ("random", "bted", "bted+bao", "droplet", "bted+as")
+SPOT_ARMS = ("grid", "ga", "autotvm", "bted+bao+droplet", "bted+bao+as")
 
 
 def _model():

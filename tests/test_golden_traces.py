@@ -33,7 +33,18 @@ ARMS = {
         batch_size=8, init_size=8, sa_chains=8, sa_steps=10
     ),
     "bted": dict(batch_size=8, init_size=8, batch_candidates=32),
+    "bted+as": dict(
+        batch_size=8, init_size=8, batch_candidates=32, adaptive_keep=0.5
+    ),
     "bted+bao": dict(init_size=8, batch_candidates=32, num_batches=2),
+    "bted+bao+as": dict(
+        init_size=8, batch_candidates=32, num_batches=2,
+        measure_batch_size=4, adaptive_keep=0.5,
+    ),
+    "bted+bao+droplet": dict(
+        init_size=8, batch_candidates=32, num_batches=2, finish_after=12
+    ),
+    "droplet": dict(batch_size=8, init_size=8),
 }
 N_TRIAL = 24
 TUNER_SEED = 11

@@ -51,7 +51,12 @@ ARM_KWARGS = {
     "random": dict(batch_size=8),
     "autotvm": dict(batch_size=8, init_size=8, sa_chains=8, sa_steps=10),
     "bted": dict(batch_size=8, init_size=6, batch_candidates=24),
+    "bted+as": dict(batch_size=8, init_size=6, batch_candidates=24),
     "bted+bao": dict(init_size=6, batch_candidates=24, num_batches=2),
+    "bted+bao+droplet": dict(
+        init_size=6, batch_candidates=24, num_batches=2, finish_after=10
+    ),
+    "droplet": dict(batch_size=8, init_size=6),
 }
 
 
@@ -76,7 +81,10 @@ class TestCrashResumeProperty:
         retry=retry_policies(),
         crash_batch=st.integers(1, 3),
         seed=st.integers(0, 50),
-        arm=st.sampled_from(["autotvm", "bted", "bted+bao"]),
+        arm=st.sampled_from(
+            ["autotvm", "bted", "bted+bao", "droplet",
+             "bted+as", "bted+bao+droplet"]
+        ),
     )
     @PROPERTY
     def test_crash_plus_resume_equals_uninterrupted(

@@ -2,9 +2,15 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.space.knobs import OtherKnob, SplitKnob
-from repro.space.neighborhood import neighbors_within, sample_neighborhood
+from repro.space.neighborhood import (
+    axis_steps,
+    neighbors_within,
+    sample_neighborhood,
+)
 from repro.space.space import ConfigSpace
 
 
@@ -44,6 +50,102 @@ class TestNeighborsWithin:
     def test_zero_radius(self):
         space = lattice_space()
         assert neighbors_within(space, 0, radius=0.0) == []
+
+
+#: (knob sizes, center digits) with the center in range per knob
+lattice_centers = st.lists(
+    st.integers(1, 9), min_size=1, max_size=4
+).flatmap(
+    lambda sizes: st.tuples(
+        st.just(tuple(sizes)),
+        st.tuples(*[st.integers(0, s - 1) for s in sizes]),
+    )
+)
+
+
+class TestAxisSteps:
+    def test_interior_center_both_directions(self):
+        space = lattice_space((5, 5, 5))
+        center = space.encode([2, 2, 2])
+        out = axis_steps(space, center, step=1)
+        assert len(out) == 6
+        digits = space.decode_batch(out)
+        deltas = digits - np.array([2, 2, 2])[None, :]
+        assert (np.abs(deltas).sum(axis=1) == 1).all()
+
+    def test_overshoot_clamps_to_boundary(self):
+        space = lattice_space((5,))
+        center = space.encode([2])
+        out = axis_steps(space, center, step=10)
+        # -10 clamps to 0, +10 clamps to 4
+        assert sorted(space.decode(int(i))[0] for i in out) == [0, 4]
+
+    def test_corner_center_drops_collapsed_moves(self):
+        space = lattice_space((5, 5))
+        corner = space.encode([0, 0])
+        out = axis_steps(space, corner, step=1)
+        # the -1 moves clamp back onto the corner and are dropped
+        assert sorted(
+            list(space.decode(int(i))) for i in out
+        ) == [[0, 1], [1, 0]]
+
+    def test_size_one_knobs_yield_nothing(self):
+        space = lattice_space((1, 1))
+        assert len(axis_steps(space, 0, step=3)) == 0
+
+    def test_step_must_be_positive(self):
+        space = lattice_space()
+        with pytest.raises(ValueError):
+            axis_steps(space, 0, step=0)
+
+    def test_deterministic_order(self):
+        space = lattice_space((7, 7, 7))
+        center = space.encode([3, 1, 6])
+        a = axis_steps(space, center, step=2)
+        b = axis_steps(space, center, step=2)
+        assert (a == b).all()
+
+    @settings(max_examples=60, deadline=None)
+    @given(lattice_centers, st.integers(1, 12))
+    def test_property_single_axis_clamped_moves(self, sc, step):
+        sizes, center_digits = sc
+        space = lattice_space(sizes)
+        center = space.encode(list(center_digits))
+        out = axis_steps(space, center, step)
+        assert len(set(out.tolist())) == len(out)
+        assert center not in set(out.tolist())
+        for idx in out:
+            assert 0 <= int(idx) < len(space)
+            digits = np.array(space.decode(int(idx)))
+            deltas = digits - np.array(center_digits)
+            changed = np.nonzero(deltas)[0]
+            # exactly one knob moved, by at most `step`
+            assert len(changed) == 1
+            k = int(changed[0])
+            assert abs(int(deltas[k])) <= step
+            # a shorter-than-step move means the knob hit a boundary
+            if abs(int(deltas[k])) < step:
+                assert digits[k] in (0, sizes[k] - 1)
+
+    @settings(max_examples=40, deadline=None)
+    @given(lattice_centers, st.integers(1, 12))
+    def test_property_every_reachable_axis_point_found(self, sc, step):
+        """Each knob contributes its clamped ±step targets exactly."""
+        sizes, center_digits = sc
+        space = lattice_space(sizes)
+        center = space.encode(list(center_digits))
+        expected = set()
+        for k, size in enumerate(sizes):
+            for target in (
+                max(0, center_digits[k] - step),
+                min(size - 1, center_digits[k] + step),
+            ):
+                if target != center_digits[k]:
+                    cand = list(center_digits)
+                    cand[k] = target
+                    expected.add(space.encode(cand))
+        out = axis_steps(space, center, step)
+        assert set(out.tolist()) == expected
 
 
 class TestSampleNeighborhood:

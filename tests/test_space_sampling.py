@@ -1,0 +1,87 @@
+"""Tests for repro.space.sampling (k-center adaptive pruning)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.space.sampling import k_center_prune, min_sq_dists
+
+
+class TestMinSqDists:
+    def test_matches_naive(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(12, 5))
+        Y = rng.normal(size=(7, 5))
+        naive = ((X[:, None, :] - Y[None, :, :]) ** 2).sum(axis=2).min(axis=1)
+        assert np.allclose(min_sq_dists(X, Y), naive)
+
+    def test_zero_for_coincident_points(self):
+        X = np.ones((3, 4))
+        assert (min_sq_dists(X, X) == 0.0).all()
+
+
+class TestKCenterPrune:
+    def test_keeps_everything_when_budget_allows(self):
+        feats = np.arange(12, dtype=float).reshape(6, 2)
+        assert k_center_prune(feats, 6).tolist() == [0, 1, 2, 3, 4, 5]
+        assert k_center_prune(feats, 10).tolist() == [0, 1, 2, 3, 4, 5]
+
+    def test_first_row_always_survives(self):
+        rng = np.random.default_rng(3)
+        feats = rng.normal(size=(20, 4))
+        for keep in (1, 3, 7):
+            assert 0 in k_center_prune(feats, keep).tolist()
+
+    def test_picks_the_farthest_point(self):
+        # one outlier far from a tight cluster around row 0
+        feats = np.zeros((5, 2))
+        feats[1:4] += 0.01
+        feats[4] = [100.0, 100.0]
+        assert 4 in k_center_prune(feats, 2).tolist()
+
+    def test_duplicates_pruned_before_distinct_points(self):
+        feats = np.array(
+            [[0.0, 0.0], [0.0, 0.0], [5.0, 0.0], [0.0, 0.0], [0.0, 7.0]]
+        )
+        kept = set(k_center_prune(feats, 3).tolist())
+        assert kept == {0, 2, 4}
+
+    def test_anchors_make_nearby_candidates_redundant(self):
+        feats = np.array([[0.0, 0.0], [10.0, 0.0], [4.0, 0.0]])
+        # without anchors, the far row wins the second slot
+        assert set(k_center_prune(feats, 2).tolist()) == {0, 1}
+        # a measured anchor at (10, 0) makes the far row redundant and
+        # the midpoint becomes the most informative second pick
+        anchors = np.array([[10.0, 0.0]])
+        kept = k_center_prune(feats, 2, anchors=anchors).tolist()
+        assert kept == [0, 2]
+
+    def test_keep_must_be_positive(self):
+        with pytest.raises(ValueError):
+            k_center_prune(np.zeros((4, 2)), 0)
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(11)
+        feats = rng.normal(size=(30, 6))
+        anchors = rng.normal(size=(9, 6))
+        a = k_center_prune(feats, 10, anchors=anchors)
+        b = k_center_prune(feats, 10, anchors=anchors)
+        assert (a == b).all()
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(2, 25),
+        st.integers(1, 25),
+        st.integers(0, 6),
+        st.integers(0, 2**32 - 1),
+    )
+    def test_property_valid_distinct_selection(self, n, keep, m, seed):
+        rng = np.random.default_rng(seed)
+        feats = rng.normal(size=(n, 3))
+        anchors = rng.normal(size=(m, 3)) if m else None
+        kept = k_center_prune(feats, keep, anchors=anchors)
+        assert len(kept) == min(keep, n)
+        assert len(set(kept.tolist())) == len(kept)
+        assert all(0 <= i < n for i in kept.tolist())
+        assert kept[0] == 0

@@ -17,7 +17,17 @@ ARM_KWARGS = {
     "ga": dict(population_size=8),
     "autotvm": dict(batch_size=8, init_size=8, sa_chains=8, sa_steps=10),
     "bted": dict(batch_size=8, init_size=8, batch_candidates=24),
+    "bted+as": dict(batch_size=8, init_size=8, batch_candidates=24),
     "bted+bao": dict(init_size=8, batch_candidates=24, num_batches=2),
+    "bted+bao+as": dict(
+        init_size=8, batch_candidates=24, num_batches=2,
+        measure_batch_size=4,
+    ),
+    "bted+bao+droplet": dict(
+        init_size=8, batch_candidates=24, num_batches=2,
+        finish_after=12,
+    ),
+    "droplet": dict(batch_size=8, init_size=8),
 }
 
 
