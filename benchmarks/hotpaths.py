@@ -264,6 +264,14 @@ def check_regression(current, baseline_path, threshold):
     """Compare ``wall_s`` per benchmark against a baseline; list offenders."""
     with open(baseline_path, "r", encoding="utf-8") as handle:
         baseline = json.load(handle)
+    base_cpu = baseline.get("meta", {}).get("cpu_count")
+    cur_cpu = current["meta"]["cpu_count"]
+    if base_cpu is not None and base_cpu != cur_cpu:
+        print(
+            f"WARNING: baseline {baseline_path} was recorded with "
+            f"cpu_count={base_cpu} but this host has cpu_count={cur_cpu}; "
+            "cross-host wall-clock ratios are indicative only"
+        )
     offenders = []
     for name, entry in current["benchmarks"].items():
         base = baseline.get("benchmarks", {}).get(name)

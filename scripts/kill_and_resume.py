@@ -64,6 +64,7 @@ tuner.tune(
     checkpoint=CheckpointPolicy(path={ckpt!r}, every=1),
     callbacks=[lambda t, results: time.sleep(0.2)],
     on_event=[TuningObserver()],
+    pipeline={pipeline!r},
 )
 print("CHILD-FINISHED")
 """
@@ -86,7 +87,7 @@ task = SimulatedTask(
 tuner = make_tuner({arm!r}, task, seed=11, **{kwargs!r})
 observer = TuningObserver()
 if {resume!r}:
-    result = tuner.resume({ckpt!r}, on_event=[observer])
+    result = tuner.resume({ckpt!r}, on_event=[observer], pipeline={pipeline!r})
 else:
     result = tuner.tune(
         n_trial={n_trial}, early_stopping=None, on_event=[observer]
@@ -186,10 +187,11 @@ print(json.dumps({{
 
 
 def _run_trace(arm: str, kwargs: dict, n_trial: int, ckpt: str,
-               resume: bool, trace_out: str = "") -> dict:
+               resume: bool, trace_out: str = "",
+               pipeline: bool = False) -> dict:
     code = _RUNNER.format(
         src=str(SRC), arm=arm, kwargs=kwargs, n_trial=n_trial,
-        ckpt=ckpt, resume=resume, trace_out=trace_out,
+        ckpt=ckpt, resume=resume, trace_out=trace_out, pipeline=pipeline,
     )
     out = subprocess.run(
         [sys.executable, "-c", code], capture_output=True, text=True,
@@ -301,7 +303,14 @@ def main() -> int:
                         help="kill one worker of a 2-device fleet "
                              "mid-batch, resume the fleet, and compare "
                              "against the serial single-device run")
+    parser.add_argument("--pipeline", action="store_true",
+                        help="run the killed child (and the resume) in "
+                             "pipelined mode; the baseline stays serial, "
+                             "so the comparison also pins cross-mode "
+                             "bit-identity")
     args = parser.parse_args()
+    if args.fleet and args.pipeline:
+        parser.error("--pipeline is a single-run mode; drop --fleet")
     if args.fleet:
         return _fleet_main(args)
     kwargs = ARM_KWARGS[args.arm]
@@ -314,11 +323,12 @@ def main() -> int:
         baseline = _run_trace(args.arm, kwargs, args.n_trial, ckpt,
                               resume=False)
 
-        print("[2/4] starting child with per-batch checkpointing")
+        mode = "pipelined " if args.pipeline else ""
+        print(f"[2/4] starting {mode}child with per-batch checkpointing")
         child = subprocess.Popen(
             [sys.executable, "-c", _CHILD.format(
                 src=str(SRC), arm=args.arm, kwargs=kwargs,
-                n_trial=args.n_trial, ckpt=ckpt,
+                n_trial=args.n_trial, ckpt=ckpt, pipeline=args.pipeline,
             )],
             stdout=subprocess.PIPE, stderr=subprocess.PIPE,
         )
@@ -351,7 +361,8 @@ def main() -> int:
 
         print("[4/4] resuming in a fresh process and comparing")
         resumed = _run_trace(args.arm, kwargs, args.n_trial, ckpt,
-                             resume=True, trace_out=args.trace_out or "")
+                             resume=True, trace_out=args.trace_out or "",
+                             pipeline=args.pipeline)
 
         if resumed != baseline:
             print("MISMATCH: resumed run diverged from the baseline",

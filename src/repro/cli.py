@@ -21,7 +21,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.core import TUNER_REGISTRY
+from repro.core import INCREMENTAL_REFIT_ARMS, TUNER_REGISTRY
 from repro.experiments.settings import ExperimentSettings
 from repro.hardware.executor import EXECUTOR_KINDS, MeasureCache
 from repro.hardware.faults import FaultModel, RetryPolicy
@@ -93,6 +93,9 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     if args.resume and not args.checkpoint_dir:
         print("--resume requires --checkpoint-dir", file=sys.stderr)
         return 2
+    tuner_kwargs = _refit_kwargs(args)
+    if tuner_kwargs is None:
+        return 2
     observation = None
     if args.metrics_out or args.trace_out or args.summary:
         from repro.obs import RunObservation
@@ -106,6 +109,7 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         n_trial=args.budget,
         early_stopping=args.early_stop,
         trial_seed=args.seed,
+        tuner_kwargs=tuner_kwargs,
         record_store=store,
         progress=progress,
         executor=args.executor,
@@ -119,6 +123,7 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         tlog=args.tlog_dir,
         warm_start=args.warm_start,
         warm_k=args.warm_k,
+        pipeline=args.pipeline,
     )
     if cache is not None:
         cache.save()
@@ -180,6 +185,9 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     if args.resume and not args.checkpoint_dir:
         print("--resume requires --checkpoint-dir", file=sys.stderr)
         return 2
+    tuner_kwargs = _refit_kwargs(args)
+    if tuner_kwargs is None:
+        return 2
     graph = build_model(args.model)
     compiler = DeploymentCompiler(graph, env_seed=args.env_seed)
     store = RecordStore() if args.records else None
@@ -208,6 +216,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             n_trial=args.budget,
             early_stopping=args.early_stop,
             trial_seed=args.seed,
+            tuner_kwargs=tuner_kwargs,
             record_store=store,
             faults=faults,
             retry=retry,
@@ -219,6 +228,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             tlog=args.tlog_dir,
             warm_start=args.warm_start,
             warm_k=args.warm_k,
+            pipeline=args.pipeline,
         )
     except FleetError as exc:
         print(f"fleet aborted: {exc}", file=sys.stderr)
@@ -378,6 +388,36 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_speed_args(parser: argparse.ArgumentParser) -> None:
+    """The tuning-throughput flags shared by tuning subcommands."""
+    parser.add_argument("--pipeline", action="store_true",
+                        help="overlap each batch's measurement with a "
+                             "speculative proposal of the next batch; "
+                             "records stay bit-identical to the serial "
+                             "loop (see docs/PERFORMANCE.md)")
+    parser.add_argument("--refit", choices=("full", "incremental"),
+                        default="full",
+                        help="surrogate-model refit strategy: 'full' "
+                             "rebuilds from scratch each round "
+                             "(historical default), 'incremental' keeps "
+                             "grown trees and appends boosting rounds "
+                             "(model-based arms only)")
+
+
+def _refit_kwargs(args: argparse.Namespace) -> Optional[dict]:
+    """Validate --refit against the arm; None means 'print usage error'."""
+    if args.refit == "full":
+        return {}
+    if args.arm.lower() not in INCREMENTAL_REFIT_ARMS:
+        print(
+            f"--refit incremental is not supported by arm {args.arm!r}; "
+            f"supported arms: {sorted(INCREMENTAL_REFIT_ARMS)}",
+            file=sys.stderr,
+        )
+        return None
+    return {"refit": args.refit}
+
+
 def _add_tlog_args(parser: argparse.ArgumentParser) -> None:
     """The cross-run tuning-log flags shared by tuning subcommands."""
     parser.add_argument("--tlog-dir", default=None,
@@ -462,6 +502,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write the per-run RunSummary JSON (best curve, "
                              "time breakdown, fault counts) here")
     _add_tlog_args(p_tune)
+    _add_speed_args(p_tune)
     p_tune.set_defaults(func=_cmd_tune)
 
     p_compile = sub.add_parser(
@@ -526,6 +567,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write one RunSummary file per device plus "
                               "the fleet-aggregated summary.json here")
     _add_tlog_args(p_fleet)
+    _add_speed_args(p_fleet)
     p_fleet.set_defaults(func=_cmd_fleet)
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper result")

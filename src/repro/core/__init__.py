@@ -36,12 +36,19 @@ from repro.core.events import (
     MeasurementRetried,
     ScopeWidened,
     SpaceExhausted,
+    SpeculationResolved,
     TlogExactHit,
     TuningEvent,
     TuningResumed,
     WarmStarted,
 )
-from repro.core.tuner import Tuner, TrialRecord, TuningResult, EarlyStopper
+from repro.core.tuner import (
+    EarlyStopper,
+    SpaceSamplingError,
+    TrialRecord,
+    Tuner,
+    TuningResult,
+)
 from repro.core.tuners.random import RandomTuner
 from repro.core.tuners.grid import GridTuner
 from repro.core.tuners.ga import GATuner
@@ -67,6 +74,18 @@ TUNER_REGISTRY = {
     "droplet": DropletTuner,
 }
 
+#: arms whose surrogate models accept ``refit="incremental"``
+INCREMENTAL_REFIT_ARMS = frozenset(
+    {
+        "autotvm",
+        "bted",
+        "bted+as",
+        "bted+bao",
+        "bted+bao+as",
+        "bted+bao+droplet",
+    }
+)
+
 
 def make_tuner(name: str, task, seed: int = 0, **kwargs):
     """Construct a tuner by registry name ('autotvm', 'bted', 'bted+bao', ...)."""
@@ -90,6 +109,7 @@ __all__ = [
     "TrialRecord",
     "TuningResult",
     "EarlyStopper",
+    "SpaceSamplingError",
     "TuningEvent",
     "BatchProposed",
     "BatchMeasured",
@@ -97,6 +117,7 @@ __all__ = [
     "ScopeWidened",
     "EarlyStopped",
     "SpaceExhausted",
+    "SpeculationResolved",
     "MeasurementRetried",
     "MeasurementFailed",
     "CheckpointSaved",
@@ -121,5 +142,6 @@ __all__ = [
     "BTEDBAODropletTuner",
     "DropletTuner",
     "TUNER_REGISTRY",
+    "INCREMENTAL_REFIT_ARMS",
     "make_tuner",
 ]

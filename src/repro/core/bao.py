@@ -113,6 +113,7 @@ class BaoOptimizer:
         seed: int = 0,
         model_factory: Optional[ModelFactory] = None,
         transfer: Optional[TransferHistory] = None,
+        refit: str = "full",
     ):
         self.space = space
         self.settings = settings
@@ -124,6 +125,7 @@ class BaoOptimizer:
             gamma=settings.gamma,
             model_factory=model_factory,
             seed=self._pool.seed_for("ensemble"),
+            refit=refit,
         )
         self._step = 0
         self._last_selected: Optional[int] = None
@@ -221,14 +223,15 @@ class BaoOptimizer:
         ):
             self._fit_ensemble(measured_features, measured_scores)
 
+        # one batched pass over the whole candidate scope: member
+        # predictions are computed once and shared between the summed
+        # acquisition and (for "ucb") the uncertainty term
         feats = self.space.feature_matrix(candidates)
-        scores = self._ensemble.predict_sum(feats)
+        scores, std = self._ensemble.predict_stats(
+            feats, return_std=settings.acquisition == "ucb"
+        )
         if settings.acquisition == "ucb":
-            scores = scores + (
-                settings.kappa
-                * settings.gamma
-                * self._ensemble.predict_std(feats)
-            )
+            scores = scores + settings.kappa * settings.gamma * std
         return candidates, scores
 
     def _fit_ensemble(

@@ -21,7 +21,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.learning.gbt import GradientBoostedTrees
-from repro.learning.tree import bin_features
+from repro.learning.tree import apply_bins, bin_features
 from repro.obs.hooks import notify_refit, refit_hooks_active
 from repro.utils.rng import SeedLike, as_generator
 
@@ -87,6 +87,18 @@ class BootstrapEnsemble:
       seeds are drawn serially first, so the parallel fit is
       deterministic in itself, but its RNG consumption differs from the
       serial interleaving.
+    * ``refit="incremental"`` — warm-started refits: after the first
+      full fit, each subsequent :meth:`fit` draws a fresh bootstrap
+      resample per member and grows only ``incremental_rounds`` new
+      boosting rounds on it (:meth:`GradientBoostedTrees.fit_more`),
+      keeping previously-grown trees and the bin edges frozen at the
+      first fit.  Once a member would exceed ``max_trees``, the whole
+      ensemble is refit from scratch (a generational refresh that
+      re-derives bin edges and bounds both predict cost and staleness).
+      ``reuse_trees=False`` disables the warm path entirely, making the
+      mode bit-identical to ``refit="full"``.  With ``reuse_trees=True``
+      bin-edge sharing is forced on so all members bin a candidate
+      matrix once per prediction pass.
     """
 
     def __init__(
@@ -96,14 +108,36 @@ class BootstrapEnsemble:
         seed: SeedLike = None,
         share_bin_edges: bool = False,
         fit_jobs: Optional[int] = None,
+        refit: str = "full",
+        incremental_rounds: int = 8,
+        max_trees: int = 96,
+        reuse_trees: bool = True,
     ):
         if gamma < 1:
             raise ValueError("gamma must be >= 1")
         if fit_jobs is not None and fit_jobs < 1:
             raise ValueError("fit_jobs must be >= 1")
+        if refit not in ("full", "incremental"):
+            raise ValueError("refit must be 'full' or 'incremental'")
+        if incremental_rounds < 1:
+            raise ValueError("incremental_rounds must be >= 1")
+        if max_trees < 1:
+            raise ValueError("max_trees must be >= 1")
+        if refit == "incremental" and fit_jobs is not None and fit_jobs > 1:
+            raise ValueError(
+                "refit='incremental' is not supported with parallel fit_jobs"
+            )
         self.gamma = gamma
         self.share_bin_edges = share_bin_edges
         self.fit_jobs = fit_jobs
+        self.refit = refit
+        self.incremental_rounds = incremental_rounds
+        self.max_trees = max_trees
+        self.reuse_trees = reuse_trees
+        if refit == "incremental" and reuse_trees:
+            # frozen shared edges keep cross-batch tree reuse coherent and
+            # let predict_stats bin the candidate scope once for all members
+            self.share_bin_edges = True
         self._rng = as_generator(seed)
         self._factory = (
             model_factory
@@ -111,6 +145,8 @@ class BootstrapEnsemble:
             else _default_model_factory(self._rng)
         )
         self._models: List[GradientBoostedTrees] = []
+        #: trees carried over (not refit) across all incremental refits
+        self.reused_trees_total = 0
 
     @property
     def is_fitted(self) -> bool:
@@ -155,6 +191,13 @@ class BootstrapEnsemble:
         # observability hook: only pay for the clock when someone listens
         timed = refit_hooks_active()
         start = time.perf_counter() if timed else 0.0
+        if self._can_fit_incrementally():
+            self._fit_incremental(X, y, sample_weight, n)
+            if timed:
+                notify_refit(
+                    n, time.perf_counter() - start, "ensemble_incremental"
+                )
+            return self
         if self.fit_jobs is not None and self.fit_jobs > 1 and self.gamma > 1:
             if sample_weight is not None:
                 raise ValueError(
@@ -183,6 +226,40 @@ class BootstrapEnsemble:
             notify_refit(n, time.perf_counter() - start, "ensemble")
         return self
 
+    def _can_fit_incrementally(self) -> bool:
+        """True when this :meth:`fit` call may take the warm-start path."""
+        if self.refit != "incremental" or not self.reuse_trees:
+            return False
+        if not self._models:
+            return False  # first fit is always full
+        for model in self._models:
+            if not hasattr(model, "fit_more"):
+                return False  # custom factory without warm-start support
+            if model.n_trees + self.incremental_rounds > self.max_trees:
+                return False  # generational refresh: refit from scratch
+        return True
+
+    def _fit_incremental(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        sample_weight: Optional[np.ndarray],
+        n: int,
+    ) -> None:
+        """Warm-started refit: new bootstrap rounds atop the kept trees."""
+        for model in self._models:
+            rows = self._rng.integers(0, n, size=n)
+            self.reused_trees_total += model.n_trees
+            if sample_weight is None:
+                model.fit_more(X[rows], y[rows], self.incremental_rounds)
+            else:
+                model.fit_more(
+                    X[rows],
+                    y[rows],
+                    self.incremental_rounds,
+                    sample_weight=sample_weight[rows],
+                )
+
     def _fit_parallel(self, X: np.ndarray, y: np.ndarray) -> "BootstrapEnsemble":
         """Fan the Gamma member fits out over a process pool.
 
@@ -206,15 +283,56 @@ class BootstrapEnsemble:
             self._models = list(pool.map(_fit_member, payloads))
         return self
 
-    def predict_sum(self, X: np.ndarray) -> np.ndarray:
-        """Summed ensemble prediction (the acquisition score of Alg. 3)."""
+    def _common_edges(self) -> Optional[list]:
+        """The bin-edge list shared by *all* members, else ``None``.
+
+        Identity-compared: only edges installed by ``share_bin_edges``
+        (one list object handed to every member) qualify, which is what
+        makes binning the candidate matrix once per pass safe.
+        """
+        edges: Optional[list] = None
+        for model in self._models:
+            e = getattr(model, "_edges", None)
+            if e is None or not hasattr(model, "predict_binned"):
+                return None
+            if edges is None:
+                edges = e
+            elif e is not edges:
+                return None
+        return edges
+
+    def _member_predictions(self, X: np.ndarray) -> List[np.ndarray]:
+        """Each member's prediction on ``X``, binning once when shared."""
+        edges = self._common_edges()
+        if edges is not None:
+            codes = apply_bins(X, edges)
+            return [model.predict_binned(codes) for model in self._models]
+        return [model.predict(X) for model in self._models]
+
+    def predict_stats(
+        self, X: np.ndarray, return_std: bool = False
+    ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        """Summed prediction and (optionally) across-member std, one pass.
+
+        Computes every member's prediction exactly once and reuses it
+        for both statistics — the batched-acquisition entry point that
+        replaces back-to-back :meth:`predict_sum` + :meth:`predict_std`
+        calls.  Bit-identical to those methods (same accumulation
+        order, same stacking).
+        """
         if not self.is_fitted:
             raise RuntimeError("ensemble is not fitted")
         X = np.asarray(X, dtype=np.float64)
+        preds = self._member_predictions(X)
         total = np.zeros(X.shape[0])
-        for model in self._models:
-            total += model.predict(X)
-        return total
+        for pred in preds:
+            total += pred
+        std = np.stack(preds).std(axis=0) if return_std else None
+        return total, std
+
+    def predict_sum(self, X: np.ndarray) -> np.ndarray:
+        """Summed ensemble prediction (the acquisition score of Alg. 3)."""
+        return self.predict_stats(X)[0]
 
     def predict_mean(self, X: np.ndarray) -> np.ndarray:
         """Mean ensemble prediction (sum / Gamma)."""
@@ -222,10 +340,9 @@ class BootstrapEnsemble:
 
     def predict_std(self, X: np.ndarray) -> np.ndarray:
         """Across-ensemble std-dev — an uncertainty proxy (needs Gamma >= 2)."""
-        if not self.is_fitted:
-            raise RuntimeError("ensemble is not fitted")
-        preds = np.stack([m.predict(np.asarray(X)) for m in self._models])
-        return preds.std(axis=0)
+        std = self.predict_stats(X, return_std=True)[1]
+        assert std is not None
+        return std
 
 
 def bootstrap_sample(

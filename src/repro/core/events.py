@@ -211,6 +211,23 @@ class TlogExactHit(TuningEvent):
     best_gflops: float = 0.0
 
 
+@dataclass(frozen=True)
+class SpeculationResolved(TuningEvent):
+    """The pipelined loop resolved one speculative proposal.
+
+    Emitted only with ``pipeline=True``, after the concurrent
+    measurement lands: ``adopted=True`` means the speculation's
+    predicted results matched the real ones bit-for-bit and its
+    proposal was kept; ``adopted=False`` means it was discarded and
+    the proposal replayed serially.  Filtered out of serial-vs-pipelined
+    trace comparisons (it is the only event the modes don't share).
+    """
+
+    adopted: bool = True
+    #: proposal seconds hidden behind the concurrent measurement
+    overlap_s: float = 0.0
+
+
 #: the ``on_event`` callback signature
 EventCallback = Callable[[object, TuningEvent], None]
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import pickle
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
 from typing import (
@@ -54,6 +55,7 @@ from repro.core.events import (
     MeasurementFailed,
     MeasurementRetried,
     SpaceExhausted,
+    SpeculationResolved,
     TuningEvent,
     TuningResumed,
     WarmStarted,
@@ -65,6 +67,7 @@ from repro.hardware.executor import (
     build_executor,
 )
 from repro.hardware.measure import Measurer, MeasureResult, SimulatedTask
+from repro.obs import hooks
 from repro.space.space import FeatureCache
 from repro.utils.log import get_logger
 from repro.utils.rng import RngPool
@@ -86,6 +89,55 @@ _EPHEMERAL_STATE = (
 
 #: sentinel distinguishing "argument omitted" from an explicit ``None``
 _UNSET = object()
+
+
+class SpaceSamplingError(RuntimeError):
+    """Rejection sampling could not draw enough unvisited configs.
+
+    Raised by :meth:`Tuner._random_unvisited` when its attempt budget
+    runs out while unvisited configurations provably remain — the
+    previously-silent failure mode that returned a short batch and let
+    the loop misreport the space as exhausted.
+    """
+
+
+@dataclass
+class _PendingProposal:
+    """A batch proposed speculatively, waiting to be consumed next iteration.
+
+    Carried across pipelined-loop iterations (and, via the checkpoint
+    ``pending`` payload, across resumes): the batch itself, the
+    proposal wall-time to report on its :class:`BatchProposed` event,
+    whether the speculation found the space exhausted, and the
+    observability notifications captured on the worker thread, to be
+    replayed on the driving thread when the proposal is consumed.
+    """
+
+    batch: List[int]
+    proposal_s: float
+    exhausted: bool
+    captured: list
+
+
+@dataclass
+class _Speculation:
+    """Everything a worker-thread speculation computed for one batch.
+
+    ``predicted`` is validated against the real measurement results;
+    on an exact match the clone's state, records, events, and next
+    proposal are adopted wholesale, otherwise the whole object is
+    discarded and the driving thread replays the serial path.
+    """
+
+    predicted: List[MeasureResult]
+    clone: "Tuner"
+    new_records: List[TrialRecord]
+    absorb_events: List[TuningEvent]
+    next_batch: List[int]
+    exhausted: bool
+    captured: list
+    proposal_s: float
+    wall_s: float
 
 
 def _observer_states(observers: Sequence[object]) -> List[Optional[dict]]:
@@ -390,19 +442,42 @@ TransferHistory`.  The injection happens once, inside the
         )
         return batch
 
-    def _random_unvisited(self, n: int) -> List[int]:
-        """Fallback proposals: random configs not measured yet."""
+    def _random_unvisited(
+        self, n: int, max_attempts: Optional[int] = None
+    ) -> List[int]:
+        """Fallback proposals: random configs not measured yet.
+
+        Rejection-samples the space.  May legitimately return fewer
+        than ``n`` configs when fewer unvisited ones remain — including
+        an empty list once the space is fully measured, which is the
+        main loop's :class:`~repro.core.events.SpaceExhausted` signal.
+        When the attempt budget (``50 * n + 100`` unless overridden)
+        runs out while unvisited configs provably remain, raises
+        :class:`SpaceSamplingError` instead of silently under-filling
+        the batch and misreporting the space as exhausted.
+        """
         rng = self.rng_pool.get("fallback")
         space = self.task.space
+        budget = 50 * n + 100 if max_attempts is None else max_attempts
         out: List[int] = []
         seen: Set[int] = set()
         attempts = 0
-        while len(out) < n and attempts < 50 * n + 100:
+        while len(out) < n and attempts < budget:
             idx = int(rng.integers(0, len(space)))
             attempts += 1
             if idx not in self.visited and idx not in seen:
                 seen.add(idx)
                 out.append(idx)
+        remaining = len(space) - len(self.visited)
+        if len(out) < min(n, remaining):
+            raise SpaceSamplingError(
+                f"{self.name}: rejection sampling exhausted its budget of "
+                f"{budget} attempts while drawing {n} fallback configs for "
+                f"task {self.task.name!r} (space size {len(space)}, "
+                f"{len(self.visited)} visited, {remaining} unvisited "
+                f"remain, {len(out)} drawn); the space is too saturated "
+                "for random fallback — lower the batch size or stop the run"
+            )
         return out
 
     # ------------------------------------------------------------------
@@ -470,6 +545,7 @@ TransferHistory`.  The injection happens once, inside the
         callbacks: Sequence[Callback] = (),
         on_event: Sequence[EventCallback] = (),
         checkpoint: CheckpointSpec = None,
+        pipeline: bool = False,
         _resume: Optional[dict] = None,
     ) -> TuningResult:
         """Run the active-learning loop and return the result.
@@ -487,11 +563,25 @@ TransferHistory`.  The injection happens once, inside the
         log, and final incumbent are bit-identical to an uninterrupted
         run.  ``_resume`` is internal (restored loop state from
         :meth:`resume`).
+
+        ``pipeline=True`` overlaps each batch's measurement with a
+        *speculative* proposal of the next batch on a worker thread,
+        validating the speculation against the real measurement results
+        before adopting it (see :meth:`_pipelined_loop`).  Records,
+        RNG streams, events and checkpoints stay bit-identical to the
+        serial loop; the only observable additions are
+        :class:`~repro.core.events.SpeculationResolved` events and the
+        overlap wall-time they report.
         """
         if n_trial <= 0:
             raise ValueError("n_trial must be positive")
         start = time.perf_counter()
         policy = as_checkpoint_policy(checkpoint)
+        resume_pending = _resume.get("pending") if _resume is not None else None
+        if resume_pending is not None:
+            # a pipelined checkpoint carries an already-proposed batch;
+            # only the pipelined loop knows how to consume it
+            pipeline = True
         if _resume is not None:
             records: List[TrialRecord] = list(_resume["records"])
             stopper = self._restore_stopper(
@@ -530,6 +620,19 @@ TransferHistory`.  The injection happens once, inside the
                     policy, records, stopper, n_trial, early_stopping,
                     initialized=False, callbacks=callbacks,
                 )
+            if pipeline:
+                self._pipelined_loop(
+                    n_trial=n_trial,
+                    records=records,
+                    stopper=stopper,
+                    policy=policy,
+                    callbacks=callbacks,
+                    executor=executor,
+                    early_stopping=early_stopping,
+                    initialized=initialized,
+                    resume_pending=resume_pending,
+                )
+                stop = True  # the loop owns its own stopping; skip serial
             while not stop and len(records) < n_trial:
                 proposal_start = time.perf_counter()
                 if not initialized:
@@ -630,6 +733,311 @@ TransferHistory`.  The injection happens once, inside the
         )
 
     # ------------------------------------------------------------------
+    # pipelined loop (pipeline=True)
+
+    def _pipelined_loop(
+        self,
+        *,
+        n_trial: int,
+        records: List[TrialRecord],
+        stopper: Optional[EarlyStopper],
+        policy: Optional[CheckpointPolicy],
+        callbacks: Sequence[Callback],
+        executor: MeasureExecutor,
+        early_stopping: Optional[int],
+        initialized: bool,
+        resume_pending: Optional[dict],
+    ) -> None:
+        """Overlap measurement of batch *k* with proposal of batch *k+1*.
+
+        While the executor measures batch *k* on this thread, a worker
+        thread runs the whole serial post-measure sequence — absorb the
+        (predicted) results, refit, propose batch *k+1* — against a
+        *clone* of the tuner, predicting the measurement results via the
+        ordinal-determinism of :class:`~repro.hardware.measure.Measurer`
+        (``measure_at`` is pure in ``(ordinal, config_index)``).  When
+        the real results come back they are compared against the
+        prediction: an exact match adopts the clone's state and queued
+        proposal; any mismatch (fault injection, cache hits, a foreign
+        executor) discards the speculation and replays the serial path
+        on the untouched real state.  Records, RNG streams, events, and
+        checkpoints are bit-identical to the serial loop either way —
+        the only additions are :class:`SpeculationResolved` events and
+        the ``pending`` payload pipelined checkpoints carry.
+        """
+        # the speculation measurer is a clone synced to the executor's
+        # pre-batch ordinal each dispatch; prediction never advances the
+        # real measurement stream
+        spec_measurer: Measurer = pickle.loads(
+            pickle.dumps(self.measurer, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+        stop = False
+        batches_since_checkpoint = 0
+        current: Optional[_PendingProposal] = None
+        if resume_pending is not None:
+            current = _PendingProposal(
+                batch=[int(i) for i in resume_pending["batch"]],
+                proposal_s=float(resume_pending["proposal_s"]),
+                exhausted=bool(resume_pending["exhausted"]),
+                captured=list(resume_pending["captured"]),
+            )
+            self._pending_events.extend(resume_pending.get("events") or ())
+            initialized = True
+        pool = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix=f"{self.name}-speculate"
+        )
+        try:
+            while not stop and len(records) < n_trial:
+                if current is None:
+                    # no adopted proposal in hand: serial proposal path
+                    proposal_start = time.perf_counter()
+                    if not initialized:
+                        batch = self._filter_unvisited(
+                            self._inject_warm_start(self._generate_initial())
+                        )
+                        initialized = True
+                        self._flush_policy_events()
+                        if not batch:
+                            break
+                    else:
+                        batch = self._filter_unvisited(self._generate_next())
+                        self._flush_policy_events()
+                        if not batch:
+                            batch = self._random_unvisited(self.batch_size)
+                            if not batch:
+                                self._emit(
+                                    SpaceExhausted(step=len(records))
+                                )
+                                logger.info(
+                                    "%s: search space exhausted", self.name
+                                )
+                                break
+                    proposal_s = time.perf_counter() - proposal_start
+                else:
+                    # consume the adopted speculation: its refit
+                    # notifications replay *now* because in the serial
+                    # loop they fire during generate_next(k+1) — after
+                    # iteration k's checkpoint, not before it
+                    hooks.replay_captured(current.captured)
+                    self._flush_policy_events()
+                    if current.exhausted:
+                        self._emit(SpaceExhausted(step=len(records)))
+                        logger.info(
+                            "%s: search space exhausted", self.name
+                        )
+                        break
+                    batch = current.batch
+                    proposal_s = current.proposal_s
+                    current = None
+                batch = batch[: n_trial - len(records)]
+                self._emit(
+                    BatchProposed(
+                        step=len(records),
+                        config_indices=tuple(batch),
+                        proposal_s=proposal_s,
+                    )
+                )
+                # dispatch the speculative proposal of batch k+1 before
+                # measuring batch k; skip it when this batch already
+                # fills the budget.  The state snapshot is taken here,
+                # on the driving thread, so it is exactly the serial
+                # state at this point of the loop.
+                future = None
+                if len(records) + len(batch) < n_trial:
+                    state_bytes = pickle.dumps(
+                        {
+                            key: value
+                            for key, value in self.__dict__.items()
+                            if key not in _EPHEMERAL_STATE
+                        },
+                        protocol=pickle.HIGHEST_PROTOCOL,
+                    )
+                    future = pool.submit(
+                        self._speculate,
+                        state_bytes,
+                        spec_measurer,
+                        list(records),
+                        list(batch),
+                        executor.num_measurements,
+                        n_trial,
+                    )
+                measure_start = time.perf_counter()
+                results = executor.measure_batch(batch)
+                measure_s = time.perf_counter() - measure_start
+                spec: Optional[_Speculation] = None
+                if future is not None:
+                    try:
+                        spec = future.result()
+                    except Exception:
+                        logger.exception(
+                            "%s: speculative proposal failed; replaying "
+                            "the serial path",
+                            self.name,
+                        )
+                        spec = None
+                adopted = spec is not None and spec.predicted == results
+                if adopted:
+                    new_records = spec.new_records
+                    self._adopt_speculation(spec, records)
+                    current = _PendingProposal(
+                        batch=spec.next_batch,
+                        proposal_s=spec.proposal_s,
+                        exhausted=spec.exhausted,
+                        captured=spec.captured,
+                    )
+                else:
+                    new_records = self._absorb(results, records)
+                if spec is not None:
+                    self._emit(
+                        SpeculationResolved(
+                            step=len(records),
+                            adopted=adopted,
+                            overlap_s=min(measure_s, spec.wall_s),
+                        )
+                    )
+                self._emit_fault_events(executor, step=len(records))
+                self._emit(
+                    BatchMeasured(
+                        step=len(records),
+                        results=tuple(results),
+                        measure_s=measure_s,
+                    )
+                )
+                for callback in callbacks:
+                    callback(self, results)
+                for record in new_records:
+                    if stopper is not None and stopper.update(record.gflops):
+                        stop = True
+                        self._emit(
+                            EarlyStopped(
+                                step=record.step,
+                                patience=stopper.patience,
+                                best_gflops=self.best_gflops,
+                            )
+                        )
+                        break
+                batches_since_checkpoint += 1
+                if (
+                    policy is not None
+                    and not stop
+                    and len(records) < n_trial
+                    and batches_since_checkpoint >= policy.every
+                ):
+                    self._save_checkpoint(
+                        policy, records, stopper, n_trial, early_stopping,
+                        initialized=True, callbacks=callbacks,
+                        pending=self._pending_payload(current),
+                    )
+                    batches_since_checkpoint = 0
+        finally:
+            pool.shutdown(wait=True)
+
+    def _speculate(
+        self,
+        state_bytes: bytes,
+        spec_measurer: Measurer,
+        records: List[TrialRecord],
+        batch: List[int],
+        ordinal: int,
+        n_trial: int,
+    ) -> _Speculation:
+        """Worker-thread body: predict batch results, propose the next batch.
+
+        Runs entirely against a clone built from ``state_bytes`` (the
+        driving thread's pre-measure snapshot) plus the shared
+        speculation measurer resynced to the executor's pre-batch
+        ordinal, so nothing here can touch the real tuner.  Hook
+        notifications fired by the clone's refits are captured (this
+        thread has a capture active for its whole body) and replayed on
+        the driving thread only if the speculation is adopted.
+        """
+        t0 = time.perf_counter()
+        captured = hooks.capture_begin()
+        try:
+            spec_measurer.num_measurements = ordinal
+            predicted = spec_measurer.measure_batch(batch)
+
+            clone: Tuner = object.__new__(type(self))
+            clone.__dict__.update(pickle.loads(state_bytes))
+            clone.task = self.task
+            clone.measurer = spec_measurer
+            clone._executor = None
+            clone._executor_spec = None
+            clone._pending_events = []
+            absorb_events: List[TuningEvent] = []
+            clone._event_sinks = (
+                lambda _tuner, event: absorb_events.append(event),
+            )
+
+            new_records = clone._absorb(predicted, records)
+            proposal_start = time.perf_counter()
+            exhausted = False
+            next_batch = clone._filter_unvisited(clone._generate_next())
+            if not next_batch:
+                next_batch = clone._random_unvisited(clone.batch_size)
+                if not next_batch:
+                    exhausted = True
+            next_batch = next_batch[: n_trial - len(records)]
+            proposal_s = time.perf_counter() - proposal_start
+        finally:
+            hooks.capture_end(captured)
+        return _Speculation(
+            predicted=predicted,
+            clone=clone,
+            new_records=new_records,
+            absorb_events=absorb_events,
+            next_batch=next_batch,
+            exhausted=exhausted,
+            captured=captured,
+            proposal_s=proposal_s,
+            wall_s=time.perf_counter() - t0,
+        )
+
+    def _adopt_speculation(
+        self, spec: _Speculation, records: List[TrialRecord]
+    ) -> None:
+        """Make a validated speculation's state the real tuner state.
+
+        The clone's non-ephemeral attributes *are* the serial
+        post-absorb, post-propose state (its inputs were validated
+        bit-identical), so they are adopted wholesale — including
+        ``event_counts``, which already includes the absorb-time events.
+        Those buffered events are then delivered straight to the real
+        sinks (bypassing :meth:`_emit`, which would double-count them),
+        and the clone's queued policy events transfer to the pending
+        queue, to be flushed when its proposal is consumed.
+        """
+        clone = spec.clone
+        for key, value in clone.__dict__.items():
+            if key not in _EPHEMERAL_STATE:
+                setattr(self, key, value)
+        self._pending_events.extend(clone._pending_events)
+        records.extend(spec.new_records)
+        for event in spec.absorb_events:
+            for sink in self._event_sinks:
+                sink(self, event)
+
+    def _pending_payload(
+        self, current: Optional[_PendingProposal]
+    ) -> Optional[dict]:
+        """Checkpoint payload for an adopted-but-unconsumed proposal.
+
+        ``events`` carries the clone's queued policy events: they are
+        ephemeral on the tuner (cleared by :meth:`tune`), so a resumed
+        pipelined run restores them from here before consuming the
+        pending batch.
+        """
+        if current is None:
+            return None
+        return {
+            "batch": list(current.batch),
+            "proposal_s": current.proposal_s,
+            "exhausted": current.exhausted,
+            "captured": list(current.captured),
+            "events": list(self._pending_events),
+        }
+
+    # ------------------------------------------------------------------
     # checkpoint / resume
 
     def snapshot(
@@ -640,6 +1048,7 @@ TransferHistory`.  The injection happens once, inside the
         early_stopping: Optional[int] = None,
         initialized: bool = True,
         callbacks: Sequence[Callback] = (),
+        pending: Optional[dict] = None,
     ) -> TuningCheckpoint:
         """Capture the resumable state of this tuner as a checkpoint.
 
@@ -653,27 +1062,34 @@ TransferHistory`.  The injection happens once, inside the
         executor are *not* serialized: both are pure functions of
         constructor arguments, so :meth:`resume` rebuilds them from the
         resuming tuner and validates identity via the task fingerprint.
+
+        ``pending`` (pipelined runs only) is the adopted-but-unconsumed
+        speculative proposal from :meth:`Tuner._pending_payload`;
+        resuming a checkpoint that carries one re-enters the pipelined
+        loop automatically.
         """
         state = {
             key: value
             for key, value in self.__dict__.items()
             if key not in _EPHEMERAL_STATE
         }
-        payload = pickle.dumps(
-            {
-                "tuner_state": state,
-                "measured_ordinal": self.executor.num_measurements,
-                "records": list(records),
-                "stopper": (
-                    None
-                    if stopper is None
-                    else (stopper._best, stopper._best_step, stopper._step)
-                ),
-                "callback_states": _observer_states(callbacks),
-                "sink_states": _observer_states(self._event_sinks),
-            },
-            protocol=pickle.HIGHEST_PROTOCOL,
-        )
+        payload_dict = {
+            "tuner_state": state,
+            "measured_ordinal": self.executor.num_measurements,
+            "records": list(records),
+            "stopper": (
+                None
+                if stopper is None
+                else (stopper._best, stopper._best_step, stopper._step)
+            ),
+            "callback_states": _observer_states(callbacks),
+            "sink_states": _observer_states(self._event_sinks),
+        }
+        if pending is not None:
+            # only pipelined checkpoints carry the key, so serial
+            # checkpoint payloads stay byte-for-byte what they were
+            payload_dict["pending"] = pending
+        payload = pickle.dumps(payload_dict, protocol=pickle.HIGHEST_PROTOCOL)
         return TuningCheckpoint(
             tuner_name=self.name,
             task_fingerprint=self.task.fingerprint,
@@ -693,6 +1109,7 @@ TransferHistory`.  The injection happens once, inside the
         checkpoint: CheckpointSpec = _UNSET,  # type: ignore[assignment]
         n_trial: Optional[int] = None,
         early_stopping: Union[Optional[int], object] = _UNSET,
+        pipeline: bool = False,
     ) -> TuningResult:
         """Continue a checkpointed run as if it had never stopped.
 
@@ -707,6 +1124,11 @@ TransferHistory`.  The injection happens once, inside the
         The continuation is bit-identical: the resumed result carries
         the full record log (restored prefix plus new measurements) and
         the same final incumbent as an uninterrupted run.
+
+        ``pipeline`` continues the run with the pipelined loop; it is
+        forced on when the checkpoint carries a pending speculative
+        proposal (a pipelined run's checkpoint), so fleet/CLI resume
+        paths need no extra plumbing to resume pipelined runs.
         """
         if isinstance(source, TuningCheckpoint):
             ckpt = source
@@ -738,10 +1160,12 @@ TransferHistory`.  The injection happens once, inside the
             callbacks=callbacks,
             on_event=on_event,
             checkpoint=spec,
+            pipeline=pipeline,
             _resume={
                 "records": payload["records"],
                 "stopper": payload["stopper"],
                 "initialized": ckpt.initialized,
+                "pending": payload.get("pending"),
             },
         )
 
@@ -754,6 +1178,7 @@ TransferHistory`.  The injection happens once, inside the
         early_stopping: Optional[int],
         initialized: bool,
         callbacks: Sequence[Callback] = (),
+        pending: Optional[dict] = None,
     ) -> None:
         ckpt = self.snapshot(
             records=records,
@@ -762,6 +1187,7 @@ TransferHistory`.  The injection happens once, inside the
             early_stopping=early_stopping,
             initialized=initialized,
             callbacks=callbacks,
+            pending=pending,
         )
         path = ckpt.save(policy.path)
         self._emit(CheckpointSaved(step=len(records), path=path))

@@ -42,6 +42,9 @@ class AutoTVMTuner(Tuner):
         warm_start=None,
         adaptive_sampling: bool = False,
         adaptive_keep: float = 0.5,
+        refit: str = "full",
+        incremental_rounds: int = 12,
+        max_model_trees: int = 120,
     ):
         super().__init__(
             task, seed=seed, batch_size=batch_size, executor=executor,
@@ -51,6 +54,10 @@ class AutoTVMTuner(Tuner):
             raise ValueError("init_size must be positive")
         if not 0.0 <= epsilon_greedy < 1.0:
             raise ValueError("epsilon_greedy must be in [0, 1)")
+        if refit not in ("full", "incremental"):
+            raise ValueError("refit must be 'full' or 'incremental'")
+        if incremental_rounds < 1:
+            raise ValueError("incremental_rounds must be >= 1")
         validate_adaptive(adaptive_keep)
         self.init_size = init_size
         self.epsilon_greedy = epsilon_greedy
@@ -65,6 +72,13 @@ class AutoTVMTuner(Tuner):
         if transfer is None and warm_start is not None:
             transfer = getattr(warm_start, "history", None)
         self.transfer = transfer
+        #: cost-model refit strategy: "full" rebuilds the GBT from
+        #: scratch each round (historical, golden-pinned);
+        #: "incremental" keeps the model and appends boosting rounds
+        self.refit = refit
+        self.incremental_rounds = incremental_rounds
+        self.max_model_trees = max_model_trees
+        self._model: Optional[GradientBoostedTrees] = None
         self._round = 0
 
     # ------------------------------------------------------------------
@@ -76,13 +90,6 @@ class AutoTVMTuner(Tuner):
         return [int(i) for i in indices]
 
     def _fit_model(self) -> GradientBoostedTrees:
-        model = GradientBoostedTrees(
-            n_estimators=50,
-            learning_rate=0.22,
-            max_depth=5,
-            subsample=0.9,
-            seed=self.rng_pool.get("model"),
-        )
         X = self.measured_features
         y = self.measured_scores_array
         best = float(y.max()) if len(y) else 0.0
@@ -94,10 +101,35 @@ class AutoTVMTuner(Tuner):
                 current_targets=y,
             )
             if len(yh):
+                # transfer rows/weights change shape every round, so the
+                # warm path does not apply; refit from scratch
+                model = self._new_model()
                 model.fit(Xh, yh, sample_weight=wh)
                 return model
+        if (
+            self.refit == "incremental"
+            and self._model is not None
+            and self._model.n_trees + self.incremental_rounds
+            <= self.max_model_trees
+        ):
+            # warm start: keep the grown trees (and frozen bin edges),
+            # append rounds against the renormalized measured set
+            self._model.fit_more(X, y / norm, self.incremental_rounds)
+            return self._model
+        model = self._new_model()
         model.fit(X, y / norm)
+        if self.refit == "incremental":
+            self._model = model
         return model
+
+    def _new_model(self) -> GradientBoostedTrees:
+        return GradientBoostedTrees(
+            n_estimators=50,
+            learning_rate=0.22,
+            max_depth=5,
+            subsample=0.9,
+            seed=self.rng_pool.get("model"),
+        )
 
     def _generate_next(self) -> List[int]:
         self._round += 1

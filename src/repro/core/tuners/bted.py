@@ -40,6 +40,7 @@ class BTEDTuner(AutoTVMTuner):
         warm_start=None,
         adaptive_sampling: bool = False,
         adaptive_keep: float = 0.5,
+        refit: str = "full",
     ):
         super().__init__(
             task,
@@ -54,6 +55,7 @@ class BTEDTuner(AutoTVMTuner):
             warm_start=warm_start,
             adaptive_sampling=adaptive_sampling,
             adaptive_keep=adaptive_keep,
+            refit=refit,
         )
         self.mu = mu
         self.batch_candidates = batch_candidates

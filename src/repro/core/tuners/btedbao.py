@@ -59,6 +59,7 @@ class BTEDBAOTuner(Tuner):
         droplet_settings: DropletSettings = DropletSettings(),
         adaptive_sampling: bool = False,
         adaptive_keep: float = 0.5,
+        refit: str = "full",
     ):
         # BAO deploys one configuration per iteration (Alg. 4 line 10-11);
         # measure_batch_size > 1 enables the parallel-measurement
@@ -88,6 +89,9 @@ class BTEDBAOTuner(Tuner):
         self.ted_method = ted_method
         self.adaptive_sampling = adaptive_sampling
         self.adaptive_keep = adaptive_keep
+        #: ensemble refit strategy: "full" (historical, golden-pinned)
+        #: or "incremental" (warm-started, opt-in like ted_method="fast")
+        self.refit = refit
         self.bao = BaoOptimizer(
             task.space,
             settings=bao_settings,
@@ -97,6 +101,7 @@ class BTEDBAOTuner(Tuner):
                 getattr(warm_start, "history", None)
                 if warm_start is not None else None
             ),
+            refit=refit,
         )
         # finishing phase: None until the handoff condition fires, then
         # every proposal comes from the coordinate-descent policy

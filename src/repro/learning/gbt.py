@@ -27,7 +27,10 @@ from repro.learning.tree import (
     RegressionTree,
     apply_bins,
     bin_features,
+    predict_stacked,
+    stack_trees,
 )
+from repro.obs.hooks import notify_refit_reuse, refit_reuse_hooks_active
 from repro.utils.rng import SeedLike, as_generator
 
 _Tree = Union[RegressionTree, BinnedRegressionTree]
@@ -85,10 +88,17 @@ class GradientBoostedTrees:
         self._edges: Optional[list[np.ndarray]] = None
         self._base: float = 0.0
         self._fitted = False
+        self._stack = None  # lazy StackedTrees cache for vectorized predict
 
     def reseed(self, seed: SeedLike) -> None:
         """Replace the internal RNG (used by parallel ensemble fits)."""
         self._rng = as_generator(seed)
+
+    def __getstate__(self):
+        # the stacked-predict cache is derivable; keep checkpoints lean
+        state = self.__dict__.copy()
+        state["_stack"] = None
+        return state
 
     # ------------------------------------------------------------------
 
@@ -185,7 +195,86 @@ class GradientBoostedTrees:
                         self._trees = self._trees[:best_len]
                         break
         self._fitted = True
+        self._stack = None
         return self
+
+    def fit_more(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        n_rounds: int,
+        sample_weight: Optional[np.ndarray] = None,
+    ) -> "GradientBoostedTrees":
+        """Warm start: grow ``n_rounds`` extra boosting rounds on (X, y).
+
+        Existing trees, the base prediction, and (for ``method="hist"``)
+        the bin edges frozen at the original :meth:`fit` are all kept;
+        only the new rounds are fit, against the residual of the current
+        ensemble on the given data.  Validation early stopping does not
+        apply to the incremental rounds.  Returns ``self``.
+        """
+        if not self._fitted:
+            raise RuntimeError("fit_more requires a fitted model")
+        if n_rounds < 1:
+            raise ValueError("n_rounds must be >= 1")
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if X.ndim != 2 or y.shape != (X.shape[0],):
+            raise ValueError("X must be (n, d) and y (n,)")
+        n = X.shape[0]
+        if n == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        if sample_weight is None:
+            weight = np.ones(n)
+        else:
+            weight = np.asarray(sample_weight, dtype=np.float64)
+            if weight.shape != y.shape:
+                raise ValueError("sample_weight must match y")
+
+        if self.method == "hist":
+            assert self._edges is not None
+            data: np.ndarray = apply_bins(X, self._edges)
+        else:
+            data = X
+
+        reused = len(self._trees)
+        pred_t = self._accumulate(data, n)
+        for _ in range(n_rounds):
+            residual = y - pred_t
+            if self.subsample < 1.0 and n > 4:
+                n_sub = max(2, int(round(self.subsample * n)))
+                rows = self._rng.choice(n, size=n_sub, replace=False)
+            else:
+                rows = np.arange(n)
+            tree = self._new_tree()
+            tree.fit(data[rows], residual[rows], sample_weight=weight[rows])
+            self._trees.append(tree)
+            pred_t += self.learning_rate * tree.predict(data)
+        self._stack = None
+        if refit_reuse_hooks_active():
+            notify_refit_reuse(reused)
+        return self
+
+    def _accumulate(self, data: np.ndarray, n: int) -> np.ndarray:
+        """Sum tree predictions over native ``data`` (codes or floats).
+
+        Uses the stacked vectorized forest predict when there is more
+        than one tree, accumulating per-tree outputs serially in fit
+        order so the result is bit-identical to the per-tree loop.
+        """
+        out = np.full(n, self._base)
+        if len(self._trees) > 1:
+            stack = self.__dict__.get("_stack")
+            if stack is None or stack.n_trees != len(self._trees):
+                stack = stack_trees(self._trees)
+                self._stack = stack
+            preds = predict_stacked(stack, data)
+            for t in range(preds.shape[0]):
+                out += self.learning_rate * preds[t]
+        else:
+            for tree in self._trees:
+                out += self.learning_rate * tree.predict(data)
+        return out
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         """Predict targets for rows of ``X``."""
@@ -196,10 +285,23 @@ class GradientBoostedTrees:
             data: np.ndarray = apply_bins(X, self._edges)
         else:
             data = X
-        out = np.full(X.shape[0], self._base)
-        for tree in self._trees:
-            out += self.learning_rate * tree.predict(data)
-        return out
+        return self._accumulate(data, X.shape[0])
+
+    def predict_binned(self, codes: np.ndarray) -> np.ndarray:
+        """Predict from pre-binned integer codes (``method="hist"`` only).
+
+        Lets an ensemble whose members share one set of bin edges apply
+        the binning once for the whole candidate scope instead of once
+        per member.
+        """
+        if not self._fitted:
+            raise RuntimeError("model is not fitted")
+        if self._edges is None:
+            raise RuntimeError("predict_binned requires method='hist'")
+        codes = np.asarray(codes)
+        if codes.ndim != 2:
+            raise ValueError("codes must be 2-D")
+        return self._accumulate(codes, codes.shape[0])
 
     @property
     def n_trees(self) -> int:

@@ -512,6 +512,90 @@ class BinnedRegressionTree:
         return len(self._feature)
 
 
+@dataclass
+class StackedTrees:
+    """Flat node arrays of several fitted trees padded into 2-D stacks.
+
+    Row ``t`` holds tree ``t``'s parallel node arrays (padded with leaf
+    sentinels), so :func:`predict_stacked` can route *all trees × all
+    rows* level-synchronously in a handful of array ops instead of one
+    Python-level traversal per tree.  Works for both
+    :class:`RegressionTree` and :class:`BinnedRegressionTree` — they
+    share the same flat layout.
+    """
+
+    feature: np.ndarray  # (n_trees, max_nodes) int64; -1 marks leaves/padding
+    threshold: np.ndarray  # (n_trees, max_nodes) float64
+    left: np.ndarray  # (n_trees, max_nodes) int64
+    right: np.ndarray  # (n_trees, max_nodes) int64
+    value: np.ndarray  # (n_trees, max_nodes) float64
+    max_depth: int
+
+    @property
+    def n_trees(self) -> int:
+        return self.feature.shape[0]
+
+
+def stack_trees(trees) -> StackedTrees:
+    """Pad fitted trees' flat node arrays into a :class:`StackedTrees`."""
+    if not trees:
+        raise ValueError("cannot stack zero trees")
+    for tree in trees:
+        if tree._feature is None:
+            raise RuntimeError("all trees must be fitted before stacking")
+    count = len(trees)
+    width = max(tree._feature.size for tree in trees)
+    feature = np.full((count, width), -1, dtype=np.int64)
+    threshold = np.zeros((count, width))
+    left = np.zeros((count, width), dtype=np.int64)
+    right = np.zeros((count, width), dtype=np.int64)
+    value = np.zeros((count, width))
+    for t, tree in enumerate(trees):
+        size = tree._feature.size
+        feature[t, :size] = tree._feature
+        threshold[t, :size] = tree._threshold
+        left[t, :size] = tree._left
+        right[t, :size] = tree._right
+        value[t, :size] = tree._value
+    depth = max(tree.max_depth for tree in trees)
+    return StackedTrees(feature, threshold, left, right, value, depth)
+
+
+def predict_stacked(stacked: StackedTrees, data: np.ndarray) -> np.ndarray:
+    """Per-tree predictions for ``data``, shape ``(n_trees, n_rows)``.
+
+    Routes every (tree, row) pair one level per pass over the stacked
+    arrays; each output row is bit-identical to the corresponding
+    tree's own :meth:`predict` (same comparisons, same leaf values).
+    ``data`` is the tree family's native input: float features for
+    :class:`RegressionTree`, integer codes for
+    :class:`BinnedRegressionTree`.
+    """
+    data = np.asarray(data)
+    if data.ndim != 2:
+        raise ValueError("data must be 2-D")
+    n = data.shape[0]
+    active = np.zeros((stacked.n_trees, n), dtype=np.int64)
+    col = np.arange(n)[None, :]
+    for _ in range(stacked.max_depth + 1):
+        feats = np.take_along_axis(stacked.feature, active, axis=1)
+        internal = feats >= 0
+        if not internal.any():
+            break
+        # feats == -1 wraps to the last column, but those lanes are
+        # masked out of the routing update below
+        xv = data[col, feats]
+        thr = np.take_along_axis(stacked.threshold, active, axis=1)
+        go_left = xv <= thr
+        nxt = np.where(
+            go_left,
+            np.take_along_axis(stacked.left, active, axis=1),
+            np.take_along_axis(stacked.right, active, axis=1),
+        )
+        active = np.where(internal, nxt, active)
+    return np.take_along_axis(stacked.value, active, axis=1)
+
+
 def bin_features(
     X: np.ndarray, n_bins: int = 32
 ) -> tuple[np.ndarray, list[np.ndarray]]:

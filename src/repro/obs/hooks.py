@@ -35,6 +35,9 @@ MeasureHook = Callable[[str, int, float], None]
 #: ``(hits, misses)`` — a caching executor resolved a batch
 CacheHook = Callable[[int, int], None]
 
+#: ``(reused_trees,)`` — an incremental refit reused previously-grown trees
+RefitReuseHook = Callable[[int], None]
+
 _LOCAL = threading.local()
 
 
@@ -45,6 +48,43 @@ def _hooks(name: str) -> List[Callable]:
         hooks = []
         setattr(_LOCAL, name, hooks)
     return hooks
+
+
+def _capture_buffer():
+    """This thread's active capture buffer, or ``None``."""
+    return getattr(_LOCAL, "capture", None)
+
+
+def capture_begin() -> list:
+    """Start buffering this thread's notifications instead of delivering.
+
+    Used by the pipelined tuner's speculation step: a speculative
+    proposal runs its refits on a worker thread, and the notifications
+    they would fire must be (a) recorded even though no hooks are
+    registered on that thread, and (b) delivered exactly once — on the
+    driving thread if the speculation is adopted, never if it is
+    replayed.  Returns the buffer to pass to :func:`capture_end` /
+    :func:`replay_captured`.  Nested captures are not supported.
+    """
+    if _capture_buffer() is not None:
+        raise RuntimeError("hook capture is already active on this thread")
+    buffer: list = []
+    _LOCAL.capture = buffer
+    return buffer
+
+
+def capture_end(buffer: list) -> None:
+    """Stop capturing on this thread (pairs with :func:`capture_begin`)."""
+    if _capture_buffer() is not buffer:
+        raise RuntimeError("mismatched hook capture_end")
+    _LOCAL.capture = None
+
+
+def replay_captured(buffer: list) -> None:
+    """Deliver captured notifications to this thread's hooks, in order."""
+    for name, args in buffer:
+        for hook in tuple(_hooks(name)):
+            hook(*args)
 
 
 def add_refit_hook(hook: RefitHook) -> None:
@@ -61,6 +101,10 @@ def remove_refit_hook(hook: RefitHook) -> None:
 
 def notify_refit(rows: int, duration_s: float, kind: str = "ensemble") -> None:
     """Report one completed refit of ``rows`` training rows."""
+    buffer = _capture_buffer()
+    if buffer is not None:
+        buffer.append(("refit", (rows, duration_s, kind)))
+        return
     for hook in tuple(_hooks("refit")):
         hook(rows, duration_s, kind)
 
@@ -69,9 +113,11 @@ def refit_hooks_active() -> bool:
     """True when at least one refit hook is registered on this thread.
 
     Lets instrumented call sites skip even the ``perf_counter`` pair
-    when nobody is listening.
+    when nobody is listening.  Also true while a capture is active, so
+    speculative proposals record the same notifications an observed
+    serial proposal would fire.
     """
-    return bool(_hooks("refit"))
+    return bool(_hooks("refit")) or _capture_buffer() is not None
 
 
 def add_measure_hook(hook: MeasureHook) -> None:
@@ -88,13 +134,17 @@ def remove_measure_hook(hook: MeasureHook) -> None:
 
 def notify_measure(backend: str, n_configs: int, duration_s: float) -> None:
     """Report one deployed batch from executor ``backend``."""
+    buffer = _capture_buffer()
+    if buffer is not None:
+        buffer.append(("measure", (backend, n_configs, duration_s)))
+        return
     for hook in tuple(_hooks("measure")):
         hook(backend, n_configs, duration_s)
 
 
 def measure_hooks_active() -> bool:
     """True when at least one measure hook is registered on this thread."""
-    return bool(_hooks("measure"))
+    return bool(_hooks("measure")) or _capture_buffer() is not None
 
 
 def add_cache_hook(hook: CacheHook) -> None:
@@ -111,5 +161,36 @@ def remove_cache_hook(hook: CacheHook) -> None:
 
 def notify_cache(hits: int, misses: int) -> None:
     """Report one cache-resolved batch (hit/miss split)."""
+    buffer = _capture_buffer()
+    if buffer is not None:
+        buffer.append(("cache", (hits, misses)))
+        return
     for hook in tuple(_hooks("cache")):
         hook(hits, misses)
+
+
+def add_refit_reuse_hook(hook: RefitReuseHook) -> None:
+    """Subscribe to incremental-refit tree reuse reports."""
+    _hooks("refit_reuse").append(hook)
+
+
+def remove_refit_reuse_hook(hook: RefitReuseHook) -> None:
+    """Unsubscribe a refit-reuse hook (no-op when absent)."""
+    hooks = _hooks("refit_reuse")
+    if hook in hooks:
+        hooks.remove(hook)
+
+
+def notify_refit_reuse(reused_trees: int) -> None:
+    """Report trees carried over by one warm-started (incremental) refit."""
+    buffer = _capture_buffer()
+    if buffer is not None:
+        buffer.append(("refit_reuse", (reused_trees,)))
+        return
+    for hook in tuple(_hooks("refit_reuse")):
+        hook(reused_trees)
+
+
+def refit_reuse_hooks_active() -> bool:
+    """True when a refit-reuse hook is registered (or capture is on)."""
+    return bool(_hooks("refit_reuse")) or _capture_buffer() is not None

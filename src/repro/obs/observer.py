@@ -89,6 +89,9 @@ class TuningObserver:
         self._warm_injected = 0
         self._exploit_steps = 0
         self._pruned_candidates = 0
+        self._speculations = 0
+        self._speculation_replays = 0
+        self._refit_reused_trees = 0
         self._finish_phase = ""
         self._best = 0.0
         self._best_index = -1
@@ -100,6 +103,7 @@ class TuningObserver:
         self._proposal_s = 0.0
         self._measure_s = 0.0
         self._refit_s = 0.0
+        self._pipeline_overlap_s = 0.0
         # span bookkeeping
         self._root_id: Optional[int] = None
         self._step_id: Optional[int] = None
@@ -123,6 +127,7 @@ class TuningObserver:
             "exploit_stepped": self._on_exploit_stepped,
             "candidates_pruned": self._on_candidates_pruned,
             "finish_phase_started": self._on_finish_phase_started,
+            "speculation_resolved": self._on_speculation_resolved,
         }
 
     @staticmethod
@@ -155,6 +160,17 @@ class TuningObserver:
         )
         m.counter(
             "finish_phases_total", "handoffs to a finishing search policy"
+        )
+        m.counter(
+            "speculations_total", "speculative proposals resolved"
+        )
+        m.counter(
+            "speculation_replays_total",
+            "speculations discarded and replayed serially",
+        )
+        m.counter(
+            "refit_reused_trees_total",
+            "trees carried over by incremental refits",
         )
         m.gauge("best_gflops", "best throughput so far")
         m.gauge("measured", "configurations measured so far")
@@ -192,6 +208,7 @@ class TuningObserver:
             hooks.add_refit_hook(self._on_refit)
             hooks.add_measure_hook(self._on_measure)
             hooks.add_cache_hook(self._on_cache)
+            hooks.add_refit_reuse_hook(self._on_refit_reuse)
             self._hooks_active = True
 
     def on_tune_end(self, tuner) -> None:
@@ -200,6 +217,7 @@ class TuningObserver:
             hooks.remove_refit_hook(self._on_refit)
             hooks.remove_measure_hook(self._on_measure)
             hooks.remove_cache_hook(self._on_cache)
+            hooks.remove_refit_reuse_hook(self._on_refit_reuse)
             self._hooks_active = False
         if self.trace is not None and self._root_id is not None:
             root = self.trace.spans[self._root_id]
@@ -357,6 +375,17 @@ class TuningObserver:
         if self.metrics is not None:
             self.metrics.get("finish_phases_total").inc()
 
+    def _on_speculation_resolved(self, event) -> None:
+        self._speculations += 1
+        adopted = bool(getattr(event, "adopted", True))
+        if not adopted:
+            self._speculation_replays += 1
+        self._pipeline_overlap_s += float(getattr(event, "overlap_s", 0.0))
+        if self.metrics is not None:
+            self.metrics.get("speculations_total").inc()
+            if not adopted:
+                self.metrics.get("speculation_replays_total").inc()
+
     # ---- hook-bus callbacks ------------------------------------------
 
     def _on_refit(self, rows: int, duration_s: float, kind: str) -> None:
@@ -389,6 +418,13 @@ class TuningObserver:
             self.metrics.get("cache_hits_total").inc(hits)
             self.metrics.get("cache_misses_total").inc(misses)
 
+    def _on_refit_reuse(self, reused_trees: int) -> None:
+        self._refit_reused_trees += int(reused_trees)
+        if self.metrics is not None:
+            self.metrics.get("refit_reused_trees_total").inc(
+                int(reused_trees)
+            )
+
     # ---- outputs ------------------------------------------------------
 
     def wall_s(self) -> float:
@@ -417,12 +453,16 @@ class TuningObserver:
             exploit_steps=self._exploit_steps,
             pruned_candidates=self._pruned_candidates,
             finish_phase=self._finish_phase,
+            speculations=self._speculations,
+            speculation_replays=self._speculation_replays,
+            refit_reused_trees=self._refit_reused_trees,
             early_stopped=self._early_stopped,
             space_exhausted=self._space_exhausted,
             resumed=self._resumed,
             proposal_s=self._proposal_s,
             measure_s=self._measure_s,
             refit_s=self._refit_s,
+            pipeline_overlap_s=self._pipeline_overlap_s,
             wall_s=self.wall_s(),
         )
 
@@ -449,6 +489,9 @@ class TuningObserver:
             "warm_injected": self._warm_injected,
             "exploit_steps": self._exploit_steps,
             "pruned_candidates": self._pruned_candidates,
+            "speculations": self._speculations,
+            "speculation_replays": self._speculation_replays,
+            "refit_reused_trees": self._refit_reused_trees,
             "finish_phase": self._finish_phase,
             "best": self._best,
             "best_index": self._best_index,
@@ -459,6 +502,7 @@ class TuningObserver:
             "proposal_s": self._proposal_s,
             "measure_s": self._measure_s,
             "refit_s": self._refit_s,
+            "pipeline_overlap_s": self._pipeline_overlap_s,
             "wall_s": self.wall_s(),
             "root_id": self._root_id,
             "step_id": self._step_id,
@@ -491,6 +535,11 @@ class TuningObserver:
         self._warm_injected = int(state.get("warm_injected", 0))
         self._exploit_steps = int(state.get("exploit_steps", 0))
         self._pruned_candidates = int(state.get("pruned_candidates", 0))
+        self._speculations = int(state.get("speculations", 0))
+        self._speculation_replays = int(
+            state.get("speculation_replays", 0)
+        )
+        self._refit_reused_trees = int(state.get("refit_reused_trees", 0))
         self._finish_phase = str(state.get("finish_phase", ""))
         self._best = float(state.get("best", 0.0))
         self._best_index = int(state.get("best_index", -1))
@@ -501,6 +550,9 @@ class TuningObserver:
         self._proposal_s = float(state.get("proposal_s", 0.0))
         self._measure_s = float(state.get("measure_s", 0.0))
         self._refit_s = float(state.get("refit_s", 0.0))
+        self._pipeline_overlap_s = float(
+            state.get("pipeline_overlap_s", 0.0)
+        )
         self._wall_offset = float(state.get("wall_s", 0.0))
         self._t0 = time.perf_counter()
         root_id = state.get("root_id")

@@ -25,7 +25,7 @@ from repro.utils.io import atomic_write_text
 #: RunSummary fields carrying wall-clock time — excluded from the
 #: resumed-vs-uninterrupted bit-identity comparison
 DURATION_FIELDS = frozenset(
-    {"proposal_s", "measure_s", "refit_s", "wall_s"}
+    {"proposal_s", "measure_s", "refit_s", "pipeline_overlap_s", "wall_s"}
 )
 
 
@@ -56,6 +56,12 @@ class RunSummary:
     pruned_candidates: int = 0
     #: finishing policy the run handed over to ("" = single-phase run)
     finish_phase: str = ""
+    #: speculative proposals resolved by the pipelined loop
+    speculations: int = 0
+    #: speculations discarded and replayed serially (mispredictions)
+    speculation_replays: int = 0
+    #: trees carried over by warm-started (incremental) refits
+    refit_reused_trees: int = 0
     early_stopped: bool = False
     space_exhausted: bool = False
     resumed: bool = False
@@ -63,6 +69,8 @@ class RunSummary:
     proposal_s: float = 0.0
     measure_s: float = 0.0
     refit_s: float = 0.0
+    #: proposal seconds hidden behind concurrent measurement
+    pipeline_overlap_s: float = 0.0
     wall_s: float = 0.0
 
     def to_dict(self) -> Dict[str, Any]:
@@ -78,12 +86,19 @@ class RunSummary:
 
         ``resumed`` is excluded too: it records *that* a run resumed,
         which by construction differs between the baseline and the
-        resumed run being compared.
+        resumed run being compared.  ``speculations`` and
+        ``speculation_replays`` are likewise mode markers — a serial
+        baseline has none by construction — while
+        ``refit_reused_trees`` *is* deterministic (the same seeded
+        refits reuse the same trees in either mode) and stays in.
         """
+        excluded = DURATION_FIELDS | {
+            "resumed", "speculations", "speculation_replays"
+        }
         return {
             k: v
             for k, v in self.to_dict().items()
-            if k not in DURATION_FIELDS and k != "resumed"
+            if k not in excluded
         }
 
 
@@ -104,6 +119,9 @@ def aggregate_summaries(summaries: Iterable[RunSummary]) -> Dict[str, Any]:
         "cache_misses": sum(s.cache_misses for s in rows),
         "exploit_steps": sum(s.exploit_steps for s in rows),
         "pruned_candidates": sum(s.pruned_candidates for s in rows),
+        "speculations": sum(s.speculations for s in rows),
+        "speculation_replays": sum(s.speculation_replays for s in rows),
+        "refit_reused_trees": sum(s.refit_reused_trees for s in rows),
         "finish_phases": sum(1 for s in rows if s.finish_phase),
         "early_stopped": sum(1 for s in rows if s.early_stopped),
         "space_exhausted": sum(1 for s in rows if s.space_exhausted),
@@ -111,6 +129,7 @@ def aggregate_summaries(summaries: Iterable[RunSummary]) -> Dict[str, Any]:
         "proposal_s": sum(s.proposal_s for s in rows),
         "measure_s": sum(s.measure_s for s in rows),
         "refit_s": sum(s.refit_s for s in rows),
+        "pipeline_overlap_s": sum(s.pipeline_overlap_s for s in rows),
         "wall_s": sum(s.wall_s for s in rows),
         "best_gflops": max((s.best_gflops for s in rows), default=0.0),
     }

@@ -369,6 +369,7 @@ class DeploymentCompiler:
         obs_path: Optional[Path],
         observer,
         resume: bool,
+        pipeline: bool = False,
     ) -> TuningResult:
         """Tune (or restore) one task — the unit both the serial loop
         and the fleet workers execute.
@@ -408,13 +409,16 @@ class DeploymentCompiler:
                     self.graph.name, spec.task_id + 1, tuner_name,
                     ckpt_path,
                 )
-                result = tuner.resume(ckpt_path, on_event=sinks)
+                result = tuner.resume(
+                    ckpt_path, on_event=sinks, pipeline=pipeline
+                )
             else:
                 result = tuner.tune(
                     n_trial=n_trial,
                     early_stopping=early_stopping,
                     checkpoint=ckpt_path,
                     on_event=sinks,
+                    pipeline=pipeline,
                 )
         finally:
             tuner.shutdown()
@@ -486,6 +490,7 @@ class DeploymentCompiler:
         warm_start: bool = False,
         warm_k: int = 16,
         serve_hits: bool = True,
+        pipeline: bool = False,
     ) -> CompiledModel:
         """Tune every task with arm ``tuner_name`` and compile.
 
@@ -535,6 +540,11 @@ class DeploymentCompiler:
         outcomes land in ``CompiledModel.tlog_status``.  All of it is
         off by default: ``tlog=None`` compiles are bit-identical to
         builds without tuning-log support.
+
+        ``pipeline=True`` runs each task's tuning loop in pipelined
+        mode (measurement overlapped with speculative proposal, see
+        :meth:`repro.core.Tuner.tune`); records and summaries stay
+        bit-identical to the serial loop.
         """
         kwargs = dict(tuner_kwargs or {})
         ckpt_dir = Path(checkpoint_dir) if checkpoint_dir is not None else None
@@ -564,6 +574,7 @@ class DeploymentCompiler:
                 warm_start=warm_start,
                 warm_k=warm_k,
                 serve_hits=serve_hits,
+                pipeline=pipeline,
             )
         executor_spec = self._executor_spec(
             executor, jobs=jobs, measure_cache=measure_cache,
@@ -605,7 +616,7 @@ class DeploymentCompiler:
                 result = self._tune_one(
                     spec, tuner_name, n_trial, early_stopping, trial_seed,
                     task_kwargs, executor_spec, done_path, ckpt_path,
-                    obs_path, observer, resume,
+                    obs_path, observer, resume, pipeline=pipeline,
                 )
                 if tlog_db is not None:
                     contributions.append((sig, spec, result))
@@ -645,6 +656,7 @@ class DeploymentCompiler:
         warm_start: bool = False,
         warm_k: int = 16,
         serve_hits: bool = True,
+        pipeline: bool = False,
     ) -> CompiledModel:
         """Fleet-mode compile: shard tasks over a simulated device pool.
 
@@ -712,7 +724,7 @@ class DeploymentCompiler:
             return self._tune_one(
                 spec, tuner_name, n_trial, early_stopping, trial_seed,
                 task_kwargs, executor_spec, done_path, ckpt_path, obs_path,
-                observer, resume,
+                observer, resume, pipeline=pipeline,
             )
 
         scheduler = FleetScheduler(pool, run_task, jobs=fleet_jobs)

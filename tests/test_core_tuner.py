@@ -3,7 +3,13 @@
 import numpy as np
 import pytest
 
-from repro.core.tuner import EarlyStopper, Tuner, TuningResult, TrialRecord
+from repro.core.tuner import (
+    EarlyStopper,
+    SpaceSamplingError,
+    Tuner,
+    TuningResult,
+    TrialRecord,
+)
 from repro.core.tuners.random import RandomTuner
 
 
@@ -156,3 +162,52 @@ class TestTuneLoop:
         tuner = Tuner(small_task, seed=0)
         with pytest.raises(NotImplementedError):
             tuner.tune(n_trial=4)
+
+
+class TestRandomUnvisitedSampling:
+    """Rejection-sampling fallback: honest exhaustion vs budget overrun.
+
+    A short draw used to be silently truncated, making the main loop
+    misreport a saturated-but-unfinished space as exhausted; now an
+    exhausted attempt budget with unvisited configs provably remaining
+    raises :class:`SpaceSamplingError` with a full diagnostic.
+    """
+
+    def _tiny_tuner(self):
+        from repro.hardware.measure import SimulatedTask
+        from repro.nn.workloads import DenseWorkload
+
+        task = SimulatedTask(DenseWorkload(1, 4, 4), seed=0)
+        return RandomTuner(task, seed=0, batch_size=8), task
+
+    def test_budget_overrun_raises_with_diagnostic(self):
+        tuner, task = self._tiny_tuner()
+        with pytest.raises(SpaceSamplingError) as excinfo:
+            tuner._random_unvisited(4, max_attempts=0)
+        message = str(excinfo.value)
+        assert task.name in message
+        assert tuner.name in message
+        assert "0 attempts" in message
+
+    def test_near_exhausted_space_returns_remainder(self):
+        tuner, task = self._tiny_tuner()
+        remainder = {0, 1}
+        tuner.visited = set(range(len(task.space))) - remainder
+        out = tuner._random_unvisited(8)
+        assert len(out) == len(remainder)
+        assert set(out) == remainder
+
+    def test_fully_visited_space_returns_empty_without_raising(self):
+        tuner, task = self._tiny_tuner()
+        tuner.visited = set(range(len(task.space)))
+        assert tuner._random_unvisited(8) == []
+        # even with no attempt budget at all: nothing remains to draw
+        assert tuner._random_unvisited(8, max_attempts=0) == []
+
+    def test_normal_draw_is_exact_and_unvisited(self):
+        tuner, task = self._tiny_tuner()
+        tuner.visited = {0, 1, 2}
+        out = tuner._random_unvisited(4)
+        assert len(out) == 4
+        assert len(set(out)) == 4
+        assert not set(out) & tuner.visited

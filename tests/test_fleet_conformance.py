@@ -73,7 +73,7 @@ def _model():
     return b.graph
 
 
-def _run(arm, fault_rate, fleet=None, fleet_jobs=None):
+def _run(arm, fault_rate, fleet=None, fleet_jobs=None, pipeline=False):
     """One compile; returns (records, per-task deterministic summaries)."""
     faults = (
         FaultModel(rate=fault_rate, seed=FAULT_SEED) if fault_rate else None
@@ -92,6 +92,7 @@ def _run(arm, fault_rate, fleet=None, fleet_jobs=None):
         observation=observation,
         fleet=fleet,
         fleet_jobs=fleet_jobs,
+        pipeline=pipeline,
     )
     records = [json.loads(r.to_json()) for r in store]
     summaries = {
@@ -127,6 +128,22 @@ class TestCompilerConformance:
     def test_remaining_arms_conform(self, arm):
         records, summaries = _run(
             arm, 0.25, fleet=FLEETS[2], fleet_jobs=2
+        )
+        base_records, base_summaries = _baseline(arm, 0.25)
+        assert records == base_records
+        assert summaries == base_summaries
+
+    @pytest.mark.parametrize("arm", ("bted", "bted+bao"))
+    def test_pipelined_fleet_equals_serial(self, arm):
+        """pipeline=True composes with fleet sharding and faults.
+
+        The speculative loop validates predicted results against the
+        real (fault-retried) measurements, so even under injected
+        faults the pipelined fleet must reproduce the serial baseline's
+        records and deterministic summaries bit for bit.
+        """
+        records, summaries = _run(
+            arm, 0.25, fleet=FLEETS[2], fleet_jobs=2, pipeline=True
         )
         base_records, base_summaries = _baseline(arm, 0.25)
         assert records == base_records

@@ -20,7 +20,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.core import make_tuner
+from repro.core import INCREMENTAL_REFIT_ARMS, make_tuner
 from repro.hardware.measure import SimulatedTask
 from repro.nn.workloads import DenseWorkload
 
@@ -50,6 +50,11 @@ N_TRIAL = 24
 TUNER_SEED = 11
 ENV_SEED = 7
 
+#: arms that also get a pipelined + warm-started-refit golden: the
+#: speculative loop and incremental ensemble fits follow a different
+#: (but equally pinned) trajectory, including the speculation schedule
+PIPELINED_ARMS = sorted(set(ARMS) & INCREMENTAL_REFIT_ARMS)
+
 
 def _task() -> SimulatedTask:
     return SimulatedTask(
@@ -58,13 +63,17 @@ def _task() -> SimulatedTask:
     )
 
 
-def _run_trace(arm: str) -> dict:
+def _run_trace(arm: str, pipeline: bool = False) -> dict:
     events = []
-    tuner = make_tuner(arm, _task(), seed=TUNER_SEED, **ARMS[arm])
+    kwargs = dict(ARMS[arm])
+    if pipeline:
+        kwargs["refit"] = "incremental"
+    tuner = make_tuner(arm, _task(), seed=TUNER_SEED, **kwargs)
     result = tuner.tune(
         n_trial=N_TRIAL,
         early_stopping=None,
         on_event=[lambda t, e: events.append(e)],
+        pipeline=pipeline,
     )
     return {
         "arm": arm,
@@ -89,14 +98,12 @@ def _run_trace(arm: str) -> dict:
     }
 
 
-def _golden_path(arm: str) -> Path:
-    return GOLDEN_DIR / f"trace-{arm.replace('+', '_')}.json"
+def _golden_path(arm: str, pipeline: bool = False) -> Path:
+    suffix = "-incremental" if pipeline else ""
+    return GOLDEN_DIR / f"trace-{arm.replace('+', '_')}{suffix}.json"
 
 
-@pytest.mark.parametrize("arm", sorted(ARMS))
-def test_golden_trace(arm, update_golden):
-    trace = _run_trace(arm)
-    path = _golden_path(arm)
+def _check_golden(trace: dict, path: Path, update_golden) -> None:
     if update_golden:
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(
@@ -112,7 +119,28 @@ def test_golden_trace(arm, update_golden):
     assert trace == golden
 
 
+@pytest.mark.parametrize("arm", sorted(ARMS))
+def test_golden_trace(arm, update_golden):
+    _check_golden(_run_trace(arm), _golden_path(arm), update_golden)
+
+
+@pytest.mark.parametrize("arm", PIPELINED_ARMS)
+def test_golden_trace_pipelined_incremental(arm, update_golden):
+    """The speedup mode's own goldens: pipeline=True, refit='incremental'.
+
+    Pins the warm-started-refit trajectory *and* the speculation
+    schedule (``speculation_resolved`` events appear in the stream).
+    """
+    trace = _run_trace(arm, pipeline=True)
+    _check_golden(trace, _golden_path(arm, pipeline=True), update_golden)
+
+
 def test_golden_fixtures_complete():
     """Every arm has a committed fixture (catches forgotten updates)."""
     missing = [arm for arm in ARMS if not _golden_path(arm).exists()]
+    missing += [
+        f"{arm}-incremental"
+        for arm in PIPELINED_ARMS
+        if not _golden_path(arm, pipeline=True).exists()
+    ]
     assert not missing, f"missing golden fixtures for {missing}"

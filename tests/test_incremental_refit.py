@@ -1,0 +1,172 @@
+"""Warm-started (incremental) ensemble refits: correctness pins.
+
+``BootstrapEnsemble(refit="incremental")`` reuses each member's grown
+trees across refits and fits only ``incremental_rounds`` new boosting
+rounds per call — the tuning loop's per-batch refit drops from
+O(total rounds) to O(new rounds).  These tests pin the contract:
+
+* with tree reuse *disabled*, the incremental configuration is
+  bit-identical to ``refit="full"`` over any sequence of fits
+  (checked as a Hypothesis property over random data streams);
+* warm-started members accumulate trees, stay deterministic, survive
+  pickling (the pipelined loop pickles the tuner every batch), and
+  report honest ``reused_trees_total`` accounting;
+* ``predict_stats`` — the batched-acquisition entry point — matches
+  the per-member accumulation it replaced, in both refit modes.
+"""
+
+import pickle
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.bootstrap import BootstrapEnsemble
+from repro.learning.gbt import GradientBoostedTrees
+
+PROPERTY = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _stream(seed, n0, growths, d):
+    """A growing data stream: the cumulative (X, y) after each batch."""
+    rng = np.random.default_rng(seed)
+    sizes = np.cumsum([n0] + list(growths))
+    X = rng.random((int(sizes[-1]), d))
+    y = rng.random(int(sizes[-1]))
+    return [(X[:int(n)], y[:int(n)]) for n in sizes]
+
+
+class TestIncrementalMatchesFullWithoutReuse:
+    @PROPERTY
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        n0=st.integers(8, 24),
+        growths=st.lists(st.integers(1, 12), min_size=1, max_size=4),
+        d=st.integers(2, 8),
+    )
+    def test_property_bit_identical_predictions(self, seed, n0, growths, d):
+        """reuse_trees=False must neutralize the warm-start entirely."""
+        full = BootstrapEnsemble(gamma=2, seed=9, refit="full")
+        incremental = BootstrapEnsemble(
+            gamma=2, seed=9, refit="incremental", reuse_trees=False
+        )
+        probe = np.random.default_rng(seed + 1).random((32, d))
+        for X, y in _stream(seed, n0, growths, d):
+            full.fit(X, y)
+            incremental.fit(X, y)
+            a = full.predict_stats(probe, return_std=True)
+            b = incremental.predict_stats(probe, return_std=True)
+            assert np.array_equal(a[0], b[0])
+            assert np.array_equal(a[1], b[1])
+        assert incremental.reused_trees_total == 0
+
+
+class TestWarmStartedMembers:
+    def _data(self, n=40, d=6, seed=0):
+        rng = np.random.default_rng(seed)
+        return rng.random((n, d)), rng.random(n)
+
+    def test_fit_more_appends_rounds(self):
+        X, y = self._data()
+        model = GradientBoostedTrees(n_estimators=12, seed=3)
+        model.fit(X, y)
+        assert model.n_trees == 12
+        model.fit_more(X, y, 5)
+        assert model.n_trees == 17
+
+    def test_fit_more_is_deterministic(self):
+        X, y = self._data()
+        probe = self._data(seed=1)[0]
+        outs = []
+        for _ in range(2):
+            model = GradientBoostedTrees(n_estimators=10, seed=4)
+            model.fit(X, y)
+            model.fit_more(X, y, 6)
+            outs.append(model.predict(probe))
+        assert np.array_equal(outs[0], outs[1])
+
+    def test_fit_more_reduces_training_error(self):
+        X, y = self._data(n=80)
+        model = GradientBoostedTrees(
+            n_estimators=8, learning_rate=0.3, seed=5
+        )
+        model.fit(X, y)
+        before = float(np.mean((model.predict(X) - y) ** 2))
+        model.fit_more(X, y, 16)
+        after = float(np.mean((model.predict(X) - y) ** 2))
+        assert after < before
+
+    def test_pickle_roundtrip_preserves_predictions(self):
+        # the pipelined loop pickles the tuner (ensemble included)
+        # every batch; the prediction stack cache must rebuild cleanly
+        X, y = self._data()
+        probe = self._data(seed=2)[0]
+        model = GradientBoostedTrees(n_estimators=10, seed=6)
+        model.fit(X, y)
+        model.fit_more(X, y, 4)
+        expected = model.predict(probe)
+        clone = pickle.loads(pickle.dumps(model))
+        assert np.array_equal(clone.predict(probe), expected)
+        # and the original still predicts identically afterwards
+        assert np.array_equal(model.predict(probe), expected)
+
+    def test_ensemble_reuse_accounting(self):
+        X, y = self._data()
+        ens = BootstrapEnsemble(
+            gamma=2, seed=7, refit="incremental", incremental_rounds=4
+        )
+        ens.fit(X, y)
+        assert ens.reused_trees_total == 0  # first fit is always full
+        first_trees = [m.n_trees for m in ens._models]
+        ens.fit(X, y)
+        assert ens.reused_trees_total == sum(first_trees)
+        assert [m.n_trees for m in ens._models] == [
+            t + 4 for t in first_trees
+        ]
+
+    def test_generational_refresh_at_max_trees(self):
+        X, y = self._data()
+        ens = BootstrapEnsemble(
+            gamma=2, seed=8, refit="incremental", incremental_rounds=8,
+            max_trees=30,
+        )
+        ens.fit(X, y)  # 24 trees per member (default factory)
+        ens.fit(X, y)  # 24 + 8 > 30: falls back to a from-scratch refit
+        assert all(m.n_trees == 24 for m in ens._models)
+        assert ens.reused_trees_total == 0
+
+
+class TestBatchedAcquisition:
+    def _members_sum_and_std(self, ens, X):
+        preds = np.stack([m.predict(X) for m in ens._models])
+        return preds.sum(axis=0), preds.std(axis=0)
+
+    def test_predict_stats_matches_members_full(self):
+        rng = np.random.default_rng(10)
+        X, y = rng.random((48, 6)), rng.random(48)
+        probe = rng.random((64, 6))
+        ens = BootstrapEnsemble(gamma=3, seed=11).fit(X, y)
+        total, std = ens.predict_stats(probe, return_std=True)
+        ref_total, ref_std = self._members_sum_and_std(ens, probe)
+        assert np.allclose(total, ref_total)
+        assert np.allclose(std, ref_std)
+        assert np.array_equal(total, ens.predict_sum(probe))
+        assert np.array_equal(std, ens.predict_std(probe))
+
+    def test_predict_stats_matches_members_incremental(self):
+        rng = np.random.default_rng(12)
+        X, y = rng.random((48, 6)), rng.random(48)
+        probe = rng.random((64, 6))
+        ens = BootstrapEnsemble(
+            gamma=2, seed=13, refit="incremental", incremental_rounds=4
+        )
+        ens.fit(X[:24], y[:24])
+        ens.fit(X, y)  # warm-started: stacked reused + fresh trees
+        total, std = ens.predict_stats(probe, return_std=True)
+        ref_total, ref_std = self._members_sum_and_std(ens, probe)
+        assert np.allclose(total, ref_total)
+        assert np.allclose(std, ref_std)
