@@ -42,6 +42,10 @@ ARM_KWARGS = {
     "droplet": {"batch_size": 8, "init_size": 8},
 }
 
+#: the fleet smoke's serial baseline is only valid when every pool slot
+#: is the compiler's own device class (see docs/EXECUTION.md)
+_SERIAL_EQUIVALENT_CLASS = "gtx1080ti"
+
 # Child: tune with checkpointing, stalling after every batch so the
 # parent has time to deliver SIGKILL mid-run.  A TuningObserver rides
 # along as an event sink so its state is captured in every checkpoint
@@ -106,7 +110,7 @@ print(json.dumps({{
 """
 
 
-# Fleet child: shard a two-task compile over a two-device pool with
+# Fleet child: shard a two-task compile over a device pool with
 # per-device checkpointing.  Fault injection with a real retry backoff
 # paces the workers so the parent can SIGKILL one mid-batch.
 _FLEET_CHILD = """
@@ -133,16 +137,18 @@ DeploymentCompiler(b.graph, env_seed=123).tune(
     retry=RetryPolicy(max_retries=4, backoff_s=0.05),
     observation=RunObservation(enable_metrics=False, enable_trace=False),
     checkpoint_dir={ckpt_dir!r},
-    fleet="gtx1080ti,titanv", fleet_jobs=2,
+    fleet={devices!r}, fleet_jobs=2,
 )
 print("CHILD-FINISHED")
 """
 
-# Fresh process: the serial baseline (fleet=None) or the resumed fleet
-# run; either way, dump the record stream and the per-task
-# deterministic summaries.  Bit-equality across the two closes the
-# loop: SIGKILL one fleet worker mid-batch, resume the fleet, and you
-# still reproduce the serial single-device run exactly.
+# Fresh process: the baseline (serial, or an uninterrupted fleet run
+# for mixed pools) or the resumed fleet run; either way, dump the
+# record stream and the per-task deterministic summaries.
+# Bit-equality across the two closes the loop: SIGKILL one fleet
+# worker mid-batch, resume the fleet, and you still reproduce the
+# baseline exactly — each task measured on its home device's cost
+# model.
 _FLEET_RUNNER = """
 import json, sys
 sys.path.insert(0, {src!r})
@@ -163,14 +169,15 @@ b.dense("fc", 10)
 
 store = RecordStore()
 observation = RunObservation(enable_metrics=False, enable_trace=False)
-fleet = "gtx1080ti,titanv" if {fleet!r} else None
+fleet = {devices!r} if {fleet!r} else None
+ckpt_dir = {ckpt_dir!r} or None
 DeploymentCompiler(b.graph, env_seed=123).tune(
     {arm!r}, n_trial={n_trial}, early_stopping=None,
     tuner_kwargs={kwargs!r},
     faults=FaultModel(rate=0.3, seed=13),
     retry=RetryPolicy(max_retries=4),
     record_store=store, observation=observation,
-    checkpoint_dir={ckpt_dir!r} if fleet else None,
+    checkpoint_dir=ckpt_dir if fleet else None,
     resume={resume!r},
     fleet=fleet, fleet_jobs=2 if fleet else None,
 )
@@ -201,10 +208,10 @@ def _run_trace(arm: str, kwargs: dict, n_trial: int, ckpt: str,
 
 
 def _run_fleet(arm: str, kwargs: dict, n_trial: int, ckpt_dir: str,
-               fleet: bool, resume: bool) -> dict:
+               devices: str, fleet: bool, resume: bool) -> dict:
     code = _FLEET_RUNNER.format(
         src=str(SRC), arm=arm, kwargs=kwargs, n_trial=n_trial,
-        ckpt_dir=ckpt_dir, fleet=fleet, resume=resume,
+        ckpt_dir=ckpt_dir, devices=devices, fleet=fleet, resume=resume,
     )
     out = subprocess.run(
         [sys.executable, "-c", code], capture_output=True, text=True,
@@ -213,28 +220,50 @@ def _run_fleet(arm: str, kwargs: dict, n_trial: int, ckpt_dir: str,
     return json.loads(out.stdout.strip().splitlines()[-1])
 
 
+def _is_serial_equivalent(devices: str) -> bool:
+    """True when every pool slot is the compiler's own device class."""
+    tokens = [
+        t.partition(":")[0].strip()
+        for t in devices.split(",") if t.strip()
+    ]
+    return all(t == _SERIAL_EQUIVALENT_CLASS for t in tokens)
+
+
 def _fleet_main(args) -> int:
     """SIGKILL a fleet worker mid-batch, resume the pool, compare.
 
-    The baseline is the *serial* single-device run: fleet sharding with
-    work stealing must reproduce it bit-for-bit even across a kill and
-    a whole-fleet resume from the per-device checkpoints.
+    For a uniform ``gtx1080ti`` pool the baseline is the *serial*
+    single-device run: fleet sharding with work stealing must reproduce
+    it bit-for-bit even across a kill and a whole-fleet resume from the
+    per-device checkpoints.  For a mixed pool each task is measured on
+    its home device, so the baseline is an *uninterrupted fleet run*
+    with the same spec — kill/resume must not change a single record.
     """
     kwargs = ARM_KWARGS[args.arm]
+    serial_baseline = _is_serial_equivalent(args.devices)
     with tempfile.TemporaryDirectory() as tmp:
         ckpt_dir = os.path.join(tmp, "fleet-ckpt")
 
-        print(f"[1/4] serial {args.arm} baseline ({args.n_trial} trials "
-              f"per task, no fleet)")
-        baseline = _run_fleet(args.arm, kwargs, args.n_trial, ckpt_dir,
-                              fleet=False, resume=False)
+        if serial_baseline:
+            print(f"[1/4] serial {args.arm} baseline ({args.n_trial} "
+                  f"trials per task, no fleet)")
+            baseline = _run_fleet(args.arm, kwargs, args.n_trial, "",
+                                  devices=args.devices, fleet=False,
+                                  resume=False)
+        else:
+            print(f"[1/4] uninterrupted {args.arm} fleet baseline on "
+                  f"{args.devices} ({args.n_trial} trials per task)")
+            baseline = _run_fleet(args.arm, kwargs, args.n_trial, "",
+                                  devices=args.devices, fleet=True,
+                                  resume=False)
 
-        print("[2/4] starting 2-device fleet child (2 workers, "
-              "fault injection with real retry backoff)")
+        print(f"[2/4] starting fleet child on {args.devices} "
+              "(2 workers, fault injection with real retry backoff)")
         child = subprocess.Popen(
             [sys.executable, "-c", _FLEET_CHILD.format(
                 src=str(SRC), arm=args.arm, kwargs=kwargs,
                 n_trial=args.n_trial, ckpt_dir=ckpt_dir,
+                devices=args.devices,
             )],
             stdout=subprocess.PIPE, stderr=subprocess.PIPE,
         )
@@ -265,12 +294,14 @@ def _fleet_main(args) -> int:
                   file=sys.stderr)
             return 1
 
-        print("[4/4] resuming the whole fleet and comparing to serial")
+        what = "serial" if serial_baseline else "uninterrupted fleet"
+        print(f"[4/4] resuming the whole fleet and comparing to the "
+              f"{what} baseline")
         resumed = _run_fleet(args.arm, kwargs, args.n_trial, ckpt_dir,
-                             fleet=True, resume=True)
+                             devices=args.devices, fleet=True, resume=True)
 
         if resumed != baseline:
-            print("MISMATCH: resumed fleet diverged from the serial "
+            print(f"MISMATCH: resumed fleet diverged from the {what} "
                   "baseline", file=sys.stderr)
             for i, (b, r) in enumerate(
                 zip(baseline["records"], resumed["records"])
@@ -286,7 +317,7 @@ def _fleet_main(args) -> int:
         print(f"OK: SIGKILL + whole-fleet resume reproduced all "
               f"{len(baseline['records'])} records and "
               f"{len(baseline['summaries'])} per-task summaries of the "
-              f"serial run")
+              f"{what} run")
         return 0
 
 
@@ -300,9 +331,14 @@ def main() -> int:
                         help="write the resumed run's JSONL span trace "
                              "here (e.g. for a CI artifact)")
     parser.add_argument("--fleet", action="store_true",
-                        help="kill one worker of a 2-device fleet "
+                        help="kill one worker of a device fleet "
                              "mid-batch, resume the fleet, and compare "
-                             "against the serial single-device run")
+                             "against the baseline (serial for a uniform "
+                             "gtx1080ti pool, an uninterrupted fleet run "
+                             "otherwise)")
+    parser.add_argument("--devices", default="gtx1080ti,gtx1080ti",
+                        help="fleet spec for --fleet (comma-separated "
+                             "presets, optional :fault_rate suffixes)")
     parser.add_argument("--pipeline", action="store_true",
                         help="run the killed child (and the resume) in "
                              "pipelined mode; the baseline stays serial, "

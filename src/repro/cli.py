@@ -123,6 +123,7 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         tlog=args.tlog_dir,
         warm_start=args.warm_start,
         warm_k=args.warm_k,
+        warm_device=args.warm_device,
         pipeline=args.pipeline,
     )
     if cache is not None:
@@ -228,6 +229,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             tlog=args.tlog_dir,
             warm_start=args.warm_start,
             warm_k=args.warm_k,
+            warm_device=args.warm_device,
             pipeline=args.pipeline,
         )
     except FleetError as exc:
@@ -364,6 +366,29 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             warm_k=args.warm_k,
         )
         print(result.report())
+    elif args.which == "crossdevice":
+        import json as _json
+
+        from repro.experiments.crossdevice import run_cross_device
+
+        result = run_cross_device(
+            model_name=args.model,
+            tuner_name=args.arm,
+            n_trial=max(64, settings.n_trial),
+            env_seed=settings.env_seed,
+            devices=[
+                d.strip() for d in args.devices.split(",") if d.strip()
+            ],
+            max_tasks=args.max_tasks,
+            tlog_dir=args.tlog_dir,
+            warm_k=args.warm_k,
+        )
+        print(result.report())
+        if args.json_out:
+            with open(args.json_out, "w", encoding="utf-8") as fh:
+                _json.dump(result.to_dict(), fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"crossdevice digest written to {args.json_out}")
     else:
         from repro.experiments.table1 import run_table1
 
@@ -432,6 +457,11 @@ def _add_tlog_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--warm-k", type=int, default=16,
                         help="prior configurations injected per "
                              "warm-started task (default: 16)")
+    parser.add_argument("--warm-device", default="any",
+                        choices=("any", "same", "cross"),
+                        help="device classes eligible as warm-start "
+                             "sources: any (default), same (the task's "
+                             "own class), or cross (other classes only)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -572,7 +602,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper result")
     p_exp.add_argument(
-        "which", choices=["fig4", "fig5", "table1", "warmcold", "adaptive"]
+        "which",
+        choices=[
+            "fig4", "fig5", "table1", "warmcold", "adaptive", "crossdevice",
+        ],
     )
     p_exp.add_argument("--scale", type=float, default=0.1,
                        help="budget scale in (0, 1]; 1.0 = paper protocol")
@@ -582,7 +615,8 @@ def build_parser() -> argparse.ArgumentParser:
                             "docs/ARMS.md for the full registry); "
                             "adaptive: baseline,adaptive arm pair")
     p_exp.add_argument("--max-tasks", type=int, default=None,
-                       help="fig5 only: limit the number of tasks")
+                       help="fig5/warmcold/crossdevice: limit the number "
+                            "of tasks")
     p_exp.add_argument("--jobs", type=int, default=1,
                        help="fan experiment cells over N worker processes "
                             "(results are identical to --jobs 1)")
@@ -601,16 +635,22 @@ def build_parser() -> argparse.ArgumentParser:
                             "to the serial run)")
     p_exp.add_argument("--model", default="mobilenet-v1",
                        choices=sorted(MODEL_BUILDERS),
-                       help="warmcold/adaptive only: model to study")
+                       help="warmcold/adaptive/crossdevice: model to study")
     p_exp.add_argument("--arm", default="bted",
                        choices=sorted(TUNER_REGISTRY),
-                       help="warmcold only: tuning arm")
+                       help="warmcold/crossdevice: tuning arm")
     p_exp.add_argument("--tlog-dir", default=None,
-                       help="warmcold only: persist the study's tuning log "
-                            "here (default: temporary)")
+                       help="warmcold/crossdevice: persist the study's "
+                            "tuning log here (default: temporary)")
     p_exp.add_argument("--warm-k", type=int, default=16,
-                       help="warmcold only: prior configurations injected "
-                            "per warm-started task")
+                       help="warmcold/crossdevice: prior configurations "
+                            "injected per warm-started task")
+    p_exp.add_argument("--devices", default="gtx1080ti,titanv,jetsontx2",
+                       help="crossdevice only: comma-separated device "
+                            "presets (at least two distinct classes)")
+    p_exp.add_argument("--json-out", default=None,
+                       help="crossdevice only: also write the study "
+                            "digest to this JSON file")
     p_exp.set_defaults(func=_cmd_experiment)
 
     p_report = sub.add_parser(

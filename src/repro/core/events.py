@@ -162,6 +162,8 @@ class WarmStarted(TuningEvent):
     source: str
     #: prior samples available for cost-model pretraining
     history_samples: int = 0
+    #: source segments measured on another device class
+    cross_sources: int = 0
 
 
 @dataclass(frozen=True)

@@ -438,6 +438,7 @@ TransferHistory`.  The injection happens once, inside the
                 injected=len(seeds),
                 source=getattr(plan, "source", "similar"),
                 history_samples=getattr(plan, "history_samples", 0),
+                cross_sources=getattr(plan, "cross_sources", 0),
             )
         )
         return batch

@@ -13,6 +13,8 @@
   cross-run tuning log (:mod:`repro.tlog`).
 * :mod:`repro.experiments.adaptive` — measurements saved by the
   adaptive-sampling proposal stage (Chameleon-style).
+* :mod:`repro.experiments.crossdevice` — per-device retuning vs
+  cross-device tuning-log transfer over the heterogeneous device zoo.
 """
 
 from repro.experiments.settings import (
@@ -43,6 +45,11 @@ from repro.experiments.transfer import (
     run_warm_cold,
 )
 from repro.experiments.adaptive import AdaptiveStudyResult, run_adaptive_study
+from repro.experiments.crossdevice import (
+    DEFAULT_DEVICES,
+    CrossDeviceResult,
+    run_cross_device,
+)
 
 __all__ = [
     "ExperimentSettings",
@@ -71,4 +78,7 @@ __all__ = [
     "run_warm_cold",
     "AdaptiveStudyResult",
     "run_adaptive_study",
+    "DEFAULT_DEVICES",
+    "CrossDeviceResult",
+    "run_cross_device",
 ]

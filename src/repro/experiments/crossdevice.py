@@ -1,0 +1,264 @@
+"""Cross-device study: per-device retuning vs tuning-log transfer.
+
+The device-zoo question (ROADMAP: heterogeneous scenarios; PAPERS.md:
+the HW-aware-initialization and Chameleon transfer lines): once one
+device class has tuned a model, how much measurement does a *different*
+class need when it seeds its search from the foreign records instead of
+starting cold?  Two passes over the same tasks per device:
+
+1. **retune** — every device tunes the model cold, recording every
+   measurement into one shared :class:`~repro.tlog.TuningLogDB`.  The
+   signatures differ only in device class, so the database ends up with
+   one segment per (task, device).
+2. **transfer** — every device tunes again with ``warm_start=True``,
+   hit-serving disabled, and ``warm_device="cross"``: the warm-start
+   sources are restricted to segments measured on *other* device
+   classes (:meth:`~repro.tlog.TuningLogDB.top_k_similar` with
+   ``cross_device=True``).  Its own pass-1 records are invisible, so
+   the pass measures pure cross-device transfer.
+
+The headline metric mirrors the warm-vs-cold study: per device,
+measurements until 95% of that device's own retuned best.  Transfer
+helps exactly to the degree the zoo's optima overlap; the report makes
+the asymmetry visible (GPU->GPU transfers well, GPU->CPU less so).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from tempfile import TemporaryDirectory
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.experiments.runner import format_table
+from repro.experiments.transfer import measurements_to_target
+from repro.hardware.device import device_preset, normalize_device_name
+from repro.nn.zoo import build_model
+from repro.pipeline.compiler import DeploymentCompiler
+from repro.tlog import TuningLogDB
+from repro.utils.log import get_logger
+
+logger = get_logger("experiments.crossdevice")
+
+#: the default zoo: the paper's evaluation GPU, a Volta workstation
+#: part, and an embedded module — three distinct cost-model regimes
+DEFAULT_DEVICES: Tuple[str, ...] = ("gtx1080ti", "titanv", "jetsontx2")
+
+
+@dataclass
+class CrossDeviceResult:
+    """Per-device retune-vs-transfer outcomes of :func:`run_cross_device`."""
+
+    model_name: str
+    tuner_name: str
+    #: normalized device handles, in study order
+    devices: List[str]
+    task_ids: List[int]
+    #: device -> task -> best GFLOPS of the cold retune pass
+    retune_best: Dict[str, Dict[int, float]]
+    #: device -> task -> best GFLOPS of the cross-device transfer pass
+    transfer_best: Dict[str, Dict[int, float]]
+    #: device -> task -> measurements until 95% of the retuned best
+    retune_to95: Dict[str, Dict[int, Optional[int]]]
+    transfer_to95: Dict[str, Dict[int, Optional[int]]]
+    #: device -> task -> pass-2 tuning-log status ("warm"/"cold")
+    transfer_status: Dict[str, Dict[int, str]] = field(default_factory=dict)
+
+    def warm_tasks(self, device: str) -> int:
+        """Pass-2 tasks on ``device`` that found cross-device sources."""
+        return sum(
+            1 for s in self.transfer_status.get(device, {}).values()
+            if s == "warm"
+        )
+
+    def mean_reduction_pct(self, device: str) -> float:
+        """Average % reduction in measurements-to-95% on one device."""
+        ratios = []
+        for task_id in self.task_ids:
+            retune = self.retune_to95[device][task_id]
+            transfer = self.transfer_to95[device][task_id]
+            if retune is None or transfer is None or retune == 0:
+                continue
+            ratios.append(100.0 * (retune - transfer) / retune)
+        return float(np.mean(ratios)) if ratios else 0.0
+
+    def report(self) -> str:
+        """Table-1-style per-device rows: retune vs transfer."""
+        headers = [
+            "device", "task", "retune best", "transfer best",
+            "retune→95%", "transfer→95%", "status",
+        ]
+        rows: List[List[object]] = []
+        for device in self.devices:
+            for task_id in self.task_ids:
+                rows.append([
+                    device,
+                    f"T{task_id + 1}",
+                    f"{self.retune_best[device][task_id]:.1f}",
+                    f"{self.transfer_best[device][task_id]:.1f}",
+                    str(self.retune_to95[device][task_id]),
+                    str(self.transfer_to95[device][task_id]),
+                    self.transfer_status.get(device, {}).get(task_id, "-"),
+                ])
+        lines = [
+            f"Cross-device transfer — {self.model_name} / "
+            f"{self.tuner_name} across {', '.join(self.devices)}"
+        ]
+        for device in self.devices:
+            lines.append(
+                f"  {device}: {self.warm_tasks(device)}/"
+                f"{len(self.task_ids)} tasks warm-started from foreign "
+                f"records (avg {self.mean_reduction_pct(device):+.1f}% "
+                "measurements-to-95% vs retuning)"
+            )
+        return "\n".join(lines) + "\n" + format_table(headers, rows)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready digest (the CI artifact)."""
+        return {
+            "model": self.model_name,
+            "arm": self.tuner_name,
+            "devices": list(self.devices),
+            "tasks": [
+                {
+                    "task_id": task_id,
+                    "per_device": {
+                        device: {
+                            "retune_best": self.retune_best[device][task_id],
+                            "transfer_best":
+                                self.transfer_best[device][task_id],
+                            "retune_to95": self.retune_to95[device][task_id],
+                            "transfer_to95":
+                                self.transfer_to95[device][task_id],
+                            "status": self.transfer_status
+                            .get(device, {}).get(task_id, "-"),
+                        }
+                        for device in self.devices
+                    },
+                }
+                for task_id in self.task_ids
+            ],
+            "summary": {
+                device: {
+                    "warm_tasks": self.warm_tasks(device),
+                    "mean_reduction_pct":
+                        round(self.mean_reduction_pct(device), 3),
+                }
+                for device in self.devices
+            },
+        }
+
+
+def run_cross_device(
+    model_name: str = "mobilenet-v1",
+    tuner_name: str = "bted",
+    n_trial: int = 256,
+    early_stopping: Optional[int] = None,
+    trial_seed: int = 0,
+    env_seed: int = 0,
+    devices: Sequence[str] = DEFAULT_DEVICES,
+    max_tasks: Optional[int] = None,
+    tlog_dir: Optional[Union[str, Path]] = None,
+    warm_k: int = 16,
+) -> CrossDeviceResult:
+    """Run the two-pass cross-device study on one model.
+
+    ``devices`` names at least two distinct preset classes (handles or
+    full names).  ``tlog_dir`` persists the shared tuning log across
+    passes; by default a temporary directory is used and discarded.
+    ``max_tasks`` truncates the task list for CI-speed runs.
+    """
+    handles = [
+        normalize_device_name(device_preset(name).name) for name in devices
+    ]
+    if len(set(handles)) < 2:
+        raise ValueError(
+            "the cross-device study needs at least two distinct device "
+            f"classes, got {handles!r}"
+        )
+
+    tmp: Optional[TemporaryDirectory] = None
+    if tlog_dir is None:
+        tmp = TemporaryDirectory(prefix="repro-crossdevice-")
+        tlog_dir = tmp.name
+
+    retune_best: Dict[str, Dict[int, float]] = {}
+    transfer_best: Dict[str, Dict[int, float]] = {}
+    retune_to95: Dict[str, Dict[int, Optional[int]]] = {}
+    transfer_to95: Dict[str, Dict[int, Optional[int]]] = {}
+    transfer_status: Dict[str, Dict[int, str]] = {}
+    task_ids: List[int] = []
+    try:
+        db = TuningLogDB(tlog_dir)
+
+        compilers: Dict[str, DeploymentCompiler] = {}
+        for name, handle in zip(devices, handles):
+            graph = build_model(model_name)
+            compiler = DeploymentCompiler(
+                graph, device=device_preset(name), env_seed=env_seed
+            )
+            if max_tasks is not None:
+                compiler.tasks = compiler.tasks[:max_tasks]
+            compilers[handle] = compiler
+        task_ids = [
+            spec.task_id for spec in next(iter(compilers.values())).tasks
+        ]
+
+        retuned = {}
+        for handle, compiler in compilers.items():
+            logger.info(
+                "pass 1 (retune): %s on %s via %s",
+                model_name, handle, tuner_name,
+            )
+            retuned[handle] = compiler.tune(
+                tuner_name, n_trial=n_trial, early_stopping=early_stopping,
+                trial_seed=trial_seed, tlog=db,
+            )
+        for handle, compiler in compilers.items():
+            logger.info(
+                "pass 2 (transfer): %s on %s from %d foreign segment(s)",
+                model_name, handle, len(db),
+            )
+            transferred = compiler.tune(
+                tuner_name, n_trial=n_trial, early_stopping=early_stopping,
+                trial_seed=trial_seed + 1, tlog=db,
+                warm_start=True, serve_hits=False, warm_k=warm_k,
+                warm_device="cross",
+            )
+            retune_best[handle] = {}
+            transfer_best[handle] = {}
+            retune_to95[handle] = {}
+            transfer_to95[handle] = {}
+            transfer_status[handle] = {}
+            for task_id in task_ids:
+                cold = retuned[handle].tuning_results[task_id]
+                warm = transferred.tuning_results[task_id]
+                retune_best[handle][task_id] = cold.best_gflops
+                transfer_best[handle][task_id] = warm.best_gflops
+                target = 0.95 * cold.best_gflops
+                retune_to95[handle][task_id] = measurements_to_target(
+                    cold.best_curve(), target
+                )
+                transfer_to95[handle][task_id] = measurements_to_target(
+                    warm.best_curve(), target
+                )
+                transfer_status[handle][task_id] = (
+                    transferred.tlog_status.get(task_id, "-")
+                )
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
+
+    return CrossDeviceResult(
+        model_name=model_name,
+        tuner_name=tuner_name,
+        devices=list(dict.fromkeys(handles)),
+        task_ids=task_ids,
+        retune_best=retune_best,
+        transfer_best=transfer_best,
+        retune_to95=retune_to95,
+        transfer_to95=transfer_to95,
+        transfer_status=transfer_status,
+    )

@@ -11,9 +11,11 @@ Determinism contract (see ``docs/EXECUTION.md``):
 
 * Every task has a deterministic **home device** — position ``seq`` in
   the submission order homes on device ``seq % len(fleet)`` — and the
-  home device, never the executing worker, supplies the task's fault
-  model and checkpoint directory.  Work stealing moves *execution*,
-  not identity.
+  home device, never the executing worker, supplies the task's cost
+  model (the ``GpuDevice`` it is measured on), fault model, tuning-log
+  identity, and checkpoint directory.  Work stealing moves
+  *execution*, not identity: a task stolen by another worker is still
+  measured on its home device's simulator.
 * Measurement noise and fault schedules are pure functions of
   task-local ordinals (each task's measurer counts from 0), so a
   device's measurement-ordinal stream is the concatenation of its
@@ -32,8 +34,8 @@ from typing import List, Optional, Sequence, Union
 from repro.hardware.device import (
     GTX_1080_TI,
     GpuDevice,
-    _normalize_device_name,
     device_preset,
+    normalize_device_name,
 )
 from repro.hardware.faults import FaultModel
 
@@ -60,8 +62,8 @@ class FleetDevice:
 
     @property
     def label(self) -> str:
-        """Short handle, e.g. ``gtx1080ti`` (used in reports)."""
-        return _normalize_device_name(self.device.name)
+        """Device class, e.g. ``gtx1080ti`` (reports, tlog identity)."""
+        return normalize_device_name(self.device.name)
 
     @property
     def dirname(self) -> str:
@@ -133,6 +135,20 @@ class Fleet:
             raise ValueError("seq must be non-negative")
         return self.devices[seq % len(self.devices)]
 
+    @property
+    def device_classes(self) -> List[str]:
+        """Distinct device classes in slot order (first occurrence)."""
+        seen: List[str] = []
+        for dev in self.devices:
+            if dev.label not in seen:
+                seen.append(dev.label)
+        return seen
+
+    @property
+    def is_uniform(self) -> bool:
+        """True when every slot is the same device class."""
+        return len(self.device_classes) == 1
+
     def describe(self) -> List[str]:
         """One short line per device (CLI report rows)."""
         out = []
@@ -140,6 +156,8 @@ class Fleet:
             line = f"{dev.dirname}  {dev.device.name}"
             if dev.fault_rate is not None:
                 line += f"  fault_rate={dev.fault_rate}"
+            if dev.fault_seed is not None:
+                line += f"  fault_seed={dev.fault_seed}"
             out.append(line)
         return out
 

@@ -59,11 +59,38 @@ def fleet_report_dict(
         if measurements is not None
         else {}
     )
+    total_measurements = sum(r.measurements for r in result.reports)
+    by_class: Dict[str, Dict[str, Any]] = {}
+    for report in result.reports:
+        row = by_class.setdefault(
+            report.device_class or report.name,
+            {
+                "devices": 0,
+                "homed": 0,
+                "executed": 0,
+                "stolen_in": 0,
+                "stolen_out": 0,
+                "measurements": 0,
+            },
+        )
+        row["devices"] += 1
+        row["homed"] += len(report.homed)
+        row["executed"] += len(report.executed)
+        row["stolen_in"] += report.stolen_in
+        row["stolen_out"] += report.stolen_out
+        row["measurements"] += report.measurements
+    for row in by_class.values():
+        row["utilization"] = (
+            round(row["measurements"] / total_measurements, 6)
+            if total_measurements
+            else 0.0
+        )
     return {
         "devices": [
             {
                 "index": report.index,
                 "name": report.name,
+                "device_class": report.device_class,
                 "homed": list(report.homed),
                 "executed": list(report.executed),
                 "stolen_in": report.stolen_in,
@@ -75,6 +102,7 @@ def fleet_report_dict(
             }
             for report in result.reports
         ],
+        "by_class": {key: by_class[key] for key in sorted(by_class)},
         "assignments": dict(sorted(result.assignments.items())),
         "steals": [
             {"key": s.key, "victim": s.victim, "thief": s.thief}

@@ -74,6 +74,9 @@ class DeviceReport:
 
     index: int
     name: str
+    #: normalized device class (``gtx1080ti``, ...) — records produced
+    #: by tasks homed here are only valid for this class
+    device_class: str = ""
     homed: List[str] = field(default_factory=list)
     executed: List[str] = field(default_factory=list)
     stolen_in: int = 0
@@ -225,7 +228,11 @@ class FleetScheduler:
         self._steals = []
         self._abort = False
         self._reports = [
-            DeviceReport(index=dev.index, name=dev.device.name)
+            DeviceReport(
+                index=dev.index,
+                name=dev.device.name,
+                device_class=dev.label,
+            )
             for dev in self.fleet
         ]
         shards = self.shard(tasks)

@@ -9,7 +9,17 @@ heteroscedastic measurement noise (:mod:`repro.hardware.noise`), and an
 AutoTVM-style measurement harness (:mod:`repro.hardware.measure`).
 """
 
-from repro.hardware.device import GpuDevice, GTX_1080_TI, TESLA_V100, JETSON_TX2
+from repro.hardware.device import (
+    DEVICE_PRESETS,
+    GTX_1080_TI,
+    JETSON_TX2,
+    TESLA_V100,
+    TITAN_V,
+    XEON_GOLD_6130,
+    GpuDevice,
+    device_preset,
+    normalize_device_name,
+)
 from repro.hardware.cost_model import AnalyticalGpuModel, KernelProfile
 from repro.hardware.measure import (
     Measurer,
@@ -38,6 +48,11 @@ __all__ = [
     "GTX_1080_TI",
     "TESLA_V100",
     "JETSON_TX2",
+    "TITAN_V",
+    "XEON_GOLD_6130",
+    "DEVICE_PRESETS",
+    "device_preset",
+    "normalize_device_name",
     "AnalyticalGpuModel",
     "KernelProfile",
     "Measurer",

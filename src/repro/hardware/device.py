@@ -21,7 +21,12 @@ from typing import Dict
 
 @dataclass(frozen=True)
 class GpuDevice:
-    """Architectural description of a CUDA-like GPU."""
+    """Architectural description of a CUDA-like accelerator.
+
+    CPU-class targets reuse the same schema: ``num_sms`` maps to
+    physical cores, ``warp_size`` to the SIMD width, and the shared
+    memory pools to the per-core cache hierarchy.
+    """
 
     name: str
     #: number of streaming multiprocessors
@@ -64,6 +69,7 @@ class GpuDevice:
             "registers_per_sm",
             "max_registers_per_thread",
             "warp_size",
+            "launch_overhead_s",
         )
         for field_name in numeric_fields:
             if getattr(self, field_name) <= 0:
@@ -102,28 +108,64 @@ TESLA_V100 = GpuDevice(
     mem_bandwidth_gbs=900.0,
 )
 
-#: an embedded-class target, for portability experiments
+#: an embedded-class target: two Pascal SMs behind a narrow LPDDR4
+#: interface, a small L2 (hence the weak cache factor), and a slow
+#: kernel-launch path — favours fat blocks that amortize the launch
 JETSON_TX2 = GpuDevice(
     name="Jetson TX2",
     num_sms=2,
     peak_gflops=665.0,
     mem_bandwidth_gbs=59.7,
     max_threads_per_sm=2048,
+    max_blocks_per_sm=16,
     shared_mem_per_sm=64 * 1024,
+    launch_overhead_s=1.5e-5,
+    cache_factor=0.7,
 )
 
-#: a Volta workstation target, for heterogeneous-fleet experiments
+#: a Volta workstation target: 80 SMs, HBM2, a 4.5 MB L2 that absorbs
+#: most redundant traffic, and Volta's configurable 96 KB smem carve-out
 TITAN_V = GpuDevice(
     name="Titan V",
     num_sms=80,
     peak_gflops=14900.0,
     mem_bandwidth_gbs=652.8,
+    shared_mem_per_block=96 * 1024,
+    launch_overhead_s=3.2e-6,
+    cache_factor=0.45,
+)
+
+#: a CPU-class target for heterogeneous-fleet experiments: 16 cores
+#: ("SMs") of AVX-512 lanes ("warps" of 8), shallow thread residency,
+#: big per-core caches, and a near-free dispatch path — optimal
+#: schedules here use few, small blocks, unlike any GPU preset
+XEON_GOLD_6130 = GpuDevice(
+    name="Xeon Gold 6130",
+    num_sms=16,
+    peak_gflops=1740.8,
+    mem_bandwidth_gbs=85.0,
+    max_threads_per_sm=256,
+    max_threads_per_block=256,
+    max_blocks_per_sm=8,
+    shared_mem_per_sm=1024 * 1024,
+    shared_mem_per_block=512 * 1024,
+    warp_size=8,
+    launch_overhead_s=2.0e-7,
+    cache_factor=0.25,
 )
 
 
-def _normalize_device_name(name: str) -> str:
-    """Lower-case alphanumeric handle of a device name."""
+def normalize_device_name(name: str) -> str:
+    """Lower-case alphanumeric handle of a device name.
+
+    The handle is the canonical *device class*: fleet labels, tuning-log
+    signatures, and checkpoint directory names all key on it.
+    """
     return re.sub(r"[^a-z0-9]+", "", name.lower())
+
+
+#: deprecated alias — use :func:`normalize_device_name`
+_normalize_device_name = normalize_device_name
 
 
 #: preset handle -> device; keys are normalized (:func:`device_preset`
@@ -135,16 +177,18 @@ DEVICE_PRESETS: Dict[str, GpuDevice] = {
     "jetsontx2": JETSON_TX2,
     "tx2": JETSON_TX2,
     "titanv": TITAN_V,
+    "xeongold6130": XEON_GOLD_6130,
+    "cpu": XEON_GOLD_6130,
 }
 
 
 def device_preset(name: str) -> GpuDevice:
     """Resolve a device handle or full name against the preset table."""
-    key = _normalize_device_name(name)
+    key = normalize_device_name(name)
     if key in DEVICE_PRESETS:
         return DEVICE_PRESETS[key]
     for device in DEVICE_PRESETS.values():
-        if _normalize_device_name(device.name) == key:
+        if normalize_device_name(device.name) == key:
             return device
     raise ValueError(
         f"unknown device {name!r}; known presets: "

@@ -152,6 +152,10 @@ class TuningObserver:
             "tlog_warm_configs_total", "seed configs injected by warm starts"
         )
         m.counter(
+            "tlog_cross_device_sources_total",
+            "warm-start source segments measured on another device class",
+        )
+        m.counter(
             "exploit_steps_total", "coordinate-descent axis sweeps proposed"
         )
         m.counter(
@@ -350,6 +354,9 @@ class TuningObserver:
         if self.metrics is not None:
             self.metrics.get("tlog_warm_starts_total").inc()
             self.metrics.get("tlog_warm_configs_total").inc(injected)
+            cross = int(getattr(event, "cross_sources", 0))
+            if cross:
+                self.metrics.get("tlog_cross_device_sources_total").inc(cross)
 
     def _on_tlog_exact_hit(self, event) -> None:
         self._tlog_hits += 1

@@ -174,9 +174,18 @@ class DeploymentCompiler:
         )
         self._untuned = untuned_ops(graph)
 
-    def simulated_task(self, spec: TaskSpec) -> SimulatedTask:
-        """The (deterministic) environment for one task."""
-        return spec.to_simulated(device=self.device, seed=self.env_seed)
+    def simulated_task(
+        self, spec: TaskSpec, device: Optional[GpuDevice] = None
+    ) -> SimulatedTask:
+        """The (deterministic) environment for one task.
+
+        ``device`` selects the cost model the task is measured on; it
+        defaults to the compiler's device (the serial-tuning and
+        deployment target).  Fleet-mode compiles pass each task's home
+        device so a mixed pool really measures on distinct hardware.
+        """
+        target = self.device if device is None else device
+        return spec.to_simulated(device=target, seed=self.env_seed)
 
     # ------------------------------------------------------------------
 
@@ -258,6 +267,7 @@ class DeploymentCompiler:
         warm_start: bool,
         warm_k: int,
         observer,
+        warm_device: str = "any",
     ) -> Tuple[Optional[TuningResult], Optional[object], TaskSignature, str]:
         """Consult the tuning log for one task before tuning it.
 
@@ -295,7 +305,9 @@ class DeploymentCompiler:
                 )
                 return result, None, sig, "hit"
         if warm_start:
-            plan = build_warm_start(tlog_db, sig, task.space, k=warm_k)
+            plan = build_warm_start(
+                tlog_db, sig, task.space, k=warm_k, device=warm_device
+            )
             if plan is not None:
                 return None, plan, sig, "warm"
         return None, None, sig, "cold"
@@ -370,6 +382,7 @@ class DeploymentCompiler:
         observer,
         resume: bool,
         pipeline: bool = False,
+        device: Optional[GpuDevice] = None,
     ) -> TuningResult:
         """Tune (or restore) one task — the unit both the serial loop
         and the fleet workers execute.
@@ -377,6 +390,8 @@ class DeploymentCompiler:
         Pure in its arguments: every seeded decision derives from the
         task spec and ``trial_seed``, so calls may run in any order, on
         any worker thread, and still reproduce the serial stream.
+        ``device`` is the cost model the task is measured on (the home
+        device in fleet mode; ``None`` means the compiler's device).
         """
         if resume and done_path is not None and done_path.exists():
             with done_path.open("rb") as fh:
@@ -393,7 +408,7 @@ class DeploymentCompiler:
                 self.graph.name, spec.task_id + 1, tuner_name, done_path,
             )
             return result
-        task = self.simulated_task(spec)
+        task = self.simulated_task(spec, device=device)
         tuner_seed = derive_seed(
             trial_seed, "tuner", tuner_name, spec.task_id
         )
@@ -490,6 +505,7 @@ class DeploymentCompiler:
         warm_start: bool = False,
         warm_k: int = 16,
         serve_hits: bool = True,
+        warm_device: str = "any",
         pipeline: bool = False,
     ) -> CompiledModel:
         """Tune every task with arm ``tuner_name`` and compile.
@@ -518,13 +534,19 @@ class DeploymentCompiler:
         ``fleet`` (a :class:`~repro.fleet.Fleet`, spec string, or
         device-name sequence) shards the per-task tuning runs across a
         simulated device pool with ``fleet_jobs`` worker threads (one
-        per device by default); per-task records, summaries, and the
+        per device by default).  Each task is *measured on its home
+        device's cost model* (``seq % len(fleet)``), so a mixed fleet
+        tunes each task for the hardware it is homed on; work stealing
+        moves execution, never measurement identity.  When every slot
+        is the compiler's device class and no slot overrides the
+        fleet-level fault model, per-task records, summaries, and the
         record store are bit-identical to the serial run for any pool
-        size and steal schedule as long as no device overrides the
-        fleet-level fault model.  Checkpoints land under a per-device
-        subdirectory (``device-NN/task-NNN.ckpt``), keyed by each
-        task's deterministic home device, so an interrupted fleet run
-        resumes with the same fleet spec.  The scheduling report is
+        size and steal schedule; a mixed fleet is instead bit-identical
+        to per-home-device serial compiles (and invariant to pool size,
+        steal order, and kill/resume).  Checkpoints land under a
+        per-device subdirectory (``device-NN/task-NNN.ckpt``), keyed by
+        each task's deterministic home device, so an interrupted fleet
+        run resumes with the same fleet spec.  The scheduling report is
         returned as ``CompiledModel.fleet``.
 
         ``tlog`` (a :class:`~repro.tlog.TuningLogDB` or its directory)
@@ -534,12 +556,17 @@ class DeploymentCompiler:
         tasks without a hit seed their initialization from the top
         ``warm_k`` prior configurations of the nearest transferable
         tasks and pretrain their cost models from the discounted
-        history.  Finished tasks contribute back to the database after
-        the run (idempotently — resuming never double-appends); fleet
-        mode keys records by each task's home device class.  Per-task
-        outcomes land in ``CompiledModel.tlog_status``.  All of it is
-        off by default: ``tlog=None`` compiles are bit-identical to
-        builds without tuning-log support.
+        history.  ``warm_device`` restricts which stored tasks may seed
+        the warm start: ``"any"`` (default), ``"same"`` (only the
+        task's own device class), or ``"cross"`` (only *other* device
+        classes — the transfer scenario of ``experiment crossdevice``).
+        Finished tasks contribute back to the database after the run
+        (idempotently — resuming never double-appends); fleet mode keys
+        records by each task's home device class, which is also the
+        class that measured them.  Per-task outcomes land in
+        ``CompiledModel.tlog_status``.  All of it is off by default:
+        ``tlog=None`` compiles are bit-identical to builds without
+        tuning-log support.
 
         ``pipeline=True`` runs each task's tuning loop in pipelined
         mode (measurement overlapped with speculative proposal, see
@@ -574,6 +601,7 @@ class DeploymentCompiler:
                 warm_start=warm_start,
                 warm_k=warm_k,
                 serve_hits=serve_hits,
+                warm_device=warm_device,
                 pipeline=pipeline,
             )
         executor_spec = self._executor_spec(
@@ -605,6 +633,7 @@ class DeploymentCompiler:
                 served, plan, sig, status = self._serve_or_plan(
                     tlog_db, spec, self.device, serve_hits,
                     warm_start, warm_k, observer,
+                    warm_device=warm_device,
                 )
                 tlog_status[spec.task_id] = status
                 if plan is not None:
@@ -656,9 +685,15 @@ class DeploymentCompiler:
         warm_start: bool = False,
         warm_k: int = 16,
         serve_hits: bool = True,
+        warm_device: str = "any",
         pipeline: bool = False,
     ) -> CompiledModel:
         """Fleet-mode compile: shard tasks over a simulated device pool.
+
+        Every task is measured on its *home* device's cost model, and
+        its tuning-log signature carries that same device class — the
+        identity that produced the records.  Work stealing only moves
+        which worker thread executes the tuning loop.
 
         A :class:`~repro.fleet.FleetError` mid-run leaves per-task
         ``.done``/``.ckpt`` files behind; re-running with
@@ -692,6 +727,7 @@ class DeploymentCompiler:
                 served, plan, sig, status = self._serve_or_plan(
                     tlog_db, spec, home.device, serve_hits,
                     warm_start, warm_k, observer,
+                    warm_device=warm_device,
                 )
                 tlog_status[spec.task_id] = status
                 sig_by_key[key] = sig
@@ -724,7 +760,7 @@ class DeploymentCompiler:
             return self._tune_one(
                 spec, tuner_name, n_trial, early_stopping, trial_seed,
                 task_kwargs, executor_spec, done_path, ckpt_path, obs_path,
-                observer, resume, pipeline=pipeline,
+                observer, resume, pipeline=pipeline, device=home.device,
             )
 
         scheduler = FleetScheduler(pool, run_task, jobs=fleet_jobs)

@@ -273,6 +273,7 @@ class TuningLogDB:
         k: int = 16,
         include_exact: bool = True,
         same_device: bool = False,
+        cross_device: bool = False,
     ) -> List[Tuple[TaskSignature, List[TlogRecord]]]:
         """Segments transferable to ``signature``, nearest shapes first.
 
@@ -280,9 +281,18 @@ class TuningLogDB:
         dimension (see :meth:`TaskSignature.transferable_to`); ties on
         shape distance break by key so the order is deterministic.  At
         most ``k`` segments are returned, each with its records.
+
+        ``same_device`` keeps only segments measured on the
+        signature's own device class; ``cross_device`` keeps only
+        segments measured on *other* classes (the cross-device transfer
+        scenario).  The two filters are mutually exclusive.
         """
         if k < 1:
             raise ValueError("k must be >= 1")
+        if same_device and cross_device:
+            raise ValueError(
+                "same_device and cross_device are mutually exclusive"
+            )
         scored = []
         for key, segment in self._segments.items():
             if segment.count == 0:
@@ -293,6 +303,8 @@ class TuningLogDB:
             if not include_exact and key == signature.key:
                 continue
             if same_device and other.device_class != signature.device_class:
+                continue
+            if cross_device and other.device_class == signature.device_class:
                 continue
             scored.append((shape_distance(other, signature), key, segment))
         scored.sort(key=lambda item: (item[0], item[1]))

@@ -24,7 +24,7 @@ import math
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
-from repro.hardware.device import GpuDevice, _normalize_device_name
+from repro.hardware.device import GpuDevice, normalize_device_name
 from repro.nn.workloads import Workload
 from repro.space.space import ConfigSpace
 
@@ -67,7 +67,7 @@ class TaskSignature:
             template=template,
             shape=_workload_shape(workload),
             space_hash=space.content_hash(),
-            device_class=_normalize_device_name(device.name),
+            device_class=normalize_device_name(device.name),
             feature_dim=space.feature_dim,
         )
 

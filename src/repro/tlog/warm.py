@@ -51,6 +51,8 @@ class WarmStartPlan:
     source: str = "similar"
     #: how many prior task segments contributed
     num_sources: int = 0
+    #: how many of those segments were measured on another device class
+    cross_sources: int = 0
 
     @property
     def history_samples(self) -> int:
@@ -92,19 +94,29 @@ def build_warm_start(
     history_weight: float = 0.25,
     max_sources: int = 4,
     max_history: int = 512,
+    device: str = "any",
 ) -> Optional[WarmStartPlan]:
     """Assemble a :class:`WarmStartPlan` for ``signature`` from ``db``.
 
     ``k`` bounds the seeded configs; ``max_sources`` bounds how many
     prior task segments contribute (nearest shapes first, the exact
-    signature — if present — always first).  Returns ``None`` when the
+    signature — if present — always first).  ``device`` restricts the
+    eligible sources: ``"any"`` (default), ``"same"`` (only the
+    signature's device class), or ``"cross"`` (only other classes — the
+    cross-device transfer scenario).  Returns ``None`` when the
     database holds nothing transferable, so callers fall back to a cold
     start without special-casing.
     """
     if k < 1:
         raise ValueError("k must be >= 1")
+    if device not in ("any", "same", "cross"):
+        raise ValueError(
+            f"device must be 'any', 'same', or 'cross', got {device!r}"
+        )
     segments = db.top_k_similar(
-        signature, k=max_sources, include_exact=True
+        signature, k=max_sources, include_exact=True,
+        same_device=device == "same",
+        cross_device=device == "cross",
     )
     if not segments:
         return None
@@ -138,9 +150,14 @@ def build_warm_start(
             seed_configs.append(idx)
     if not seed_configs:
         return None
+    cross = sum(
+        1 for src_signature, _ in segments
+        if src_signature.device_class != signature.device_class
+    )
     return WarmStartPlan(
         configs=tuple(seed_configs[:k]),
         history=history if len(history) else None,
         source=source,
         num_sources=len(segments),
+        cross_sources=cross,
     )

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -268,6 +270,9 @@ class TestFleetCommand:
             ])
 
     def test_fleet_small_run_matches_serial_tune(self, capsys, tmp_path):
+        # a uniform pool of the compiler's own device class reproduces
+        # the serial record stream bit for bit (a mixed pool would not:
+        # each task is measured on its home device)
         fleet_records = tmp_path / "fleet.jsonl"
         serial_records = tmp_path / "serial.jsonl"
         argv = [
@@ -276,7 +281,7 @@ class TestFleetCommand:
         ]
         code = main([
             "fleet", *argv,
-            "--devices", "gtx1080ti,titanv,gtx1080ti",
+            "--devices", "gtx1080ti,gtx1080ti,gtx1080ti",
             "--checkpoint-dir", str(tmp_path / "ckpt"),
             "--report", str(tmp_path / "fleet.json"),
             "--summary-dir", str(tmp_path / "summaries"),
@@ -294,3 +299,24 @@ class TestFleetCommand:
         assert sorted(
             p.name for p in (tmp_path / "ckpt").iterdir()
         ) == ["device-00", "device-01", "device-02"]
+
+    def test_fleet_mixed_devices_smoke(self, capsys, tmp_path):
+        # heterogeneous pool: runs end to end, and the scheduling
+        # report carries the per-class rollup
+        code = main([
+            "fleet", "--model", "squeezenet-v1.1", "--arm", "random",
+            "--budget", "8", "--runs", "50", "--seed", "3",
+            "--devices", "gtx1080ti,titanv,jetsontx2",
+            "--report", str(tmp_path / "fleet.json"),
+        ])
+        assert code == 0
+        assert "fleet of 3" in capsys.readouterr().out
+        report = json.loads((tmp_path / "fleet.json").read_text())
+        assert sorted(report["by_class"]) == [
+            "geforcegtx1080ti", "jetsontx2", "titanv",
+        ]
+        for entry in report["by_class"].values():
+            assert entry["measurements"] > 0
+        assert sum(
+            entry["utilization"] for entry in report["by_class"].values()
+        ) == pytest.approx(1.0, abs=1e-4)

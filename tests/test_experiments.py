@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.experiments.adaptive import run_adaptive_study
+from repro.experiments.crossdevice import run_cross_device
 from repro.experiments.fig4 import run_fig4
 from repro.experiments.fig5 import run_fig5
 from repro.experiments.runner import average_curves, format_table, run_arm_on_task
@@ -182,6 +183,37 @@ class TestAdaptiveStudy:
                 model_name="squeezenet-v1.1", num_layers=99, settings=TINY,
                 n_trial=8, num_trials=1,
             )
+
+
+class TestCrossDevice:
+    def test_smoke(self):
+        result = run_cross_device(
+            model_name="mobilenet-v1",
+            tuner_name="random",
+            n_trial=48,
+            devices=("gtx1080ti", "jetsontx2"),
+            max_tasks=2,
+        )
+        assert result.devices == ["geforcegtx1080ti", "jetsontx2"]
+        assert len(result.task_ids) == 2
+        for device in result.devices:
+            # pass 1 seeded the shared log, so every pass-2 task found
+            # foreign sources to warm-start from
+            assert result.warm_tasks(device) == 2
+            for task_id in result.task_ids:
+                assert result.retune_best[device][task_id] > 0
+                assert result.transfer_best[device][task_id] > 0
+        report = result.report()
+        assert "Cross-device transfer" in report
+        assert "jetsontx2" in report
+        digest = result.to_dict()
+        assert digest["devices"] == result.devices
+        assert len(digest["tasks"]) == 2
+        assert set(digest["summary"]) == set(result.devices)
+
+    def test_needs_two_distinct_classes(self):
+        with pytest.raises(ValueError, match="two distinct device"):
+            run_cross_device(devices=("gtx1080ti", "gtx1080ti"))
 
 
 class TestTable1:

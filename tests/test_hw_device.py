@@ -11,9 +11,13 @@ from repro.hardware.device import (
     JETSON_TX2,
     TESLA_V100,
     TITAN_V,
+    XEON_GOLD_6130,
     GpuDevice,
+    _normalize_device_name,
     device_preset,
+    normalize_device_name,
 )
+from repro.hardware.resources import ResourceError
 from repro.nn.workloads import Conv2DWorkload
 
 #: every strictly-positive numeric field of the device model
@@ -29,6 +33,7 @@ NUMERIC_FIELDS = (
     "registers_per_sm",
     "max_registers_per_thread",
     "warp_size",
+    "launch_overhead_s",
 )
 
 
@@ -93,6 +98,43 @@ class TestTitanV:
         assert TITAN_V.peak_gflops > GTX_1080_TI.peak_gflops
         assert TITAN_V.mem_bandwidth_gbs > GTX_1080_TI.mem_bandwidth_gbs
 
+    def test_distinct_from_1080ti_beyond_throughput(self):
+        # the zoo is only heterogeneous if presets differ in the knobs
+        # that shape the optimum, not just in peak rates
+        assert TITAN_V.cache_factor < GTX_1080_TI.cache_factor
+        assert TITAN_V.launch_overhead_s < GTX_1080_TI.launch_overhead_s
+        assert TITAN_V.shared_mem_per_block > GTX_1080_TI.shared_mem_per_block
+
+
+class TestJetsonTx2:
+    def test_embedded_penalties(self):
+        assert JETSON_TX2.launch_overhead_s > GTX_1080_TI.launch_overhead_s
+        assert JETSON_TX2.cache_factor > GTX_1080_TI.cache_factor
+        assert JETSON_TX2.max_blocks_per_sm < GTX_1080_TI.max_blocks_per_sm
+
+
+class TestXeonGold:
+    def test_cpu_shape(self):
+        assert XEON_GOLD_6130.warp_size == 8
+        assert XEON_GOLD_6130.max_threads_per_block == 256
+        assert XEON_GOLD_6130.max_threads_per_sm == 256
+        assert XEON_GOLD_6130.num_sms == 16
+
+    def test_cpu_handles(self):
+        assert device_preset("cpu") is XEON_GOLD_6130
+        assert device_preset("xeongold6130") is XEON_GOLD_6130
+        assert device_preset("Xeon Gold 6130") is XEON_GOLD_6130
+
+
+class TestNormalizeDeviceName:
+    def test_public_helper(self):
+        assert normalize_device_name("GeForce GTX 1080 Ti") == "geforcegtx1080ti"
+        assert normalize_device_name("Titan V") == "titanv"
+        assert normalize_device_name("Xeon Gold 6130") == "xeongold6130"
+
+    def test_deprecated_alias_is_same_function(self):
+        assert _normalize_device_name is normalize_device_name
+
 
 class TestPresetRegistry:
     def test_known_handles(self):
@@ -128,6 +170,8 @@ class TestHeterogeneousCostModelPinning:
     """
 
     WORKLOAD = Conv2DWorkload(1, 64, 64, 56, 56, 3, 3, pad_h=1, pad_w=1)
+    #: a fat 896-thread block — great on the 1080 Ti, infeasible on the
+    #: CPU profile (256-thread block ceiling)
     CONFIG = {
         "tile_f": (2, 2, 16, 1),
         "tile_y": (4, 1, 7, 2),
@@ -138,11 +182,32 @@ class TestHeterogeneousCostModelPinning:
         "auto_unroll_max_step": 512,
         "unroll_explicit": 1,
     }
+    #: a slim 128-thread block — feasible everywhere, and the faster of
+    #: the two on the high-occupancy Volta parts
+    SMALL_CONFIG = {
+        "tile_f": (8, 2, 4, 1),
+        "tile_y": (14, 1, 4, 1),
+        "tile_x": (7, 1, 8, 1),
+        "tile_rc": (8, 8),
+        "tile_ry": (1, 3),
+        "tile_rx": (1, 3),
+        "auto_unroll_max_step": 512,
+        "unroll_explicit": 1,
+    }
+    #: jetsontx2/titanv values revised with the device-zoo rework
+    #: (distinct launch overhead / cache factor / residency limits)
     PINNED_GFLOPS = {
         "gtx1080ti": 7676.98779,
         "teslav100": 5084.082529,
-        "jetsontx2": 526.907898,
-        "titanv": 5302.121958,
+        "jetsontx2": 512.143826,
+        "titanv": 5413.932454,
+    }
+    PINNED_SMALL_GFLOPS = {
+        "gtx1080ti": 5784.893499,
+        "teslav100": 8483.285811,
+        "jetsontx2": 503.855873,
+        "titanv": 8927.191632,
+        "xeongold6130": 1460.697893,
     }
 
     @pytest.mark.parametrize("handle", sorted(PINNED_GFLOPS))
@@ -152,3 +217,30 @@ class TestHeterogeneousCostModelPinning:
         assert profile.gflops == pytest.approx(
             self.PINNED_GFLOPS[handle], abs=1e-6
         )
+
+    @pytest.mark.parametrize("handle", sorted(PINNED_SMALL_GFLOPS))
+    def test_pinned_small_block_throughput(self, handle):
+        model = AnalyticalGpuModel(device_preset(handle))
+        profile = model.profile(self.WORKLOAD, self.SMALL_CONFIG)
+        assert profile.gflops == pytest.approx(
+            self.PINNED_SMALL_GFLOPS[handle], abs=1e-6
+        )
+
+    def test_cpu_rejects_fat_blocks(self):
+        model = AnalyticalGpuModel(XEON_GOLD_6130)
+        with pytest.raises(ResourceError, match="exceeds device limit"):
+            model.profile(self.WORKLOAD, self.CONFIG)
+
+    def test_optimal_config_depends_on_device(self):
+        # the zoo is real: the same two candidates rank differently
+        # across device classes, so per-device tuning finds different
+        # winners (the premise of the crossdevice experiment)
+        def ranks(handle):
+            model = AnalyticalGpuModel(device_preset(handle))
+            big = model.profile(self.WORKLOAD, self.CONFIG).gflops
+            small = model.profile(self.WORKLOAD, self.SMALL_CONFIG).gflops
+            return big > small
+
+        assert ranks("gtx1080ti") is True
+        assert ranks("titanv") is False
+        assert ranks("teslav100") is False

@@ -199,6 +199,29 @@ class TestDB:
         assert db.top_k_similar(target, k=4)  # cross-device by default
         assert not db.top_k_similar(target, k=4, same_device=True)
 
+    def test_top_k_cross_device_filter(self, tmp_path):
+        db = TuningLogDB(tmp_path / "db")
+        w = conv()
+        db.record_task(
+            sig_of(w, device=GTX_1080_TI), records_for(build_space(w), n=3)
+        )
+        db.record_task(
+            sig_of(w, device=TITAN_V), records_for(build_space(w), n=3)
+        )
+        target = sig_of(w, device=GTX_1080_TI)
+        foreign = db.top_k_similar(target, k=4, cross_device=True)
+        assert foreign
+        assert all(
+            s.device_class != target.device_class for s, _ in foreign
+        )
+
+    def test_top_k_device_filters_are_exclusive(self, tmp_path):
+        db = TuningLogDB(tmp_path / "db")
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            db.top_k_similar(
+                sig_of(conv()), k=4, same_device=True, cross_device=True
+            )
+
 
 class TestWarmPlan:
     def test_projection_clamps_digits(self):
@@ -255,3 +278,26 @@ class TestWarmPlan:
         )
         assert a.configs == b.configs
         assert a.history_samples == b.history_samples
+
+    def test_device_filtered_plans(self, tmp_path):
+        w = conv()
+        space = build_space(w)
+        db = TuningLogDB(tmp_path / "db")
+        db.record_task(sig_of(w, device=TITAN_V), records_for(space, n=6))
+        target = sig_of(w, device=GTX_1080_TI)
+        # same-class sources only: nothing to warm-start from
+        assert build_warm_start(db, target, space, device="same") is None
+        # cross-class sources only: the titanv history qualifies, and
+        # the plan counts its foreign segments
+        plan = build_warm_start(db, target, space, device="cross")
+        assert plan is not None
+        assert plan.cross_sources == 1
+        # a same-class plan carries no foreign sources
+        own = build_warm_start(db, sig_of(w, device=TITAN_V), space)
+        assert own.cross_sources == 0
+
+    def test_bad_device_mode_rejected(self, tmp_path):
+        w = conv()
+        db = TuningLogDB(tmp_path / "db")
+        with pytest.raises(ValueError, match="device"):
+            build_warm_start(db, sig_of(w), build_space(w), device="near")
