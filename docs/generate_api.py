@@ -34,6 +34,9 @@ MODULES = [
     "repro.experiments.ablation", "repro.experiments.analysis",
     "repro.experiments.report", "repro.experiments.transfer",
     "repro.experiments.adaptive",
+    "repro.service", "repro.service.jobs", "repro.service.store",
+    "repro.service.queue", "repro.service.runner", "repro.service.api",
+    "repro.service.client", "repro.service.dashboard",
     "repro.utils.rng", "repro.utils.mathx", "repro.utils.plot",
 ]
 

@@ -193,6 +193,180 @@ print(json.dumps({{
 """
 
 
+# Fresh process: the service smoke's ground truth — a direct serial
+# tune of the same job spec, no service in the loop.  The service's
+# records endpoint must reproduce this byte for byte even across a
+# SIGKILL of the whole server process and a restart-time recovery.
+_SERVICE_BASELINE = """
+import json, sys
+sys.path.insert(0, {src!r})
+from repro.nn.zoo import build_model
+from repro.pipeline.compiler import DeploymentCompiler
+
+compiler = DeploymentCompiler(build_model({model!r}), env_seed={env_seed})
+compiler.tasks = compiler.tasks[:{max_tasks}]
+collected = []
+
+def collect(task_spec, result):
+    for rec in result.records:
+        collected.append({{
+            "task_id": task_spec.task_id,
+            "step": rec.step,
+            "config_index": rec.config_index,
+            "gflops": float(rec.gflops),
+            "error": rec.error,
+        }})
+
+compiler.tune(
+    {arm!r}, n_trial={n_trial}, early_stopping=None,
+    trial_seed={trial_seed}, tuner_kwargs={kwargs!r},
+    progress=collect,
+)
+collected.sort(key=lambda r: (r["task_id"], r["step"]))
+print(json.dumps(collected))
+"""
+
+
+def _start_server(data_dir: str, timeout: float) -> tuple:
+    """Launch ``repro serve --port 0`` and parse the bound URL."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    child = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--data-dir", data_dir, "--port", "0"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        env=env,
+    )
+    deadline = time.monotonic() + timeout
+    url = None
+    while time.monotonic() < deadline:
+        line = child.stdout.readline()
+        if not line:
+            if child.poll() is not None:
+                raise RuntimeError("server exited before binding a port")
+            time.sleep(0.02)
+            continue
+        if line.startswith("serving on "):
+            url = line.split("serving on ", 1)[1].strip()
+            break
+    if url is None:
+        child.kill()
+        raise RuntimeError("server never printed its URL")
+    return child, url
+
+
+def _service_main(args) -> int:
+    """SIGKILL the whole tuning service mid-job, restart, compare.
+
+    The strongest crash-recovery claim the service makes: a submitted
+    job survives the death of the entire server process.  The restart
+    finds it ``running`` in the sqlite job store, resumes it from its
+    per-device checkpoints, and finishes with records bit-identical to
+    a direct serial tune that never saw a service at all.
+    """
+    sys.path.insert(0, str(SRC))
+    from repro.service import ServiceClient
+
+    kwargs = ARM_KWARGS[args.arm]
+    model, max_tasks, trial_seed, env_seed = "alexnet", 2, 3, 7
+
+    with tempfile.TemporaryDirectory() as tmp:
+        data_dir = os.path.join(tmp, "service-data")
+
+        print(f"[1/5] direct serial {args.arm} baseline on {model} "
+              f"({args.n_trial} trials x {max_tasks} tasks, no service)")
+        out = subprocess.run(
+            [sys.executable, "-c", _SERVICE_BASELINE.format(
+                src=str(SRC), model=model, arm=args.arm,
+                n_trial=args.n_trial, max_tasks=max_tasks,
+                trial_seed=trial_seed, env_seed=env_seed, kwargs=kwargs,
+            )],
+            capture_output=True, text=True, check=True,
+        )
+        baseline = json.loads(out.stdout.strip().splitlines()[-1])
+
+        print("[2/5] starting the service and submitting the job")
+        server, url = _start_server(data_dir, args.timeout)
+        client = ServiceClient(url, timeout_s=10.0)
+        job = client.submit(
+            model=model, arm=args.arm, n_trial=args.n_trial,
+            max_tasks=max_tasks, trial_seed=trial_seed,
+            env_seed=env_seed, tuner_kwargs=kwargs,
+        )
+        job_id = job["job_id"]
+
+        # wait until some per-device task checkpoint has been rewritten
+        # after its step-0 snapshot — i.e. the job is mid-batch
+        ckpt_root = Path(data_dir) / "jobs" / job_id
+        deadline = time.monotonic() + args.timeout
+        first_mtimes: dict = {}
+        killed_mid_run = False
+        while time.monotonic() < deadline:
+            for path in ckpt_root.glob("device-*/task-*.ckpt"):
+                mtime = path.stat().st_mtime_ns
+                seen = first_mtimes.setdefault(path, mtime)
+                if mtime != seen:
+                    killed_mid_run = True
+            if killed_mid_run:
+                break
+            state = client.job(job_id)["state"]
+            if state in ("done", "failed", "cancelled"):
+                break
+            time.sleep(0.02)
+        if not killed_mid_run:
+            server.kill()
+            print("job finished before the server could be killed; "
+                  "increase --n-trial", file=sys.stderr)
+            return 1
+
+        print("[3/5] delivering SIGKILL to the whole server mid-job")
+        server.send_signal(signal.SIGKILL)
+        server.wait()
+        if not list(ckpt_root.glob("device-*/task-*")):
+            print("no per-device checkpoints survived the kill",
+                  file=sys.stderr)
+            return 1
+
+        print("[4/5] restarting the service on the same data dir")
+        server, url = _start_server(data_dir, args.timeout)
+        client = ServiceClient(url, timeout_s=10.0)
+        done = client.wait(job_id, timeout_s=args.timeout)
+        done_records = client.records(job_id)["records"]
+        server.terminate()
+        server.wait()
+
+        print("[5/5] comparing the recovered job to the baseline")
+        if done["state"] != "done":
+            print(f"recovered job ended {done['state']!r}: "
+                  f"{done['error']}", file=sys.stderr)
+            return 1
+        if done["attempts"] != 2:
+            print(f"expected 2 attempts (run + recovery), got "
+                  f"{done['attempts']}", file=sys.stderr)
+            return 1
+        if done_records != baseline:
+            print("MISMATCH: recovered service job diverged from the "
+                  "direct serial tune", file=sys.stderr)
+            for i, (b, r) in enumerate(zip(baseline, done_records)):
+                if b != r:
+                    print(f"  first divergence at record {i}: "
+                          f"{b} != {r}", file=sys.stderr)
+                    break
+            print(f"  baseline: {len(baseline)} records, "
+                  f"recovered: {len(done_records)}", file=sys.stderr)
+            return 1
+
+        if args.keep_db:
+            import shutil
+
+            shutil.copy(Path(data_dir) / "jobs.sqlite", args.keep_db)
+            print(f"job database copied to {args.keep_db}")
+        print(f"OK: SIGKILL + service restart recovered {job_id} "
+              f"bit-identically — all {len(baseline)} records match "
+              f"the direct serial tune (attempts: {done['attempts']})")
+        return 0
+
+
 def _run_trace(arm: str, kwargs: dict, n_trial: int, ckpt: str,
                resume: bool, trace_out: str = "",
                pipeline: bool = False) -> dict:
@@ -344,7 +518,20 @@ def main() -> int:
                              "pipelined mode; the baseline stays serial, "
                              "so the comparison also pins cross-mode "
                              "bit-identity")
+    parser.add_argument("--service", action="store_true",
+                        help="SIGKILL the whole tuning service (`repro "
+                             "serve`) mid-job, restart it on the same "
+                             "data dir, and verify the recovered job's "
+                             "records are bit-identical to a direct "
+                             "serial tune")
+    parser.add_argument("--keep-db", default=None,
+                        help="--service only: copy the final jobs.sqlite "
+                             "here (e.g. for a CI artifact)")
     args = parser.parse_args()
+    if args.service and (args.fleet or args.pipeline):
+        parser.error("--service is its own mode; drop --fleet/--pipeline")
+    if args.service:
+        return _service_main(args)
     if args.fleet and args.pipeline:
         parser.error("--pipeline is a single-run mode; drop --fleet")
     if args.fleet:

@@ -13,6 +13,10 @@ Exposes the main workflows without writing Python::
         --tlog-dir tlog --warm-start               # cross-run transfer
     python -m repro compile --model squeezenet-v1.1 \
         --tlog-dir tlog                            # deploy from the log
+    python -m repro serve --data-dir service-data  # tuning-as-a-service
+    python -m repro submit --url http://127.0.0.1:8100 \
+        --model alexnet --arm bted --wait          # submit a job
+    python -m repro jobs --url http://127.0.0.1:8100  # job browser
 """
 
 from __future__ import annotations
@@ -402,6 +406,135 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    enable_console_logging()
+    from repro.service import TuningService
+
+    quotas = {}
+    for item in args.quota or []:
+        tenant, _, limit = item.partition("=")
+        if not tenant or not limit.isdigit():
+            print(
+                f"--quota takes TENANT=N, got {item!r}", file=sys.stderr
+            )
+            return 2
+        quotas[tenant] = int(limit)
+    service = TuningService(
+        args.data_dir,
+        host=args.host,
+        port=args.port,
+        devices=args.devices,
+        fleet_jobs=args.jobs,
+        quotas=quotas or None,
+        default_quota=args.default_quota,
+        tlog=not args.no_tlog,
+        warm_start=args.warm_start,
+        pipeline=args.pipeline,
+    )
+    with service:
+        # scripts parse this line to find an ephemeral (--port 0) port
+        print(f"serving on {service.url}", flush=True)
+        print(f"  data dir : {service.data_dir}", flush=True)
+        print(f"  devices  : {args.devices}", flush=True)
+        try:
+            while True:
+                import time as _time
+
+                _time.sleep(3600)
+        except KeyboardInterrupt:
+            print("shutting down", flush=True)
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.service import ServiceClient, ServiceClientError
+
+    client = ServiceClient(args.url)
+    spec = {
+        "model": args.model,
+        "arm": args.arm,
+        "n_trial": args.budget,
+        "early_stopping": args.early_stop,
+        "trial_seed": args.seed,
+        "env_seed": args.env_seed,
+        "tenant": args.tenant,
+        "priority": args.priority,
+    }
+    if args.devices:
+        spec["devices"] = args.devices
+    if args.max_tasks is not None:
+        spec["max_tasks"] = args.max_tasks
+    if args.tuner_kwargs:
+        spec["tuner_kwargs"] = _json.loads(args.tuner_kwargs)
+    try:
+        job = client.submit(**spec)
+    except ServiceClientError as exc:
+        print(f"submit rejected: {exc}", file=sys.stderr)
+        print(
+            _json.dumps(exc.body, indent=2, sort_keys=True),
+            file=sys.stderr,
+        )
+        return 1
+    print(f"{job['job_id']} queued (tenant={job['tenant']} "
+          f"priority={job['priority']})")
+    if not args.wait:
+        return 0
+
+    def on_progress(point):
+        if point.get("kind") == "task_done":
+            print(
+                f"  task-{point['task_id']:03d} done: "
+                f"{point['best_gflops']:.1f} GFLOPS in "
+                f"{point['measurements']} measurements"
+            )
+
+    done = client.wait(
+        job["job_id"], timeout_s=args.timeout, on_progress=on_progress
+    )
+    print(f"{done['job_id']} {done['state']}: "
+          f"{done['tasks_done']} task(s), "
+          f"best {done['best_gflops']:.1f} GFLOPS")
+    if done["state"] == "failed":
+        print(f"  error: {done['error']}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient, ServiceClientError
+
+    client = ServiceClient(args.url)
+    try:
+        if args.job_id:
+            job = client.job(args.job_id)
+            print(f"{job['job_id']}: {job['state']} "
+                  f"(tenant={job['tenant']} priority={job['priority']})")
+            if job["error"]:
+                print(f"  error: {job['error']}")
+            for task in job["tasks"]:
+                print(
+                    f"  task-{task['task_id']:03d} via {task['tuner']:<8s}"
+                    f" best {task['best_gflops']:9.1f} GFLOPS in "
+                    f"{task['num_measurements']} measurements"
+                )
+            return 0
+        rows = client.jobs(tenant=args.tenant, state=args.state)
+    except ServiceClientError as exc:
+        print(f"request failed: {exc}", file=sys.stderr)
+        return 1
+    print(f"{'job':<12} {'tenant':<10} {'prio':>4} {'state':<10} "
+          f"{'tasks':>5} {'best GFLOPS':>12}")
+    for row in rows:
+        print(
+            f"{row['job_id']:<12} {row['tenant']:<10.10s} "
+            f"{row['priority']:>4d} {row['state']:<10} "
+            f"{row['tasks_done']:>5d} {row['best_gflops']:>12.1f}"
+        )
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import build_report, write_report
 
@@ -652,6 +785,86 @@ def build_parser() -> argparse.ArgumentParser:
                        help="crossdevice only: also write the study "
                             "digest to this JSON file")
     p_exp.set_defaults(func=_cmd_experiment)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the tuning service: HTTP job API + persistent job "
+             "store + fleet queue (see docs/SERVICE.md)",
+    )
+    p_serve.add_argument("--data-dir", required=True,
+                         help="service state root: jobs.sqlite, per-job "
+                              "checkpoints, and the shared tuning log")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8100,
+                         help="listening port (0 binds an ephemeral "
+                              "port and prints it)")
+    p_serve.add_argument("--devices", default="gtx1080ti,gtx1080ti",
+                         help="the service fleet (comma-separated device "
+                              "presets, as in `repro fleet --devices`)")
+    p_serve.add_argument("--jobs", type=int, default=None,
+                         help="worker threads draining the fleet "
+                              "(default: one per device)")
+    p_serve.add_argument("--quota", action="append", metavar="TENANT=N",
+                         help="per-tenant active-job quota override "
+                              "(repeatable)")
+    p_serve.add_argument("--default-quota", type=int, default=8,
+                         help="active-job quota for tenants without an "
+                              "explicit --quota (default: 8)")
+    p_serve.add_argument("--no-tlog", action="store_true",
+                         help="disable the shared cross-job tuning log "
+                              "(every job tunes from scratch)")
+    p_serve.add_argument("--warm-start", action="store_true",
+                         help="warm-start each job's tasks from the "
+                              "shared tuning log")
+    p_serve.add_argument("--pipeline", action="store_true",
+                         help="overlap propose/measure inside each job "
+                              "(records stay bit-identical)")
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit", help="submit a tuning job to a running service"
+    )
+    p_submit.add_argument("--url", required=True,
+                          help="service base URL (from `repro serve`)")
+    p_submit.add_argument("--model", required=True,
+                          choices=sorted(MODEL_BUILDERS))
+    p_submit.add_argument("--arm", default="bted+bao",
+                          choices=sorted(TUNER_REGISTRY))
+    p_submit.add_argument("--budget", type=int, default=64,
+                          help="measurements per task")
+    p_submit.add_argument("--early-stop", type=int, default=None)
+    p_submit.add_argument("--seed", type=int, default=0)
+    p_submit.add_argument("--env-seed", type=int, default=2021)
+    p_submit.add_argument("--tenant", default="default")
+    p_submit.add_argument("--priority", type=int, default=0,
+                          help="higher dequeues first (FIFO within a "
+                               "level)")
+    p_submit.add_argument("--devices", default=None,
+                          help="override the service fleet for this job")
+    p_submit.add_argument("--max-tasks", type=int, default=None,
+                          help="limit the number of tuned tasks")
+    p_submit.add_argument("--tuner-kwargs", default=None,
+                          help="JSON object of extra tuner arguments")
+    p_submit.add_argument("--wait", action="store_true",
+                          help="poll progress until the job finishes")
+    p_submit.add_argument("--timeout", type=float, default=3600.0,
+                          help="--wait timeout in seconds")
+    p_submit.set_defaults(func=_cmd_submit)
+
+    p_jobs = sub.add_parser(
+        "jobs", help="list a service's jobs, or show one job's tasks"
+    )
+    p_jobs.add_argument("--url", required=True,
+                        help="service base URL (from `repro serve`)")
+    p_jobs.add_argument("job_id", nargs="?", default=None,
+                        help="show this job's per-task results")
+    p_jobs.add_argument("--tenant", default=None,
+                        help="filter the listing by tenant")
+    p_jobs.add_argument("--state", default=None,
+                        choices=("queued", "running", "done", "failed",
+                                 "cancelled"),
+                        help="filter the listing by state")
+    p_jobs.set_defaults(func=_cmd_jobs)
 
     p_report = sub.add_parser(
         "report", help="aggregate benchmark artifacts into one document"

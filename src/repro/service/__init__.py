@@ -1,0 +1,59 @@
+"""Tuning-as-a-service: job API, persistent store, fleet queue.
+
+The service layer turns the library into a deployable system: tuning
+jobs arrive over an HTTP/JSON API, persist in a sqlite job database,
+queue with per-tenant quotas and priorities, and execute on the
+existing fleet scheduler with checkpoint/resume — a SIGKILLed service
+restarts and finishes every in-flight job bit-identically to an
+uninterrupted run.  See ``docs/SERVICE.md`` for the API reference,
+the quota/priority semantics, and the crash-recovery contract.
+"""
+
+from repro.service.api import TuningService
+from repro.service.client import ServiceClient, ServiceClientError
+from repro.service.jobs import (
+    JOB_STATES,
+    TERMINAL_STATES,
+    VALID_TRANSITIONS,
+    InvalidTransitionError,
+    Job,
+    JobNotFoundError,
+    JobSpec,
+    QuotaExceededError,
+    ServiceError,
+    ValidationError,
+)
+from repro.service.queue import DEFAULT_QUOTA, JobQueue
+from repro.service.runner import JobRunner, ProgressFeed
+from repro.service.store import (
+    SCHEMA_VERSION,
+    JobStore,
+    JobStoreError,
+    SchemaVersionError,
+    aggregate_utilization,
+)
+
+__all__ = [
+    "DEFAULT_QUOTA",
+    "JOB_STATES",
+    "SCHEMA_VERSION",
+    "TERMINAL_STATES",
+    "VALID_TRANSITIONS",
+    "InvalidTransitionError",
+    "Job",
+    "JobNotFoundError",
+    "JobQueue",
+    "JobRunner",
+    "JobSpec",
+    "JobStore",
+    "JobStoreError",
+    "ProgressFeed",
+    "QuotaExceededError",
+    "SchemaVersionError",
+    "ServiceClient",
+    "ServiceClientError",
+    "ServiceError",
+    "TuningService",
+    "ValidationError",
+    "aggregate_utilization",
+]

@@ -1,0 +1,146 @@
+"""Stdlib HTTP client for the tuning service.
+
+:class:`ServiceClient` wraps the JSON endpoints with plain
+:mod:`urllib` — the same dependency budget as the server — so the CLI
+(``repro submit`` / ``repro jobs``), the crash-recovery smoke script,
+and the tests all drive the service through one audited code path.
+
+Structured rejections (HTTP 4xx/5xx with an ``{"error": ...}`` body)
+raise :class:`ServiceClientError` carrying the decoded body, so
+callers branch on ``exc.code`` (``"quota_exceeded"``, ...) instead of
+parsing prose.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Optional
+
+
+class ServiceClientError(RuntimeError):
+    """An HTTP request the service answered with a structured error."""
+
+    def __init__(self, status: int, body: Dict[str, Any]):
+        error = body.get("error", {}) if isinstance(body, dict) else {}
+        super().__init__(
+            f"HTTP {status}: {error.get('message', 'unknown error')}"
+        )
+        self.status = status
+        self.body = body
+        self.code = error.get("code", "unknown")
+
+
+class ServiceClient:
+    """Talk to one tuning service at ``base_url``."""
+
+    def __init__(self, base_url: str, timeout_s: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    # ------------------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        url = f"{self.base_url}{path}"
+        data = (
+            json.dumps(payload).encode("utf-8")
+            if payload is not None
+            else None
+        )
+        request = urllib.request.Request(
+            url,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout_s
+            ) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                body = json.loads(exc.read().decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                body = {"error": {"code": "unknown", "message": str(exc)}}
+            raise ServiceClientError(exc.code, body) from exc
+
+    # ------------------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", "/api/health")
+
+    def fleet(self) -> Dict[str, Any]:
+        return self._request("GET", "/api/fleet")
+
+    def submit(self, **spec: Any) -> Dict[str, Any]:
+        """Submit a job; returns the persisted job row."""
+        return self._request("POST", "/api/jobs", payload=spec)["job"]
+
+    def jobs(
+        self,
+        tenant: Optional[str] = None,
+        state: Optional[str] = None,
+    ) -> list:
+        query = []
+        if tenant:
+            query.append(f"tenant={tenant}")
+        if state:
+            query.append(f"state={state}")
+        suffix = f"?{'&'.join(query)}" if query else ""
+        return self._request("GET", f"/api/jobs{suffix}")["jobs"]
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/api/jobs/{job_id}")
+
+    def progress(self, job_id: str, since: int = 0) -> Dict[str, Any]:
+        return self._request(
+            "GET", f"/api/jobs/{job_id}/progress?since={since}"
+        )
+
+    def records(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/api/jobs/{job_id}/records")
+
+    def curve(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/api/jobs/{job_id}/curve")
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._request("POST", f"/api/jobs/{job_id}/cancel")["job"]
+
+    # ------------------------------------------------------------------
+
+    def wait(
+        self,
+        job_id: str,
+        timeout_s: float = 600.0,
+        poll_s: float = 0.2,
+        on_progress=None,
+    ) -> Dict[str, Any]:
+        """Poll until the job reaches a terminal state; returns it.
+
+        ``on_progress(point)`` receives each new progress point as it
+        streams in (the CLI uses this for live best-curve printing).
+        """
+        deadline = time.monotonic() + timeout_s
+        cursor = 0
+        while True:
+            progress = self.progress(job_id, since=cursor)
+            cursor = progress["next"]
+            if on_progress is not None:
+                for point in progress["points"]:
+                    on_progress(point)
+            if progress["state"] in ("done", "failed", "cancelled"):
+                return self.job(job_id)
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"{job_id} still {progress['state']!r} after "
+                    f"{timeout_s:.0f}s"
+                )
+            time.sleep(poll_s)

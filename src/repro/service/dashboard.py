@@ -1,0 +1,153 @@
+"""The service's single-page dashboard (no build step, no assets).
+
+One self-contained HTML document served at ``/``: a job browser over
+``/api/jobs``, a per-job detail pane (state, per-task results, the
+best-curve drawn from ``/api/jobs/<id>/curve`` on a plain canvas), and
+fleet utilization bars from ``/api/fleet``.  Everything renders from
+the same JSON endpoints scripts and tests use — the dashboard is a
+client of the public API, never a side channel.
+"""
+
+from __future__ import annotations
+
+DASHBOARD_HTML = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>repro tuning service</title>
+<style>
+  body { font-family: system-ui, sans-serif; margin: 1.5rem;
+         background: #fafafa; color: #222; }
+  h1 { font-size: 1.3rem; } h2 { font-size: 1.05rem; margin-top: 1.5rem; }
+  table { border-collapse: collapse; width: 100%; background: #fff; }
+  th, td { border: 1px solid #ddd; padding: .35rem .6rem;
+           font-size: .85rem; text-align: left; }
+  th { background: #f0f0f0; }
+  tr.sel { background: #eef6ff; }
+  .state { padding: .1rem .45rem; border-radius: .6rem;
+           font-size: .75rem; color: #fff; }
+  .state.queued { background: #888; } .state.running { background: #0a7; }
+  .state.done { background: #27c; } .state.failed { background: #c33; }
+  .state.cancelled { background: #b80; }
+  .bar { background: #27c; height: .8rem; }
+  .barbox { background: #e4e4e4; width: 16rem; display: inline-block;
+            vertical-align: middle; }
+  #curve { border: 1px solid #ddd; background: #fff; }
+  .muted { color: #777; font-size: .8rem; }
+</style>
+</head>
+<body>
+<h1>repro tuning service</h1>
+<p class="muted">jobs, live best curves, and fleet utilization —
+refreshed every 2&nbsp;s from <code>/api/*</code>.</p>
+
+<h2>Jobs</h2>
+<table id="jobs"><thead><tr>
+  <th>job</th><th>tenant</th><th>model</th><th>arm</th><th>prio</th>
+  <th>state</th><th>tasks</th><th>best GFLOPS</th><th>error</th>
+</tr></thead><tbody></tbody></table>
+
+<h2>Job detail <span id="which" class="muted"></span></h2>
+<canvas id="curve" width="640" height="180"></canvas>
+<table id="tasks"><thead><tr>
+  <th>task</th><th>tuner</th><th>measurements</th><th>best GFLOPS</th>
+</tr></thead><tbody></tbody></table>
+
+<h2>Fleet utilization</h2>
+<div id="fleet"></div>
+
+<script>
+let selected = null;
+const fmt = (x) => (x === null || x === undefined) ? "" : x;
+
+async function getJSON(url) {
+  const r = await fetch(url);
+  if (!r.ok) throw new Error(url + " -> " + r.status);
+  return r.json();
+}
+
+async function refreshJobs() {
+  const data = await getJSON("/api/jobs");
+  const body = document.querySelector("#jobs tbody");
+  body.innerHTML = "";
+  for (const job of data.jobs.slice().reverse()) {
+    const tr = document.createElement("tr");
+    if (job.job_id === selected) tr.className = "sel";
+    tr.innerHTML =
+      `<td>${job.job_id}</td><td>${job.tenant}</td>` +
+      `<td>${job.spec.model}</td><td>${job.spec.arm}</td>` +
+      `<td>${job.priority}</td>` +
+      `<td><span class="state ${job.state}">${job.state}</span></td>` +
+      `<td>${fmt(job.tasks_done)}</td>` +
+      `<td>${fmt(job.best_gflops)}</td><td>${fmt(job.error)}</td>`;
+    tr.onclick = () => { selected = job.job_id; refreshDetail(); };
+    body.appendChild(tr);
+  }
+  if (!selected && data.jobs.length) {
+    selected = data.jobs[data.jobs.length - 1].job_id;
+  }
+}
+
+function drawCurve(canvas, curves) {
+  const ctx = canvas.getContext("2d");
+  ctx.clearRect(0, 0, canvas.width, canvas.height);
+  const all = Object.values(curves).flat();
+  if (!all.length) return;
+  const maxY = Math.max(...all), maxX =
+    Math.max(...Object.values(curves).map(c => c.length));
+  const colors = ["#27c", "#0a7", "#c33", "#b80", "#93c", "#088"];
+  let i = 0;
+  for (const [task, curve] of Object.entries(curves)) {
+    ctx.strokeStyle = colors[i++ % colors.length];
+    ctx.beginPath();
+    curve.forEach((y, x) => {
+      const px = 10 + (canvas.width - 20) * x / Math.max(1, maxX - 1);
+      const py = canvas.height - 10 -
+        (canvas.height - 20) * y / Math.max(1e-9, maxY);
+      x === 0 ? ctx.moveTo(px, py) : ctx.lineTo(px, py);
+    });
+    ctx.stroke();
+  }
+}
+
+async function refreshDetail() {
+  if (!selected) return;
+  document.getElementById("which").textContent = "— " + selected;
+  const detail = await getJSON(`/api/jobs/${selected}`);
+  const body = document.querySelector("#tasks tbody");
+  body.innerHTML = "";
+  for (const t of detail.tasks) {
+    const tr = document.createElement("tr");
+    tr.innerHTML = `<td>task-${t.task_id}</td><td>${t.tuner}</td>` +
+      `<td>${t.num_measurements}</td><td>${t.best_gflops.toFixed(1)}</td>`;
+    body.appendChild(tr);
+  }
+  const curve = await getJSON(`/api/jobs/${selected}/curve`);
+  drawCurve(document.getElementById("curve"), curve.curves);
+}
+
+async function refreshFleet() {
+  const data = await getJSON("/api/fleet");
+  const div = document.getElementById("fleet");
+  div.innerHTML =
+    `<p class="muted">devices: ${data.devices} · queue depth: ` +
+    `${data.queue_depth} · running: ${fmt(data.current_job) || "—"}</p>`;
+  for (const [cls, row] of Object.entries(data.by_class)) {
+    const pct = Math.round(row.utilization * 100);
+    div.innerHTML +=
+      `<div>${cls}: <span class="barbox">` +
+      `<span class="bar" style="width:${pct}%;display:block"></span>` +
+      `</span> ${pct}% · ${row.measurements} measurements</div>`;
+  }
+}
+
+async function tick() {
+  try { await refreshJobs(); await refreshDetail(); await refreshFleet(); }
+  catch (e) { console.error(e); }
+}
+tick();
+setInterval(tick, 2000);
+</script>
+</body>
+</html>
+"""

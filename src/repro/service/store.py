@@ -1,0 +1,506 @@
+"""Persistent job database: sqlite-backed jobs/tasks/records tables.
+
+:class:`JobStore` is the durable heart of the tuning service.  Every
+lifecycle step is one committed sqlite transaction, so a SIGKILL
+between *any* two state transitions leaves a database that reopens to
+exactly the pre- or post-transition state — never a hybrid.  The
+contracts mirror the torn-write guarantees of
+:class:`~repro.pipeline.records.RecordStore` and
+:class:`~repro.tlog.TuningLogDB`, moved onto sqlite's WAL journal:
+
+* **No job is lost**: a submitted job survives any crash/reopen
+  sequence (``submit`` commits before returning the id).
+* **No job is double-run**: ``claim_next`` flips ``queued -> running``
+  with a compare-and-swap inside one transaction; two claimants can
+  never both win, and a re-opened store still refuses to re-claim a
+  ``running`` job (restart *resumes* it via :meth:`running_jobs`
+  instead).
+* **Schema versioning**: the version is pinned in sqlite's
+  ``user_version`` header; opening a database written by a newer
+  build raises :class:`SchemaVersionError` instead of misreading it,
+  and opening a corrupt file raises :class:`JobStoreError` naming the
+  path.
+
+Task results and measurement records land in their own tables keyed
+``(job_id, task_id[, step])`` with idempotent upserts, so the
+crash-resume path can safely re-collect every task of a resumed job.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+from repro.service.jobs import (
+    Job,
+    JobNotFoundError,
+    JobSpec,
+    check_transition,
+    valid_sources,
+)
+from repro.utils.log import get_logger
+
+logger = get_logger("service.store")
+
+#: bump when the table layout changes incompatibly
+SCHEMA_VERSION = 1
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS jobs (
+    seq        INTEGER PRIMARY KEY AUTOINCREMENT,
+    job_id     TEXT UNIQUE NOT NULL,
+    tenant     TEXT NOT NULL,
+    priority   INTEGER NOT NULL,
+    state      TEXT NOT NULL,
+    spec       TEXT NOT NULL,
+    error      TEXT NOT NULL DEFAULT '',
+    attempts   INTEGER NOT NULL DEFAULT 0,
+    created_s  REAL NOT NULL,
+    started_s  REAL,
+    finished_s REAL,
+    fleet_report TEXT NOT NULL DEFAULT ''
+);
+CREATE INDEX IF NOT EXISTS idx_jobs_queue
+    ON jobs (state, priority DESC, seq ASC);
+CREATE INDEX IF NOT EXISTS idx_jobs_tenant ON jobs (tenant, state);
+CREATE TABLE IF NOT EXISTS tasks (
+    job_id           TEXT NOT NULL,
+    task_id          INTEGER NOT NULL,
+    best_index       INTEGER,
+    best_gflops      REAL NOT NULL DEFAULT 0.0,
+    num_measurements INTEGER NOT NULL DEFAULT 0,
+    tuner            TEXT NOT NULL DEFAULT '',
+    summary          TEXT NOT NULL DEFAULT '{}',
+    PRIMARY KEY (job_id, task_id)
+);
+CREATE TABLE IF NOT EXISTS records (
+    job_id       TEXT NOT NULL,
+    task_id      INTEGER NOT NULL,
+    step         INTEGER NOT NULL,
+    config_index INTEGER NOT NULL,
+    gflops       REAL NOT NULL,
+    error        TEXT NOT NULL DEFAULT '',
+    PRIMARY KEY (job_id, task_id, step)
+);
+"""
+
+
+class JobStoreError(RuntimeError):
+    """The job database cannot be opened or read."""
+
+
+class SchemaVersionError(JobStoreError):
+    """The database was written by an incompatible schema version."""
+
+
+class JobStore:
+    """Thread-safe sqlite persistence for jobs, tasks, and records.
+
+    One connection guarded by an :class:`~threading.RLock` serves every
+    thread (HTTP handlers, the runner, recovery); each public method is
+    a single transaction.  ``synchronous=FULL`` keeps commits durable
+    across power-style kills — the service's crash-recovery contract is
+    only as strong as its weakest commit.
+    """
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.RLock()
+        try:
+            self._conn = sqlite3.connect(
+                str(self.path), check_same_thread=False
+            )
+            self._conn.row_factory = sqlite3.Row
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=FULL")
+            self._migrate()
+        except sqlite3.DatabaseError as exc:
+            raise JobStoreError(
+                f"cannot open job database {self.path}: {exc}"
+            ) from exc
+
+    def _migrate(self) -> None:
+        """Create the schema, or refuse a future/unknown version."""
+        with self._lock, self._conn:
+            row = self._conn.execute("PRAGMA user_version").fetchone()
+            version = int(row[0])
+            if version > SCHEMA_VERSION:
+                raise SchemaVersionError(
+                    f"job database {self.path} has schema version "
+                    f"{version}; this build reads up to {SCHEMA_VERSION}"
+                )
+            self._conn.executescript(_SCHEMA)
+            if version < SCHEMA_VERSION:
+                # future migrations chain version-by-version here
+                self._conn.execute(
+                    f"PRAGMA user_version = {SCHEMA_VERSION}"
+                )
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+    def __enter__(self) -> "JobStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # jobs
+
+    @staticmethod
+    def _job_from_row(row: sqlite3.Row) -> Job:
+        return Job(
+            job_id=row["job_id"],
+            seq=int(row["seq"]),
+            spec=JobSpec.from_dict(json.loads(row["spec"])),
+            state=row["state"],
+            error=row["error"],
+            attempts=int(row["attempts"]),
+            created_s=float(row["created_s"]),
+            started_s=row["started_s"],
+            finished_s=row["finished_s"],
+        )
+
+    def submit(self, spec: JobSpec) -> Job:
+        """Persist a new job in state ``queued``; returns it with id.
+
+        The job id derives from the autoincrement submission sequence
+        (``job-000042``), assigned inside the insert transaction so
+        ids are dense, unique, and stable across restarts.
+        """
+        now = time.time()
+        with self._lock, self._conn:
+            cur = self._conn.execute(
+                "INSERT INTO jobs "
+                "(job_id, tenant, priority, state, spec, created_s) "
+                "VALUES ('', ?, ?, 'queued', ?, ?)",
+                (spec.tenant, spec.priority, spec.to_json(), now),
+            )
+            seq = int(cur.lastrowid)
+            job_id = f"job-{seq:06d}"
+            self._conn.execute(
+                "UPDATE jobs SET job_id = ? WHERE seq = ?", (job_id, seq)
+            )
+        logger.info(
+            "submitted %s: tenant=%s priority=%d %s/%s n_trial=%d",
+            job_id, spec.tenant, spec.priority, spec.model, spec.arm,
+            spec.n_trial,
+        )
+        return Job(
+            job_id=job_id, seq=seq, spec=spec, state="queued",
+            created_s=now,
+        )
+
+    def get(self, job_id: str) -> Job:
+        """Fetch one job; raises :class:`JobNotFoundError`."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT * FROM jobs WHERE job_id = ?", (job_id,)
+            ).fetchone()
+        if row is None:
+            raise JobNotFoundError(
+                f"no job {job_id!r}", job_id=job_id
+            )
+        return self._job_from_row(row)
+
+    def list_jobs(
+        self,
+        tenant: Optional[str] = None,
+        state: Optional[str] = None,
+    ) -> List[Job]:
+        """All jobs (optionally filtered), in submission order."""
+        clauses, params = [], []
+        if tenant is not None:
+            clauses.append("tenant = ?")
+            params.append(tenant)
+        if state is not None:
+            clauses.append("state = ?")
+            params.append(state)
+        where = f" WHERE {' AND '.join(clauses)}" if clauses else ""
+        with self._lock:
+            rows = self._conn.execute(
+                f"SELECT * FROM jobs{where} ORDER BY seq ASC", params
+            ).fetchall()
+        return [self._job_from_row(row) for row in rows]
+
+    def active_count(self, tenant: str) -> int:
+        """Jobs currently holding this tenant's quota."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT COUNT(*) FROM jobs WHERE tenant = ? "
+                "AND state IN ('queued', 'running')",
+                (tenant,),
+            ).fetchone()
+        return int(row[0])
+
+    def transition(
+        self, job_id: str, to_state: str, error: str = ""
+    ) -> Job:
+        """Atomically move a job along a legal state-machine edge.
+
+        The update is a compare-and-swap on the state column: it only
+        fires while the job sits in a state with a legal edge into
+        ``to_state``, so concurrent transitions can never both win and
+        an illegal move raises
+        :class:`~repro.service.jobs.InvalidTransitionError` naming the
+        actual state.
+        """
+        sources = valid_sources(to_state)
+        placeholders = ", ".join("?" for _ in sources)
+        now = time.time()
+        started = "started_s = ?," if to_state == "running" else ""
+        finished = (
+            "finished_s = ?,"
+            if to_state in ("done", "failed", "cancelled")
+            else ""
+        )
+        attempts = (
+            "attempts = attempts + 1," if to_state == "running" else ""
+        )
+        params: List[Any] = [to_state, error]
+        if started:
+            params.append(now)
+        if finished:
+            params.append(now)
+        params.extend([job_id, *sources])
+        with self._lock, self._conn:
+            cur = self._conn.execute(
+                f"UPDATE jobs SET state = ?, error = ?, {started} "
+                f"{finished} {attempts} job_id = job_id "
+                f"WHERE job_id = ? AND state IN ({placeholders})",
+                params,
+            )
+            if cur.rowcount != 1:
+                # lost the race or illegal edge: report precisely
+                job = self.get(job_id)  # raises JobNotFoundError
+                check_transition(job.state, to_state)
+        return self.get(job_id)
+
+    def claim_next(self) -> Optional[Job]:
+        """Atomically claim the next queued job (or ``None``).
+
+        Ordering is strict: highest priority first, FIFO by submission
+        sequence within a priority level — deterministic for a
+        single-runner service.
+        """
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT job_id FROM jobs WHERE state = 'queued' "
+                "ORDER BY priority DESC, seq ASC LIMIT 1"
+            ).fetchone()
+            if row is None:
+                return None
+            return self.transition(row["job_id"], "running")
+
+    def running_jobs(self) -> List[Job]:
+        """Jobs a previous service life left mid-run (resume these)."""
+        return self.list_jobs(state="running")
+
+    def record_attempt(self, job_id: str) -> Job:
+        """Count one more execution attempt (recovery re-runs).
+
+        ``claim_next`` counts the first attempt; each crash-recovery
+        resume adds one here, so ``attempts`` reads as "how many
+        service lives touched this job".
+        """
+        with self._lock, self._conn:
+            cur = self._conn.execute(
+                "UPDATE jobs SET attempts = attempts + 1 "
+                "WHERE job_id = ? AND state = 'running'",
+                (job_id,),
+            )
+            if cur.rowcount != 1:
+                raise JobNotFoundError(
+                    f"no running job {job_id!r}", job_id=job_id
+                )
+        return self.get(job_id)
+
+    # ------------------------------------------------------------------
+    # task results + records
+
+    def add_task_result(
+        self,
+        job_id: str,
+        task_id: int,
+        result,
+        summary: Optional[Dict[str, Any]] = None,
+        tuner: str = "",
+    ) -> None:
+        """Upsert one finished task and its measurement records.
+
+        ``result`` is a :class:`~repro.core.tuner.TuningResult`.  The
+        write is idempotent — a resumed job re-collects every task and
+        lands on identical rows, so crash-resume never duplicates or
+        reorders records.
+        """
+        with self._lock, self._conn:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO tasks "
+                "(job_id, task_id, best_index, best_gflops, "
+                " num_measurements, tuner, summary) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?)",
+                (
+                    job_id,
+                    task_id,
+                    result.best_index,
+                    float(result.best_gflops),
+                    result.num_measurements,
+                    tuner or result.tuner_name,
+                    json.dumps(summary or {}, sort_keys=True),
+                ),
+            )
+            self._conn.execute(
+                "DELETE FROM records WHERE job_id = ? AND task_id = ?",
+                (job_id, task_id),
+            )
+            self._conn.executemany(
+                "INSERT INTO records "
+                "(job_id, task_id, step, config_index, gflops, error) "
+                "VALUES (?, ?, ?, ?, ?, ?)",
+                [
+                    (
+                        job_id,
+                        task_id,
+                        rec.step,
+                        rec.config_index,
+                        float(rec.gflops),
+                        rec.error,
+                    )
+                    for rec in result.records
+                ],
+            )
+
+    def tasks_for(self, job_id: str) -> List[Dict[str, Any]]:
+        """Per-task result rows of one job, in task order."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT * FROM tasks WHERE job_id = ? ORDER BY task_id",
+                (job_id,),
+            ).fetchall()
+        return [
+            {
+                "task_id": int(row["task_id"]),
+                "best_index": row["best_index"],
+                "best_gflops": float(row["best_gflops"]),
+                "num_measurements": int(row["num_measurements"]),
+                "tuner": row["tuner"],
+                "summary": json.loads(row["summary"]),
+            }
+            for row in rows
+        ]
+
+    def records_for(
+        self, job_id: str, task_id: Optional[int] = None
+    ) -> List[Dict[str, Any]]:
+        """Measurement records in (task, step) order — the bit-identity
+        surface the service test harness compares against a direct
+        :meth:`~repro.pipeline.compiler.DeploymentCompiler.tune`."""
+        clause = " AND task_id = ?" if task_id is not None else ""
+        params: List[Any] = [job_id]
+        if task_id is not None:
+            params.append(task_id)
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT * FROM records WHERE job_id = ?"
+                f"{clause} ORDER BY task_id, step",
+                params,
+            ).fetchall()
+        return [
+            {
+                "task_id": int(row["task_id"]),
+                "step": int(row["step"]),
+                "config_index": int(row["config_index"]),
+                "gflops": float(row["gflops"]),
+                "error": row["error"],
+            }
+            for row in rows
+        ]
+
+    # ------------------------------------------------------------------
+    # fleet reports
+
+    def set_fleet_report(
+        self, job_id: str, report: Dict[str, Any]
+    ) -> None:
+        """Attach the job's fleet scheduling report (done jobs only)."""
+        with self._lock, self._conn:
+            self._conn.execute(
+                "UPDATE jobs SET fleet_report = ? WHERE job_id = ?",
+                (json.dumps(report, sort_keys=True), job_id),
+            )
+
+    def fleet_report(self, job_id: str) -> Optional[Dict[str, Any]]:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT fleet_report FROM jobs WHERE job_id = ?",
+                (job_id,),
+            ).fetchone()
+        if row is None or not row["fleet_report"]:
+            return None
+        return json.loads(row["fleet_report"])
+
+    def fleet_reports(self) -> Dict[str, Dict[str, Any]]:
+        """Every stored fleet report, keyed by job id."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT job_id, fleet_report FROM jobs "
+                "WHERE fleet_report != '' ORDER BY seq"
+            ).fetchall()
+        return {
+            row["job_id"]: json.loads(row["fleet_report"]) for row in rows
+        }
+
+    # ------------------------------------------------------------------
+
+    def counts_by_state(self) -> Dict[str, int]:
+        """Job counts per state (the health/dashboard summary)."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT state, COUNT(*) AS n FROM jobs GROUP BY state"
+            ).fetchall()
+        return {row["state"]: int(row["n"]) for row in rows}
+
+
+def aggregate_utilization(
+    reports: Iterable[Dict[str, Any]]
+) -> Dict[str, Dict[str, Any]]:
+    """Fold per-job ``by_class`` fleet rollups into one utilization map.
+
+    Mirrors :func:`repro.fleet.reporting.fleet_report_dict`'s
+    ``by_class`` shape so the dashboard renders service-lifetime
+    utilization with the same fields a single run reports.
+    """
+    by_class: Dict[str, Dict[str, Any]] = {}
+    total = 0
+    for report in reports:
+        for cls, row in report.get("by_class", {}).items():
+            agg = by_class.setdefault(
+                cls,
+                {
+                    "devices": 0,
+                    "homed": 0,
+                    "executed": 0,
+                    "stolen_in": 0,
+                    "stolen_out": 0,
+                    "measurements": 0,
+                },
+            )
+            agg["devices"] = max(agg["devices"], int(row.get("devices", 0)))
+            for key in (
+                "homed", "executed", "stolen_in", "stolen_out",
+                "measurements",
+            ):
+                agg[key] += int(row.get(key, 0))
+            total += int(row.get("measurements", 0))
+    for row in by_class.values():
+        row["utilization"] = (
+            round(row["measurements"] / total, 6) if total else 0.0
+        )
+    return {cls: by_class[cls] for cls in sorted(by_class)}

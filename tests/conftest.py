@@ -1,4 +1,16 @@
-"""Shared fixtures: small workloads/tasks that keep tests fast."""
+"""Shared fixtures: small workloads/tasks that keep tests fast.
+
+Markers (registered in ``pyproject.toml``):
+
+* ``slow`` — the long-running conformance and experiment tests (full
+  fleet conformance sweeps, the adaptive-arm study, integration-scale
+  tunes).  The tier-1 suite runs everything; skip them locally with
+  ``-m 'not slow'`` for a fast edit loop.  CI's test job fans the full
+  suite over all cores with ``pytest-xdist`` (``-n auto``) — the slow
+  tests dominate its wall-clock, which is exactly what xdist absorbs.
+  ``pytest-xdist`` is a CI-only dependency: nothing in the suite
+  imports it, so a plain ``python -m pytest -x -q`` works anywhere.
+"""
 
 import pytest
 

@@ -117,6 +117,7 @@ class TestBTEDTuner:
         assert result.num_measurements == 48
 
 
+@pytest.mark.slow
 class TestBTEDBAOTuner:
     def make(self, task, **bao_kwargs):
         return BTEDBAOTuner(

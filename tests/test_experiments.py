@@ -99,6 +99,7 @@ class TestRunnerHelpers:
         ]
 
 
+@pytest.mark.slow
 class TestFig4:
     def test_smoke(self):
         result = run_fig4(
@@ -121,6 +122,7 @@ class TestFig4:
                      num_trials=1, num_measurements=8)
 
 
+@pytest.mark.slow
 class TestFig5:
     def test_smoke(self):
         result = run_fig5(
@@ -143,6 +145,7 @@ class TestFig5:
         assert result.gflops_ratio(0, "random") == pytest.approx(100.0)
 
 
+@pytest.mark.slow
 class TestAdaptiveStudy:
     def test_fewer_measurements_without_losing_gflops(self):
         result = run_adaptive_study(
@@ -185,6 +188,7 @@ class TestAdaptiveStudy:
             )
 
 
+@pytest.mark.slow
 class TestCrossDevice:
     def test_smoke(self):
         result = run_cross_device(
@@ -216,6 +220,7 @@ class TestCrossDevice:
             run_cross_device(devices=("gtx1080ti", "gtx1080ti"))
 
 
+@pytest.mark.slow
 class TestTable1:
     def test_smoke(self):
         result = run_table1(

@@ -118,6 +118,7 @@ def _baseline(arm, fault_rate):
     return _BASELINES[key]
 
 
+@pytest.mark.slow
 class TestCompilerConformance:
     @pytest.mark.parametrize("fault_rate", [0.0, 0.25])
     @pytest.mark.parametrize("devices", sorted(FLEETS))
@@ -213,6 +214,7 @@ def _traces(results):
     ]
 
 
+@pytest.mark.slow
 class TestEngineConformance:
     SETTINGS = ExperimentSettings(
         init_size=6, batch_size=8, batch_candidates=24, early_stopping=None

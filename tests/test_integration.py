@@ -25,6 +25,7 @@ def mobilenet_task():
     return spec.to_simulated(seed=2021)
 
 
+@pytest.mark.slow
 class TestSearchOrdering:
     """Model-guided search must beat random; the advanced framework must
     be competitive with the baseline (paper Sec. V-B)."""
@@ -70,6 +71,7 @@ class TestSearchOrdering:
             assert best > q90, arm
 
 
+@pytest.mark.slow
 class TestEndToEndDirection:
     """End-to-end latency: tuned deployment must clearly beat an untuned
     (record-free) deployment, and the advanced arm must not lose to

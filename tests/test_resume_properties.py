@@ -75,6 +75,7 @@ class _Crash(Exception):
     pass
 
 
+@pytest.mark.slow
 class TestCrashResumeProperty:
     @given(
         faults=fault_models(max_rate=0.4),

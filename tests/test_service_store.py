@@ -1,0 +1,302 @@
+"""Property tests for the service job store: crash/reopen durability.
+
+The :class:`~repro.service.JobStore` extends the repository's
+torn-write contracts (``test_records_fuzz.py`` / ``test_tlog.py``)
+onto sqlite: every public method is one committed transaction, so a
+SIGKILL between *any* two state transitions is equivalent to closing
+the connection and reopening the file.  The Hypothesis machines here
+interleave random lifecycle operations with reopen points and prove
+the two service invariants:
+
+* **no job is lost** — every submitted job is present with a valid
+  state after every crash/reopen sequence;
+* **no job is double-run** — ``queued -> running`` is claimed at most
+  once per job, across any interleaving and any number of reopens.
+"""
+
+import sqlite3
+import tempfile
+from contextlib import contextmanager
+from pathlib import Path
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.service import (
+    SCHEMA_VERSION,
+    InvalidTransitionError,
+    JobNotFoundError,
+    JobSpec,
+    JobStore,
+    JobStoreError,
+    SchemaVersionError,
+)
+
+COMMON = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@contextmanager
+def _fresh_db():
+    """A database path private to one Hypothesis example.
+
+    ``tmp_path`` is function-scoped and therefore *shared* across the
+    examples of one ``@given`` test — state would leak between runs.
+    """
+    with tempfile.TemporaryDirectory(prefix="service-store-") as root:
+        yield Path(root) / "jobs.sqlite"
+
+
+def _spec(tenant="default", priority=0):
+    return JobSpec(
+        model="alexnet",
+        arm="bted",
+        n_trial=8,
+        tenant=tenant,
+        priority=priority,
+    )
+
+
+#: one lifecycle operation: (op, argument)
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("submit"), st.integers(-2, 2)),  # priority
+        st.tuples(st.just("claim"), st.none()),
+        st.tuples(st.just("finish"), st.sampled_from(["done", "failed"])),
+        st.tuples(st.just("cancel"), st.none()),
+        st.tuples(st.just("reopen"), st.none()),  # the simulated crash
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+class TestCrashReopenProperties:
+    @COMMON
+    @given(ops=_OPS)
+    def test_no_job_lost_and_none_double_run(self, ops):
+        """Random op sequences with crashes keep both invariants."""
+        with _fresh_db() as path:
+            self._check_ops(path, ops)
+
+    @staticmethod
+    def _check_ops(path, ops):
+        store = JobStore(path)
+        submitted = []  # model: every job id ever accepted
+        claimed = []  # model: ids in claim order (each at most once)
+        running = []  # model: claimed but not yet settled
+        try:
+            for op, arg in ops:
+                if op == "submit":
+                    job = store.submit(_spec(priority=arg))
+                    submitted.append(job.job_id)
+                elif op == "claim":
+                    job = store.claim_next()
+                    if job is not None:
+                        assert job.job_id not in claimed, "double-run!"
+                        claimed.append(job.job_id)
+                        running.append(job.job_id)
+                elif op == "finish" and running:
+                    job_id = running.pop(0)
+                    store.transition(job_id, arg)
+                elif op == "cancel":
+                    queued = store.list_jobs(state="queued")
+                    if queued:
+                        store.transition(queued[0].job_id, "cancelled")
+                elif op == "reopen":
+                    # the crash: drop the handle, reopen the file
+                    store.close()
+                    store = JobStore(path)
+            # invariant: every submitted job survived with a valid state
+            persisted = {j.job_id: j for j in store.list_jobs()}
+            assert sorted(persisted) == sorted(submitted)
+            for job in persisted.values():
+                assert job.state in (
+                    "queued", "running", "done", "failed", "cancelled"
+                )
+            # invariant: claims (attempts > 0) match the model exactly
+            attempted = sorted(
+                j.job_id for j in persisted.values() if j.attempts > 0
+            )
+            assert attempted == sorted(claimed)
+        finally:
+            store.close()
+
+    @COMMON
+    @given(
+        priorities=st.lists(st.integers(-3, 3), min_size=1, max_size=12),
+        crash_at=st.integers(0, 12),
+    )
+    def test_claim_order_survives_crashes(self, priorities, crash_at):
+        """Priority-then-FIFO dequeue order is crash-invariant.
+
+        Submitting N jobs and claiming them all — with one reopen at an
+        arbitrary point in the claim loop — must drain in exactly the
+        order of (priority desc, submission seq asc).
+        """
+        with _fresh_db() as path:
+            self._check_order(path, priorities, crash_at)
+
+    @staticmethod
+    def _check_order(path, priorities, crash_at):
+        store = JobStore(path)
+        try:
+            seqs = {}
+            for priority in priorities:
+                job = store.submit(_spec(priority=priority))
+                seqs[job.job_id] = job.seq
+            expected = [
+                job_id
+                for job_id, _ in sorted(
+                    (
+                        (j.job_id, (-j.spec.priority, j.seq))
+                        for j in store.list_jobs()
+                    ),
+                    key=lambda item: item[1],
+                )
+            ]
+            drained = []
+            for i in range(len(priorities)):
+                if i == crash_at:
+                    store.close()
+                    store = JobStore(path)
+                job = store.claim_next()
+                assert job is not None
+                drained.append(job.job_id)
+                store.transition(job.job_id, "done")
+            assert drained == expected
+            assert store.claim_next() is None
+        finally:
+            store.close()
+
+
+class TestRunningJobsResume:
+    def test_running_jobs_survive_reopen_without_requeue(self, tmp_path):
+        """A crash mid-run leaves the job claimable only via resume."""
+        path = tmp_path / "jobs.sqlite"
+        store = JobStore(path)
+        job = store.submit(_spec())
+        assert store.claim_next().job_id == job.job_id
+        store.close()
+
+        reopened = JobStore(path)
+        try:
+            # the job is still running — not silently requeued ...
+            assert [j.job_id for j in reopened.running_jobs()] == [
+                job.job_id
+            ]
+            # ... and not claimable a second time
+            assert reopened.claim_next() is None
+            # recovery settles it through the normal edge
+            reopened.transition(job.job_id, "done")
+            assert reopened.get(job.job_id).state == "done"
+        finally:
+            reopened.close()
+
+
+class TestTransitions:
+    def test_illegal_edges_raise_structured_errors(self, tmp_path):
+        store = JobStore(tmp_path / "jobs.sqlite")
+        try:
+            job = store.submit(_spec())
+            with pytest.raises(InvalidTransitionError) as excinfo:
+                store.transition(job.job_id, "done")  # queued -> done
+            assert excinfo.value.to_dict()["error"]["code"] == (
+                "invalid_transition"
+            )
+            store.transition(job.job_id, "cancelled")
+            for dead_end in ("running", "done", "failed"):
+                with pytest.raises(InvalidTransitionError):
+                    store.transition(job.job_id, dead_end)
+        finally:
+            store.close()
+
+    def test_unknown_job_raises_not_found(self, tmp_path):
+        store = JobStore(tmp_path / "jobs.sqlite")
+        try:
+            with pytest.raises(JobNotFoundError):
+                store.get("job-999999")
+            with pytest.raises(JobNotFoundError):
+                store.transition("job-999999", "running")
+        finally:
+            store.close()
+
+    def test_timestamps_and_attempts_track_lifecycle(self, tmp_path):
+        store = JobStore(tmp_path / "jobs.sqlite")
+        try:
+            job = store.submit(_spec())
+            assert job.created_s > 0 and job.attempts == 0
+            claimed = store.claim_next()
+            assert claimed.attempts == 1
+            assert claimed.started_s is not None
+            done = store.transition(job.job_id, "done")
+            assert done.finished_s is not None
+        finally:
+            store.close()
+
+
+class TestSchemaGuard:
+    def test_future_schema_version_is_refused(self, tmp_path):
+        path = tmp_path / "jobs.sqlite"
+        JobStore(path).close()
+        conn = sqlite3.connect(path)
+        conn.execute(f"PRAGMA user_version = {SCHEMA_VERSION + 1}")
+        conn.commit()
+        conn.close()
+        with pytest.raises(SchemaVersionError):
+            JobStore(path)
+
+    def test_current_version_is_stamped(self, tmp_path):
+        path = tmp_path / "jobs.sqlite"
+        JobStore(path).close()
+        conn = sqlite3.connect(path)
+        assert conn.execute("PRAGMA user_version").fetchone()[0] == (
+            SCHEMA_VERSION
+        )
+        conn.close()
+
+    def test_corrupt_file_raises_store_error_naming_path(self, tmp_path):
+        path = tmp_path / "jobs.sqlite"
+        path.write_bytes(b"this is not a sqlite database, not even close")
+        with pytest.raises(JobStoreError) as excinfo:
+            JobStore(path)
+        assert str(path) in str(excinfo.value)
+
+
+class TestTaskResults:
+    def test_task_result_upsert_is_idempotent(self, tmp_path):
+        """Re-collecting a resumed job's tasks lands on identical rows."""
+        from repro.core.tuner import TrialRecord, TuningResult
+
+        store = JobStore(tmp_path / "jobs.sqlite")
+        try:
+            job = store.submit(_spec())
+            result = TuningResult(
+                task_name="t",
+                tuner_name="bted",
+                records=[
+                    TrialRecord(step=1, config_index=5, gflops=10.0),
+                    TrialRecord(step=2, config_index=9, gflops=0.0,
+                                error="boom"),
+                ],
+                best_index=5,
+                best_gflops=10.0,
+            )
+            for _ in range(2):  # first write, then the resume re-write
+                store.add_task_result(job.job_id, 0, result)
+            records = store.records_for(job.job_id)
+            assert records == [
+                {"task_id": 0, "step": 1, "config_index": 5,
+                 "gflops": 10.0, "error": ""},
+                {"task_id": 0, "step": 2, "config_index": 9,
+                 "gflops": 0.0, "error": "boom"},
+            ]
+            [task] = store.tasks_for(job.job_id)
+            assert task["best_index"] == 5
+            assert task["num_measurements"] == 2
+        finally:
+            store.close()

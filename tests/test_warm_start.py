@@ -140,6 +140,7 @@ class TestWarmStartValidation:
             tuner.tune(n_trial=8, early_stopping=None)
 
 
+@pytest.mark.slow
 class TestCompilerPasses:
     @pytest.fixture(scope="class")
     def compiler(self):
